@@ -1,0 +1,31 @@
+//! Criterion bench for Figure 5 (§6.4): the three interleaved-planning
+//! strategies over the seven-query workload, plus the §6.2 join table.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use tukwila_bench::scenarios::{fig5, table62};
+
+fn bench_fig5(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5_interleaved_planning");
+    g.sample_size(10);
+    g.bench_function("seven_queries_three_strategies", |b| {
+        b.iter(|| {
+            let rows = fig5::run(0.002, 30.0, 8 << 20);
+            assert_eq!(rows.len(), 7);
+            rows
+        })
+    });
+    g.finish();
+}
+
+fn bench_table62(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table62_dpj_vs_hybrid");
+    g.sample_size(10);
+    g.bench_function("all_2_and_3_way_joins", |b| {
+        b.iter(|| table62::run(0.002, 0.1))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig5, bench_table62);
+criterion_main!(benches);

@@ -1,0 +1,89 @@
+//! Criterion bench for §6.5: re-optimization strategies over the saved
+//! dynamic program — scratch vs usage pointers vs full-table revisit.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use tukwila_bench::scenarios::exp65;
+use tukwila_opt::memo::EdgeSpec;
+use tukwila_opt::{Estimate, Memo};
+
+fn edges(n: usize) -> Vec<EdgeSpec> {
+    let mut e: Vec<EdgeSpec> = (0..n - 1)
+        .map(|i| EdgeSpec {
+            a: i,
+            b: i + 1,
+            selectivity: 0.002,
+            a_col: format!("r{i}.k"),
+            b_col: format!("r{}.k", i + 1),
+        })
+        .collect();
+    for i in 0..n.saturating_sub(2) {
+        e.push(EdgeSpec {
+            a: i,
+            b: i + 2,
+            selectivity: 0.004,
+            a_col: format!("r{i}.c"),
+            b_col: format!("r{}.c", i + 2),
+        });
+    }
+    e
+}
+
+fn leaves(n: usize) -> Vec<Estimate> {
+    (0..n)
+        .map(|i| Estimate {
+            cost_ms: 10.0 + i as f64,
+            card: 500.0 * (i + 1) as f64,
+            tuple_bytes: 80.0,
+        })
+        .collect()
+}
+
+fn coster(l: &Estimate, r: &Estimate, out: f64) -> f64 {
+    (l.card + r.card + out) * 0.001
+}
+
+fn observed() -> Estimate {
+    Estimate {
+        cost_ms: 0.5,
+        card: 40.0,
+        tuple_bytes: 160.0,
+    }
+}
+
+fn bench_reopt_strategies(c: &mut Criterion) {
+    let mut g = c.benchmark_group("exp65_reoptimization");
+    for n in [8usize, 10, 12] {
+        let base = Memo::build(leaves(n), edges(n), &coster);
+        g.bench_with_input(BenchmarkId::new("scratch", n), &n, |b, &n| {
+            b.iter(|| {
+                Memo::build_with_pins(leaves(n), edges(n), vec![(0b11, observed())], &coster)
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("saved_with_pointers", n), &n, |b, _| {
+            b.iter(|| {
+                let mut m = base.clone();
+                m.pin_materialized(0b11, observed());
+                m.update_with_pointers(0b11, &coster);
+                m
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("saved_no_pointers", n), &n, |b, _| {
+            b.iter(|| {
+                let mut m = base.clone();
+                m.pin_materialized(0b11, observed());
+                m.update_without_pointers(&coster);
+                m
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_exp65_scenario(c: &mut Criterion) {
+    // the packaged scenario used by the bin harness
+    c.bench_function("exp65_row_n10", |b| b.iter(|| exp65::run(10, 1)));
+}
+
+criterion_group!(benches, bench_reopt_strategies, bench_exp65_scenario);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Criterion benches for the join-level figures: Figure 3a (LAN, DPJ vs
+//! hybrid), Figure 3b (WAN), Figure 4 (overflow strategies). Reduced scale
+//! so `cargo bench` stays quick; the `--bin` harnesses print the full
+//! series.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use tukwila_bench::scenarios::{fig3a, fig3b, fig4};
+
+fn bench_fig3a(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig3a_lineitem_supplier_orders");
+    g.sample_size(10);
+    g.bench_function("all_configs", |b| {
+        b.iter(|| {
+            let results = fig3a::run(0.0008, 0.2);
+            assert_eq!(results.len(), 3);
+            results
+        })
+    });
+    g.finish();
+}
+
+fn bench_fig3b(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig3b_wide_area_partsupp_part");
+    g.sample_size(10);
+    g.bench_function("all_configs", |b| {
+        b.iter(|| {
+            let results = fig3b::run(0.002, 0.1);
+            assert_eq!(results.len(), 6);
+            results
+        })
+    });
+    g.finish();
+}
+
+fn bench_fig4(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4_overflow_strategies");
+    g.sample_size(10);
+    g.bench_function("all_budgets", |b| {
+        b.iter(|| {
+            let results = fig4::run(0.003);
+            assert_eq!(results.len(), 5);
+            results
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig3a, bench_fig3b, bench_fig4);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Regenerates **Figure 3b** (§6.2): wide-area `partsupp ⋈ part` with slow
+//! links on one or both sides.
+//!
+//! Shape targets (paper): "the double pipelined join begins producing
+//! tuples much earlier, and … completes the query much faster as well";
+//! hybrid is sensitive to *which* side is slow (a slow inner delays all
+//! output), the DPJ is not.
+
+use tukwila_bench::runner::verdict;
+use tukwila_bench::{print_series_csv, scenarios::fig3b};
+
+fn main() {
+    let scale = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.004);
+    let results = fig3b::run(scale, 0.3);
+    print_series_csv(&results, 40);
+
+    let get = |label: &str| {
+        results
+            .iter()
+            .find(|r| r.label.starts_with(label))
+            .unwrap_or_else(|| panic!("missing config {label}"))
+    };
+    let h_both = get("Hybrid - Both");
+    let h_inner = get("Hybrid - Inner");
+    let d_both = get("Double Pipelined - Both");
+    let d_inner = get("Double Pipelined - Inner");
+    let d_outer = get("Double Pipelined - Outer");
+
+    verdict(
+        "dpj-first-tuple-both-slow",
+        d_both.time_to_first < h_both.time_to_first,
+        format!(
+            "DPJ ttf {:?} vs hybrid {:?} (both slow)",
+            d_both.time_to_first, h_both.time_to_first
+        ),
+    );
+    verdict(
+        "dpj-completes-faster-both-slow",
+        d_both.total < h_both.total,
+        format!("DPJ {:?} vs hybrid {:?}", d_both.total, h_both.total),
+    );
+    verdict(
+        "hybrid-inner-slow-delays-first-output",
+        h_inner.time_to_first > d_inner.time_to_first.mul_f64(1.5),
+        format!(
+            "hybrid inner-slow ttf {:?} vs DPJ {:?}",
+            h_inner.time_to_first, d_inner.time_to_first
+        ),
+    );
+    verdict(
+        "dpj-insensitive-to-slow-side",
+        {
+            let a = d_inner.total.as_secs_f64();
+            let b = d_outer.total.as_secs_f64();
+            (a - b).abs() / a.max(b) < 0.5
+        },
+        format!(
+            "DPJ inner-slow {:?} ≈ outer-slow {:?}",
+            d_inner.total, d_outer.total
+        ),
+    );
+}

@@ -1,0 +1,25 @@
+//! # tukwila-bench
+//!
+//! The benchmark harness that regenerates **every table and figure** in the
+//! Tukwila paper's evaluation (§6). Each scenario in [`scenarios`] is used
+//! twice:
+//!
+//! * by a `--bin` harness that prints the same rows/series the paper
+//!   reports (plus shape-check verdicts), recorded in EXPERIMENTS.md;
+//! * by the Criterion benches under `benches/`, which time the same
+//!   workloads at reduced scale.
+//!
+//! | experiment | paper artifact | bin |
+//! |------------|----------------|-----|
+//! | F3A  | Figure 3a — DPJ vs hybrid, 3-way LAN join      | `fig3a` |
+//! | F3B  | Figure 3b — DPJ vs hybrid over a WAN           | `fig3b` |
+//! | T62  | §6.2 — all 2/3-way joins, DPJ vs hybrid        | `table62` |
+//! | F4   | Figure 4 — overflow strategies under memory limits | `fig4` |
+//! | A423 | §4.2.3 — analytical I/O cost comparison        | `overflow_io` |
+//! | F5   | Figure 5 — interleaved planning strategies     | `fig5` |
+//! | E65  | §6.5 — optimizer state saving / usage pointers | `exp65` |
+
+pub mod runner;
+pub mod scenarios;
+
+pub use runner::{print_series_csv, run_single_fragment, JoinRunResult};

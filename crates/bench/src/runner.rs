@@ -1,0 +1,103 @@
+//! Shared measurement machinery: run one plan fragment, record the
+//! tuples-vs-time series the paper's figures plot.
+
+use std::time::Duration;
+
+use tukwila_exec::{run_fragment_observed, ExecEnv, FragmentOutcome, PlanRuntime};
+use tukwila_plan::{FragmentId, QueryPlan};
+use tukwila_source::SourceRegistry;
+
+/// One measured execution of a join pipeline.
+#[derive(Debug, Clone)]
+pub struct JoinRunResult {
+    /// Configuration label (legend entry in the paper's figure).
+    pub label: String,
+    /// Time until the first output tuple.
+    pub time_to_first: Duration,
+    /// Total completion time.
+    pub total: Duration,
+    /// Output cardinality.
+    pub tuples: u64,
+    /// `(tuples, elapsed)` samples.
+    pub series: Vec<(u64, Duration)>,
+    /// Spill I/O in tuples (written + read).
+    pub spill_tuple_io: usize,
+    /// Peak engine memory during the run, bytes.
+    pub peak_memory: usize,
+}
+
+impl JoinRunResult {
+    /// Downsample the series to ≤ `points` evenly spaced samples (figures
+    /// don't need every tuple).
+    pub fn downsampled(&self, points: usize) -> Vec<(u64, Duration)> {
+        if self.series.len() <= points || points == 0 {
+            return self.series.clone();
+        }
+        let step = self.series.len() as f64 / points as f64;
+        (0..points)
+            .map(|i| self.series[(i as f64 * step) as usize])
+            .chain(self.series.last().copied())
+            .collect()
+    }
+}
+
+/// Execute one single-fragment plan against `registry`, recording the
+/// output series.
+pub fn run_single_fragment(
+    label: &str,
+    registry: &SourceRegistry,
+    plan: &QueryPlan,
+    frag: FragmentId,
+) -> JoinRunResult {
+    let env = ExecEnv::new(registry.clone());
+    let rt = PlanRuntime::for_plan(plan, env.clone());
+    let mut series = Vec::new();
+    let report = run_fragment_observed(plan, frag, &rt, &mut |n, d| series.push((n, d)))
+        .unwrap_or_else(|e| panic!("{label}: fragment failed: {e}"));
+    match report.outcome {
+        FragmentOutcome::Completed { .. } => {}
+        other => panic!("{label}: unexpected outcome {other:?}"),
+    }
+    let stats = env.spill.stats();
+    JoinRunResult {
+        label: label.to_string(),
+        time_to_first: report.time_to_first.unwrap_or(report.duration),
+        total: report.duration,
+        tuples: report.produced,
+        series,
+        spill_tuple_io: stats.tuples_written() + stats.tuples_read(),
+        peak_memory: env.memory.peak_used(),
+    }
+}
+
+/// Print results as the figure's CSV: one column block per configuration.
+pub fn print_series_csv(results: &[JoinRunResult], points: usize) {
+    println!("# series: tuples_output, elapsed_ms (per configuration)");
+    for r in results {
+        println!("## {}", r.label);
+        for (n, d) in r.downsampled(points) {
+            println!("{n},{:.3}", d.as_secs_f64() * 1e3);
+        }
+    }
+    println!("# summary: label, time_to_first_ms, total_ms, tuples, spill_tuple_io");
+    for r in results {
+        println!(
+            "{}, {:.3}, {:.3}, {}, {}",
+            r.label,
+            r.time_to_first.as_secs_f64() * 1e3,
+            r.total.as_secs_f64() * 1e3,
+            r.tuples,
+            r.spill_tuple_io
+        );
+    }
+}
+
+/// Render a PASS/FAIL shape verdict line.
+pub fn verdict(name: &str, ok: bool, detail: String) {
+    println!(
+        "shape-check [{}] {}: {}",
+        if ok { "PASS" } else { "FAIL" },
+        name,
+        detail
+    );
+}

@@ -1,0 +1,23 @@
+//! # tukwila-catalog
+//!
+//! The data source catalog (§2 of the paper): per-source metadata the
+//! optimizer and reformulator consult.
+//!
+//! The catalog stores three kinds of metadata:
+//!
+//! 1. **Semantic descriptions** — which mediated-schema relation each source
+//!    serves ([`SourceDesc::mediated_relation`]).
+//! 2. **Overlap information** — for pairs of sources, the probability that a
+//!    value appearing in one also appears in the other (used by collector
+//!    policies; overlap 1.0 in both directions marks mirrors).
+//! 3. **Key statistics** — cardinalities, per-source access costs, and join
+//!    selectivities. Any of these may be *missing* (`None`) or *wrong*: the
+//!    whole point of Tukwila is adapting when they are. The interleaving
+//!    loop writes corrected statistics back through
+//!    [`Catalog::record_observed_cardinality`].
+
+pub mod catalog;
+pub mod stats;
+
+pub use catalog::{Catalog, OverlapInfo, SourceDesc};
+pub use stats::{AccessCost, TableStats};

@@ -1,0 +1,176 @@
+//! Engine-wide error type.
+//!
+//! Errors in a data integration system are *expected*: sources time out,
+//! connections drop, memory runs out. The execution engine converts most of
+//! these into events for the rule system (§3.3) rather than failing the
+//! query; `TukwilaError` is what remains when no rule handles the problem or
+//! when the plan itself is malformed.
+
+use std::fmt;
+
+/// Convenience alias used across all Tukwila crates.
+pub type Result<T> = std::result::Result<T, TukwilaError>;
+
+/// The error type shared by every Tukwila crate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TukwilaError {
+    /// Column resolution / schema mismatch problems.
+    Schema(String),
+    /// Malformed or internally inconsistent query plan.
+    Plan(String),
+    /// A data source failed permanently (wrapper could not be contacted or
+    /// the connection was dropped and no fallback rule applied).
+    SourceUnavailable {
+        /// Name of the failing source.
+        source: String,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A data source exceeded its timeout and no rescheduling rule applied.
+    SourceTimeout {
+        /// Name of the timed-out source.
+        source: String,
+        /// The timeout that elapsed, in milliseconds.
+        timeout_ms: u64,
+    },
+    /// An operator exhausted its memory budget and no overflow strategy was
+    /// configured (the optimizer should always attach one; this is a
+    /// planning bug surfaced at runtime).
+    OutOfMemory {
+        /// Operator that overflowed.
+        operator: String,
+        /// Budget in bytes.
+        budget: usize,
+    },
+    /// The optimizer could not produce a plan (e.g. no source covers a
+    /// mediated relation).
+    Optimizer(String),
+    /// Reformulation failure (unknown mediated relation, no covering
+    /// sources).
+    Reformulation(String),
+    /// A rule's action failed or the rule set is inconsistent (conflicting
+    /// simultaneous rules, §3.1.2 restriction 3).
+    Rule(String),
+    /// Execution was cancelled by a rule action (`return error to user`).
+    Cancelled(String),
+    /// Spill-store / local-store I/O failure.
+    Io(String),
+    /// Catch-all for internal invariant violations; always a bug.
+    Internal(String),
+}
+
+impl TukwilaError {
+    /// Short machine-readable category tag (used in logs and tests).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TukwilaError::Schema(_) => "schema",
+            TukwilaError::Plan(_) => "plan",
+            TukwilaError::SourceUnavailable { .. } => "source_unavailable",
+            TukwilaError::SourceTimeout { .. } => "source_timeout",
+            TukwilaError::OutOfMemory { .. } => "out_of_memory",
+            TukwilaError::Optimizer(_) => "optimizer",
+            TukwilaError::Reformulation(_) => "reformulation",
+            TukwilaError::Rule(_) => "rule",
+            TukwilaError::Cancelled(_) => "cancelled",
+            TukwilaError::Io(_) => "io",
+            TukwilaError::Internal(_) => "internal",
+        }
+    }
+
+    /// Whether the adaptive layer may respond to this error (reschedule,
+    /// fall back to a mirror, re-optimize) rather than aborting the query.
+    pub fn is_recoverable(&self) -> bool {
+        matches!(
+            self,
+            TukwilaError::SourceUnavailable { .. }
+                | TukwilaError::SourceTimeout { .. }
+                | TukwilaError::OutOfMemory { .. }
+        )
+    }
+}
+
+impl fmt::Display for TukwilaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TukwilaError::Schema(m) => write!(f, "schema error: {m}"),
+            TukwilaError::Plan(m) => write!(f, "plan error: {m}"),
+            TukwilaError::SourceUnavailable { source, reason } => {
+                write!(f, "source `{source}` unavailable: {reason}")
+            }
+            TukwilaError::SourceTimeout { source, timeout_ms } => {
+                write!(f, "source `{source}` timed out after {timeout_ms}ms")
+            }
+            TukwilaError::OutOfMemory { operator, budget } => {
+                write!(
+                    f,
+                    "operator `{operator}` exceeded its {budget}-byte memory budget \
+                     with no overflow strategy"
+                )
+            }
+            TukwilaError::Optimizer(m) => write!(f, "optimizer error: {m}"),
+            TukwilaError::Reformulation(m) => write!(f, "reformulation error: {m}"),
+            TukwilaError::Rule(m) => write!(f, "rule error: {m}"),
+            TukwilaError::Cancelled(m) => write!(f, "execution cancelled: {m}"),
+            TukwilaError::Io(m) => write!(f, "io error: {m}"),
+            TukwilaError::Internal(m) => write!(f, "internal error (bug): {m}"),
+        }
+    }
+}
+
+impl std::error::Error for TukwilaError {}
+
+impl From<std::io::Error> for TukwilaError {
+    fn from(e: std::io::Error) -> Self {
+        TukwilaError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_are_stable() {
+        assert_eq!(TukwilaError::Schema("x".into()).kind(), "schema");
+        assert_eq!(
+            TukwilaError::SourceTimeout {
+                source: "s".into(),
+                timeout_ms: 5
+            }
+            .kind(),
+            "source_timeout"
+        );
+    }
+
+    #[test]
+    fn recoverability() {
+        assert!(TukwilaError::SourceTimeout {
+            source: "a".into(),
+            timeout_ms: 1
+        }
+        .is_recoverable());
+        assert!(TukwilaError::OutOfMemory {
+            operator: "dpj".into(),
+            budget: 64
+        }
+        .is_recoverable());
+        assert!(!TukwilaError::Plan("bad".into()).is_recoverable());
+    }
+
+    #[test]
+    fn display_mentions_source_name() {
+        let e = TukwilaError::SourceUnavailable {
+            source: "bib1".into(),
+            reason: "connection refused".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("bib1") && s.contains("connection refused"));
+    }
+
+    #[test]
+    fn io_conversion() {
+        let io = std::io::Error::other("disk gone");
+        let e: TukwilaError = io.into();
+        assert_eq!(e.kind(), "io");
+    }
+}

@@ -1,0 +1,30 @@
+//! # tukwila-common
+//!
+//! The shared data model for the Tukwila adaptive query execution system:
+//! [`Value`]s, [`Tuple`]s, [`Schema`]s, in-memory [`Relation`]s, and the
+//! engine-wide [`TukwilaError`] type.
+//!
+//! Tukwila (Ives et al., SIGMOD 1999) processes relational data arriving
+//! from autonomous network-bound sources. Everything above this crate —
+//! wrappers, operators, the optimizer — traffics in the types defined here.
+//!
+//! Design notes (see DESIGN.md §2):
+//! * [`Tuple`] is a cheaply cloneable, immutable row (`Arc<[Value]>`); join
+//!   operators concatenate tuples without copying their inputs' buffers
+//!   more than once.
+//! * Every value and tuple knows its approximate in-memory size
+//!   ([`Value::mem_size`], [`Tuple::mem_size`]) so the memory manager can
+//!   enforce the per-operator budgets the paper's overflow experiments
+//!   depend on (§4.2.3, Figure 4).
+
+pub mod error;
+pub mod relation;
+pub mod schema;
+pub mod tuple;
+pub mod value;
+
+pub use error::{Result, TukwilaError};
+pub use relation::Relation;
+pub use schema::{Field, Schema};
+pub use tuple::Tuple;
+pub use value::{DataType, Value};

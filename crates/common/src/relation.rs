@@ -1,0 +1,261 @@
+//! In-memory relations: a schema plus a bag of tuples.
+//!
+//! [`Relation`] is the unit the data generator produces, the simulated
+//! sources serve, and fragment materialization writes. It is a *bag*
+//! (duplicates allowed), matching SQL semantics and the paper's union /
+//! collector discussion (§4.1, where overlap between sources produces
+//! duplicates the collector policy may or may not bother removing).
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::error::{Result, TukwilaError};
+use crate::schema::Schema;
+use crate::tuple::Tuple;
+use crate::value::Value;
+
+/// A schema-carrying bag of tuples.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Relation {
+    schema: Schema,
+    tuples: Vec<Tuple>,
+}
+
+impl Relation {
+    /// Build a relation, validating that every tuple matches the schema
+    /// arity (type checking is left to the planner; arity mismatches are
+    /// hard corruption and rejected here).
+    pub fn new(schema: Schema, tuples: Vec<Tuple>) -> Result<Self> {
+        for (i, t) in tuples.iter().enumerate() {
+            if t.arity() != schema.arity() {
+                return Err(TukwilaError::Schema(format!(
+                    "tuple {i} has arity {} but schema {} has arity {}",
+                    t.arity(),
+                    schema,
+                    schema.arity()
+                )));
+            }
+        }
+        Ok(Relation { schema, tuples })
+    }
+
+    /// Build an empty relation with the given schema.
+    pub fn empty(schema: Schema) -> Self {
+        Relation {
+            schema,
+            tuples: Vec::new(),
+        }
+    }
+
+    /// The relation's schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Tuples in insertion order.
+    pub fn tuples(&self) -> &[Tuple] {
+        &self.tuples
+    }
+
+    /// Number of tuples (cardinality).
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Whether the relation holds no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Append a tuple. Panics on arity mismatch in debug builds; callers on
+    /// hot paths (materialization) have already validated the schema.
+    pub fn push(&mut self, tuple: Tuple) {
+        debug_assert_eq!(tuple.arity(), self.schema.arity());
+        self.tuples.push(tuple);
+    }
+
+    /// Consume into the tuple vector.
+    pub fn into_tuples(self) -> Vec<Tuple> {
+        self.tuples
+    }
+
+    /// Total approximate memory footprint in bytes.
+    pub fn mem_size(&self) -> usize {
+        self.tuples.iter().map(Tuple::mem_size).sum()
+    }
+
+    /// Sorted copy of the tuples (total order on values) — used by tests to
+    /// compare results irrespective of arrival order, which adaptive
+    /// operators deliberately scramble.
+    pub fn sorted_tuples(&self) -> Vec<Tuple> {
+        let mut out = self.tuples.clone();
+        out.sort_by(|a, b| a.values().cmp(b.values()));
+        out
+    }
+
+    /// Bag-equality with another relation (same schema arity, same tuples
+    /// with the same multiplicities, in any order).
+    pub fn bag_eq(&self, other: &Relation) -> bool {
+        if self.schema.arity() != other.schema.arity() || self.len() != other.len() {
+            return false;
+        }
+        self.sorted_tuples() == other.sorted_tuples()
+    }
+
+    /// Reorder columns into a canonical order (sorted by fully qualified
+    /// name). Two plans for the same query may emit columns in different
+    /// orders depending on the join tree; canonicalizing both sides makes
+    /// [`Relation::bag_eq`] order-insensitive in columns as well as rows.
+    pub fn canonicalized(&self) -> Relation {
+        let mut order: Vec<usize> = (0..self.schema.arity()).collect();
+        order.sort_by_key(|&i| self.schema.field(i).qualified_name());
+        Relation {
+            schema: self.schema.project(&order),
+            tuples: self.tuples.iter().map(|t| t.project(&order)).collect(),
+        }
+    }
+
+    /// Column-order-insensitive bag equality: canonicalize both sides, then
+    /// compare.
+    pub fn bag_eq_unordered(&self, other: &Relation) -> bool {
+        self.canonicalized().bag_eq(&other.canonicalized())
+    }
+
+    /// Reference "gold" hash join used to verify every join implementation
+    /// in the engine: joins `self` and `other` on equality of the given key
+    /// columns, concatenating matching tuples (left then right).
+    pub fn nested_join(&self, other: &Relation, left_key: usize, right_key: usize) -> Relation {
+        let mut index: HashMap<&Value, Vec<&Tuple>> = HashMap::new();
+        for t in &other.tuples {
+            index.entry(t.value(right_key)).or_default().push(t);
+        }
+        let mut out = Vec::new();
+        for l in &self.tuples {
+            if l.value(left_key).is_null() {
+                continue; // NULL keys never join
+            }
+            if let Some(matches) = index.get(l.value(left_key)) {
+                for r in matches {
+                    out.push(l.concat(r));
+                }
+            }
+        }
+        Relation {
+            schema: self.schema.concat(&other.schema),
+            tuples: out,
+        }
+    }
+
+    /// Reference selection: keep tuples where column `col` equals `v`.
+    pub fn select_eq(&self, col: usize, v: &Value) -> Relation {
+        Relation {
+            schema: self.schema.clone(),
+            tuples: self
+                .tuples
+                .iter()
+                .filter(|t| t.value(col).sql_eq(v) == Some(true))
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// Distinct values in a column (for stats / tests).
+    pub fn distinct_count(&self, col: usize) -> usize {
+        let mut seen: std::collections::HashSet<&Value> = std::collections::HashSet::new();
+        for t in &self.tuples {
+            seen.insert(t.value(col));
+        }
+        seen.len()
+    }
+}
+
+impl fmt::Display for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{} ({} tuples)", self.schema, self.len())?;
+        for t in self.tuples.iter().take(20) {
+            writeln!(f, "  {t}")?;
+        }
+        if self.len() > 20 {
+            writeln!(f, "  … {} more", self.len() - 20)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+    use crate::tuple;
+    use crate::value::DataType;
+
+    fn rel(name: &str, rows: Vec<Tuple>) -> Relation {
+        let schema = Schema::of(name, &[("k", DataType::Int), ("v", DataType::Int)]);
+        Relation::new(schema, rows).unwrap()
+    }
+
+    #[test]
+    fn arity_validation() {
+        let schema = Schema::of("r", &[("a", DataType::Int)]);
+        assert!(Relation::new(schema.clone(), vec![tuple![1, 2]]).is_err());
+        assert!(Relation::new(schema, vec![tuple![1]]).is_ok());
+    }
+
+    #[test]
+    fn bag_eq_ignores_order_but_counts_duplicates() {
+        let a = rel("r", vec![tuple![1, 1], tuple![2, 2], tuple![1, 1]]);
+        let b = rel("r", vec![tuple![2, 2], tuple![1, 1], tuple![1, 1]]);
+        let c = rel("r", vec![tuple![2, 2], tuple![1, 1]]);
+        assert!(a.bag_eq(&b));
+        assert!(!a.bag_eq(&c));
+    }
+
+    #[test]
+    fn nested_join_matches_by_key() {
+        let l = rel("l", vec![tuple![1, 10], tuple![2, 20], tuple![3, 30]]);
+        let r = rel("r", vec![tuple![2, 200], tuple![3, 300], tuple![3, 301]]);
+        let j = l.nested_join(&r, 0, 0);
+        assert_eq!(j.len(), 3);
+        assert_eq!(j.schema().arity(), 4);
+        let sorted = j.sorted_tuples();
+        assert_eq!(sorted[0], tuple![2, 20, 2, 200]);
+        assert_eq!(sorted[1], tuple![3, 30, 3, 300]);
+        assert_eq!(sorted[2], tuple![3, 30, 3, 301]);
+    }
+
+    #[test]
+    fn null_keys_never_join() {
+        let schema = Schema::of("l", &[("k", DataType::Int)]);
+        let l = Relation::new(
+            schema.clone(),
+            vec![Tuple::new(vec![Value::Null]), tuple![1]],
+        )
+        .unwrap();
+        let r = Relation::new(schema, vec![Tuple::new(vec![Value::Null]), tuple![1]]).unwrap();
+        let j = l.nested_join(&r, 0, 0);
+        assert_eq!(j.len(), 1); // only the 1-1 match
+    }
+
+    #[test]
+    fn select_eq_filters() {
+        let r = rel("r", vec![tuple![1, 10], tuple![2, 20], tuple![1, 30]]);
+        let s = r.select_eq(0, &Value::Int(1));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn distinct_count_counts() {
+        let r = rel("r", vec![tuple![1, 10], tuple![2, 20], tuple![1, 30]]);
+        assert_eq!(r.distinct_count(0), 2);
+        assert_eq!(r.distinct_count(1), 3);
+    }
+
+    #[test]
+    fn mem_size_sums_tuples() {
+        let r = rel("r", vec![tuple![1, 10], tuple![2, 20]]);
+        assert_eq!(
+            r.mem_size(),
+            r.tuples()[0].mem_size() + r.tuples()[1].mem_size()
+        );
+    }
+}

@@ -1,0 +1,223 @@
+//! Immutable, cheaply-cloneable tuples.
+//!
+//! Joins in Tukwila are hash-based and produce concatenations of their input
+//! tuples. A [`Tuple`] wraps `Arc<[Value]>`, so cloning a tuple into a hash
+//! table, a transfer queue, or a spill bucket costs one refcount bump. The
+//! double pipelined join holds *both* inputs in memory (§4.2.2), so this
+//! representation is what makes the memory accounting meaningful.
+
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+use crate::value::Value;
+
+/// An immutable row of [`Value`]s.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Tuple {
+    values: Arc<[Value]>,
+}
+
+impl Tuple {
+    /// Build a tuple from values.
+    pub fn new(values: Vec<Value>) -> Self {
+        Tuple {
+            values: values.into(),
+        }
+    }
+
+    /// The empty tuple (identity for [`Tuple::concat`]).
+    pub fn empty() -> Self {
+        Tuple {
+            values: Vec::new().into(),
+        }
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Column accessor. Panics on out-of-range like slice indexing; use
+    /// [`Tuple::get`] for the checked variant.
+    pub fn value(&self, idx: usize) -> &Value {
+        &self.values[idx]
+    }
+
+    /// Checked column accessor.
+    pub fn get(&self, idx: usize) -> Option<&Value> {
+        self.values.get(idx)
+    }
+
+    /// All values as a slice.
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// Concatenate two tuples (join output). Allocates a fresh buffer of
+    /// `self.arity() + other.arity()` values; the `Value`s themselves are
+    /// cloned cheaply (strings are `Arc<str>`).
+    pub fn concat(&self, other: &Tuple) -> Tuple {
+        let mut out = Vec::with_capacity(self.values.len() + other.values.len());
+        out.extend_from_slice(&self.values);
+        out.extend_from_slice(&other.values);
+        Tuple::new(out)
+    }
+
+    /// Project onto the given column indices (in the given order).
+    ///
+    /// Panics if an index is out of range — the planner validates indices
+    /// before execution.
+    pub fn project(&self, indices: &[usize]) -> Tuple {
+        let out: Vec<Value> = indices.iter().map(|&i| self.values[i].clone()).collect();
+        Tuple::new(out)
+    }
+
+    /// Extract the join key for `key_cols` as an owned vector of values.
+    pub fn key(&self, key_cols: &[usize]) -> Vec<Value> {
+        key_cols.iter().map(|&i| self.values[i].clone()).collect()
+    }
+
+    /// Approximate resident memory footprint in bytes: the shared buffer
+    /// plus the `Arc` header. Charged once per owning container by the
+    /// memory manager; clones of the same tuple share the buffer, but each
+    /// hash-table entry retains it, so operators charge per retained clone
+    /// (a deliberate, conservative over-count matching the paper's model of
+    /// "memory holds M tuples").
+    pub fn mem_size(&self) -> usize {
+        let header = std::mem::size_of::<Tuple>() + 2 * std::mem::size_of::<usize>();
+        header + self.values.iter().map(Value::mem_size).sum::<usize>()
+    }
+}
+
+impl Hash for Tuple {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.values.hash(state);
+    }
+}
+
+impl fmt::Debug for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(self.values.iter()).finish()
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("(")?;
+        for (i, v) in self.values.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        f.write_str(")")
+    }
+}
+
+impl From<Vec<Value>> for Tuple {
+    fn from(values: Vec<Value>) -> Self {
+        Tuple::new(values)
+    }
+}
+
+/// Convenience macro for building tuples in tests and examples:
+/// `tuple![1, "a", 2.5]`.
+#[macro_export]
+macro_rules! tuple {
+    ($($v:expr),* $(,)?) => {
+        $crate::Tuple::new(vec![$($crate::Value::from($v)),*])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+    use proptest::prelude::*;
+
+    #[test]
+    fn build_and_access() {
+        let t = Tuple::new(vec![Value::Int(1), Value::str("x")]);
+        assert_eq!(t.arity(), 2);
+        assert_eq!(t.value(0), &Value::Int(1));
+        assert_eq!(t.get(1), Some(&Value::str("x")));
+        assert_eq!(t.get(2), None);
+    }
+
+    #[test]
+    fn concat_preserves_order() {
+        let a = tuple![1, 2];
+        let b = tuple!["x"];
+        let c = a.concat(&b);
+        assert_eq!(c.arity(), 3);
+        assert_eq!(c.value(0), &Value::Int(1));
+        assert_eq!(c.value(2), &Value::str("x"));
+    }
+
+    #[test]
+    fn concat_with_empty_is_identity() {
+        let a = tuple![1, "y"];
+        assert_eq!(a.concat(&Tuple::empty()), a);
+        assert_eq!(Tuple::empty().concat(&a), a);
+    }
+
+    #[test]
+    fn project_reorders() {
+        let t = tuple![10, 20, 30];
+        let p = t.project(&[2, 0]);
+        assert_eq!(p, tuple![30, 10]);
+    }
+
+    #[test]
+    fn key_extraction() {
+        let t = tuple![10, "k", 30];
+        assert_eq!(t.key(&[1]), vec![Value::str("k")]);
+        assert_eq!(t.key(&[0, 2]), vec![Value::Int(10), Value::Int(30)]);
+    }
+
+    #[test]
+    fn clone_is_shallow() {
+        let t = tuple![1, "some string payload"];
+        let u = t.clone();
+        // Same underlying buffer.
+        assert!(std::ptr::eq(t.values().as_ptr(), u.values().as_ptr()));
+    }
+
+    #[test]
+    fn mem_size_grows_with_payload() {
+        let small = tuple![1];
+        let big = tuple![1, 2, 3, "a long string that takes space"];
+        assert!(big.mem_size() > small.mem_size());
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(tuple![1, "a"].to_string(), "(1, a)");
+        assert_eq!(Tuple::empty().to_string(), "()");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_concat_arity(xs in proptest::collection::vec(0i64..100, 0..8),
+                             ys in proptest::collection::vec(0i64..100, 0..8)) {
+            let a = Tuple::new(xs.iter().copied().map(Value::Int).collect());
+            let b = Tuple::new(ys.iter().copied().map(Value::Int).collect());
+            let c = a.concat(&b);
+            prop_assert_eq!(c.arity(), a.arity() + b.arity());
+            for (i, x) in xs.iter().enumerate() {
+                prop_assert_eq!(c.value(i), &Value::Int(*x));
+            }
+            for (j, y) in ys.iter().enumerate() {
+                prop_assert_eq!(c.value(xs.len() + j), &Value::Int(*y));
+            }
+        }
+
+        #[test]
+        fn prop_project_identity(xs in proptest::collection::vec(0i64..100, 1..8)) {
+            let t = Tuple::new(xs.iter().copied().map(Value::Int).collect());
+            let all: Vec<usize> = (0..t.arity()).collect();
+            prop_assert_eq!(t.project(&all), t);
+        }
+    }
+}

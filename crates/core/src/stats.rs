@@ -1,0 +1,57 @@
+//! Query-level results and execution statistics.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use tukwila_common::Relation;
+use tukwila_exec::FragmentReport;
+
+/// Statistics accumulated over one query's interleaved execution.
+#[derive(Debug, Clone, Default)]
+pub struct ExecutionStats {
+    /// Times the optimizer was re-invoked mid-query (§3.1.2 `replan`).
+    pub replans: usize,
+    /// Times execution was rescheduled around a blocked source (§3.1.2
+    /// `reschedule`, query scrambling).
+    pub reschedules: usize,
+    /// Fragment runs (including retries).
+    pub fragments_run: usize,
+    /// Per-fragment reports in execution order.
+    pub fragment_reports: Vec<FragmentReport>,
+    /// Tuples written to spill storage (overflow resolution).
+    pub spill_tuples_written: usize,
+    /// Tuples read back from spill storage.
+    pub spill_tuples_read: usize,
+    /// Peak engine memory across the run, bytes.
+    pub peak_memory: usize,
+    /// Total wall-clock duration.
+    pub duration: Duration,
+    /// Time until the first tuple of the *final* fragment appeared.
+    pub time_to_first: Option<Duration>,
+}
+
+impl ExecutionStats {
+    /// Total spill I/O in tuples (the unit of §4.2.3's analysis).
+    pub fn spill_tuple_io(&self) -> usize {
+        self.spill_tuples_written + self.spill_tuples_read
+    }
+}
+
+/// The answer to a query plus how it was computed.
+#[derive(Debug, Clone)]
+pub struct QueryResult {
+    /// The result relation.
+    pub relation: Arc<Relation>,
+    /// Execution statistics.
+    pub stats: ExecutionStats,
+    /// `(tuples, elapsed)` samples of the output fragment — the series
+    /// behind the paper's tuples-vs-time figures.
+    pub series: Vec<(u64, Duration)>,
+}
+
+impl QueryResult {
+    /// Result cardinality.
+    pub fn cardinality(&self) -> usize {
+        self.relation.len()
+    }
+}

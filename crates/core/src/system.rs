@@ -1,0 +1,479 @@
+//! The interleaved planning and execution loop (§3).
+//!
+//! `TukwilaSystem::execute` is the paper's architecture in motion:
+//!
+//! 1. **Reformulate** the mediated-schema query into source-level leaves
+//!    with disjunction (§2).
+//! 2. **Optimize** — possibly into a *partial* plan when statistics are
+//!    missing.
+//! 3. **Execute fragments** one pipelined unit at a time, materializing
+//!    results and collecting statistics.
+//! 4. React to rule outcomes: **reschedule** blocked fragments behind
+//!    runnable ones (query scrambling, §3.1.2), or **re-invoke the
+//!    optimizer** with observed cardinalities — which replans incrementally
+//!    from its saved search space (§6.5) and emits a corrected plan whose
+//!    remaining work reuses the materializations already computed.
+//!
+//! The loop terminates when a complete plan's output fragment finishes, a
+//! rule aborts the query, or the replan/retry budgets are exhausted.
+
+use std::collections::{BTreeSet, HashMap};
+use std::time::Instant;
+
+use tukwila_common::{Result, TukwilaError};
+use tukwila_exec::{run_fragment_observed, ExecEnv, FragmentOutcome, PlanRuntime};
+use tukwila_opt::{Observation, Optimizer, PlannedQuery};
+use tukwila_plan::{
+    FragmentId, OpState, OperatorSpec, QuantityProvider, QueryPlan, SubjectRef,
+};
+use tukwila_query::{ConjunctiveQuery, Reformulator};
+
+use crate::stats::{ExecutionStats, QueryResult};
+
+enum PlanRun {
+    Finished { result_name: String },
+    Replan { observations: Vec<Observation> },
+}
+
+/// The Tukwila data integration system.
+pub struct TukwilaSystem {
+    reformulator: Reformulator,
+    optimizer: Optimizer,
+    env: ExecEnv,
+    /// Maximum optimizer re-invocations per query.
+    pub max_replans: usize,
+    /// Maximum runs of a single fragment (rescheduling retries).
+    pub max_fragment_retries: usize,
+}
+
+impl TukwilaSystem {
+    /// Assemble a system from its components.
+    pub fn new(reformulator: Reformulator, optimizer: Optimizer, env: ExecEnv) -> Self {
+        TukwilaSystem {
+            reformulator,
+            optimizer,
+            env,
+            max_replans: 16,
+            max_fragment_retries: 3,
+        }
+    }
+
+    /// The engine environment (local store, memory pool, spill store).
+    pub fn env(&self) -> &ExecEnv {
+        &self.env
+    }
+
+    /// The optimizer (for inspecting the catalog after observations).
+    pub fn optimizer(&self) -> &Optimizer {
+        &self.optimizer
+    }
+
+    /// Execute a conjunctive query over the mediated schema.
+    pub fn execute(&mut self, query: &ConjunctiveQuery) -> Result<QueryResult> {
+        let started = Instant::now();
+        let rq = self.reformulator.reformulate(query, self.optimizer.catalog())?;
+        let mut planned = self.optimizer.plan(&rq)?;
+        let mut stats = ExecutionStats::default();
+        let mut series: Vec<(u64, std::time::Duration)> = Vec::new();
+
+        loop {
+            series.clear();
+            let run = self.run_plan(&planned, &mut stats, &mut series)?;
+            match run {
+                PlanRun::Finished { result_name } => {
+                    let relation = self.env.local.get(&result_name)?;
+                    let io = self.env.spill.stats();
+                    stats.spill_tuples_written = io.tuples_written();
+                    stats.spill_tuples_read = io.tuples_read();
+                    stats.peak_memory = self.env.memory.peak_used();
+                    stats.duration = started.elapsed();
+                    stats.time_to_first = stats
+                        .fragment_reports
+                        .last()
+                        .and_then(|r| r.time_to_first);
+                    return Ok(QueryResult {
+                        relation,
+                        stats,
+                        series,
+                    });
+                }
+                PlanRun::Replan { observations } => {
+                    if stats.replans >= self.max_replans {
+                        return Err(TukwilaError::Optimizer(format!(
+                            "replan budget ({}) exhausted",
+                            self.max_replans
+                        )));
+                    }
+                    stats.replans += 1;
+                    planned =
+                        self.optimizer
+                            .replan(&rq, planned.memo.take(), &observations)?;
+                }
+            }
+        }
+    }
+
+    /// Run one plan to completion or to a replan request.
+    fn run_plan(
+        &mut self,
+        planned: &PlannedQuery,
+        stats: &mut ExecutionStats,
+        series: &mut Vec<(u64, std::time::Duration)>,
+    ) -> Result<PlanRun> {
+        let plan = &planned.lowered.plan;
+        let rt = PlanRuntime::for_plan(plan, self.env.clone());
+        let mut completed: BTreeSet<FragmentId> = BTreeSet::new();
+        let mut retries: HashMap<FragmentId, usize> = HashMap::new();
+        let mut deferred: BTreeSet<FragmentId> = BTreeSet::new();
+
+        loop {
+            let active = |id: FragmentId| rt.is_active(SubjectRef::Fragment(id));
+            let ready = plan.ready_fragments(&completed, &active);
+            if ready.is_empty() {
+                // Done if the output fragment completed; otherwise the plan
+                // is stuck (contingent fragments never activated).
+                if completed.contains(&plan.output) {
+                    break;
+                }
+                if plan.fragments.iter().all(|f| {
+                    completed.contains(&f.id) || !active(f.id)
+                }) {
+                    return Err(TukwilaError::Plan(
+                        "no runnable fragments but output incomplete".into(),
+                    ));
+                }
+                return Err(TukwilaError::Internal(
+                    "scheduler stalled with ready set empty".into(),
+                ));
+            }
+            // Prefer fragments that were not just rescheduled (query
+            // scrambling runs other work first).
+            let frag = *ready
+                .iter()
+                .find(|f| !deferred.contains(f))
+                .unwrap_or(&ready[0]);
+            let is_output = frag == plan.output;
+
+            let mut observer = |n: u64, d: std::time::Duration| {
+                if is_output {
+                    series.push((n, d));
+                }
+            };
+            let report = run_fragment_observed(plan, frag, &rt, &mut observer)?;
+            stats.fragments_run += 1;
+            let outcome = report.outcome.clone();
+            stats.fragment_reports.push(report);
+
+            match outcome {
+                FragmentOutcome::Completed {
+                    replan_requested, ..
+                } => {
+                    completed.insert(frag);
+                    deferred.clear(); // conditions changed; retry blocked work
+                    let work_remains = plan
+                        .fragments
+                        .iter()
+                        .any(|f| !completed.contains(&f.id) && active(f.id));
+                    if replan_requested && (work_remains || !plan.complete) {
+                        return Ok(PlanRun::Replan {
+                            observations: gather_observations(plan, &rt, &completed, &self.env),
+                        });
+                    }
+                    if completed.contains(&plan.output) && !work_remains {
+                        break;
+                    }
+                }
+                FragmentOutcome::Rescheduled => {
+                    stats.reschedules += 1;
+                    let r = retries.entry(frag).or_insert(0);
+                    *r += 1;
+                    if *r > self.max_fragment_retries {
+                        return Err(TukwilaError::Plan(format!(
+                            "fragment {frag} exceeded its retry budget"
+                        )));
+                    }
+                    if let Some(f) = plan.fragment(frag) {
+                        rt.reset_fragment(f);
+                    }
+                    deferred.insert(frag);
+                    // If nothing else is runnable, fall through and retry it
+                    // immediately on the next iteration (deferral is only a
+                    // preference).
+                }
+                FragmentOutcome::Aborted(m) => return Err(TukwilaError::Cancelled(m)),
+                FragmentOutcome::Failed(e) => {
+                    if !e.is_recoverable() {
+                        return Err(e);
+                    }
+                    let r = retries.entry(frag).or_insert(0);
+                    *r += 1;
+                    if *r > self.max_fragment_retries {
+                        return Err(e);
+                    }
+                    if let Some(f) = plan.fragment(frag) {
+                        rt.reset_fragment(f);
+                    }
+                    deferred.insert(frag);
+                }
+            }
+        }
+
+        if plan.complete {
+            let result_name = plan
+                .fragment(plan.output)
+                .map(|f| f.materialize_as.clone())
+                .unwrap_or_else(|| "result".to_string());
+            Ok(PlanRun::Finished { result_name })
+        } else {
+            // Partial plan ran out of planned work: hand observations back
+            // to the optimizer for the next planning step (§3).
+            Ok(PlanRun::Replan {
+                observations: gather_observations(plan, &rt, &completed, &self.env),
+            })
+        }
+    }
+}
+
+/// Collect the statistics the engine ships back to the optimizer (§3.2):
+/// cardinalities of materialized fragments and of every source that was
+/// read to completion.
+fn gather_observations(
+    plan: &QueryPlan,
+    rt: &PlanRuntime,
+    completed: &BTreeSet<FragmentId>,
+    env: &ExecEnv,
+) -> Vec<Observation> {
+    let mut out = Vec::new();
+    for f in &plan.fragments {
+        if completed.contains(&f.id) && f.materialize_as.starts_with("mat_") {
+            if let Some(card) = env.local.cardinality(&f.materialize_as) {
+                out.push(Observation {
+                    name: f.materialize_as.clone(),
+                    cardinality: card,
+                });
+            }
+        }
+    }
+    for f in &plan.fragments {
+        f.root.walk(&mut |node| {
+            let mut record = |source: &str, subject: SubjectRef| {
+                if rt.state(subject) == OpState::Closed {
+                    out.push(Observation {
+                        name: source.to_string(),
+                        cardinality: rt.produced(subject) as usize,
+                    });
+                }
+            };
+            match &node.spec {
+                OperatorSpec::WrapperScan { source, .. } => {
+                    record(source, SubjectRef::Op(node.id));
+                }
+                OperatorSpec::Collector { children, .. } => {
+                    for c in children {
+                        record(&c.source, SubjectRef::Op(c.id));
+                    }
+                }
+                _ => {}
+            }
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tpch::{StatsQuality, TpchDeployment};
+    use std::time::Duration;
+    use tukwila_opt::{OptimizerConfig, PipelinePolicy};
+    use tukwila_source::LinkModel;
+    use tukwila_tpchgen::TpchTable;
+
+    const SF: f64 = 0.003;
+
+    fn assert_gold(d: &TpchDeployment, q: &ConjunctiveQuery, result: &crate::QueryResult) {
+        let gold = d.gold(q).unwrap();
+        assert!(
+            result.relation.bag_eq_unordered(&gold),
+            "query `{}`: got {} tuples, want {}",
+            q.name,
+            result.relation.len(),
+            gold.len()
+        );
+    }
+
+    fn config(policy: PipelinePolicy) -> OptimizerConfig {
+        OptimizerConfig {
+            policy,
+            ..OptimizerConfig::default()
+        }
+    }
+
+    #[test]
+    fn two_table_join_end_to_end() {
+        let d = TpchDeployment::builder(SF, 3)
+            .tables(&[TpchTable::Nation, TpchTable::Supplier])
+            .build();
+        let q = d.query_for("q2", &[TpchTable::Supplier, TpchTable::Nation]);
+        let mut sys = d.system(config(PipelinePolicy::Adaptive));
+        let result = sys.execute(&q).unwrap();
+        assert_gold(&d, &q, &result);
+        assert_eq!(result.stats.replans, 0);
+        assert!(!result.series.is_empty());
+    }
+
+    #[test]
+    fn four_table_join_all_policies_agree_with_gold() {
+        let d = TpchDeployment::builder(SF, 5)
+            .tables(&[
+                TpchTable::Region,
+                TpchTable::Nation,
+                TpchTable::Supplier,
+                TpchTable::Partsupp,
+            ])
+            .build();
+        let q = d.query_for(
+            "q4",
+            &[
+                TpchTable::Region,
+                TpchTable::Nation,
+                TpchTable::Supplier,
+                TpchTable::Partsupp,
+            ],
+        );
+        for policy in [
+            PipelinePolicy::FullyPipelined,
+            PipelinePolicy::MaterializeEachJoin,
+            PipelinePolicy::MaterializeAndReplan,
+            PipelinePolicy::Adaptive,
+        ] {
+            let mut sys = d.system(config(policy));
+            let result = sys.execute(&q).unwrap();
+            assert_gold(&d, &q, &result);
+        }
+    }
+
+    #[test]
+    fn misestimates_trigger_replanning_and_stay_correct() {
+        let d = TpchDeployment::builder(SF, 7)
+            .tables(&[
+                TpchTable::Nation,
+                TpchTable::Supplier,
+                TpchTable::Partsupp,
+                TpchTable::Part,
+            ])
+            .stats(StatsQuality::MisestimatedSelectivities(40.0))
+            .build();
+        let q = d.query_for(
+            "q-mis",
+            &[
+                TpchTable::Nation,
+                TpchTable::Supplier,
+                TpchTable::Partsupp,
+                TpchTable::Part,
+            ],
+        );
+        let mut sys = d.system(config(PipelinePolicy::MaterializeAndReplan));
+        let result = sys.execute(&q).unwrap();
+        assert!(
+            result.stats.replans >= 1,
+            "40x misestimate must trigger re-optimization"
+        );
+        assert_gold(&d, &q, &result);
+    }
+
+    #[test]
+    fn unknown_statistics_drive_interleaved_partial_planning() {
+        let d = TpchDeployment::builder(SF, 9)
+            .tables(&[TpchTable::Region, TpchTable::Nation, TpchTable::Supplier])
+            .stats(StatsQuality::Unknown)
+            .build();
+        let q = d.query_for(
+            "q-unknown",
+            &[TpchTable::Region, TpchTable::Nation, TpchTable::Supplier],
+        );
+        let mut sys = d.system(config(PipelinePolicy::Adaptive));
+        let result = sys.execute(&q).unwrap();
+        assert!(
+            result.stats.replans >= 1,
+            "partial plans must return to the optimizer"
+        );
+        assert_gold(&d, &q, &result);
+        // the optimizer learned true cardinalities along the way
+        assert!(sys.optimizer().catalog().is_observed("supplier"));
+    }
+
+    #[test]
+    fn transient_stall_is_rescheduled_and_recovers() {
+        // nation's source stalls 300ms after 5 tuples; with a 50ms timeout
+        // and rescheduling rules, execution puts the blocked fragment aside,
+        // runs other work, then retries and succeeds.
+        let stalling = LinkModel {
+            stall_after: Some(5),
+            stall_duration: Duration::from_millis(300),
+            ..LinkModel::instant()
+        };
+        let d = TpchDeployment::builder(SF, 13)
+            .tables(&[TpchTable::Region, TpchTable::Nation, TpchTable::Supplier])
+            .link(TpchTable::Nation, stalling)
+            .build();
+        let q = d.query_for(
+            "q-stall",
+            &[TpchTable::Region, TpchTable::Nation, TpchTable::Supplier],
+        );
+        let mut cfg = config(PipelinePolicy::MaterializeEachJoin);
+        cfg.source_timeout_ms = Some(50);
+        cfg.reschedule_on_timeout = true;
+        let mut sys = d.system(cfg);
+        sys.max_fragment_retries = 5;
+        let result = sys.execute(&q).unwrap();
+        assert!(
+            result.stats.reschedules >= 1,
+            "the stalled fragment must have been rescheduled"
+        );
+        assert_gold(&d, &q, &result);
+    }
+
+    #[test]
+    fn dead_primary_with_mirror_still_answers() {
+        let d = TpchDeployment::builder(SF, 17)
+            .tables(&[TpchTable::Nation, TpchTable::Supplier])
+            .link(TpchTable::Supplier, LinkModel::down())
+            .mirror(TpchTable::Supplier, "supplier_mirror", LinkModel::instant())
+            .build();
+        let q = d.query_for("q-mirror", &[TpchTable::Supplier, TpchTable::Nation]);
+        let mut sys = d.system(config(PipelinePolicy::Adaptive));
+        let result = sys.execute(&q).unwrap();
+        assert_gold(&d, &q, &result);
+    }
+
+    #[test]
+    fn unreachable_single_source_fails_cleanly() {
+        let d = TpchDeployment::builder(SF, 19)
+            .tables(&[TpchTable::Nation, TpchTable::Supplier])
+            .link(TpchTable::Supplier, LinkModel::down())
+            .build();
+        let q = d.query_for("q-dead", &[TpchTable::Supplier, TpchTable::Nation]);
+        let mut sys = d.system(config(PipelinePolicy::Adaptive));
+        let err = sys.execute(&q).unwrap_err();
+        assert_eq!(err.kind(), "source_unavailable");
+    }
+
+    #[test]
+    fn seven_table_join_completes() {
+        let tables = [
+            TpchTable::Region,
+            TpchTable::Nation,
+            TpchTable::Supplier,
+            TpchTable::Customer,
+            TpchTable::Orders,
+            TpchTable::Partsupp,
+            TpchTable::Part,
+        ];
+        let d = TpchDeployment::builder(0.002, 23).tables(&tables).build();
+        let q = d.query_for("q7", &tables);
+        let mut sys = d.system(config(PipelinePolicy::Adaptive));
+        let result = sys.execute(&q).unwrap();
+        assert_gold(&d, &q, &result);
+    }
+}

@@ -1,0 +1,101 @@
+//! Instantiate operator trees from plan nodes.
+
+use std::sync::Arc;
+
+use tukwila_common::Result;
+use tukwila_plan::{JoinKind, OperatorNode, OperatorSpec, SubjectRef};
+
+use crate::operator::OperatorBox;
+use crate::operators::{
+    Collector, DependentJoin, DoublePipelinedJoin, Filter, HashJoinOp, NestedLoopsJoin, Project,
+    SortMergeJoin, TableScan, UnionAll, WrapperScan,
+};
+use crate::runtime::{OpHarness, PlanRuntime};
+
+/// Build the executable operator for a plan node (recursively building its
+/// children). The operator is not yet opened.
+pub fn build_operator(node: &OperatorNode, rt: &Arc<PlanRuntime>) -> Result<OperatorBox> {
+    let harness = OpHarness::new(rt.clone(), SubjectRef::Op(node.id));
+    Ok(match &node.spec {
+        OperatorSpec::TableScan { table } => Box::new(TableScan::new(table.clone(), harness)),
+        OperatorSpec::WrapperScan {
+            source,
+            timeout_ms,
+            prefetch,
+        } => Box::new(WrapperScan::new(
+            source.clone(),
+            *timeout_ms,
+            *prefetch,
+            harness,
+        )),
+        OperatorSpec::Select { input, predicate } => Box::new(Filter::new(
+            build_operator(input, rt)?,
+            predicate.clone(),
+            harness,
+        )),
+        OperatorSpec::Project { input, columns } => Box::new(Project::new(
+            build_operator(input, rt)?,
+            columns.clone(),
+            harness,
+        )),
+        OperatorSpec::Join {
+            left,
+            right,
+            left_key,
+            right_key,
+            kind,
+            overflow: _,
+        } => {
+            let l = build_operator(left, rt)?;
+            let r = build_operator(right, rt)?;
+            let (lk, rk) = (left_key.clone(), right_key.clone());
+            match kind {
+                JoinKind::DoublePipelined => {
+                    let descendants: Vec<SubjectRef> = left
+                        .all_ids()
+                        .into_iter()
+                        .chain(right.all_ids())
+                        .map(SubjectRef::Op)
+                        .collect();
+                    Box::new(
+                        DoublePipelinedJoin::new(l, r, lk, rk, harness)
+                            .with_descendants(descendants),
+                    )
+                }
+                JoinKind::HybridHash => Box::new(HashJoinOp::hybrid(l, r, lk, rk, harness)),
+                JoinKind::GraceHash => Box::new(HashJoinOp::grace(l, r, lk, rk, harness)),
+                JoinKind::NestedLoops => Box::new(NestedLoopsJoin::new(l, r, lk, rk, harness)),
+                JoinKind::SortMerge => Box::new(SortMergeJoin::new(l, r, lk, rk, harness)),
+            }
+        }
+        OperatorSpec::DependentJoin {
+            left,
+            source,
+            bind_col,
+            probe_col,
+        } => Box::new(DependentJoin::new(
+            build_operator(left, rt)?,
+            source.clone(),
+            bind_col.clone(),
+            probe_col.clone(),
+            harness,
+        )),
+        OperatorSpec::Union { inputs } => {
+            let children = inputs
+                .iter()
+                .map(|i| build_operator(i, rt))
+                .collect::<Result<Vec<_>>>()?;
+            Box::new(UnionAll::new(children, harness))
+        }
+        OperatorSpec::Collector {
+            children,
+            quota,
+            child_timeout_ms,
+        } => Box::new(Collector::new(
+            children.clone(),
+            *quota,
+            *child_timeout_ms,
+            harness,
+        )),
+    })
+}

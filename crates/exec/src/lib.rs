@@ -1,0 +1,35 @@
+//! # tukwila-exec
+//!
+//! The Tukwila query execution engine (§3.2–§4): a top-down, iterator-model
+//! engine whose adaptive behaviour is driven by event-condition-action rules.
+//!
+//! Layers, bottom-up:
+//!
+//! * [`operator::Operator`] — the open/next/close iterator interface every
+//!   physical operator implements (§3.2: "the operator tree is executed
+//!   using the top-down iterator model").
+//! * [`runtime`] — the per-plan runtime shared by all operators: statistics
+//!   registry (the [`tukwila_plan::Quantity`] provider), activation /
+//!   overflow-method control cells, the event bus with the rule engine, and
+//!   engine-level signals (replan / reschedule / abort).
+//! * [`operators`] — scans, wrapper scans, selection, projection, the join
+//!   family (nested loops, sort-merge, hybrid/Grace hash, the **double
+//!   pipelined join** with its overflow strategies), union, the **dynamic
+//!   collector**, and dependent join.
+//! * [`fragment`] — executes one pipelined fragment to completion,
+//!   materializing its result and reporting statistics; interleaved
+//!   planning/execution (crate `tukwila-core`) loops over this.
+
+pub mod build;
+pub mod fragment;
+pub mod operator;
+pub mod operators;
+pub mod runtime;
+
+#[cfg(test)]
+pub(crate) mod test_support;
+
+pub use build::build_operator;
+pub use fragment::{run_fragment, run_fragment_observed, FragmentOutcome, FragmentReport};
+pub use operator::{Operator, OperatorBox};
+pub use runtime::{EngineSignal, ExecEnv, OpHarness, PlanRuntime};

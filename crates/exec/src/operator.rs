@@ -1,0 +1,42 @@
+//! The iterator-model operator interface.
+//!
+//! Control flows top-down from the root (§3.2): `open` prepares the
+//! operator (resolving schemas, spawning helper threads for the adaptive
+//! operators), `next` pulls one tuple, `close` releases resources. All
+//! operators are `Send` so the double pipelined join and the collector can
+//! move their children into worker threads.
+
+use tukwila_common::{Result, Schema, Tuple};
+
+/// A physical operator in the iterator model.
+pub trait Operator: Send {
+    /// Prepare for execution. Must be called exactly once before `next`.
+    fn open(&mut self) -> Result<()>;
+
+    /// Produce the next output tuple, or `None` at end of stream.
+    fn next(&mut self) -> Result<Option<Tuple>>;
+
+    /// Release resources (idempotent).
+    fn close(&mut self) -> Result<()>;
+
+    /// Output schema. Only valid after `open` succeeded.
+    fn schema(&self) -> &Schema;
+
+    /// Short name for diagnostics.
+    fn name(&self) -> &'static str;
+}
+
+/// Boxed operator (the tree edge type).
+pub type OperatorBox = Box<dyn Operator>;
+
+/// Drain an operator to completion (open → next* → close), collecting
+/// output. Test/bench helper.
+pub fn drain(op: &mut dyn Operator) -> Result<Vec<Tuple>> {
+    op.open()?;
+    let mut out = Vec::new();
+    while let Some(t) = op.next()? {
+        out.push(t);
+    }
+    op.close()?;
+    Ok(out)
+}

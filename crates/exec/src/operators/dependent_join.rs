@@ -1,0 +1,140 @@
+//! Dependent join (§4: "join (including dependent join)").
+//!
+//! Joins a driving input against a source that semantically requires a
+//! binding per probe (e.g. a web form). Tukwila wrappers accept only atomic
+//! fetch queries (§3.2 footnote 2), so the engine fetches the source once,
+//! indexes it on the probe column, and probes per driving tuple — the same
+//! answers a binding-passing wrapper would return.
+
+use std::collections::HashMap;
+
+use tukwila_common::{Result, Schema, Tuple, TukwilaError, Value};
+use tukwila_source::SourceEvent;
+
+use crate::operator::{Operator, OperatorBox};
+use crate::runtime::OpHarness;
+
+/// Dependent join: `left ⋈ source` on `left.bind_col = source.probe_col`.
+pub struct DependentJoin {
+    left: OperatorBox,
+    source: String,
+    bind_col: String,
+    probe_col: String,
+    harness: OpHarness,
+    schema: Schema,
+    bind_idx: usize,
+    index: HashMap<Value, Vec<Tuple>>,
+    current: Vec<Tuple>,
+    opened: bool,
+}
+
+impl DependentJoin {
+    /// Build a dependent join.
+    pub fn new(
+        left: OperatorBox,
+        source: String,
+        bind_col: String,
+        probe_col: String,
+        harness: OpHarness,
+    ) -> Self {
+        DependentJoin {
+            left,
+            source,
+            bind_col,
+            probe_col,
+            harness,
+            schema: Schema::empty(),
+            bind_idx: 0,
+            index: HashMap::new(),
+            current: Vec::new(),
+            opened: false,
+        }
+    }
+}
+
+impl Operator for DependentJoin {
+    fn open(&mut self) -> Result<()> {
+        self.left.open()?;
+        self.bind_idx = self.left.schema().index_of(&self.bind_col)?;
+        let wrapper = self.harness.runtime().env().sources.wrapper(&self.source)?;
+        let probe_idx = wrapper.schema().index_of(&self.probe_col)?;
+        self.schema = self.left.schema().concat(wrapper.schema());
+        let mut stream = wrapper.fetch();
+        loop {
+            match stream.next_event() {
+                SourceEvent::Tuple(t) => {
+                    let k = t.value(probe_idx).clone();
+                    if !k.is_null() {
+                        if let Some(r) = self.harness.reservation() {
+                            r.charge(t.mem_size());
+                        }
+                        self.index.entry(k).or_default().push(t);
+                    }
+                }
+                SourceEvent::End => break,
+                SourceEvent::Cancelled => break,
+                SourceEvent::Error(reason) => {
+                    self.harness.failed();
+                    return Err(TukwilaError::SourceUnavailable {
+                        source: self.source.clone(),
+                        reason,
+                    });
+                }
+            }
+        }
+        self.opened = true;
+        self.harness.opened();
+        Ok(())
+    }
+
+    fn next(&mut self) -> Result<Option<Tuple>> {
+        if !self.opened {
+            return Err(TukwilaError::Internal("DependentJoin before open".into()));
+        }
+        loop {
+            if let Some(t) = self.current.pop() {
+                self.harness.produced(1);
+                return Ok(Some(t));
+            }
+            match self.left.next()? {
+                Some(l) => {
+                    let k = l.value(self.bind_idx);
+                    if k.is_null() {
+                        continue;
+                    }
+                    if let Some(matches) = self.index.get(k) {
+                        self.current = matches.iter().map(|m| l.concat(m)).collect();
+                    }
+                }
+                None => return Ok(None),
+            }
+        }
+    }
+
+    fn close(&mut self) -> Result<()> {
+        self.left.close()?;
+        if self.opened {
+            if let Some(r) = self.harness.reservation() {
+                r.release(
+                    self.index
+                        .values()
+                        .flatten()
+                        .map(Tuple::mem_size)
+                        .sum(),
+                );
+            }
+            self.index.clear();
+            self.opened = false;
+            self.harness.closed();
+        }
+        Ok(())
+    }
+
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn name(&self) -> &'static str {
+        "dependent_join"
+    }
+}

@@ -1,0 +1,862 @@
+//! The double pipelined hash join (§4.2.2–§4.2.3) — Tukwila's flagship
+//! adaptive operator.
+//!
+//! Symmetric and incremental: each input streams through its own thread
+//! into a small **tuple transfer queue**; the output side takes a tuple from
+//! whichever queue has data, probes the *opposite* hash table, and inserts
+//! into its own. At any point in time all data seen so far has been joined
+//! and emitted — which is what minimizes time-to-first-tuple and masks slow
+//! sources.
+//!
+//! This is the paper's "iterator-based adaptation" (§4.2.2): the bottom-up,
+//! data-driven join is wrapped in the top-down iterator model using
+//! "separate threads for output, left child, and right child", with child
+//! threads blocking when their transfer queue fills — that backpressure is
+//! also how Incremental Left Flush "pauses" the left input.
+//!
+//! Memory overflow resolution (§4.2.3) implements both published
+//! strategies plus the naive baseline:
+//!
+//! * **Incremental Left Flush** — pause the left input; flush left-side
+//!   buckets as needed while draining the right input; flush right buckets
+//!   only once the left table is fully flushed; resume the left when the
+//!   right is exhausted (tuples in flushed buckets divert to disk, others
+//!   probe the now-complete right table and need no storage at all).
+//! * **Incremental Symmetric Flush** — pick the fattest bucket and flush it
+//!   from *both* tables; both inputs keep streaming, with arrivals for
+//!   flushed buckets marked `new` and diverted to disk.
+//! * **FlushAllLeft** — the rejected "convert to hybrid hash" design, as an
+//!   ablation baseline.
+//!
+//! Duplicate avoidance follows the paper's marking rule: cleanup joins
+//! old×new, new×old and new×new — never old×old, which was emitted online.
+
+use std::collections::VecDeque;
+use std::thread::JoinHandle;
+
+use crossbeam_channel::{bounded, Receiver, Select};
+
+use tukwila_common::{Result, Schema, Tuple, TukwilaError};
+use tukwila_plan::{OverflowMethod, QuantityProvider, SubjectRef};
+
+use crate::operator::{Operator, OperatorBox};
+use crate::operators::hash_table::{join_sets, BucketedTable};
+use crate::runtime::OpHarness;
+
+const LEFT: usize = 0;
+const RIGHT: usize = 1;
+
+/// Default number of hash buckets per side.
+const DEFAULT_BUCKETS: usize = 16;
+/// Default transfer queue capacity ("small tuple transfer queue", §4.2.2).
+const DEFAULT_QUEUE_CAP: usize = 16;
+
+enum Msg {
+    Tuple(Tuple),
+    End,
+    Err(TukwilaError),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ReadMode {
+    /// Pull from whichever side has data (normal data-driven operation).
+    Both,
+    /// Left input paused (Incremental Left Flush in progress).
+    RightOnly,
+}
+
+/// The double pipelined hash join operator.
+pub struct DoublePipelinedJoin {
+    children: Option<(OperatorBox, OperatorBox)>,
+    left_key: String,
+    right_key: String,
+    num_buckets: usize,
+    queue_cap: usize,
+    harness: OpHarness,
+    /// Subjects of descendant operators — deactivated on early close so
+    /// threads blocked inside link-model sleeps wake up.
+    descendants: Vec<SubjectRef>,
+    // -- runtime state (after open) --
+    schema: Schema,
+    key_idx: [usize; 2],
+    rx: [Option<Receiver<Msg>>; 2],
+    threads: Vec<JoinHandle<()>>,
+    tables: Vec<BucketedTable>,
+    done: [bool; 2],
+    mode: ReadMode,
+    pending: VecDeque<Tuple>,
+    cleanup_next: usize,
+    cleanup_active: bool,
+    raised_oom: bool,
+    engaged_method: Option<OverflowMethod>,
+}
+
+impl DoublePipelinedJoin {
+    /// Build a double pipelined join.
+    pub fn new(
+        left: OperatorBox,
+        right: OperatorBox,
+        left_key: String,
+        right_key: String,
+        harness: OpHarness,
+    ) -> Self {
+        DoublePipelinedJoin {
+            children: Some((left, right)),
+            left_key,
+            right_key,
+            num_buckets: DEFAULT_BUCKETS,
+            queue_cap: DEFAULT_QUEUE_CAP,
+            harness,
+            descendants: Vec::new(),
+            schema: Schema::empty(),
+            key_idx: [0, 0],
+            rx: [None, None],
+            threads: Vec::new(),
+            tables: Vec::new(),
+            done: [false, false],
+            mode: ReadMode::Both,
+            pending: VecDeque::new(),
+            cleanup_next: 0,
+            cleanup_active: false,
+            raised_oom: false,
+            engaged_method: None,
+        }
+    }
+
+    /// Override bucket count.
+    pub fn with_buckets(mut self, n: usize) -> Self {
+        self.num_buckets = n.max(1);
+        self
+    }
+
+    /// Override transfer-queue capacity.
+    pub fn with_queue_cap(mut self, n: usize) -> Self {
+        self.queue_cap = n.max(1);
+        self
+    }
+
+    /// Record descendant subjects for cancellation on early close.
+    pub fn with_descendants(mut self, subjects: Vec<SubjectRef>) -> Self {
+        self.descendants = subjects;
+        self
+    }
+
+    fn handle_tuple(&mut self, side: usize, t: Tuple) -> Result<()> {
+        let opp = 1 - side;
+        let key = t.value(self.key_idx[side]).clone();
+        if key.is_null() {
+            return Ok(()); // NULL keys never join and need no storage
+        }
+        let b = self.tables[side].bucket_for(&key);
+        if self.tables[side].is_flushed(b) {
+            // Arrivals for a flushed bucket divert to disk, marked new,
+            // WITHOUT probing (paper step: "write the tuples to disk;
+            // otherwise probe" — the cleanup joins new×old and new×new, so
+            // probing here would double-count against the opposite side's
+            // resident old partition).
+            self.tables[side].spill_new(b, &t)?;
+            return Ok(());
+        }
+        // Probe the opposite table's in-memory primary partition. If the
+        // opposite bucket is flushed its memory is empty, so this is
+        // correct (the missed pairs are produced by the cleanup phase).
+        let matches: Vec<Tuple> = self.tables[opp].probe(&key).to_vec();
+        for m in matches {
+            self.pending.push_back(if side == LEFT {
+                t.concat(&m)
+            } else {
+                m.concat(&t)
+            });
+        }
+        if self.tables[opp].is_flushed(b) {
+            // Opposite bucket flushed (Left Flush): keep in memory, marked,
+            // so the cleanup can join it against the opposite spill without
+            // writing this side to disk.
+            self.tables[side].insert_marked(key, t);
+            self.check_overflow()?;
+        } else if self.done[opp] {
+            // Footnote 3: the opposite relation is complete and this bucket
+            // fully in memory — the probe above produced every match, no
+            // need to store the tuple.
+        } else {
+            self.tables[side].insert(key, t);
+            self.check_overflow()?;
+        }
+        Ok(())
+    }
+
+    fn check_overflow(&mut self) -> Result<()> {
+        let Some(res) = self.harness.reservation() else {
+            return Ok(());
+        };
+        if !res.over_budget() {
+            return Ok(());
+        }
+        if !self.raised_oom {
+            self.raised_oom = true;
+            // Raise `out_of_memory`; a rule may install/adjust the overflow
+            // method before we read it (processed synchronously).
+            self.harness.out_of_memory();
+        }
+        let method = *self
+            .engaged_method
+            .get_or_insert_with(|| self.harness.overflow_method());
+        match method {
+            OverflowMethod::Fail => Err(TukwilaError::OutOfMemory {
+                operator: format!("{}", self.harness.subject()),
+                budget: res.budget(),
+            }),
+            OverflowMethod::IncrementalLeftFlush => self.resolve_left_flush(false),
+            OverflowMethod::FlushAllLeft => self.resolve_left_flush(true),
+            OverflowMethod::IncrementalSymmetricFlush => self.resolve_symmetric(),
+        }
+    }
+
+    fn resolve_left_flush(&mut self, flush_all: bool) -> Result<()> {
+        let Some(res) = self.harness.reservation() else {
+            return Ok(());
+        };
+        if flush_all {
+            for b in 0..self.num_buckets {
+                if !self.tables[LEFT].is_flushed(b) {
+                    self.tables[LEFT].flush_bucket(b)?;
+                }
+            }
+        }
+        // Pause the left input while the right drains (backpressure does
+        // the actual pausing: we stop receiving from the left queue).
+        // Pointless once the right side is already exhausted.
+        if !self.done[LEFT] && !self.done[RIGHT] && !flush_all {
+            self.mode = ReadMode::RightOnly;
+        }
+        while res.over_budget() {
+            if let Some(b) = self.tables[LEFT].largest_unflushed() {
+                self.tables[LEFT].flush_bucket(b)?;
+            } else if let Some(b) = self.tables[RIGHT].largest_unflushed() {
+                // Step (4): only once A's table has been flushed completely.
+                debug_assert!(self.tables[LEFT].fully_flushed());
+                self.tables[RIGHT].flush_bucket(b)?;
+            } else {
+                break; // nothing left to free
+            }
+        }
+        Ok(())
+    }
+
+    fn resolve_symmetric(&mut self) -> Result<()> {
+        let Some(res) = self.harness.reservation() else {
+            return Ok(());
+        };
+        while res.over_budget() {
+            // Fattest bucket by combined residency across both tables.
+            let candidate = (0..self.num_buckets)
+                .filter(|&b| {
+                    !self.tables[LEFT].is_flushed(b) || !self.tables[RIGHT].is_flushed(b)
+                })
+                .max_by_key(|&b| {
+                    self.tables[LEFT].bucket_bytes(b) + self.tables[RIGHT].bucket_bytes(b)
+                });
+            let Some(b) = candidate else { break };
+            if self.tables[LEFT].bucket_bytes(b) + self.tables[RIGHT].bucket_bytes(b) == 0 {
+                break; // only empty buckets remain; flushing frees nothing
+            }
+            if !self.tables[LEFT].is_flushed(b) {
+                self.tables[LEFT].flush_bucket(b)?;
+            }
+            if !self.tables[RIGHT].is_flushed(b) {
+                self.tables[RIGHT].flush_bucket(b)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn receive(&mut self) -> Result<(usize, Msg)> {
+        if self.mode == ReadMode::RightOnly && self.done[RIGHT] {
+            self.mode = ReadMode::Both;
+        }
+        let want_left = !self.done[LEFT] && self.mode == ReadMode::Both;
+        let want_right = !self.done[RIGHT];
+        match (want_left, want_right) {
+            (true, true) => {
+                let (l, r) = (
+                    self.rx[LEFT].as_ref().unwrap(),
+                    self.rx[RIGHT].as_ref().unwrap(),
+                );
+                let mut sel = Select::new();
+                sel.recv(l);
+                sel.recv(r);
+                let op = sel.select();
+                match op.index() {
+                    0 => Ok((LEFT, op.recv(l).unwrap_or(Msg::End))),
+                    _ => Ok((RIGHT, op.recv(r).unwrap_or(Msg::End))),
+                }
+            }
+            (true, false) => {
+                let l = self.rx[LEFT].as_ref().unwrap();
+                Ok((LEFT, l.recv().unwrap_or(Msg::End)))
+            }
+            (false, true) => {
+                let r = self.rx[RIGHT].as_ref().unwrap();
+                Ok((RIGHT, r.recv().unwrap_or(Msg::End)))
+            }
+            (false, false) => Err(TukwilaError::Internal(
+                "DPJ receive with both sides done".into(),
+            )),
+        }
+    }
+
+    /// Produce the deferred matches for flushed buckets, one bucket per
+    /// call, into `pending`. Returns false once all buckets are processed.
+    fn cleanup_step(&mut self) -> Result<bool> {
+        if self.cleanup_next >= self.num_buckets {
+            return Ok(false);
+        }
+        let b = self.cleanup_next;
+        self.cleanup_next += 1;
+        let lf = self.tables[LEFT].is_flushed(b);
+        let rf = self.tables[RIGHT].is_flushed(b);
+        if !lf && !rf {
+            return Ok(true); // fully in-memory bucket: everything was online
+        }
+        let a_old = self.tables[LEFT].old_tuples(b)?;
+        let a_new = self.tables[LEFT].new_tuples(b)?;
+        let b_old = self.tables[RIGHT].old_tuples(b)?;
+        let b_new = self.tables[RIGHT].new_tuples(b)?;
+        let budget = self.harness.reservation().map(|r| r.budget());
+        let spill = self.harness.runtime().env().spill.clone();
+        let mut out = Vec::new();
+        // old×old was emitted online; produce the three remaining quadrants.
+        join_sets(
+            b_new.clone(),
+            a_old,
+            self.key_idx[RIGHT],
+            self.key_idx[LEFT],
+            budget,
+            0,
+            &spill,
+            true,
+            &mut out,
+        )?;
+        join_sets(
+            b_old,
+            a_new.clone(),
+            self.key_idx[RIGHT],
+            self.key_idx[LEFT],
+            budget,
+            0,
+            &spill,
+            true,
+            &mut out,
+        )?;
+        join_sets(
+            b_new,
+            a_new,
+            self.key_idx[RIGHT],
+            self.key_idx[LEFT],
+            budget,
+            0,
+            &spill,
+            true,
+            &mut out,
+        )?;
+        self.pending.extend(out);
+        Ok(true)
+    }
+
+    fn shutdown_threads(&mut self) {
+        // Disconnect queues so senders unblock, cancel any descendant
+        // streams still sleeping in their link models, then join.
+        self.rx = [None, None];
+        for d in &self.descendants {
+            let rt = self.harness.runtime();
+            if rt.state(*d) == tukwila_plan::OpState::Open {
+                rt.deactivate(*d);
+            }
+        }
+        for h in self.threads.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Operator for DoublePipelinedJoin {
+    fn open(&mut self) -> Result<()> {
+        let (mut left, mut right) = self
+            .children
+            .take()
+            .ok_or_else(|| TukwilaError::Internal("DPJ opened twice".into()))?;
+        left.open()?;
+        right.open()?;
+        self.key_idx = [
+            left.schema().index_of(&self.left_key)?,
+            right.schema().index_of(&self.right_key)?,
+        ];
+        self.schema = left.schema().concat(right.schema());
+        let reservation = self.harness.reservation();
+        let spill = self.harness.runtime().env().spill.clone();
+        self.tables = vec![
+            BucketedTable::new(
+                format!("dpj-{}-L", self.harness.subject()),
+                self.num_buckets,
+                self.key_idx[LEFT],
+                reservation.clone(),
+                spill.clone(),
+            ),
+            BucketedTable::new(
+                format!("dpj-{}-R", self.harness.subject()),
+                self.num_buckets,
+                self.key_idx[RIGHT],
+                reservation,
+                spill,
+            ),
+        ];
+        for (side, mut child) in [(LEFT, left), (RIGHT, right)] {
+            let (tx, rx) = bounded::<Msg>(self.queue_cap);
+            self.rx[side] = Some(rx);
+            self.threads.push(std::thread::spawn(move || {
+                loop {
+                    match child.next() {
+                        Ok(Some(t)) => {
+                            if tx.send(Msg::Tuple(t)).is_err() {
+                                break;
+                            }
+                        }
+                        Ok(None) => {
+                            let _ = tx.send(Msg::End);
+                            break;
+                        }
+                        Err(e) => {
+                            let _ = tx.send(Msg::Err(e));
+                            break;
+                        }
+                    }
+                }
+                let _ = child.close();
+            }));
+        }
+        self.harness.opened();
+        Ok(())
+    }
+
+    fn next(&mut self) -> Result<Option<Tuple>> {
+        loop {
+            if let Some(t) = self.pending.pop_front() {
+                self.harness.produced(1);
+                return Ok(Some(t));
+            }
+            if self.done[LEFT] && self.done[RIGHT] {
+                if !self.cleanup_active {
+                    self.cleanup_active = true;
+                    self.cleanup_next = 0;
+                }
+                if self.cleanup_step()? {
+                    continue; // may have filled `pending`
+                }
+                return Ok(None);
+            }
+            let (side, msg) = self.receive()?;
+            match msg {
+                Msg::Tuple(t) => self.handle_tuple(side, t)?,
+                Msg::End => {
+                    self.done[side] = true;
+                    if side == RIGHT && self.mode == ReadMode::RightOnly {
+                        // Step (5): right exhausted — resume the left input.
+                        self.mode = ReadMode::Both;
+                    }
+                }
+                Msg::Err(e) => {
+                    self.harness.failed();
+                    self.shutdown_threads();
+                    return Err(e);
+                }
+            }
+        }
+    }
+
+    fn close(&mut self) -> Result<()> {
+        self.shutdown_threads();
+        for t in &mut self.tables {
+            t.clear();
+        }
+        self.tables.clear();
+        self.harness.closed();
+        Ok(())
+    }
+
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn name(&self) -> &'static str {
+        "double_pipelined_join"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operator::drain;
+    use crate::test_support::{keyed_relation, JoinFixture};
+    use std::time::{Duration, Instant};
+    use tukwila_common::Relation;
+    use tukwila_plan::{
+        Action, Condition, EventKind, EventPattern, JoinKind, Rule,
+    };
+    use tukwila_source::LinkModel;
+
+    fn dpj_for(fx: &JoinFixture) -> DoublePipelinedJoin {
+        DoublePipelinedJoin::new(
+            fx.left_scan(),
+            fx.right_scan(),
+            "k".into(),
+            "k".into(),
+            fx.harness(fx.join_id),
+        )
+        .with_buckets(8)
+        .with_descendants(vec![
+            SubjectRef::Op(fx.left_id),
+            SubjectRef::Op(fx.right_id),
+        ])
+    }
+
+    fn fixture(
+        n_left: i64,
+        n_right: i64,
+        dup: i64,
+        overflow: OverflowMethod,
+        budget: Option<usize>,
+    ) -> JoinFixture {
+        JoinFixture::build(
+            keyed_relation("l", n_left, dup),
+            keyed_relation("r", n_right, dup),
+            LinkModel::instant(),
+            LinkModel::instant(),
+            JoinKind::DoublePipelined,
+            overflow,
+            budget,
+        )
+    }
+
+    #[test]
+    fn in_memory_matches_gold() {
+        let fx = fixture(200, 100, 10, OverflowMethod::IncrementalLeftFlush, None);
+        let mut op = dpj_for(&fx);
+        let out = drain(&mut op).unwrap();
+        assert_eq!(out.len(), fx.gold.len());
+        fx.assert_gold(out);
+    }
+
+    #[test]
+    fn left_flush_overflow_matches_gold() {
+        let fx = fixture(
+            300,
+            300,
+            30,
+            OverflowMethod::IncrementalLeftFlush,
+            Some(4_000),
+        );
+        let mut op = dpj_for(&fx);
+        let out = drain(&mut op).unwrap();
+        fx.assert_gold(out);
+        let stats = fx.rt.env().spill.stats();
+        assert!(stats.tuples_written() > 0, "must have spilled");
+        assert!(fx
+            .rt
+            .event_log()
+            .iter()
+            .any(|e| e.kind == EventKind::OutOfMemory));
+    }
+
+    #[test]
+    fn symmetric_flush_overflow_matches_gold() {
+        let fx = fixture(
+            300,
+            300,
+            30,
+            OverflowMethod::IncrementalSymmetricFlush,
+            Some(4_000),
+        );
+        let mut op = dpj_for(&fx);
+        let out = drain(&mut op).unwrap();
+        fx.assert_gold(out);
+        assert!(fx.rt.env().spill.stats().tuples_written() > 0);
+    }
+
+    #[test]
+    fn flush_all_left_overflow_matches_gold() {
+        let fx = fixture(300, 300, 30, OverflowMethod::FlushAllLeft, Some(4_000));
+        let mut op = dpj_for(&fx);
+        let out = drain(&mut op).unwrap();
+        fx.assert_gold(out);
+    }
+
+    #[test]
+    fn fail_method_raises_out_of_memory_error() {
+        let fx = fixture(300, 300, 30, OverflowMethod::Fail, Some(1_000));
+        let mut op = dpj_for(&fx);
+        op.open().unwrap();
+        let err = loop {
+            match op.next() {
+                Ok(Some(_)) => {}
+                Ok(None) => panic!("expected OOM"),
+                Err(e) => break e,
+            }
+        };
+        assert_eq!(err.kind(), "out_of_memory");
+        op.close().unwrap();
+    }
+
+    #[test]
+    fn rule_installs_overflow_method_on_oom_event() {
+        // Plan says Fail, but a rule reacts to out_of_memory by installing
+        // symmetric flush — §3.1.2 "the policy for memory overflow
+        // resolution in the double pipelined join is guided by a rule".
+        let mut fx = fixture(300, 300, 30, OverflowMethod::Fail, Some(4_000));
+        let join = fx.join_id;
+        fx.plan.global_rules.push(Rule::overflow_method(
+            join,
+            OverflowMethod::IncrementalSymmetricFlush,
+        ));
+        // rebuild runtime with the extra rule
+        fx.rt = crate::runtime::PlanRuntime::for_plan(
+            &fx.plan,
+            crate::runtime::ExecEnv::new(
+                fx.rt.env().sources.clone(),
+            ),
+        );
+        let mut op = dpj_for(&fx);
+        let out = drain(&mut op).unwrap();
+        fx.assert_gold(out);
+        assert!(fx.rt.env().spill.stats().tuples_written() > 0);
+    }
+
+    #[test]
+    fn left_flush_does_fewer_ios_than_symmetric() {
+        // §4.2.3: "incremental left-flush will perform fewer disk I/Os than
+        // the symmetric strategy". The analysis assumes equal transfer
+        // rates, so pace both sources identically (with instant links one
+        // side can race ahead and footnote 3 changes the memory profile —
+        // the full analytical reproduction lives in
+        // tests/overflow_analysis.rs).
+        let paced = LinkModel {
+            per_tuple: Duration::from_micros(60),
+            ..LinkModel::instant()
+        };
+        let budget = 6_000;
+        let run = |method| {
+            let fx = JoinFixture::build(
+                keyed_relation("l", 400, 40),
+                keyed_relation("r", 400, 40),
+                paced.clone(),
+                paced.clone(),
+                JoinKind::DoublePipelined,
+                method,
+                Some(budget),
+            );
+            let mut op = dpj_for(&fx);
+            let out = drain(&mut op).unwrap();
+            fx.assert_gold(out);
+            fx.rt.env().spill.stats().total_tuple_io()
+        };
+        let left = run(OverflowMethod::IncrementalLeftFlush);
+        let symmetric = run(OverflowMethod::IncrementalSymmetricFlush);
+        assert!(
+            left as f64 <= symmetric as f64 * 1.05 + 32.0,
+            "left flush ({left} IOs) should not exceed symmetric ({symmetric} IOs)"
+        );
+    }
+
+    #[test]
+    fn first_tuple_beats_hybrid_hash_on_slow_sources() {
+        // Figure 3's headline: the DPJ produces output while data is still
+        // arriving; hybrid hash waits for the whole inner relation first.
+        let slow = LinkModel {
+            per_tuple: Duration::from_micros(400),
+            initial_delay: Duration::from_millis(5),
+            ..LinkModel::instant()
+        };
+        let build_fx = |kind| {
+            JoinFixture::build(
+                keyed_relation("l", 400, 40),
+                keyed_relation("r", 400, 40),
+                slow.clone(),
+                slow.clone(),
+                kind,
+                OverflowMethod::IncrementalLeftFlush,
+                None,
+            )
+        };
+        let time_to_first = |op: &mut dyn Operator| {
+            let start = Instant::now();
+            op.open().unwrap();
+            let first = op.next().unwrap();
+            assert!(first.is_some());
+            let elapsed = start.elapsed();
+            while op.next().unwrap().is_some() {}
+            op.close().unwrap();
+            elapsed
+        };
+
+        let fx = build_fx(JoinKind::DoublePipelined);
+        let mut dpj = dpj_for(&fx);
+        let dpj_first = time_to_first(&mut dpj);
+
+        let fx2 = build_fx(JoinKind::HybridHash);
+        let mut hybrid = crate::operators::HashJoinOp::hybrid(
+            fx2.left_scan(),
+            fx2.right_scan(),
+            "k".into(),
+            "k".into(),
+            fx2.harness(fx2.join_id),
+        );
+        let hybrid_first = time_to_first(&mut hybrid);
+
+        assert!(
+            dpj_first < hybrid_first,
+            "DPJ first tuple {dpj_first:?} should beat hybrid {hybrid_first:?}"
+        );
+    }
+
+    #[test]
+    fn child_error_propagates() {
+        let fx = JoinFixture::build(
+            keyed_relation("l", 50, 5),
+            keyed_relation("r", 50, 5),
+            LinkModel::failing(10),
+            LinkModel::instant(),
+            JoinKind::DoublePipelined,
+            OverflowMethod::IncrementalLeftFlush,
+            None,
+        );
+        let mut op = dpj_for(&fx);
+        op.open().unwrap();
+        let err = loop {
+            match op.next() {
+                Ok(Some(_)) => {}
+                Ok(None) => panic!("expected error"),
+                Err(e) => break e,
+            }
+        };
+        assert_eq!(err.kind(), "source_unavailable");
+        op.close().unwrap();
+    }
+
+    #[test]
+    fn empty_inputs_produce_nothing() {
+        let fx = fixture(0, 0, 1, OverflowMethod::IncrementalLeftFlush, None);
+        let mut op = dpj_for(&fx);
+        assert!(drain(&mut op).unwrap().is_empty());
+    }
+
+    #[test]
+    fn one_empty_side() {
+        let fx = fixture(100, 0, 10, OverflowMethod::IncrementalLeftFlush, None);
+        let mut op = dpj_for(&fx);
+        assert!(drain(&mut op).unwrap().is_empty());
+    }
+
+    #[test]
+    fn skewed_single_key_overflow() {
+        // Everything hashes to one bucket; overflow must still be exact.
+        let fx = fixture(80, 80, 1, OverflowMethod::IncrementalLeftFlush, Some(1_500));
+        let mut op = dpj_for(&fx);
+        let out = drain(&mut op).unwrap();
+        assert_eq!(out.len(), 80 * 80);
+        fx.assert_gold(out);
+    }
+
+    #[test]
+    fn symmetric_skewed_single_key_overflow() {
+        let fx = fixture(
+            80,
+            80,
+            1,
+            OverflowMethod::IncrementalSymmetricFlush,
+            Some(1_500),
+        );
+        let mut op = dpj_for(&fx);
+        let out = drain(&mut op).unwrap();
+        assert_eq!(out.len(), 80 * 80);
+    }
+
+    #[test]
+    fn close_without_drain_does_not_hang() {
+        let slow = LinkModel {
+            per_tuple: Duration::from_millis(2),
+            ..LinkModel::instant()
+        };
+        let fx = JoinFixture::build(
+            keyed_relation("l", 10_000, 10),
+            keyed_relation("r", 10_000, 10),
+            slow.clone(),
+            slow,
+            JoinKind::DoublePipelined,
+            OverflowMethod::IncrementalLeftFlush,
+            None,
+        );
+        let mut op = dpj_for(&fx);
+        op.open().unwrap();
+        let _ = op.next().unwrap();
+        let start = Instant::now();
+        op.close().unwrap();
+        assert!(
+            start.elapsed() < Duration::from_secs(10),
+            "close must cancel blocked children"
+        );
+    }
+
+    #[test]
+    fn threshold_rule_on_dpj_output() {
+        let mut fx = fixture(100, 100, 10, OverflowMethod::IncrementalLeftFlush, None);
+        let join = fx.join_id;
+        // contrived rule: when the join has produced 50 tuples, alter the
+        // memory allotment (observable, harmless action)
+        fx.plan.global_rules.push(Rule::new(
+            "bump-mem",
+            SubjectRef::Op(join),
+            EventPattern::with_value(EventKind::Threshold, SubjectRef::Op(join), 50),
+            Condition::True,
+            vec![Action::AlterMemory {
+                op: join,
+                bytes: 123_456,
+            }],
+        ));
+        fx.plan.fragments[0].root.memory_budget = Some(1_000_000);
+        fx.rt = crate::runtime::PlanRuntime::for_plan(
+            &fx.plan,
+            crate::runtime::ExecEnv::new(fx.rt.env().sources.clone()),
+        );
+        let mut op = dpj_for(&fx);
+        let out = drain(&mut op).unwrap();
+        fx.assert_gold(out);
+        assert_eq!(
+            fx.rt.memory_budget(SubjectRef::Op(join)),
+            Some(123_456.0)
+        );
+    }
+
+    /// Check gold equality under every overflow method and several budgets
+    /// — the overflow matrix.
+    #[test]
+    fn overflow_matrix() {
+        for method in [
+            OverflowMethod::IncrementalLeftFlush,
+            OverflowMethod::IncrementalSymmetricFlush,
+            OverflowMethod::FlushAllLeft,
+        ] {
+            for budget in [2_000usize, 8_000, 64_000] {
+                let fx = fixture(250, 200, 25, method, Some(budget));
+                let mut op = dpj_for(&fx);
+                let out = drain(&mut op).unwrap();
+                let got =
+                    Relation::new(fx.gold.schema().clone(), out).unwrap();
+                assert!(
+                    got.bag_eq(&fx.gold),
+                    "mismatch for {method:?} at budget {budget}: got {}, want {}",
+                    got.len(),
+                    fx.gold.len()
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! Physical operator implementations.
+//!
+//! Standard relational operators (§4: "join (including dependent join),
+//! selection, projection, union and table scan") plus Tukwila's adaptive
+//! operators: the double pipelined join ([`dpj`]) and the dynamic collector
+//! ([`collector`]).
+
+pub mod collector;
+pub mod dependent_join;
+pub mod dpj;
+pub mod filter;
+pub mod hash_join;
+pub mod hash_table;
+pub mod nlj;
+#[cfg(test)]
+mod op_tests;
+pub mod project;
+pub mod scan;
+pub mod smj;
+pub mod union_op;
+pub mod wrapper_scan;
+
+pub use collector::Collector;
+pub use dependent_join::DependentJoin;
+pub use dpj::DoublePipelinedJoin;
+pub use filter::Filter;
+pub use hash_join::HashJoinOp;
+pub use nlj::NestedLoopsJoin;
+pub use project::Project;
+pub use scan::TableScan;
+pub use smj::SortMergeJoin;
+pub use union_op::UnionAll;
+pub use wrapper_scan::WrapperScan;

@@ -1,0 +1,124 @@
+//! Nested loops join (baseline).
+//!
+//! §4.2: "for a nested loops join, each tuple from the outer relation is
+//! probed against the entire inner relation; we must wait for the entire
+//! inner table to be transmitted initially before pipelining begins." That
+//! blocking behaviour is exactly what we measure against.
+
+use tukwila_common::{Result, Schema, Tuple, TukwilaError};
+
+use crate::operator::{Operator, OperatorBox};
+use crate::runtime::OpHarness;
+
+/// Equi-join by scanning the fully buffered inner relation per outer tuple.
+pub struct NestedLoopsJoin {
+    left: OperatorBox,
+    right: OperatorBox,
+    left_key: String,
+    right_key: String,
+    harness: OpHarness,
+    // after open:
+    schema: Schema,
+    left_key_idx: usize,
+    right_key_idx: usize,
+    inner: Vec<Tuple>,
+    current_left: Option<Tuple>,
+    inner_pos: usize,
+    opened: bool,
+}
+
+impl NestedLoopsJoin {
+    /// Build a nested loops join (right child = inner).
+    pub fn new(
+        left: OperatorBox,
+        right: OperatorBox,
+        left_key: String,
+        right_key: String,
+        harness: OpHarness,
+    ) -> Self {
+        NestedLoopsJoin {
+            left,
+            right,
+            left_key,
+            right_key,
+            harness,
+            schema: Schema::empty(),
+            left_key_idx: 0,
+            right_key_idx: 0,
+            inner: Vec::new(),
+            current_left: None,
+            inner_pos: 0,
+            opened: false,
+        }
+    }
+}
+
+impl Operator for NestedLoopsJoin {
+    fn open(&mut self) -> Result<()> {
+        self.left.open()?;
+        self.right.open()?;
+        self.left_key_idx = self.left.schema().index_of(&self.left_key)?;
+        self.right_key_idx = self.right.schema().index_of(&self.right_key)?;
+        self.schema = self.left.schema().concat(self.right.schema());
+        // Block: buffer the entire inner relation.
+        self.inner.clear();
+        while let Some(t) = self.right.next()? {
+            if let Some(r) = self.harness.reservation() {
+                r.charge(t.mem_size());
+            }
+            self.inner.push(t);
+        }
+        self.opened = true;
+        self.harness.opened();
+        Ok(())
+    }
+
+    fn next(&mut self) -> Result<Option<Tuple>> {
+        if !self.opened {
+            return Err(TukwilaError::Internal("NLJ before open".into()));
+        }
+        loop {
+            if self.current_left.is_none() {
+                self.current_left = self.left.next()?;
+                self.inner_pos = 0;
+                if self.current_left.is_none() {
+                    return Ok(None);
+                }
+            }
+            let l = self.current_left.as_ref().unwrap();
+            let lk = l.value(self.left_key_idx);
+            while self.inner_pos < self.inner.len() {
+                let r = &self.inner[self.inner_pos];
+                self.inner_pos += 1;
+                if lk.sql_eq(r.value(self.right_key_idx)) == Some(true) {
+                    let out = l.concat(r);
+                    self.harness.produced(1);
+                    return Ok(Some(out));
+                }
+            }
+            self.current_left = None;
+        }
+    }
+
+    fn close(&mut self) -> Result<()> {
+        self.left.close()?;
+        self.right.close()?;
+        if self.opened {
+            if let Some(r) = self.harness.reservation() {
+                r.release(self.inner.iter().map(Tuple::mem_size).sum());
+            }
+            self.inner.clear();
+            self.opened = false;
+            self.harness.closed();
+        }
+        Ok(())
+    }
+
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn name(&self) -> &'static str {
+        "nested_loops_join"
+    }
+}

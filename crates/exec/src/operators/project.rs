@@ -1,0 +1,76 @@
+//! Projection operator.
+
+use tukwila_common::{Result, Schema, Tuple, TukwilaError};
+
+use crate::operator::{Operator, OperatorBox};
+use crate::runtime::OpHarness;
+
+/// Projects the input onto a list of named columns (resolved at open).
+pub struct Project {
+    input: OperatorBox,
+    columns: Vec<String>,
+    indices: Vec<usize>,
+    schema: Schema,
+    harness: OpHarness,
+    opened: bool,
+}
+
+impl Project {
+    /// Build a projection.
+    pub fn new(input: OperatorBox, columns: Vec<String>, harness: OpHarness) -> Self {
+        Project {
+            input,
+            columns,
+            indices: Vec::new(),
+            schema: Schema::empty(),
+            harness,
+            opened: false,
+        }
+    }
+}
+
+impl Operator for Project {
+    fn open(&mut self) -> Result<()> {
+        self.input.open()?;
+        let in_schema = self.input.schema();
+        self.indices = self
+            .columns
+            .iter()
+            .map(|c| in_schema.index_of(c))
+            .collect::<Result<Vec<_>>>()?;
+        self.schema = in_schema.project(&self.indices);
+        self.opened = true;
+        self.harness.opened();
+        Ok(())
+    }
+
+    fn next(&mut self) -> Result<Option<Tuple>> {
+        if !self.opened {
+            return Err(TukwilaError::Internal("Project before open".into()));
+        }
+        match self.input.next()? {
+            Some(t) => {
+                self.harness.produced(1);
+                Ok(Some(t.project(&self.indices)))
+            }
+            None => Ok(None),
+        }
+    }
+
+    fn close(&mut self) -> Result<()> {
+        self.input.close()?;
+        if self.opened {
+            self.opened = false;
+            self.harness.closed();
+        }
+        Ok(())
+    }
+
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn name(&self) -> &'static str {
+        "project"
+    }
+}

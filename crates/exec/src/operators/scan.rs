@@ -1,0 +1,129 @@
+//! Table scan over the local store (materialized fragment results, cached
+//! data).
+
+use std::sync::Arc;
+
+use tukwila_common::{Relation, Result, Schema, Tuple, TukwilaError};
+
+use crate::operator::Operator;
+use crate::runtime::OpHarness;
+
+/// Scans a named table in the local store.
+pub struct TableScan {
+    table: String,
+    harness: OpHarness,
+    relation: Option<Arc<Relation>>,
+    schema: Schema,
+    pos: usize,
+}
+
+impl TableScan {
+    /// Build a scan of `table`.
+    pub fn new(table: String, harness: OpHarness) -> Self {
+        TableScan {
+            table,
+            harness,
+            relation: None,
+            schema: Schema::empty(),
+            pos: 0,
+        }
+    }
+}
+
+impl Operator for TableScan {
+    fn open(&mut self) -> Result<()> {
+        let rel = self.harness.runtime().env().local.get(&self.table)?;
+        self.schema = rel.schema().clone();
+        self.relation = Some(rel);
+        self.pos = 0;
+        self.harness.opened();
+        Ok(())
+    }
+
+    fn next(&mut self) -> Result<Option<Tuple>> {
+        let rel = self
+            .relation
+            .as_ref()
+            .ok_or_else(|| TukwilaError::Internal("TableScan::next before open".into()))?;
+        if !self.harness.is_active() {
+            return Ok(None);
+        }
+        if self.pos >= rel.len() {
+            return Ok(None);
+        }
+        let t = rel.tuples()[self.pos].clone();
+        self.pos += 1;
+        self.harness.produced(1);
+        Ok(Some(t))
+    }
+
+    fn close(&mut self) -> Result<()> {
+        if self.relation.take().is_some() {
+            self.harness.closed();
+        }
+        Ok(())
+    }
+
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn name(&self) -> &'static str {
+        "table_scan"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operator::drain;
+    use crate::runtime::{ExecEnv, PlanRuntime};
+    use tukwila_common::{tuple, DataType};
+    use tukwila_plan::{PlanBuilder, SubjectRef};
+    use tukwila_source::SourceRegistry;
+
+    fn setup(rows: i64) -> (OpHarness, tukwila_plan::OpId) {
+        let mut b = PlanBuilder::new();
+        let scan = b.table_scan("t");
+        let id = scan.id;
+        let f = b.fragment(scan, "out");
+        let plan = b.build(f);
+        let env = ExecEnv::new(SourceRegistry::new());
+        let schema = Schema::of("t", &[("a", DataType::Int)]);
+        let mut rel = Relation::empty(schema);
+        for i in 0..rows {
+            rel.push(tuple![i]);
+        }
+        env.local.put("t", rel);
+        let rt = PlanRuntime::for_plan(&plan, env);
+        (OpHarness::new(rt, SubjectRef::Op(id)), id)
+    }
+
+    #[test]
+    fn scans_all_rows() {
+        let (h, id) = setup(5);
+        let rt = h.runtime().clone();
+        let mut op = TableScan::new("t".into(), h);
+        let out = drain(&mut op).unwrap();
+        assert_eq!(out.len(), 5);
+        assert_eq!(rt.produced(SubjectRef::Op(id)), 5);
+    }
+
+    #[test]
+    fn missing_table_errors_at_open() {
+        let (h, _) = setup(1);
+        let mut op = TableScan::new("nope".into(), h);
+        assert!(op.open().is_err());
+    }
+
+    #[test]
+    fn deactivated_scan_stops() {
+        let (h, id) = setup(100);
+        let rt = h.runtime().clone();
+        let mut op = TableScan::new("t".into(), h);
+        op.open().unwrap();
+        assert!(op.next().unwrap().is_some());
+        rt.deactivate(SubjectRef::Op(id));
+        assert!(op.next().unwrap().is_none());
+    }
+}

@@ -1,0 +1,182 @@
+//! Sort-merge join (baseline).
+//!
+//! §4.2: "sort-merge joins (except with presorted data) … cannot be
+//! pipelined, since they require an initial sorting … step in this
+//! context." Both inputs are drained and sorted at open; merging then
+//! streams.
+
+use std::cmp::Ordering;
+
+use tukwila_common::{Result, Schema, Tuple, TukwilaError};
+
+use crate::operator::{Operator, OperatorBox};
+use crate::runtime::OpHarness;
+
+/// Equi-join by sorting both inputs on their keys and merging.
+pub struct SortMergeJoin {
+    left: OperatorBox,
+    right: OperatorBox,
+    left_key: String,
+    right_key: String,
+    harness: OpHarness,
+    schema: Schema,
+    // sorted runs and merge state
+    lrun: Vec<Tuple>,
+    rrun: Vec<Tuple>,
+    li: usize,
+    ri: usize,
+    /// Cartesian emission state within an equal-key group.
+    group: Option<(usize, usize, usize, usize)>, // (lstart, lend, rstart, rend)
+    gpos: (usize, usize),
+    lkey: usize,
+    rkey: usize,
+    opened: bool,
+}
+
+impl SortMergeJoin {
+    /// Build a sort-merge join.
+    pub fn new(
+        left: OperatorBox,
+        right: OperatorBox,
+        left_key: String,
+        right_key: String,
+        harness: OpHarness,
+    ) -> Self {
+        SortMergeJoin {
+            left,
+            right,
+            left_key,
+            right_key,
+            harness,
+            schema: Schema::empty(),
+            lrun: Vec::new(),
+            rrun: Vec::new(),
+            li: 0,
+            ri: 0,
+            group: None,
+            gpos: (0, 0),
+            lkey: 0,
+            rkey: 0,
+            opened: false,
+        }
+    }
+
+    fn advance_group(&mut self) -> Option<()> {
+        // find next pair of equal-key runs
+        while self.li < self.lrun.len() && self.ri < self.rrun.len() {
+            let lk = self.lrun[self.li].value(self.lkey);
+            let rk = self.rrun[self.ri].value(self.rkey);
+            if lk.is_null() {
+                self.li += 1;
+                continue;
+            }
+            if rk.is_null() {
+                self.ri += 1;
+                continue;
+            }
+            match lk.cmp(rk) {
+                Ordering::Less => self.li += 1,
+                Ordering::Greater => self.ri += 1,
+                Ordering::Equal => {
+                    let lstart = self.li;
+                    let mut lend = self.li + 1;
+                    while lend < self.lrun.len() && self.lrun[lend].value(self.lkey) == lk {
+                        lend += 1;
+                    }
+                    let rstart = self.ri;
+                    let mut rend = self.ri + 1;
+                    while rend < self.rrun.len() && self.rrun[rend].value(self.rkey) == rk {
+                        rend += 1;
+                    }
+                    self.group = Some((lstart, lend, rstart, rend));
+                    self.gpos = (lstart, rstart);
+                    self.li = lend;
+                    self.ri = rend;
+                    return Some(());
+                }
+            }
+        }
+        None
+    }
+}
+
+impl Operator for SortMergeJoin {
+    fn open(&mut self) -> Result<()> {
+        self.left.open()?;
+        self.right.open()?;
+        self.lkey = self.left.schema().index_of(&self.left_key)?;
+        self.rkey = self.right.schema().index_of(&self.right_key)?;
+        self.schema = self.left.schema().concat(self.right.schema());
+        while let Some(t) = self.left.next()? {
+            self.lrun.push(t);
+        }
+        while let Some(t) = self.right.next()? {
+            self.rrun.push(t);
+        }
+        let lk = self.lkey;
+        let rk = self.rkey;
+        self.lrun.sort_by(|a, b| a.value(lk).cmp(b.value(lk)));
+        self.rrun.sort_by(|a, b| a.value(rk).cmp(b.value(rk)));
+        if let Some(r) = self.harness.reservation() {
+            r.charge(
+                self.lrun.iter().map(Tuple::mem_size).sum::<usize>()
+                    + self.rrun.iter().map(Tuple::mem_size).sum::<usize>(),
+            );
+        }
+        self.opened = true;
+        self.harness.opened();
+        Ok(())
+    }
+
+    fn next(&mut self) -> Result<Option<Tuple>> {
+        if !self.opened {
+            return Err(TukwilaError::Internal("SMJ before open".into()));
+        }
+        loop {
+            if let Some((_lstart, lend, rstart, rend)) = self.group {
+                let (gl, gr) = self.gpos;
+                if gl < lend {
+                    let out = self.lrun[gl].concat(&self.rrun[gr]);
+                    // advance cartesian position
+                    if gr + 1 < rend {
+                        self.gpos = (gl, gr + 1);
+                    } else {
+                        self.gpos = (gl + 1, rstart);
+                    }
+                    self.harness.produced(1);
+                    return Ok(Some(out));
+                }
+                self.group = None;
+            }
+            if self.advance_group().is_none() {
+                return Ok(None);
+            }
+        }
+    }
+
+    fn close(&mut self) -> Result<()> {
+        self.left.close()?;
+        self.right.close()?;
+        if self.opened {
+            if let Some(r) = self.harness.reservation() {
+                r.release(
+                    self.lrun.iter().map(Tuple::mem_size).sum::<usize>()
+                        + self.rrun.iter().map(Tuple::mem_size).sum::<usize>(),
+                );
+            }
+            self.lrun.clear();
+            self.rrun.clear();
+            self.opened = false;
+            self.harness.closed();
+        }
+        Ok(())
+    }
+
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn name(&self) -> &'static str {
+        "sort_merge_join"
+    }
+}

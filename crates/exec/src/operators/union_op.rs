@@ -1,0 +1,91 @@
+//! Standard union (bag semantics) — the inflexible baseline the dynamic
+//! collector improves on (§4.1: "a standard union operator has no mechanism
+//! for handling errors or for deciding to ignore slow mirror data
+//! sources").
+
+use tukwila_common::{Result, Schema, Tuple, TukwilaError};
+
+use crate::operator::{Operator, OperatorBox};
+use crate::runtime::OpHarness;
+
+/// Concatenates its inputs, draining them in order. Any child error fails
+/// the union — exactly the rigidity the collector exists to avoid.
+pub struct UnionAll {
+    inputs: Vec<OperatorBox>,
+    current: usize,
+    schema: Schema,
+    harness: OpHarness,
+    opened: bool,
+}
+
+impl UnionAll {
+    /// Build a union.
+    pub fn new(inputs: Vec<OperatorBox>, harness: OpHarness) -> Self {
+        UnionAll {
+            inputs,
+            current: 0,
+            schema: Schema::empty(),
+            harness,
+            opened: false,
+        }
+    }
+}
+
+impl Operator for UnionAll {
+    fn open(&mut self) -> Result<()> {
+        if self.inputs.is_empty() {
+            return Err(TukwilaError::Plan("union with no inputs".into()));
+        }
+        for i in &mut self.inputs {
+            i.open()?;
+        }
+        let arity = self.inputs[0].schema().arity();
+        for i in &self.inputs[1..] {
+            if i.schema().arity() != arity {
+                return Err(TukwilaError::Schema(format!(
+                    "union arity mismatch: {} vs {}",
+                    arity,
+                    i.schema().arity()
+                )));
+            }
+        }
+        self.schema = self.inputs[0].schema().clone();
+        self.current = 0;
+        self.opened = true;
+        self.harness.opened();
+        Ok(())
+    }
+
+    fn next(&mut self) -> Result<Option<Tuple>> {
+        if !self.opened {
+            return Err(TukwilaError::Internal("UnionAll before open".into()));
+        }
+        while self.current < self.inputs.len() {
+            if let Some(t) = self.inputs[self.current].next()? {
+                self.harness.produced(1);
+                return Ok(Some(t));
+            }
+            self.current += 1;
+        }
+        Ok(None)
+    }
+
+    fn close(&mut self) -> Result<()> {
+        for i in &mut self.inputs {
+            i.close()?;
+        }
+        if self.opened {
+            self.opened = false;
+            self.harness.closed();
+        }
+        Ok(())
+    }
+
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn name(&self) -> &'static str {
+        "union"
+    }
+}

@@ -1,0 +1,774 @@
+//! The per-plan execution runtime.
+//!
+//! Holds everything rules and adaptive operators observe and manipulate at
+//! runtime:
+//!
+//! * [`ExecEnv`] — the engine environment (memory pool, spill store, local
+//!   store, source registry), shared across plan runs;
+//! * per-subject **statistics** (tuples produced, activity timestamps,
+//!   state) — the engine's side of [`QuantityProvider`];
+//! * **control cells** — activation flags, overflow methods, cancel
+//!   handles — the state rule actions mutate;
+//! * the **event bus**: events are queued and processed in order under a
+//!   single lock, so "all of a rule's actions are executed before another
+//!   event is processed" (§3.1.2 restriction 1) holds by construction;
+//! * **engine signals** (replan / reschedule / abort) that rule actions
+//!   raise and the fragment loop observes.
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+use tukwila_common::{Result, TukwilaError};
+use tukwila_plan::{
+    Action, Event, EventKind, OpState, OperatorSpec, OverflowMethod, QuantityProvider, QueryPlan,
+    Rule, SubjectRef,
+};
+use tukwila_source::SourceRegistry;
+use tukwila_storage::{
+    InMemorySpillStore, LocalStore, MemoryManager, MemoryReservation, SpillStore,
+};
+
+/// Engine environment shared across plan runs.
+#[derive(Clone)]
+pub struct ExecEnv {
+    /// Memory pool.
+    pub memory: MemoryManager,
+    /// Spill storage for overflow resolution.
+    pub spill: Arc<dyn SpillStore>,
+    /// Materialized fragment results and cached tables.
+    pub local: LocalStore,
+    /// Live data sources.
+    pub sources: SourceRegistry,
+}
+
+impl ExecEnv {
+    /// Environment with in-memory spill storage.
+    pub fn new(sources: SourceRegistry) -> Self {
+        ExecEnv {
+            memory: MemoryManager::new(),
+            spill: Arc::new(InMemorySpillStore::new()),
+            local: LocalStore::new(),
+            sources,
+        }
+    }
+
+    /// Replace the spill store (e.g. with a file-backed one).
+    pub fn with_spill(mut self, spill: Arc<dyn SpillStore>) -> Self {
+        self.spill = spill;
+        self
+    }
+}
+
+fn encode_state(s: OpState) -> u8 {
+    match s {
+        OpState::NotStarted => 0,
+        OpState::Open => 1,
+        OpState::Closed => 2,
+        OpState::Failed => 3,
+        OpState::Deactivated => 4,
+    }
+}
+
+fn decode_state(v: u8) -> OpState {
+    match v {
+        0 => OpState::NotStarted,
+        1 => OpState::Open,
+        2 => OpState::Closed,
+        3 => OpState::Failed,
+        _ => OpState::Deactivated,
+    }
+}
+
+/// Per-subject runtime record.
+struct SubjectRecord {
+    produced: AtomicU64,
+    state: AtomicU8,
+    last_activity_ms: AtomicU64,
+    est_card: Option<f64>,
+    reservation: Option<MemoryReservation>,
+    active: AtomicBool,
+    /// Activation state at plan load (restored on fragment retry).
+    default_active: bool,
+    overflow: Mutex<OverflowMethod>,
+    cancel_handles: Mutex<Vec<Arc<AtomicBool>>>,
+    /// Threshold milestones (sorted) harvested from the plan's rules.
+    milestones: Vec<u64>,
+}
+
+impl SubjectRecord {
+    fn new(
+        est_card: Option<f64>,
+        reservation: Option<MemoryReservation>,
+        initially_active: bool,
+        overflow: OverflowMethod,
+        milestones: Vec<u64>,
+    ) -> Self {
+        SubjectRecord {
+            produced: AtomicU64::new(0),
+            state: AtomicU8::new(encode_state(OpState::NotStarted)),
+            last_activity_ms: AtomicU64::new(0),
+            est_card,
+            reservation,
+            active: AtomicBool::new(initially_active),
+            default_active: initially_active,
+            overflow: Mutex::new(overflow),
+            cancel_handles: Mutex::new(Vec::new()),
+            milestones,
+        }
+    }
+}
+
+struct RuleSlot {
+    rule: Rule,
+    active: bool,
+}
+
+/// Engine-level outcome a rule action requested.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineSignal {
+    /// Terminate the current plan and re-invoke the optimizer.
+    Replan,
+    /// Reschedule remaining fragments (query scrambling).
+    Reschedule,
+    /// Abort with an error to the user.
+    Abort(String),
+}
+
+#[derive(Default)]
+struct Signals {
+    replan: AtomicBool,
+    reschedule: AtomicBool,
+    abort: Mutex<Option<String>>,
+}
+
+/// The per-plan runtime: statistics, controls, events, rules, signals.
+pub struct PlanRuntime {
+    env: ExecEnv,
+    epoch: Instant,
+    subjects: HashMap<SubjectRef, SubjectRecord>,
+    rules: Mutex<Vec<RuleSlot>>,
+    event_queue: Mutex<VecDeque<Event>>,
+    /// Serializes rule processing; also records processed events for tests
+    /// and the statistics report.
+    event_log: Mutex<Vec<Event>>,
+    processing: Mutex<()>,
+    signals: Signals,
+}
+
+impl PlanRuntime {
+    /// Build the runtime for a plan: registers every fragment and operator
+    /// (including collector children), creates memory reservations for
+    /// budgeted operators, loads all rules, and harvests threshold
+    /// milestones.
+    pub fn for_plan(plan: &QueryPlan, env: ExecEnv) -> Arc<PlanRuntime> {
+        let mut milestones: HashMap<SubjectRef, Vec<u64>> = HashMap::new();
+        for rule in plan.all_rules() {
+            if rule.event.kind == EventKind::Threshold {
+                if let Some(v) = rule.event.value {
+                    milestones.entry(rule.event.subject).or_default().push(v);
+                }
+            }
+        }
+        for ms in milestones.values_mut() {
+            ms.sort_unstable();
+            ms.dedup();
+        }
+
+        let mut subjects = HashMap::new();
+        for frag in &plan.fragments {
+            subjects.insert(
+                SubjectRef::Fragment(frag.id),
+                SubjectRecord::new(
+                    frag.root.est_cardinality,
+                    None,
+                    frag.initially_active,
+                    OverflowMethod::Fail,
+                    milestones
+                        .remove(&SubjectRef::Fragment(frag.id))
+                        .unwrap_or_default(),
+                ),
+            );
+            frag.root.walk(&mut |node| {
+                let overflow = match &node.spec {
+                    OperatorSpec::Join { overflow, .. } => *overflow,
+                    _ => OverflowMethod::Fail,
+                };
+                let reservation = node
+                    .memory_budget
+                    .map(|b| env.memory.register(format!("{}", node.id), b));
+                subjects.insert(
+                    SubjectRef::Op(node.id),
+                    SubjectRecord::new(
+                        node.est_cardinality,
+                        reservation,
+                        true,
+                        overflow,
+                        milestones
+                            .remove(&SubjectRef::Op(node.id))
+                            .unwrap_or_default(),
+                    ),
+                );
+                if let OperatorSpec::Collector { children, .. } = &node.spec {
+                    for c in children {
+                        subjects.insert(
+                            SubjectRef::Op(c.id),
+                            SubjectRecord::new(
+                                None,
+                                None,
+                                c.initially_active,
+                                OverflowMethod::Fail,
+                                milestones.remove(&SubjectRef::Op(c.id)).unwrap_or_default(),
+                            ),
+                        );
+                    }
+                }
+            });
+        }
+
+        let rules = plan
+            .all_rules()
+            .into_iter()
+            .map(|r| RuleSlot {
+                rule: r.clone(),
+                active: true,
+            })
+            .collect();
+
+        Arc::new(PlanRuntime {
+            env,
+            epoch: Instant::now(),
+            subjects,
+            rules: Mutex::new(rules),
+            event_queue: Mutex::new(VecDeque::new()),
+            event_log: Mutex::new(Vec::new()),
+            processing: Mutex::new(()),
+            signals: Signals::default(),
+        })
+    }
+
+    /// The engine environment.
+    pub fn env(&self) -> &ExecEnv {
+        &self.env
+    }
+
+    fn record(&self, s: SubjectRef) -> Result<&SubjectRecord> {
+        self.subjects
+            .get(&s)
+            .ok_or_else(|| TukwilaError::Internal(format!("unregistered subject {s}")))
+    }
+
+    fn now_ms(&self) -> u64 {
+        self.epoch.elapsed().as_millis() as u64
+    }
+
+    // ---- statistics ----
+
+    /// Record `n` more tuples produced by `subject`; emits threshold events
+    /// for crossed milestones.
+    pub fn add_produced(&self, subject: SubjectRef, n: u64) {
+        let Ok(rec) = self.record(subject) else {
+            return;
+        };
+        let prev = rec.produced.fetch_add(n, Ordering::Relaxed);
+        let now = prev + n;
+        rec.last_activity_ms.store(self.now_ms(), Ordering::Relaxed);
+        // milestone crossings
+        for &m in &rec.milestones {
+            if prev < m && m <= now {
+                self.emit(Event::with_value(EventKind::Threshold, subject, m));
+            }
+        }
+    }
+
+    /// Tuples produced so far.
+    pub fn produced(&self, subject: SubjectRef) -> u64 {
+        self.record(subject)
+            .map(|r| r.produced.load(Ordering::Relaxed))
+            .unwrap_or(0)
+    }
+
+    /// Set lifecycle state and emit the corresponding event.
+    pub fn set_state(&self, subject: SubjectRef, state: OpState) {
+        if let Ok(rec) = self.record(subject) {
+            rec.state.store(encode_state(state), Ordering::Relaxed);
+            rec.last_activity_ms.store(self.now_ms(), Ordering::Relaxed);
+        }
+        match state {
+            OpState::Open => self.emit(Event::new(EventKind::Opened, subject)),
+            OpState::Closed => self.emit(Event::new(EventKind::Closed, subject)),
+            OpState::Failed => self.emit(Event::new(EventKind::Error, subject)),
+            _ => {}
+        }
+    }
+
+    /// Reset a subject's counters (fragment re-run after rescheduling).
+    pub fn reset_subject(&self, subject: SubjectRef) {
+        if let Ok(rec) = self.record(subject) {
+            rec.produced.store(0, Ordering::Relaxed);
+            rec.state
+                .store(encode_state(OpState::NotStarted), Ordering::Relaxed);
+        }
+    }
+
+    /// Prepare a fragment for a retry (rescheduling): reset counters and
+    /// lifecycle state of the fragment and every operator in it, restore
+    /// plan-default activation (undoing engine-internal cancellations from
+    /// the aborted run), and clear stale cancel handles. Rules that already
+    /// fired stay fired — "firing a rule once makes it become inactive"
+    /// applies across retries.
+    pub fn reset_fragment(&self, fragment: &tukwila_plan::Fragment) {
+        let mut subjects = vec![SubjectRef::Fragment(fragment.id)];
+        subjects.extend(fragment.op_ids().into_iter().map(SubjectRef::Op));
+        for s in subjects {
+            if let Ok(rec) = self.record(s) {
+                rec.produced.store(0, Ordering::Relaxed);
+                rec.state
+                    .store(encode_state(OpState::NotStarted), Ordering::Relaxed);
+                let default = if s == SubjectRef::Fragment(fragment.id) {
+                    true // it is being retried, so it must be runnable
+                } else {
+                    rec.default_active
+                };
+                rec.active.store(default, Ordering::Relaxed);
+                rec.cancel_handles.lock().clear();
+            }
+        }
+    }
+
+    // ---- controls ----
+
+    /// Whether a subject is active (deactivated operators stop; inactive
+    /// fragments are not scheduled).
+    pub fn is_active(&self, subject: SubjectRef) -> bool {
+        self.record(subject)
+            .map(|r| r.active.load(Ordering::Relaxed))
+            .unwrap_or(false)
+    }
+
+    /// Activate a subject.
+    pub fn activate(&self, subject: SubjectRef) {
+        if let Ok(rec) = self.record(subject) {
+            rec.active.store(true, Ordering::Relaxed);
+        }
+    }
+
+    /// Deactivate a subject: stops its execution (cancels registered
+    /// streams). Its rules become inert because owner-activity is checked
+    /// at trigger time.
+    pub fn deactivate(&self, subject: SubjectRef) {
+        if let Ok(rec) = self.record(subject) {
+            rec.active.store(false, Ordering::Relaxed);
+            rec.state
+                .store(encode_state(OpState::Deactivated), Ordering::Relaxed);
+            for h in rec.cancel_handles.lock().iter() {
+                h.store(true, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Register a cancellation handle to be flipped if `subject` is
+    /// deactivated.
+    pub fn register_cancel(&self, subject: SubjectRef, handle: Arc<AtomicBool>) {
+        if let Ok(rec) = self.record(subject) {
+            rec.cancel_handles.lock().push(handle);
+        }
+    }
+
+    /// Current overflow method for an operator.
+    pub fn overflow_method(&self, subject: SubjectRef) -> OverflowMethod {
+        self.record(subject)
+            .map(|r| *r.overflow.lock())
+            .unwrap_or(OverflowMethod::Fail)
+    }
+
+    /// Install an overflow method (rule action).
+    pub fn set_overflow_method(&self, subject: SubjectRef, method: OverflowMethod) {
+        if let Ok(rec) = self.record(subject) {
+            *rec.overflow.lock() = method;
+        }
+    }
+
+    /// The memory reservation of an operator, if it has a budget.
+    pub fn reservation(&self, subject: SubjectRef) -> Option<MemoryReservation> {
+        self.record(subject).ok()?.reservation.clone()
+    }
+
+    // ---- events & rules ----
+
+    /// Emit an event and synchronously process the queue (the event handler
+    /// of §3.3). Any thread may call this; processing is serialized.
+    pub fn emit(&self, event: Event) {
+        self.event_queue.lock().push_back(event);
+        self.process_events();
+    }
+
+    fn process_events(&self) {
+        // Only one thread processes at a time; others enqueue and return —
+        // the processor drains everything, preserving the global order.
+        let Some(_guard) = self.processing.try_lock() else {
+            return;
+        };
+        loop {
+            let Some(event) = self.event_queue.lock().pop_front() else {
+                return;
+            };
+            self.event_log.lock().push(event.clone());
+            // Find matching active rules with active owners; fire them.
+            let mut to_fire: Vec<Rule> = Vec::new();
+            {
+                let mut rules = self.rules.lock();
+                for slot in rules.iter_mut() {
+                    if slot.active
+                        && slot.rule.event.matches(&event)
+                        && self.is_active(slot.rule.owner)
+                        && slot.rule.condition.eval(self)
+                    {
+                        slot.active = false; // firing once deactivates
+                        to_fire.push(slot.rule.clone());
+                    }
+                }
+            }
+            for rule in to_fire {
+                for action in &rule.actions {
+                    self.apply_action(action);
+                }
+            }
+        }
+    }
+
+    fn apply_action(&self, action: &Action) {
+        match action {
+            Action::SetOverflowMethod { op, method } => {
+                self.set_overflow_method(SubjectRef::Op(*op), *method);
+            }
+            Action::AlterMemory { op, bytes } => {
+                if let Some(r) = self.reservation(SubjectRef::Op(*op)) {
+                    r.set_budget(*bytes);
+                }
+            }
+            Action::Activate(s) => self.activate(*s),
+            Action::Deactivate(s) => self.deactivate(*s),
+            Action::Reschedule => self.signals.reschedule.store(true, Ordering::Relaxed),
+            Action::Replan => self.signals.replan.store(true, Ordering::Relaxed),
+            Action::ReturnError(m) => {
+                *self.signals.abort.lock() = Some(m.clone());
+            }
+        }
+    }
+
+    /// Take the highest-priority pending engine signal, clearing it.
+    /// Priority: abort > replan > reschedule.
+    pub fn take_signal(&self) -> Option<EngineSignal> {
+        if let Some(m) = self.signals.abort.lock().take() {
+            return Some(EngineSignal::Abort(m));
+        }
+        if self.signals.replan.swap(false, Ordering::Relaxed) {
+            return Some(EngineSignal::Replan);
+        }
+        if self.signals.reschedule.swap(false, Ordering::Relaxed) {
+            return Some(EngineSignal::Reschedule);
+        }
+        None
+    }
+
+    /// Re-raise the replan signal (used when a mid-fragment replan request
+    /// must be deferred to the materialization point).
+    pub fn emit_replan_signal(&self) {
+        self.signals.replan.store(true, Ordering::Relaxed);
+    }
+
+    /// Peek whether any signal is pending (without clearing).
+    pub fn signal_pending(&self) -> bool {
+        self.signals.abort.lock().is_some()
+            || self.signals.replan.load(Ordering::Relaxed)
+            || self.signals.reschedule.load(Ordering::Relaxed)
+    }
+
+    /// Events processed so far (diagnostics, tests).
+    pub fn event_log(&self) -> Vec<Event> {
+        self.event_log.lock().clone()
+    }
+
+    /// Number of rules still active.
+    pub fn active_rule_count(&self) -> usize {
+        self.rules.lock().iter().filter(|s| s.active).count()
+    }
+}
+
+impl QuantityProvider for PlanRuntime {
+    fn card(&self, subject: SubjectRef) -> Option<f64> {
+        self.record(subject)
+            .ok()
+            .map(|r| r.produced.load(Ordering::Relaxed) as f64)
+    }
+
+    fn est_card(&self, subject: SubjectRef) -> Option<f64> {
+        self.record(subject).ok().and_then(|r| r.est_card)
+    }
+
+    fn time_waiting_ms(&self, subject: SubjectRef) -> Option<f64> {
+        let rec = self.record(subject).ok()?;
+        let last = rec.last_activity_ms.load(Ordering::Relaxed);
+        Some((self.now_ms().saturating_sub(last)) as f64)
+    }
+
+    fn memory_used(&self, subject: SubjectRef) -> Option<f64> {
+        Some(self.record(subject).ok()?.reservation.as_ref()?.usage().used as f64)
+    }
+
+    fn memory_budget(&self, subject: SubjectRef) -> Option<f64> {
+        Some(self.record(subject).ok()?.reservation.as_ref()?.budget() as f64)
+    }
+
+    fn state(&self, subject: SubjectRef) -> OpState {
+        self.record(subject)
+            .map(|r| decode_state(r.state.load(Ordering::Relaxed)))
+            .unwrap_or(OpState::NotStarted)
+    }
+}
+
+/// Handle tying one operator instance to the runtime: the operator's view
+/// of statistics, events, and controls.
+#[derive(Clone)]
+pub struct OpHarness {
+    rt: Arc<PlanRuntime>,
+    subject: SubjectRef,
+}
+
+impl OpHarness {
+    /// Build a harness for `subject`.
+    pub fn new(rt: Arc<PlanRuntime>, subject: SubjectRef) -> Self {
+        OpHarness { rt, subject }
+    }
+
+    /// The runtime.
+    pub fn runtime(&self) -> &Arc<PlanRuntime> {
+        &self.rt
+    }
+
+    /// This operator's subject reference.
+    pub fn subject(&self) -> SubjectRef {
+        self.subject
+    }
+
+    /// Mark opened (emits `opened`).
+    pub fn opened(&self) {
+        self.rt.set_state(self.subject, OpState::Open);
+    }
+
+    /// Mark closed (emits `closed`).
+    pub fn closed(&self) {
+        self.rt.set_state(self.subject, OpState::Closed);
+    }
+
+    /// Mark failed (emits `error`).
+    pub fn failed(&self) {
+        self.rt.set_state(self.subject, OpState::Failed);
+    }
+
+    /// Record produced tuples (emits threshold events at milestones).
+    pub fn produced(&self, n: u64) {
+        self.rt.add_produced(self.subject, n);
+    }
+
+    /// Emit a timeout event (`value` = configured timeout in ms).
+    pub fn timeout(&self, timeout_ms: u64) {
+        self.rt
+            .emit(Event::with_value(EventKind::Timeout, self.subject, timeout_ms));
+    }
+
+    /// Emit an out-of-memory event.
+    pub fn out_of_memory(&self) {
+        self.rt.emit(Event::new(EventKind::OutOfMemory, self.subject));
+    }
+
+    /// Whether this operator is still active.
+    pub fn is_active(&self) -> bool {
+        self.rt.is_active(self.subject)
+    }
+
+    /// Current overflow method for this operator.
+    pub fn overflow_method(&self) -> OverflowMethod {
+        self.rt.overflow_method(self.subject)
+    }
+
+    /// This operator's memory reservation, if budgeted.
+    pub fn reservation(&self) -> Option<MemoryReservation> {
+        self.rt.reservation(self.subject)
+    }
+
+    /// Register a cancel handle flipped on deactivation.
+    pub fn register_cancel(&self, handle: Arc<AtomicBool>) {
+        self.rt.register_cancel(self.subject, handle);
+    }
+
+    /// Whether an engine-level signal is pending (operators should yield).
+    pub fn signal_pending(&self) -> bool {
+        self.rt.signal_pending()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tukwila_plan::{
+        Condition, EventPattern, JoinKind, PlanBuilder, Rule,
+    };
+
+    fn simple_plan() -> QueryPlan {
+        let mut b = PlanBuilder::new();
+        let l = b.wrapper_scan("A");
+        let r = b.wrapper_scan("B");
+        let j = b
+            .join(JoinKind::DoublePipelined, l, r, "k", "k")
+            .with_memory(1000)
+            .with_est_cardinality(50.0);
+        let f = b.fragment(j, "out");
+        b.build(f)
+    }
+
+    fn runtime(plan: &QueryPlan) -> Arc<PlanRuntime> {
+        PlanRuntime::for_plan(plan, ExecEnv::new(SourceRegistry::new()))
+    }
+
+    #[test]
+    fn subjects_registered_with_annotations() {
+        let plan = simple_plan();
+        let rt = runtime(&plan);
+        let join = SubjectRef::Op(tukwila_plan::OpId(2));
+        assert_eq!(rt.est_card(join), Some(50.0));
+        assert_eq!(rt.memory_budget(join), Some(1000.0));
+        assert_eq!(rt.state(join), OpState::NotStarted);
+        assert!(rt.is_active(join));
+    }
+
+    #[test]
+    fn produced_updates_card() {
+        let plan = simple_plan();
+        let rt = runtime(&plan);
+        let s = SubjectRef::Op(tukwila_plan::OpId(0));
+        rt.add_produced(s, 7);
+        rt.add_produced(s, 3);
+        assert_eq!(rt.card(s), Some(10.0));
+    }
+
+    #[test]
+    fn threshold_rule_fires_once() {
+        let mut plan = simple_plan();
+        let scan_a = SubjectRef::Op(tukwila_plan::OpId(0));
+        let scan_b = SubjectRef::Op(tukwila_plan::OpId(1));
+        plan.global_rules.push(Rule::new(
+            "kill-b-when-a-10",
+            SubjectRef::Fragment(tukwila_plan::FragmentId(0)),
+            EventPattern::with_value(EventKind::Threshold, scan_a, 10),
+            Condition::True,
+            vec![Action::Deactivate(scan_b)],
+        ));
+        let rt = runtime(&plan);
+        assert!(rt.is_active(scan_b));
+        rt.add_produced(scan_a, 5);
+        assert!(rt.is_active(scan_b));
+        rt.add_produced(scan_a, 6); // crosses 10
+        assert!(!rt.is_active(scan_b));
+        assert_eq!(rt.active_rule_count(), 0);
+        // reactivating and crossing again does not re-fire (rule spent)
+        rt.activate(scan_b);
+        rt.add_produced(scan_a, 100);
+        assert!(rt.is_active(scan_b));
+    }
+
+    #[test]
+    fn rules_with_inactive_owner_do_not_fire() {
+        let mut plan = simple_plan();
+        let frag = SubjectRef::Fragment(tukwila_plan::FragmentId(0));
+        let scan_b = SubjectRef::Op(tukwila_plan::OpId(1));
+        plan.global_rules.push(Rule::new(
+            "owner-test",
+            scan_b, // owned by scan B
+            EventPattern::new(EventKind::Closed, frag),
+            Condition::True,
+            vec![Action::Replan],
+        ));
+        let rt = runtime(&plan);
+        rt.deactivate(scan_b);
+        rt.set_state(frag, OpState::Closed);
+        assert_eq!(rt.take_signal(), None);
+    }
+
+    #[test]
+    fn replan_signal_priority() {
+        let plan = simple_plan();
+        let rt = runtime(&plan);
+        rt.apply_action(&Action::Reschedule);
+        rt.apply_action(&Action::Replan);
+        assert_eq!(rt.take_signal(), Some(EngineSignal::Replan));
+        assert_eq!(rt.take_signal(), Some(EngineSignal::Reschedule));
+        assert_eq!(rt.take_signal(), None);
+    }
+
+    #[test]
+    fn abort_signal_carries_message() {
+        let plan = simple_plan();
+        let rt = runtime(&plan);
+        rt.apply_action(&Action::ReturnError("boom".into()));
+        assert!(rt.signal_pending());
+        assert_eq!(rt.take_signal(), Some(EngineSignal::Abort("boom".into())));
+    }
+
+    #[test]
+    fn deactivate_flips_cancel_handles() {
+        let plan = simple_plan();
+        let rt = runtime(&plan);
+        let s = SubjectRef::Op(tukwila_plan::OpId(0));
+        let h = Arc::new(AtomicBool::new(false));
+        rt.register_cancel(s, h.clone());
+        rt.deactivate(s);
+        assert!(h.load(Ordering::Relaxed));
+        assert_eq!(rt.state(s), OpState::Deactivated);
+    }
+
+    #[test]
+    fn alter_memory_action_applies() {
+        let plan = simple_plan();
+        let rt = runtime(&plan);
+        let join = tukwila_plan::OpId(2);
+        rt.apply_action(&Action::AlterMemory {
+            op: join,
+            bytes: 9999,
+        });
+        assert_eq!(rt.memory_budget(SubjectRef::Op(join)), Some(9999.0));
+    }
+
+    #[test]
+    fn overflow_method_cell() {
+        let plan = simple_plan();
+        let rt = runtime(&plan);
+        let join = SubjectRef::Op(tukwila_plan::OpId(2));
+        assert_eq!(
+            rt.overflow_method(join),
+            OverflowMethod::IncrementalLeftFlush
+        );
+        rt.set_overflow_method(join, OverflowMethod::IncrementalSymmetricFlush);
+        assert_eq!(
+            rt.overflow_method(join),
+            OverflowMethod::IncrementalSymmetricFlush
+        );
+    }
+
+    #[test]
+    fn event_log_records_order() {
+        let plan = simple_plan();
+        let rt = runtime(&plan);
+        let s = SubjectRef::Op(tukwila_plan::OpId(0));
+        rt.set_state(s, OpState::Open);
+        rt.set_state(s, OpState::Closed);
+        let log = rt.event_log();
+        assert_eq!(log[0].kind, EventKind::Opened);
+        assert_eq!(log[1].kind, EventKind::Closed);
+    }
+}

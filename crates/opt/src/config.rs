@@ -1,0 +1,101 @@
+//! Optimizer configuration knobs.
+
+/// How the optimizer pipelines and fragments plans — the three strategies
+/// of the interleaved-planning experiment (§6.4, Figure 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PipelinePolicy {
+    /// One fully pipelined fragment for the whole query (Figure 5
+    /// "Pipeline").
+    FullyPipelined,
+    /// Materialize after each join; no re-optimization rules (Figure 5
+    /// "Materialize").
+    MaterializeEachJoin,
+    /// Materialize after each join and attach the `card ≥ factor ×
+    /// est_card ⇒ replan` rule at every fragment end (Figure 5
+    /// "Materialize and replan").
+    MaterializeAndReplan,
+    /// Cost-based: pipeline with double pipelined joins while estimated
+    /// hash-table demand fits the join memory budget; break the pipeline
+    /// (hybrid hash + materialization) above it — §1.3's small/large-table
+    /// behaviour.
+    Adaptive,
+}
+
+/// Strategy for re-optimization after a fragment completes (§6.5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReoptStrategy {
+    /// Discard the memo and replan from scratch over the reduced query.
+    Scratch,
+    /// Reuse the saved dynamic program, following usage pointers to
+    /// recompute only the entries affected by the new information.
+    SavedWithPointers,
+    /// Reuse the saved dynamic program but without usage pointers: every
+    /// entry must be revisited and revalidated (the paper measured this as
+    /// slower than scratch).
+    SavedNoPointers,
+}
+
+/// Optimizer knobs.
+#[derive(Debug, Clone)]
+pub struct OptimizerConfig {
+    /// Fragmentation / pipelining policy.
+    pub policy: PipelinePolicy,
+    /// Re-optimization strategy.
+    pub reopt: ReoptStrategy,
+    /// Replan when actual cardinality differs from the estimate by this
+    /// factor (the paper's rule uses 2).
+    pub replan_factor: f64,
+    /// Memory cap per join operator, bytes. With
+    /// [`OptimizerConfig::estimate_driven_memory`] the actual allocation is
+    /// `min(cap, 1.3 × estimated input bytes)` — so joins whose inputs were
+    /// underestimated receive insufficient memory and overflow, the §6.4
+    /// mechanism ("many of the join operations were given insufficient
+    /// memory because of poor selectivity estimates").
+    pub join_memory_budget: usize,
+    /// Size join memory from cardinality estimates (true reproduces the
+    /// paper; false grants every join the full cap).
+    pub estimate_driven_memory: bool,
+    /// Above this estimated combined input size (bytes), a double
+    /// pipelined join is considered too memory-hungry and hybrid hash is
+    /// chosen instead (Adaptive policy).
+    pub dpj_max_input_bytes: usize,
+    /// Timeout attached to wrapper scans (None = no timeout rules).
+    pub source_timeout_ms: Option<u64>,
+    /// Attach reschedule-on-timeout rules (query scrambling).
+    pub reschedule_on_timeout: bool,
+    /// Fallback selectivity when the catalog has no estimate for a join
+    /// column pair. `None` means unknown joins force a partial plan.
+    pub fallback_selectivity: Option<f64>,
+    /// Assumed tuple width (bytes) when the catalog lacks one.
+    pub default_tuple_bytes: usize,
+}
+
+impl Default for OptimizerConfig {
+    fn default() -> Self {
+        OptimizerConfig {
+            policy: PipelinePolicy::Adaptive,
+            reopt: ReoptStrategy::SavedWithPointers,
+            replan_factor: 2.0,
+            join_memory_budget: 8 << 20,
+            estimate_driven_memory: true,
+            dpj_max_input_bytes: 6 << 20,
+            source_timeout_ms: None,
+            reschedule_on_timeout: false,
+            fallback_selectivity: Some(0.01),
+            default_tuple_bytes: 96,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_adaptive_with_replan_factor_two() {
+        let c = OptimizerConfig::default();
+        assert_eq!(c.policy, PipelinePolicy::Adaptive);
+        assert_eq!(c.replan_factor, 2.0);
+        assert_eq!(c.reopt, ReoptStrategy::SavedWithPointers);
+    }
+}

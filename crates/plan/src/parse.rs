@@ -1,0 +1,585 @@
+//! Parser for the human-writable plan format.
+//!
+//! The paper's engine "accepts plans which are specified in an XML-based
+//! query plan language which is human-writable" (§5) — the experiments of
+//! §6.2–§6.3 used hand-coded plans. This module provides that capability
+//! for the reproduction: a compact s-expression format covering scans,
+//! joins (all physical kinds and overflow methods), selections,
+//! projections, unions, collectors, fragments, and dependencies.
+//!
+//! Grammar (whitespace-insensitive; `;` comments to end of line):
+//!
+//! ```text
+//! plan      := fragment* "(output" IDENT ")"
+//! fragment  := "(fragment" IDENT ["contingent"] node ")"
+//! node      := scan | wrapper | join | select | project | union | collector
+//! scan      := "(scan" IDENT ")"                       ; local table
+//! wrapper   := "(wrapper" IDENT [timeout] ")"          ; remote source
+//! timeout   := ":timeout" INT                          ; milliseconds
+//! join      := "(join" KIND key "=" key [":mem" INT] [":overflow" METHOD]
+//!              node node ")"
+//! KIND      := "dpj" | "hybrid" | "grace" | "nlj" | "smj"
+//! METHOD    := "left" | "symmetric" | "flushall" | "fail"
+//! select    := "(select" column OP literal node ")"
+//! project   := "(project" "[" column ("," column)* "]" node ")"
+//! union     := "(union" node node+ ")"
+//! collector := "(collector" [":quota" INT] [":timeout" INT]
+//!              ("(child" IDENT ["standby"] ")")+ ")"
+//! depends   := "(after" IDENT IDENT ")"                ; frag1 before frag2
+//! ```
+//!
+//! Example:
+//!
+//! ```
+//! use tukwila_plan::parse::parse_plan;
+//! let plan = parse_plan(r#"
+//!     (fragment f0 (join dpj l_suppkey = s_suppkey :mem 65536
+//!         (wrapper lineitem)
+//!         (wrapper supplier)))
+//!     (output f0)
+//! "#).unwrap();
+//! assert_eq!(plan.fragments.len(), 1);
+//! ```
+
+use tukwila_common::{Result, TukwilaError, Value};
+
+use crate::builder::PlanBuilder;
+use crate::ids::FragmentId;
+use crate::ops::{JoinKind, OperatorNode, OverflowMethod};
+use crate::plan::QueryPlan;
+use crate::predicate::{CmpOp, Predicate};
+
+#[derive(Debug, Clone, PartialEq)]
+enum Token {
+    Open,
+    Close,
+    OpenBracket,
+    CloseBracket,
+    Comma,
+    Eq,
+    Word(String),
+}
+
+fn err(msg: impl Into<String>) -> TukwilaError {
+    TukwilaError::Plan(format!("plan parse error: {}", msg.into()))
+}
+
+fn tokenize(input: &str) -> Result<Vec<Token>> {
+    let mut out = Vec::new();
+    let mut chars = input.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        match c {
+            ';' => {
+                for c in chars.by_ref() {
+                    if c == '\n' {
+                        break;
+                    }
+                }
+            }
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            '(' => {
+                chars.next();
+                out.push(Token::Open);
+            }
+            ')' => {
+                chars.next();
+                out.push(Token::Close);
+            }
+            '[' => {
+                chars.next();
+                out.push(Token::OpenBracket);
+            }
+            ']' => {
+                chars.next();
+                out.push(Token::CloseBracket);
+            }
+            ',' => {
+                chars.next();
+                out.push(Token::Comma);
+            }
+            '=' => {
+                chars.next();
+                out.push(Token::Eq);
+            }
+            '"' => {
+                chars.next();
+                let mut s = String::new();
+                loop {
+                    match chars.next() {
+                        Some('"') => break,
+                        Some(c) => s.push(c),
+                        None => return Err(err("unterminated string literal")),
+                    }
+                }
+                out.push(Token::Word(format!("\"{s}")));
+            }
+            _ => {
+                let mut w = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_whitespace() || "()[],=;\"".contains(c) {
+                        break;
+                    }
+                    w.push(c);
+                    chars.next();
+                }
+                out.push(Token::Word(w));
+            }
+        }
+    }
+    Ok(out)
+}
+
+struct Parser<'a> {
+    tokens: &'a [Token],
+    pos: usize,
+    builder: PlanBuilder,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Result<&Token> {
+        let t = self.tokens.get(self.pos).ok_or_else(|| err("unexpected end of input"))?;
+        self.pos += 1;
+        Ok(t)
+    }
+
+    fn expect(&mut self, t: Token) -> Result<()> {
+        let got = self.next()?;
+        if *got == t {
+            Ok(())
+        } else {
+            Err(err(format!("expected {t:?}, got {got:?}")))
+        }
+    }
+
+    fn word(&mut self) -> Result<String> {
+        match self.next()? {
+            Token::Word(w) => Ok(w.clone()),
+            other => Err(err(format!("expected word, got {other:?}"))),
+        }
+    }
+
+    fn int(&mut self) -> Result<u64> {
+        let w = self.word()?;
+        w.parse().map_err(|_| err(format!("expected integer, got `{w}`")))
+    }
+
+    /// Optional `:key value` option; returns true if consumed.
+    fn try_option(&mut self, key: &str) -> bool {
+        if let Some(Token::Word(w)) = self.peek() {
+            if w == key {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn node(&mut self) -> Result<OperatorNode> {
+        self.expect(Token::Open)?;
+        let head = self.word()?;
+        let node = match head.as_str() {
+            "scan" => {
+                let table = self.word()?;
+                self.builder.table_scan(&table)
+            }
+            "wrapper" => {
+                let source = self.word()?;
+                let timeout = if self.try_option(":timeout") {
+                    Some(self.int()?)
+                } else {
+                    None
+                };
+                let prefetch = if self.try_option(":prefetch") {
+                    Some(self.int()? as usize)
+                } else {
+                    None
+                };
+                self.builder.wrapper_scan_opts(&source, timeout, prefetch)
+            }
+            "join" => {
+                let kind = match self.word()?.as_str() {
+                    "dpj" => JoinKind::DoublePipelined,
+                    "hybrid" => JoinKind::HybridHash,
+                    "grace" => JoinKind::GraceHash,
+                    "nlj" => JoinKind::NestedLoops,
+                    "smj" => JoinKind::SortMerge,
+                    other => return Err(err(format!("unknown join kind `{other}`"))),
+                };
+                let lk = self.word()?;
+                self.expect(Token::Eq)?;
+                let rk = self.word()?;
+                let mem = if self.try_option(":mem") {
+                    Some(self.int()? as usize)
+                } else {
+                    None
+                };
+                let overflow = if self.try_option(":overflow") {
+                    Some(match self.word()?.as_str() {
+                        "left" => OverflowMethod::IncrementalLeftFlush,
+                        "symmetric" => OverflowMethod::IncrementalSymmetricFlush,
+                        "flushall" => OverflowMethod::FlushAllLeft,
+                        "fail" => OverflowMethod::Fail,
+                        other => {
+                            return Err(err(format!("unknown overflow method `{other}`")))
+                        }
+                    })
+                } else {
+                    None
+                };
+                let left = self.node()?;
+                let right = self.node()?;
+                let mut n = match overflow {
+                    Some(m) if kind == JoinKind::DoublePipelined => {
+                        self.builder.dpj(left, right, &lk, &rk, m)
+                    }
+                    _ => self.builder.join(kind, left, right, &lk, &rk),
+                };
+                if let Some(m) = mem {
+                    n.memory_budget = Some(m);
+                }
+                n
+            }
+            "select" => {
+                let col = self.word()?;
+                // `=` is its own token, so `<=` / `>=` arrive as a word
+                // followed by an Eq token.
+                let op = match self.next()?.clone() {
+                    Token::Eq => CmpOp::Eq,
+                    Token::Word(w) => match w.as_str() {
+                        "<" | ">" => {
+                            let gt = w == ">";
+                            if self.peek() == Some(&Token::Eq) {
+                                self.pos += 1;
+                                if gt {
+                                    CmpOp::Ge
+                                } else {
+                                    CmpOp::Le
+                                }
+                            } else if gt {
+                                CmpOp::Gt
+                            } else {
+                                CmpOp::Lt
+                            }
+                        }
+                        "<>" => CmpOp::Ne,
+                        other => return Err(err(format!("unknown comparator `{other}`"))),
+                    },
+                    other => return Err(err(format!("expected comparator, got {other:?}"))),
+                };
+                let lit_word = self.word()?;
+                let value = if let Some(stripped) = lit_word.strip_prefix('"') {
+                    Value::str(stripped)
+                } else if let Ok(i) = lit_word.parse::<i64>() {
+                    Value::Int(i)
+                } else if let Ok(f) = lit_word.parse::<f64>() {
+                    Value::Double(f)
+                } else {
+                    Value::str(&lit_word)
+                };
+                let input = self.node()?;
+                self.builder.select(
+                    input,
+                    Predicate::ColLit {
+                        col,
+                        op,
+                        value,
+                    },
+                )
+            }
+            "project" => {
+                self.expect(Token::OpenBracket)?;
+                let mut cols = vec![self.word()?];
+                while self.peek() == Some(&Token::Comma) {
+                    self.pos += 1;
+                    cols.push(self.word()?);
+                }
+                self.expect(Token::CloseBracket)?;
+                let input = self.node()?;
+                let refs: Vec<&str> = cols.iter().map(String::as_str).collect();
+                self.builder.project(input, &refs)
+            }
+            "union" => {
+                let mut inputs = Vec::new();
+                while self.peek() == Some(&Token::Open) {
+                    inputs.push(self.node()?);
+                }
+                if inputs.len() < 2 {
+                    return Err(err("union needs at least two inputs"));
+                }
+                self.builder.union(inputs)
+            }
+            "collector" => {
+                let quota = if self.try_option(":quota") {
+                    Some(self.int()? as usize)
+                } else {
+                    None
+                };
+                let timeout = if self.try_option(":timeout") {
+                    Some(self.int()?)
+                } else {
+                    None
+                };
+                let mut children = Vec::new();
+                while self.peek() == Some(&Token::Open) {
+                    self.expect(Token::Open)?;
+                    let kw = self.word()?;
+                    if kw != "child" {
+                        return Err(err(format!("expected (child …), got `{kw}`")));
+                    }
+                    let source = self.word()?;
+                    let standby = if let Some(Token::Word(w)) = self.peek() {
+                        if w == "standby" {
+                            self.pos += 1;
+                            true
+                        } else {
+                            false
+                        }
+                    } else {
+                        false
+                    };
+                    self.expect(Token::Close)?;
+                    children.push((source, !standby));
+                }
+                if children.is_empty() {
+                    return Err(err("collector needs at least one child"));
+                }
+                let specs: Vec<(&str, bool)> = children
+                    .iter()
+                    .map(|(s, a)| (s.as_str(), *a))
+                    .collect();
+                let (node, _) = self.builder.collector_with_timeout(&specs, quota, timeout);
+                node
+            }
+            other => return Err(err(format!("unknown operator `{other}`"))),
+        };
+        self.expect(Token::Close)?;
+        Ok(node)
+    }
+}
+
+/// Parse a textual plan. Fragment names map to ids in order of appearance;
+/// the `(output …)` clause selects the answer fragment. The parsed plan is
+/// validated with [`crate::validate::validate_plan`].
+pub fn parse_plan(input: &str) -> Result<QueryPlan> {
+    let tokens = tokenize(input)?;
+    let mut p = Parser {
+        tokens: &tokens,
+        pos: 0,
+        builder: PlanBuilder::new(),
+    };
+    let mut names: Vec<(String, FragmentId)> = Vec::new();
+    let mut contingent: Vec<FragmentId> = Vec::new();
+    let mut deps: Vec<(String, String)> = Vec::new();
+    let mut output: Option<String> = None;
+
+    while p.peek().is_some() {
+        p.expect(Token::Open)?;
+        match p.word()?.as_str() {
+            "fragment" => {
+                let name = p.word()?;
+                let is_contingent = if let Some(Token::Word(w)) = p.peek() {
+                    if w == "contingent" {
+                        p.pos += 1;
+                        true
+                    } else {
+                        false
+                    }
+                } else {
+                    false
+                };
+                let node = p.node()?;
+                let mat_name = format!("mat_{name}");
+                let id = p.builder.fragment(node, &mat_name);
+                if is_contingent {
+                    contingent.push(id);
+                }
+                if names.iter().any(|(n, _)| n == &name) {
+                    return Err(err(format!("duplicate fragment name `{name}`")));
+                }
+                names.push((name, id));
+            }
+            "after" => {
+                let before = p.word()?;
+                let after = p.word()?;
+                deps.push((before, after));
+            }
+            "output" => {
+                output = Some(p.word()?);
+            }
+            other => return Err(err(format!("unknown top-level form `{other}`"))),
+        }
+        p.expect(Token::Close)?;
+    }
+
+    let lookup = |name: &str, names: &[(String, FragmentId)]| {
+        names
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, id)| *id)
+            .ok_or_else(|| err(format!("unknown fragment `{name}`")))
+    };
+    for (before, after) in &deps {
+        let b = lookup(before, &names)?;
+        let a = lookup(after, &names)?;
+        p.builder.depends(b, a);
+    }
+    let output_name = output.ok_or_else(|| err("missing (output <fragment>)"))?;
+    let out_id = lookup(&output_name, &names)?;
+    let mut plan = p.builder.build(out_id);
+    // rename the output fragment's materialization to the conventional name
+    if let Some(f) = plan.fragments.iter_mut().find(|f| f.id == out_id) {
+        f.materialize_as = "result".into();
+    }
+    for id in contingent {
+        if let Some(f) = plan.fragments.iter_mut().find(|f| f.id == id) {
+            f.initially_active = false;
+        }
+    }
+    crate::validate::validate_plan(&plan)?;
+    Ok(plan)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::OperatorSpec;
+
+    #[test]
+    fn parses_two_fragment_plan_with_dependency() {
+        let plan = parse_plan(
+            r#"
+            ; fragment one: remote join with a memory budget
+            (fragment f0 (join dpj k = k :mem 4096 :overflow symmetric
+                (wrapper A :timeout 100)
+                (wrapper B)))
+            (fragment f1 (join hybrid a.k = c.k
+                (scan mat_f0)
+                (wrapper C)))
+            (after f0 f1)
+            (output f1)
+            "#,
+        )
+        .unwrap();
+        assert_eq!(plan.fragments.len(), 2);
+        assert_eq!(plan.dependencies.len(), 1);
+        assert_eq!(plan.fragment(plan.output).unwrap().materialize_as, "result");
+        let f0 = &plan.fragments[0];
+        assert_eq!(f0.materialize_as, "mat_f0");
+        match &f0.root.spec {
+            OperatorSpec::Join { kind, overflow, .. } => {
+                assert_eq!(*kind, JoinKind::DoublePipelined);
+                assert_eq!(*overflow, OverflowMethod::IncrementalSymmetricFlush);
+            }
+            other => panic!("expected join, got {other:?}"),
+        }
+        assert_eq!(f0.root.memory_budget, Some(4096));
+    }
+
+    #[test]
+    fn parses_select_project_union() {
+        let plan = parse_plan(
+            r#"
+            (fragment f (project [a, b]
+                (select a >= 10
+                    (union (wrapper X) (wrapper Y)))))
+            (output f)
+            "#,
+        )
+        .unwrap();
+        let root = &plan.fragments[0].root;
+        assert!(matches!(root.spec, OperatorSpec::Project { .. }));
+    }
+
+    #[test]
+    fn parses_collector_with_policy_knobs() {
+        let plan = parse_plan(
+            r#"
+            (fragment f (collector :quota 500 :timeout 80
+                (child mirror1)
+                (child mirror2 standby)))
+            (output f)
+            "#,
+        )
+        .unwrap();
+        match &plan.fragments[0].root.spec {
+            OperatorSpec::Collector {
+                children,
+                quota,
+                child_timeout_ms,
+            } => {
+                assert_eq!(children.len(), 2);
+                assert!(children[0].initially_active);
+                assert!(!children[1].initially_active);
+                assert_eq!(*quota, Some(500));
+                assert_eq!(*child_timeout_ms, Some(80));
+            }
+            other => panic!("expected collector, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn contingent_fragments_parse() {
+        let plan = parse_plan(
+            r#"
+            (fragment main (wrapper A))
+            (fragment alt contingent (wrapper B))
+            (after main alt)
+            (output main)
+            "#,
+        )
+        .unwrap();
+        assert!(!plan.fragments[1].initially_active);
+    }
+
+    #[test]
+    fn select_string_literal() {
+        let plan = parse_plan(
+            r#"(fragment f (select name = "FRANCE" (wrapper nation))) (output f)"#,
+        )
+        .unwrap();
+        match &plan.fragments[0].root.spec {
+            OperatorSpec::Select { predicate, .. } => match predicate {
+                Predicate::ColLit { value, .. } => {
+                    assert_eq!(value, &Value::str("FRANCE"));
+                }
+                other => panic!("unexpected predicate {other:?}"),
+            },
+            other => panic!("expected select, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn errors_are_descriptive() {
+        for (input, needle) in [
+            ("(fragment f (wrapper A))", "missing (output"),
+            ("(fragment f (join bad k = k (wrapper A) (wrapper B))) (output f)", "join kind"),
+            ("(output ghost)", "unknown fragment"),
+            ("(fragment f (union (wrapper A))) (output f)", "at least two"),
+            ("(fragment f (wrapper A)) (fragment f (wrapper B)) (output f)", "duplicate"),
+        ] {
+            let e = parse_plan(input).unwrap_err().to_string();
+            assert!(e.contains(needle), "input `{input}`: {e}");
+        }
+    }
+
+    #[test]
+    fn round_trip_with_renderer() {
+        // parse → render → contains the key structure
+        let plan = parse_plan(
+            r#"
+            (fragment f0 (join dpj k = k (wrapper A) (wrapper B)))
+            (output f0)
+            "#,
+        )
+        .unwrap();
+        let text = crate::text::render_plan(&plan);
+        assert!(text.contains("wrapper(A)"));
+        assert!(text.contains("DoublePipelined"));
+    }
+}

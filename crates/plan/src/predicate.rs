@@ -1,0 +1,345 @@
+//! Selection predicates over tuples.
+//!
+//! Tukwila's scope is select-project-join queries (§2), so predicates are
+//! boolean combinations of column/column and column/literal comparisons.
+//! Columns are referenced by (possibly qualified) name and resolved against
+//! the input schema at operator-open time; evaluation uses SQL three-valued
+//! logic (NULL comparisons are unknown, and unknown rows are filtered out).
+
+use serde::{Deserialize, Serialize};
+
+use tukwila_common::{Result, Schema, Tuple, Value};
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CmpOp {
+    fn eval(self, ord: std::cmp::Ordering) -> bool {
+        use std::cmp::Ordering::*;
+        match self {
+            CmpOp::Eq => ord == Equal,
+            CmpOp::Ne => ord != Equal,
+            CmpOp::Lt => ord == Less,
+            CmpOp::Le => ord != Greater,
+            CmpOp::Gt => ord == Greater,
+            CmpOp::Ge => ord != Less,
+        }
+    }
+
+    /// Display symbol.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "<>",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        }
+    }
+}
+
+/// A predicate over named columns.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Predicate {
+    /// Always true.
+    True,
+    /// `col ⋄ literal`
+    ColLit {
+        /// Column reference (possibly qualified).
+        col: String,
+        /// Comparison operator.
+        op: CmpOp,
+        /// Literal value.
+        value: Value,
+    },
+    /// `col ⋄ col`
+    ColCol {
+        /// Left column reference.
+        left: String,
+        /// Comparison operator.
+        op: CmpOp,
+        /// Right column reference.
+        right: String,
+    },
+    /// Conjunction.
+    And(Vec<Predicate>),
+    /// Disjunction.
+    Or(Vec<Predicate>),
+    /// Negation (SQL semantics: NOT unknown = unknown).
+    Not(Box<Predicate>),
+}
+
+/// A predicate compiled against a concrete schema (column names resolved to
+/// indices) — built once at operator open, evaluated per tuple.
+#[derive(Debug, Clone)]
+pub enum CompiledPredicate {
+    /// Always true.
+    True,
+    /// Column ⋄ literal.
+    ColLit(usize, CmpOp, Value),
+    /// Column ⋄ column.
+    ColCol(usize, CmpOp, usize),
+    /// Conjunction.
+    And(Vec<CompiledPredicate>),
+    /// Disjunction.
+    Or(Vec<CompiledPredicate>),
+    /// Negation.
+    Not(Box<CompiledPredicate>),
+}
+
+impl Predicate {
+    /// Conjunction helper that flattens trivial cases.
+    pub fn and(preds: Vec<Predicate>) -> Predicate {
+        let mut flat = Vec::new();
+        for p in preds {
+            match p {
+                Predicate::True => {}
+                Predicate::And(ps) => flat.extend(ps),
+                other => flat.push(other),
+            }
+        }
+        match flat.len() {
+            0 => Predicate::True,
+            1 => flat.pop().unwrap(),
+            _ => Predicate::And(flat),
+        }
+    }
+
+    /// `col = literal` helper.
+    pub fn eq_lit(col: impl Into<String>, value: impl Into<Value>) -> Predicate {
+        Predicate::ColLit {
+            col: col.into(),
+            op: CmpOp::Eq,
+            value: value.into(),
+        }
+    }
+
+    /// `left = right` (column equality) helper.
+    pub fn eq_cols(left: impl Into<String>, right: impl Into<String>) -> Predicate {
+        Predicate::ColCol {
+            left: left.into(),
+            op: CmpOp::Eq,
+            right: right.into(),
+        }
+    }
+
+    /// Resolve column references against `schema`.
+    pub fn compile(&self, schema: &Schema) -> Result<CompiledPredicate> {
+        Ok(match self {
+            Predicate::True => CompiledPredicate::True,
+            Predicate::ColLit { col, op, value } => {
+                CompiledPredicate::ColLit(schema.index_of(col)?, *op, value.clone())
+            }
+            Predicate::ColCol { left, op, right } => CompiledPredicate::ColCol(
+                schema.index_of(left)?,
+                *op,
+                schema.index_of(right)?,
+            ),
+            Predicate::And(ps) => CompiledPredicate::And(
+                ps.iter()
+                    .map(|p| p.compile(schema))
+                    .collect::<Result<_>>()?,
+            ),
+            Predicate::Or(ps) => CompiledPredicate::Or(
+                ps.iter()
+                    .map(|p| p.compile(schema))
+                    .collect::<Result<_>>()?,
+            ),
+            Predicate::Not(p) => CompiledPredicate::Not(Box::new(p.compile(schema)?)),
+        })
+    }
+
+    /// All column references mentioned (for pushdown analysis).
+    pub fn columns(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.collect_columns(&mut out);
+        out
+    }
+
+    fn collect_columns<'a>(&'a self, out: &mut Vec<&'a str>) {
+        match self {
+            Predicate::True => {}
+            Predicate::ColLit { col, .. } => out.push(col),
+            Predicate::ColCol { left, right, .. } => {
+                out.push(left);
+                out.push(right);
+            }
+            Predicate::And(ps) | Predicate::Or(ps) => {
+                for p in ps {
+                    p.collect_columns(out);
+                }
+            }
+            Predicate::Not(p) => p.collect_columns(out),
+        }
+    }
+}
+
+impl CompiledPredicate {
+    /// Three-valued evaluation: `Some(true/false)` or `None` (unknown).
+    pub fn eval3(&self, t: &Tuple) -> Option<bool> {
+        match self {
+            CompiledPredicate::True => Some(true),
+            CompiledPredicate::ColLit(i, op, v) => {
+                t.value(*i).sql_cmp(v).map(|ord| op.eval(ord))
+            }
+            CompiledPredicate::ColCol(i, op, j) => {
+                t.value(*i).sql_cmp(t.value(*j)).map(|ord| op.eval(ord))
+            }
+            CompiledPredicate::And(ps) => {
+                let mut unknown = false;
+                for p in ps {
+                    match p.eval3(t) {
+                        Some(false) => return Some(false),
+                        None => unknown = true,
+                        Some(true) => {}
+                    }
+                }
+                if unknown {
+                    None
+                } else {
+                    Some(true)
+                }
+            }
+            CompiledPredicate::Or(ps) => {
+                let mut unknown = false;
+                for p in ps {
+                    match p.eval3(t) {
+                        Some(true) => return Some(true),
+                        None => unknown = true,
+                        Some(false) => {}
+                    }
+                }
+                if unknown {
+                    None
+                } else {
+                    Some(false)
+                }
+            }
+            CompiledPredicate::Not(p) => p.eval3(t).map(|b| !b),
+        }
+    }
+
+    /// WHERE-clause semantics: keep only rows that evaluate to true.
+    pub fn matches(&self, t: &Tuple) -> bool {
+        self.eval3(t) == Some(true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tukwila_common::{tuple, DataType};
+
+    fn schema() -> Schema {
+        Schema::of(
+            "r",
+            &[("a", DataType::Int), ("b", DataType::Int), ("s", DataType::Str)],
+        )
+    }
+
+    #[test]
+    fn col_lit_comparisons() {
+        let s = schema();
+        let p = Predicate::ColLit {
+            col: "a".into(),
+            op: CmpOp::Gt,
+            value: Value::Int(5),
+        }
+        .compile(&s)
+        .unwrap();
+        assert!(p.matches(&tuple![6, 0, "x"]));
+        assert!(!p.matches(&tuple![5, 0, "x"]));
+    }
+
+    #[test]
+    fn col_col_equality() {
+        let s = schema();
+        let p = Predicate::eq_cols("a", "b").compile(&s).unwrap();
+        assert!(p.matches(&tuple![3, 3, "x"]));
+        assert!(!p.matches(&tuple![3, 4, "x"]));
+    }
+
+    #[test]
+    fn null_is_filtered_by_where_semantics() {
+        let s = schema();
+        let p = Predicate::eq_lit("a", 1i64).compile(&s).unwrap();
+        let t = Tuple::new(vec![Value::Null, Value::Int(1), Value::str("x")]);
+        assert_eq!(p.eval3(&t), None);
+        assert!(!p.matches(&t));
+        // NOT of unknown is still unknown → still filtered
+        let np = Predicate::Not(Box::new(Predicate::eq_lit("a", 1i64)))
+            .compile(&s)
+            .unwrap();
+        assert!(!np.matches(&t));
+    }
+
+    #[test]
+    fn and_short_circuits_false_over_unknown() {
+        let s = schema();
+        let p = Predicate::And(vec![
+            Predicate::eq_lit("a", 1i64),
+            Predicate::eq_lit("b", 2i64),
+        ])
+        .compile(&s)
+        .unwrap();
+        // a is NULL (unknown), b=3 (false) → false, not unknown
+        let t = Tuple::new(vec![Value::Null, Value::Int(3), Value::str("x")]);
+        assert_eq!(p.eval3(&t), Some(false));
+    }
+
+    #[test]
+    fn or_true_dominates_unknown() {
+        let s = schema();
+        let p = Predicate::Or(vec![
+            Predicate::eq_lit("a", 1i64),
+            Predicate::eq_lit("b", 2i64),
+        ])
+        .compile(&s)
+        .unwrap();
+        let t = Tuple::new(vec![Value::Null, Value::Int(2), Value::str("x")]);
+        assert_eq!(p.eval3(&t), Some(true));
+    }
+
+    #[test]
+    fn and_flattening() {
+        let p = Predicate::and(vec![
+            Predicate::True,
+            Predicate::eq_lit("a", 1i64),
+            Predicate::and(vec![Predicate::eq_lit("b", 2i64), Predicate::True]),
+        ]);
+        match &p {
+            Predicate::And(ps) => assert_eq!(ps.len(), 2),
+            other => panic!("expected flattened And, got {other:?}"),
+        }
+        assert_eq!(Predicate::and(vec![]), Predicate::True);
+    }
+
+    #[test]
+    fn unknown_column_fails_compile() {
+        assert!(Predicate::eq_lit("zz", 1i64).compile(&schema()).is_err());
+    }
+
+    #[test]
+    fn columns_collected() {
+        let p = Predicate::And(vec![
+            Predicate::eq_cols("a", "b"),
+            Predicate::eq_lit("s", "x"),
+        ]);
+        assert_eq!(p.columns(), vec!["a", "b", "s"]);
+    }
+}

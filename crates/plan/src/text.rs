@@ -1,0 +1,150 @@
+//! Human-readable plan rendering.
+//!
+//! The paper's engine "accepts plans which are specified in an XML-based
+//! query plan language which is human-writable" (§5). We provide the
+//! rendering half here — a stable, indented textual form used by plan
+//! debugging, golden tests, and EXPERIMENTS.md listings. (Plans are also
+//! serde-serializable for machine round-trips.)
+
+use std::fmt::Write as _;
+
+use crate::ops::{OperatorNode, OperatorSpec};
+use crate::plan::{Fragment, QueryPlan};
+use crate::rules::{Action, Rule};
+
+/// Render a whole plan.
+pub fn render_plan(plan: &QueryPlan) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "plan(output={}, complete={})",
+        plan.output, plan.complete
+    );
+    for (before, after) in &plan.dependencies {
+        let _ = writeln!(out, "  after({before} -> {after})");
+    }
+    for rule in &plan.global_rules {
+        let _ = writeln!(out, "  {}", render_rule(rule));
+    }
+    for f in &plan.fragments {
+        out.push_str(&render_fragment(f));
+    }
+    out
+}
+
+/// Render one fragment.
+pub fn render_fragment(f: &Fragment) -> String {
+    let mut out = String::new();
+    let active = if f.initially_active { "" } else { " [contingent]" };
+    let _ = writeln!(out, "  fragment {} -> `{}`{}", f.id, f.materialize_as, active);
+    for rule in &f.local_rules {
+        let _ = writeln!(out, "    {}", render_rule(rule));
+    }
+    render_node(&f.root, 2, &mut out);
+    out
+}
+
+fn render_node(node: &OperatorNode, depth: usize, out: &mut String) {
+    let indent = "  ".repeat(depth);
+    let mut annotations = Vec::new();
+    if let Some(m) = node.memory_budget {
+        annotations.push(format!("mem={m}"));
+    }
+    if let Some(c) = node.est_cardinality {
+        annotations.push(format!("est={c:.0}"));
+    }
+    let ann = if annotations.is_empty() {
+        String::new()
+    } else {
+        format!(" [{}]", annotations.join(", "))
+    };
+    let _ = writeln!(out, "{indent}{} {}{}", node.id, node.label(), ann);
+    if let OperatorSpec::Collector { children, .. } = &node.spec {
+        for c in children {
+            let act = if c.initially_active { "active" } else { "standby" };
+            let _ = writeln!(
+                out,
+                "{indent}  {} child({}) [{act}]",
+                c.id, c.source
+            );
+        }
+    }
+    for c in node.children() {
+        render_node(c, depth + 1, out);
+    }
+}
+
+/// Render one rule in the paper's `when … if … then …` form.
+pub fn render_rule(rule: &Rule) -> String {
+    let actions: Vec<String> = rule.actions.iter().map(render_action).collect();
+    format!(
+        "rule `{}` (owner {}): when {:?}({}{}) if {:?} then [{}]",
+        rule.name,
+        rule.owner,
+        rule.event.kind,
+        rule.event.subject,
+        rule.event
+            .value
+            .map(|v| format!(", {v}"))
+            .unwrap_or_default(),
+        rule.condition,
+        actions.join("; ")
+    )
+}
+
+fn render_action(a: &Action) -> String {
+    match a {
+        Action::SetOverflowMethod { op, method } => format!("set_overflow({op}, {method:?})"),
+        Action::AlterMemory { op, bytes } => format!("alter_memory({op}, {bytes})"),
+        Action::Activate(s) => format!("activate({s})"),
+        Action::Deactivate(s) => format!("deactivate({s})"),
+        Action::Reschedule => "reschedule".to_string(),
+        Action::Replan => "replan".to_string(),
+        Action::ReturnError(m) => format!("error({m})"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::PlanBuilder;
+    use crate::ids::OpId;
+    use crate::ops::JoinKind;
+    use crate::rules::Rule;
+
+    #[test]
+    fn renders_tree_with_annotations() {
+        let mut b = PlanBuilder::new();
+        let s1 = b.wrapper_scan("A").with_est_cardinality(100.0);
+        let s2 = b.wrapper_scan("B");
+        let j = b
+            .join(JoinKind::DoublePipelined, s1, s2, "k", "k")
+            .with_memory(4096);
+        let f = b.fragment(j, "out");
+        let plan = b.build(f);
+        let text = render_plan(&plan);
+        assert!(text.contains("wrapper(A)"));
+        assert!(text.contains("est=100"));
+        assert!(text.contains("mem=4096"));
+        assert!(text.contains("fragment frag0 -> `out`"));
+    }
+
+    #[test]
+    fn renders_rules_in_when_if_then_form() {
+        let rule = Rule::replan_on_misestimate(crate::ids::FragmentId(1), OpId(7), 2.0);
+        let s = render_rule(&rule);
+        assert!(s.contains("when Closed"));
+        assert!(s.contains("then [replan]"));
+    }
+
+    #[test]
+    fn renders_collector_children() {
+        let mut b = PlanBuilder::new();
+        let (c, _) = b.collector(&[("m1", true), ("m2", false)], None);
+        let f = b.fragment(c, "out");
+        let plan = b.build(f);
+        let text = render_plan(&plan);
+        assert!(text.contains("child(m1) [active]"));
+        assert!(text.contains("child(m2) [standby]"));
+    }
+}

@@ -1,0 +1,267 @@
+//! Static plan validation.
+//!
+//! The optimizer is "ultimately responsible" for avoiding bad rule sets
+//! (§3.1.2); this module provides the checks the paper lists as statically
+//! checkable:
+//!
+//! 1. operator and fragment ids are unique;
+//! 2. dependencies reference existing fragments and form a DAG;
+//! 3. rule owners and subjects refer to plan elements;
+//! 4. **conflict freedom**: no two rules with overlapping trigger patterns
+//!    where one negates the other's effect (activate vs deactivate of the
+//!    same subject) — restriction (3) of §3.1.2.
+
+use std::collections::BTreeSet;
+
+use tukwila_common::{Result, TukwilaError};
+
+use crate::ids::OpId;
+use crate::plan::QueryPlan;
+use crate::rules::{Action, Rule, SubjectRef};
+
+/// Validate a plan; returns the first problem found.
+pub fn validate_plan(plan: &QueryPlan) -> Result<()> {
+    check_unique_ids(plan)?;
+    check_dependencies(plan)?;
+    check_rule_subjects(plan)?;
+    check_rule_conflicts(&plan.all_rules())?;
+    Ok(())
+}
+
+fn check_unique_ids(plan: &QueryPlan) -> Result<()> {
+    let mut frag_ids = BTreeSet::new();
+    let mut op_ids: BTreeSet<OpId> = BTreeSet::new();
+    for f in &plan.fragments {
+        if !frag_ids.insert(f.id) {
+            return Err(TukwilaError::Plan(format!("duplicate fragment id {}", f.id)));
+        }
+        for id in f.op_ids() {
+            if !op_ids.insert(id) {
+                return Err(TukwilaError::Plan(format!(
+                    "duplicate operator id {id} (fragment {})",
+                    f.id
+                )));
+            }
+        }
+    }
+    if plan.fragment(plan.output).is_none() {
+        return Err(TukwilaError::Plan(format!(
+            "output fragment {} does not exist",
+            plan.output
+        )));
+    }
+    Ok(())
+}
+
+fn check_dependencies(plan: &QueryPlan) -> Result<()> {
+    for (before, after) in &plan.dependencies {
+        for id in [before, after] {
+            if plan.fragment(*id).is_none() {
+                return Err(TukwilaError::Plan(format!(
+                    "dependency references unknown fragment {id}"
+                )));
+            }
+        }
+        if before == after {
+            return Err(TukwilaError::Plan(format!(
+                "fragment {before} depends on itself"
+            )));
+        }
+    }
+    if !plan.is_acyclic() {
+        return Err(TukwilaError::Plan(
+            "fragment dependency graph has a cycle".to_string(),
+        ));
+    }
+    Ok(())
+}
+
+fn subject_exists(plan: &QueryPlan, s: SubjectRef) -> bool {
+    match s {
+        SubjectRef::Fragment(id) => plan.fragment(id).is_some(),
+        SubjectRef::Op(id) => plan.fragments.iter().any(|f| f.op_ids().contains(&id)),
+    }
+}
+
+fn check_rule_subjects(plan: &QueryPlan) -> Result<()> {
+    for rule in plan.all_rules() {
+        if !subject_exists(plan, rule.owner) {
+            return Err(TukwilaError::Rule(format!(
+                "rule `{}` has unknown owner {}",
+                rule.name, rule.owner
+            )));
+        }
+        if !subject_exists(plan, rule.event.subject) {
+            return Err(TukwilaError::Rule(format!(
+                "rule `{}` listens on unknown subject {}",
+                rule.name, rule.event.subject
+            )));
+        }
+        for a in &rule.actions {
+            let target = match a {
+                Action::SetOverflowMethod { op, .. } | Action::AlterMemory { op, .. } => {
+                    Some(SubjectRef::Op(*op))
+                }
+                Action::Activate(s) | Action::Deactivate(s) => Some(*s),
+                _ => None,
+            };
+            if let Some(t) = target {
+                if !subject_exists(plan, t) {
+                    return Err(TukwilaError::Rule(format!(
+                        "rule `{}` action targets unknown subject {t}",
+                        rule.name
+                    )));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Restriction (3) of §3.1.2: "No two rules may ever be active such that
+/// one rule negates the effect of the other and both rules can be fired
+/// simultaneously." Two rules can fire simultaneously when their event
+/// patterns can match the same event; the negation we check is
+/// activate/deactivate of the same subject (the only directly inverse
+/// action pair in the language).
+pub fn check_rule_conflicts(rules: &[&Rule]) -> Result<()> {
+    for (i, a) in rules.iter().enumerate() {
+        for b in rules.iter().skip(i + 1) {
+            if !patterns_overlap(a, b) {
+                continue;
+            }
+            for act_a in &a.actions {
+                for act_b in &b.actions {
+                    if let (Some((sa, on_a)), Some((sb, on_b))) =
+                        (act_a.activation_target(), act_b.activation_target())
+                    {
+                        if sa == sb && on_a != on_b {
+                            return Err(TukwilaError::Rule(format!(
+                                "rules `{}` and `{}` can fire on the same event and \
+                                 negate each other on {sa}",
+                                a.name, b.name
+                            )));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn patterns_overlap(a: &Rule, b: &Rule) -> bool {
+    a.event.kind == b.event.kind
+        && a.event.subject == b.event.subject
+        && match (a.event.value, b.event.value) {
+            (Some(x), Some(y)) => x == y,
+            _ => true,
+        }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::PlanBuilder;
+    use crate::ids::FragmentId;
+    use crate::ops::JoinKind;
+    use crate::rules::{Condition, EventKind, EventPattern};
+
+    fn valid_plan() -> QueryPlan {
+        let mut b = PlanBuilder::new();
+        let s1 = b.wrapper_scan("A");
+        let s2 = b.wrapper_scan("B");
+        let j = b.join(JoinKind::HybridHash, s1, s2, "k", "k");
+        let f = b.fragment(j, "out");
+        b.build(f)
+    }
+
+    #[test]
+    fn valid_plan_passes() {
+        assert!(validate_plan(&valid_plan()).is_ok());
+    }
+
+    #[test]
+    fn duplicate_op_ids_rejected() {
+        let mut plan = valid_plan();
+        let mut f2 = plan.fragments[0].clone();
+        f2.id = FragmentId(99);
+        plan.fragments.push(f2); // same op ids in two fragments
+        assert_eq!(validate_plan(&plan).unwrap_err().kind(), "plan");
+    }
+
+    #[test]
+    fn missing_output_rejected() {
+        let mut plan = valid_plan();
+        plan.output = FragmentId(42);
+        assert!(validate_plan(&plan).is_err());
+    }
+
+    #[test]
+    fn self_dependency_rejected() {
+        let mut plan = valid_plan();
+        plan.dependencies.push((FragmentId(0), FragmentId(0)));
+        assert!(validate_plan(&plan).is_err());
+    }
+
+    #[test]
+    fn unknown_rule_owner_rejected() {
+        let mut plan = valid_plan();
+        plan.global_rules.push(Rule::new(
+            "bad",
+            SubjectRef::Op(OpId(99)),
+            EventPattern::new(EventKind::Closed, SubjectRef::Fragment(FragmentId(0))),
+            Condition::True,
+            vec![],
+        ));
+        assert_eq!(validate_plan(&plan).unwrap_err().kind(), "rule");
+    }
+
+    #[test]
+    fn conflicting_activate_deactivate_rejected() {
+        let mut plan = valid_plan();
+        let target = SubjectRef::Op(OpId(0));
+        let ev = EventPattern::new(EventKind::Closed, SubjectRef::Fragment(FragmentId(0)));
+        plan.global_rules.push(Rule::new(
+            "r1",
+            SubjectRef::Fragment(FragmentId(0)),
+            ev.clone(),
+            Condition::True,
+            vec![Action::Activate(target)],
+        ));
+        plan.global_rules.push(Rule::new(
+            "r2",
+            SubjectRef::Fragment(FragmentId(0)),
+            ev,
+            Condition::True,
+            vec![Action::Deactivate(target)],
+        ));
+        let err = validate_plan(&plan).unwrap_err();
+        assert_eq!(err.kind(), "rule");
+        assert!(err.to_string().contains("negate"));
+    }
+
+    #[test]
+    fn distinct_threshold_values_do_not_conflict() {
+        // The paper's collector example: threshold(A,10) deactivates B while
+        // threshold(B,10) deactivates A — different subjects, no conflict.
+        let mut plan = valid_plan();
+        let op_a = SubjectRef::Op(OpId(0));
+        let op_b = SubjectRef::Op(OpId(1));
+        plan.global_rules.push(Rule::new(
+            "win-a",
+            SubjectRef::Fragment(FragmentId(0)),
+            EventPattern::with_value(EventKind::Threshold, op_a, 10),
+            Condition::True,
+            vec![Action::Deactivate(op_b)],
+        ));
+        plan.global_rules.push(Rule::new(
+            "win-b",
+            SubjectRef::Fragment(FragmentId(0)),
+            EventPattern::with_value(EventKind::Threshold, op_b, 10),
+            Condition::True,
+            vec![Action::Deactivate(op_a)],
+        ));
+        assert!(validate_plan(&plan).is_ok());
+    }
+}

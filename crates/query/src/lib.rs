@@ -1,0 +1,18 @@
+//! # tukwila-query
+//!
+//! Conjunctive (select-project-join) queries over a **mediated schema**, and
+//! the Tukwila **query reformulator** (§2).
+//!
+//! A Tukwila user poses queries against virtual mediated relations whose
+//! extensions are not stored anywhere. The reformulator rewrites such a
+//! query into one referring to concrete data sources; per the paper's scope
+//! it produces "a single query that may include **disjunction at the
+//! leaves**": each mediated relation maps to the set of (possibly
+//! overlapping or mirrored) sources that serve it, which the optimizer later
+//! lowers to a wrapper scan (one source) or a dynamic collector (several).
+
+pub mod ast;
+pub mod reformulate;
+
+pub use ast::{ConjunctiveQuery, JoinPredicate, MediatedSchema};
+pub use reformulate::{LeafAlternatives, ReformulatedQuery, Reformulator};

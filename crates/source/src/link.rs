@@ -1,0 +1,192 @@
+//! Network link models.
+//!
+//! A [`LinkModel`] describes how tuples of a source arrive at the execution
+//! engine. The presets are scaled reproductions of the paper's two
+//! environments (§6.1–§6.2): a 10 Mbps LAN, and a wide-area path measured at
+//! 82.1 KB/s with ≈145 ms round-trip time. We preserve the *ratios* (WAN
+//! bandwidth ≈ 1/15 of LAN; RTT dominates initial delay) while shrinking
+//! absolute times so benches run in seconds rather than hours.
+
+use std::time::Duration;
+
+/// Arrival-process model for one source connection.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkModel {
+    /// Delay before the first tuple (connection setup + query dispatch +
+    /// RTT; the paper's "significant initial delays").
+    pub initial_delay: Duration,
+    /// Inter-tuple service time within a burst (inverse bandwidth).
+    pub per_tuple: Duration,
+    /// Tuples delivered per burst (batching by the network stack/wrapper).
+    pub burst_size: usize,
+    /// Pause between bursts ("bursty arrivals of data thereafter").
+    pub burst_gap: Duration,
+    /// Uniform ±fraction jitter applied to each delay (seeded per
+    /// connection, deterministic).
+    pub jitter_frac: f64,
+    /// After this many tuples the source stalls for `stall_duration`
+    /// (drives `timeout(n)` events / query scrambling).
+    pub stall_after: Option<usize>,
+    /// Length of the injected stall.
+    pub stall_duration: Duration,
+    /// After this many tuples the connection errors out permanently
+    /// (drives `error` events / collector fallback).
+    pub fail_after: Option<usize>,
+    /// The source refuses connections entirely.
+    pub unavailable: bool,
+}
+
+impl Default for LinkModel {
+    fn default() -> Self {
+        LinkModel::instant()
+    }
+}
+
+impl LinkModel {
+    /// No delays at all — unit tests and correctness benches.
+    pub fn instant() -> Self {
+        LinkModel {
+            initial_delay: Duration::ZERO,
+            per_tuple: Duration::ZERO,
+            burst_size: usize::MAX,
+            burst_gap: Duration::ZERO,
+            jitter_frac: 0.0,
+            stall_after: None,
+            stall_duration: Duration::ZERO,
+            fail_after: None,
+            unavailable: false,
+        }
+    }
+
+    /// Scaled 10 Mbps-LAN-like link: short initial delay, high bandwidth,
+    /// mild burstiness. `scale` multiplies all delays (1.0 = bench preset).
+    pub fn lan(scale: f64) -> Self {
+        LinkModel {
+            initial_delay: scale_dur(Duration::from_millis(8), scale),
+            per_tuple: scale_dur(Duration::from_micros(12), scale),
+            burst_size: 256,
+            burst_gap: scale_dur(Duration::from_micros(600), scale),
+            jitter_frac: 0.1,
+            ..LinkModel::instant()
+        }
+    }
+
+    /// Scaled wide-area link (the INRIA echo-server path): long initial
+    /// delay (RTT-dominated), ~15× lower bandwidth than [`LinkModel::lan`],
+    /// strong burstiness.
+    pub fn wide_area(scale: f64) -> Self {
+        LinkModel {
+            initial_delay: scale_dur(Duration::from_millis(45), scale),
+            per_tuple: scale_dur(Duration::from_micros(180), scale),
+            burst_size: 64,
+            burst_gap: scale_dur(Duration::from_millis(3), scale),
+            jitter_frac: 0.25,
+            ..LinkModel::instant()
+        }
+    }
+
+    /// A link that stalls permanently after `n` tuples — the "source stops
+    /// responding mid-transfer" scenario of query scrambling (§3.1.2).
+    pub fn stalling(n: usize) -> Self {
+        LinkModel {
+            stall_after: Some(n),
+            stall_duration: Duration::from_secs(3600),
+            ..LinkModel::instant()
+        }
+    }
+
+    /// A link that errors after `n` tuples.
+    pub fn failing(n: usize) -> Self {
+        LinkModel {
+            fail_after: Some(n),
+            ..LinkModel::instant()
+        }
+    }
+
+    /// A source that cannot be contacted at all.
+    pub fn down() -> Self {
+        LinkModel {
+            unavailable: true,
+            ..LinkModel::instant()
+        }
+    }
+
+    /// Multiply every delay by `factor` (e.g. build "slow mirror" variants).
+    pub fn slowed(mut self, factor: f64) -> Self {
+        self.initial_delay = scale_dur(self.initial_delay, factor);
+        self.per_tuple = scale_dur(self.per_tuple, factor);
+        self.burst_gap = scale_dur(self.burst_gap, factor);
+        self
+    }
+
+    /// Estimated time to deliver `n` tuples (no jitter) — used by tests and
+    /// by the optimizer's source-cost model.
+    pub fn estimated_transfer(&self, n: usize) -> Duration {
+        if n == 0 {
+            return self.initial_delay;
+        }
+        let bursts = if self.burst_size == usize::MAX {
+            0
+        } else {
+            (n - 1) / self.burst_size.max(1)
+        };
+        self.initial_delay
+            + self.per_tuple.mul_f64(n as f64)
+            + self.burst_gap.mul_f64(bursts as f64)
+    }
+}
+
+fn scale_dur(d: Duration, scale: f64) -> Duration {
+    if scale <= 0.0 {
+        Duration::ZERO
+    } else {
+        d.mul_f64(scale)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instant_has_no_delays() {
+        let m = LinkModel::instant();
+        assert_eq!(m.estimated_transfer(1000), Duration::ZERO);
+    }
+
+    #[test]
+    fn wan_slower_than_lan() {
+        let lan = LinkModel::lan(1.0).estimated_transfer(10_000);
+        let wan = LinkModel::wide_area(1.0).estimated_transfer(10_000);
+        assert!(wan > lan * 5, "wan {wan:?} should be ≫ lan {lan:?}");
+    }
+
+    #[test]
+    fn slowed_scales_delays() {
+        let base = LinkModel::lan(1.0);
+        let slow = base.clone().slowed(3.0);
+        assert_eq!(slow.per_tuple, base.per_tuple.mul_f64(3.0));
+        assert_eq!(slow.burst_size, base.burst_size);
+    }
+
+    #[test]
+    fn estimated_transfer_counts_bursts() {
+        let m = LinkModel {
+            initial_delay: Duration::from_millis(10),
+            per_tuple: Duration::from_millis(1),
+            burst_size: 10,
+            burst_gap: Duration::from_millis(5),
+            ..LinkModel::instant()
+        };
+        // 25 tuples → 2 full burst gaps (after tuples 10 and 20)
+        let t = m.estimated_transfer(25);
+        assert_eq!(t, Duration::from_millis(10 + 25 + 10));
+    }
+
+    #[test]
+    fn zero_scale_zeroes_delays() {
+        let m = LinkModel::lan(0.0);
+        assert_eq!(m.initial_delay, Duration::ZERO);
+        assert_eq!(m.per_tuple, Duration::ZERO);
+    }
+}

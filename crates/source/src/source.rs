@@ -1,0 +1,324 @@
+//! Simulated autonomous data sources.
+//!
+//! A [`SimulatedSource`] owns a relation and a [`LinkModel`]; each
+//! [`SourceConnection`] replays the relation through the model with real
+//! (interruptible) sleeps. Connections are independent — a collector racing
+//! two mirrors gets two connections with independent jitter streams.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use tukwila_common::{Relation, Schema, Tuple};
+
+use crate::link::LinkModel;
+use crate::interruptible_sleep;
+
+/// What a connection yields next.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SourceEvent {
+    /// A data tuple arrived.
+    Tuple(Tuple),
+    /// The stream finished normally.
+    End,
+    /// The connection failed permanently (after `fail_after` tuples, or the
+    /// source was unavailable).
+    Error(String),
+    /// The pull was cancelled via the cancel flag before data arrived.
+    Cancelled,
+}
+
+/// A simulated remote data source.
+#[derive(Debug, Clone)]
+pub struct SimulatedSource {
+    name: String,
+    relation: Arc<Relation>,
+    link: LinkModel,
+    seed: u64,
+}
+
+impl SimulatedSource {
+    /// Create a source named `name` serving `relation` through `link`.
+    pub fn new(name: impl Into<String>, relation: Relation, link: LinkModel) -> Self {
+        SimulatedSource {
+            name: name.into(),
+            relation: Arc::new(relation),
+            link,
+            seed: 0x7u64,
+        }
+    }
+
+    /// Override the jitter seed (defaults to a fixed value; connections add
+    /// their ordinal so two connections never share a jitter stream).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Source name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Schema of the served relation.
+    pub fn schema(&self) -> &Schema {
+        self.relation.schema()
+    }
+
+    /// Cardinality of the served relation — the "true" statistic the
+    /// catalog may or may not know.
+    pub fn cardinality(&self) -> usize {
+        self.relation.len()
+    }
+
+    /// The underlying relation (tests, gold results).
+    pub fn relation(&self) -> &Arc<Relation> {
+        &self.relation
+    }
+
+    /// The link model.
+    pub fn link(&self) -> &LinkModel {
+        &self.link
+    }
+
+    /// Replace the link model (workload setup convenience).
+    pub fn with_link(mut self, link: LinkModel) -> Self {
+        self.link = link;
+        self
+    }
+
+    /// Open a connection. `conn_ordinal` distinguishes parallel connections
+    /// for jitter seeding.
+    pub fn connect(&self, conn_ordinal: u64) -> SourceConnection {
+        SourceConnection {
+            source_name: self.name.clone(),
+            relation: self.relation.clone(),
+            link: self.link.clone(),
+            rng: StdRng::seed_from_u64(self.seed ^ (conn_ordinal.wrapping_mul(0xD1B5_4A32_D192_ED03))),
+            pos: 0,
+            started: false,
+            cancel: Arc::new(AtomicBool::new(false)),
+        }
+    }
+}
+
+/// An open connection streaming tuples with link-model delays.
+pub struct SourceConnection {
+    source_name: String,
+    relation: Arc<Relation>,
+    link: LinkModel,
+    rng: StdRng,
+    pos: usize,
+    started: bool,
+    cancel: Arc<AtomicBool>,
+}
+
+impl SourceConnection {
+    /// A handle that cancels this connection from another thread (collector
+    /// `deactivate`, engine teardown).
+    pub fn cancel_handle(&self) -> Arc<AtomicBool> {
+        self.cancel.clone()
+    }
+
+    /// Name of the source this connection reads.
+    pub fn source_name(&self) -> &str {
+        &self.source_name
+    }
+
+    /// Tuples delivered so far.
+    pub fn delivered(&self) -> usize {
+        self.pos
+    }
+
+    fn jittered(&mut self, d: Duration) -> Duration {
+        if self.link.jitter_frac <= 0.0 || d.is_zero() {
+            return d;
+        }
+        let f = 1.0 + self.rng.gen_range(-self.link.jitter_frac..self.link.jitter_frac);
+        d.mul_f64(f.max(0.0))
+    }
+
+    /// Block until the next tuple arrives (per the link model) and return
+    /// it. Returns [`SourceEvent::End`] at stream end, `Error` on injected
+    /// failure, `Cancelled` if the cancel flag was raised mid-wait.
+    pub fn next_event(&mut self) -> SourceEvent {
+        if self.cancel.load(Ordering::Relaxed) {
+            return SourceEvent::Cancelled;
+        }
+        if !self.started {
+            self.started = true;
+            if self.link.unavailable {
+                return SourceEvent::Error(format!(
+                    "source `{}` refused connection",
+                    self.source_name
+                ));
+            }
+            let d = self.jittered(self.link.initial_delay);
+            if !interruptible_sleep(d, &self.cancel) {
+                return SourceEvent::Cancelled;
+            }
+        }
+        if let Some(f) = self.link.fail_after {
+            if self.pos >= f {
+                return SourceEvent::Error(format!(
+                    "source `{}` connection dropped after {f} tuples",
+                    self.source_name
+                ));
+            }
+        }
+        if self.pos >= self.relation.len() {
+            return SourceEvent::End;
+        }
+        if let Some(s) = self.link.stall_after {
+            if self.pos == s {
+                let d = self.link.stall_duration;
+                if !interruptible_sleep(d, &self.cancel) {
+                    return SourceEvent::Cancelled;
+                }
+            }
+        }
+        // burst gap every `burst_size` tuples (not before the first)
+        if self.pos > 0
+            && self.link.burst_size != usize::MAX
+            && self.link.burst_size > 0
+            && self.pos.is_multiple_of(self.link.burst_size)
+        {
+            let d = self.jittered(self.link.burst_gap);
+            if !interruptible_sleep(d, &self.cancel) {
+                return SourceEvent::Cancelled;
+            }
+        }
+        let d = self.jittered(self.link.per_tuple);
+        if !d.is_zero() && !interruptible_sleep(d, &self.cancel) {
+            return SourceEvent::Cancelled;
+        }
+        let t = self.relation.tuples()[self.pos].clone();
+        self.pos += 1;
+        SourceEvent::Tuple(t)
+    }
+
+    /// Drain the remaining stream into a vector (tests; ignores delays'
+    /// effects beyond waiting them out).
+    pub fn drain(&mut self) -> Result<Vec<Tuple>, String> {
+        let mut out = Vec::new();
+        loop {
+            match self.next_event() {
+                SourceEvent::Tuple(t) => out.push(t),
+                SourceEvent::End => return Ok(out),
+                SourceEvent::Error(e) => return Err(e),
+                SourceEvent::Cancelled => return Err("cancelled".into()),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Instant;
+    use tukwila_common::{tuple, DataType, Schema};
+
+    fn rel(n: i64) -> Relation {
+        let schema = Schema::of("s", &[("a", DataType::Int)]);
+        let mut r = Relation::empty(schema);
+        for i in 0..n {
+            r.push(tuple![i]);
+        }
+        r
+    }
+
+    #[test]
+    fn streams_all_tuples_in_order() {
+        let src = SimulatedSource::new("s1", rel(100), LinkModel::instant());
+        let got = src.connect(0).drain().unwrap();
+        assert_eq!(got.len(), 100);
+        assert_eq!(got[7], tuple![7]);
+    }
+
+    #[test]
+    fn initial_delay_observed() {
+        let link = LinkModel {
+            initial_delay: Duration::from_millis(30),
+            ..LinkModel::instant()
+        };
+        let src = SimulatedSource::new("s1", rel(5), link);
+        let start = Instant::now();
+        let mut conn = src.connect(0);
+        let first = conn.next_event();
+        assert!(matches!(first, SourceEvent::Tuple(_)));
+        assert!(start.elapsed() >= Duration::from_millis(25));
+        // subsequent tuples come instantly
+        let t2 = Instant::now();
+        conn.next_event();
+        assert!(t2.elapsed() < Duration::from_millis(10));
+    }
+
+    #[test]
+    fn unavailable_source_errors_at_connect() {
+        let src = SimulatedSource::new("down", rel(5), LinkModel::down());
+        match src.connect(0).next_event() {
+            SourceEvent::Error(e) => assert!(e.contains("down")),
+            other => panic!("expected error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fail_after_injects_error_mid_stream() {
+        let src = SimulatedSource::new("flaky", rel(10), LinkModel::failing(4));
+        let mut conn = src.connect(0);
+        let mut n = 0;
+        loop {
+            match conn.next_event() {
+                SourceEvent::Tuple(_) => n += 1,
+                SourceEvent::Error(_) => break,
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert_eq!(n, 4);
+    }
+
+    #[test]
+    fn cancel_interrupts_stall() {
+        let src = SimulatedSource::new("stall", rel(10), LinkModel::stalling(2));
+        let mut conn = src.connect(0);
+        let cancel = conn.cancel_handle();
+        assert!(matches!(conn.next_event(), SourceEvent::Tuple(_)));
+        assert!(matches!(conn.next_event(), SourceEvent::Tuple(_)));
+        // Third pull would stall for an hour; cancel from another thread.
+        let h = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            cancel.store(true, Ordering::Relaxed);
+        });
+        let start = Instant::now();
+        let ev = conn.next_event();
+        h.join().unwrap();
+        assert_eq!(ev, SourceEvent::Cancelled);
+        assert!(start.elapsed() < Duration::from_secs(5));
+    }
+
+    #[test]
+    fn end_is_sticky() {
+        let src = SimulatedSource::new("s", rel(1), LinkModel::instant());
+        let mut conn = src.connect(0);
+        assert!(matches!(conn.next_event(), SourceEvent::Tuple(_)));
+        assert_eq!(conn.next_event(), SourceEvent::End);
+        assert_eq!(conn.next_event(), SourceEvent::End);
+        assert_eq!(conn.delivered(), 1);
+    }
+
+    #[test]
+    fn jitter_deterministic_per_connection_ordinal() {
+        let link = LinkModel {
+            per_tuple: Duration::from_micros(100),
+            jitter_frac: 0.5,
+            ..LinkModel::instant()
+        };
+        let src = SimulatedSource::new("s", rel(20), link).with_seed(9);
+        let a: Vec<Tuple> = src.connect(3).drain().unwrap();
+        let b: Vec<Tuple> = src.connect(3).drain().unwrap();
+        assert_eq!(a, b); // data identical; timing paths share the rng seed
+    }
+}

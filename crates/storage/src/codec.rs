@@ -1,0 +1,175 @@
+//! Compact binary tuple codec for the file-backed spill store.
+//!
+//! Length-prefixed, little-endian, self-describing per value. Only needs to
+//! round-trip within one process lifetime (spill files never outlive a
+//! query), so there is no versioning; there *is* strict validation because a
+//! decode error means engine corruption and must not pass silently.
+
+use tukwila_common::{Result, TukwilaError, Tuple, Value};
+
+const TAG_INT: u8 = 0;
+const TAG_DOUBLE: u8 = 1;
+const TAG_STR: u8 = 2;
+const TAG_DATE: u8 = 3;
+const TAG_NULL: u8 = 4;
+
+/// Append the encoding of `v` to `out`.
+pub fn encode_value(v: &Value, out: &mut Vec<u8>) {
+    match v {
+        Value::Int(i) => {
+            out.push(TAG_INT);
+            out.extend_from_slice(&i.to_le_bytes());
+        }
+        Value::Double(d) => {
+            out.push(TAG_DOUBLE);
+            out.extend_from_slice(&d.to_le_bytes());
+        }
+        Value::Str(s) => {
+            out.push(TAG_STR);
+            out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+            out.extend_from_slice(s.as_bytes());
+        }
+        Value::Date(d) => {
+            out.push(TAG_DATE);
+            out.extend_from_slice(&d.to_le_bytes());
+        }
+        Value::Null => out.push(TAG_NULL),
+    }
+}
+
+fn take<'a>(buf: &'a [u8], pos: &mut usize, n: usize) -> Result<&'a [u8]> {
+    let end = *pos + n;
+    let slice = buf
+        .get(*pos..end)
+        .ok_or_else(|| TukwilaError::Io(format!("spill codec: truncated at byte {pos}")))?;
+    *pos = end;
+    Ok(slice)
+}
+
+/// Decode one value starting at `pos`, advancing `pos`.
+pub fn decode_value(buf: &[u8], pos: &mut usize) -> Result<Value> {
+    let tag = take(buf, pos, 1)?[0];
+    match tag {
+        TAG_INT => Ok(Value::Int(i64::from_le_bytes(
+            take(buf, pos, 8)?.try_into().unwrap(),
+        ))),
+        TAG_DOUBLE => Ok(Value::Double(f64::from_le_bytes(
+            take(buf, pos, 8)?.try_into().unwrap(),
+        ))),
+        TAG_STR => {
+            let len = u32::from_le_bytes(take(buf, pos, 4)?.try_into().unwrap()) as usize;
+            let bytes = take(buf, pos, len)?;
+            let s = std::str::from_utf8(bytes)
+                .map_err(|e| TukwilaError::Io(format!("spill codec: bad utf8: {e}")))?;
+            Ok(Value::str(s))
+        }
+        TAG_DATE => Ok(Value::Date(i32::from_le_bytes(
+            take(buf, pos, 4)?.try_into().unwrap(),
+        ))),
+        TAG_NULL => Ok(Value::Null),
+        other => Err(TukwilaError::Io(format!(
+            "spill codec: unknown value tag {other}"
+        ))),
+    }
+}
+
+/// Append the encoding of `t` (arity-prefixed) to `out`.
+pub fn encode_tuple(t: &Tuple, out: &mut Vec<u8>) {
+    out.extend_from_slice(&(t.arity() as u32).to_le_bytes());
+    for v in t.values() {
+        encode_value(v, out);
+    }
+}
+
+/// Decode one tuple starting at `pos`, advancing `pos`.
+pub fn decode_tuple(buf: &[u8], pos: &mut usize) -> Result<Tuple> {
+    let arity = u32::from_le_bytes(take(buf, pos, 4)?.try_into().unwrap()) as usize;
+    if arity > 1 << 20 {
+        return Err(TukwilaError::Io(format!(
+            "spill codec: implausible arity {arity}"
+        )));
+    }
+    let mut values = Vec::with_capacity(arity);
+    for _ in 0..arity {
+        values.push(decode_value(buf, pos)?);
+    }
+    Ok(Tuple::new(values))
+}
+
+/// Decode a whole buffer of concatenated tuples.
+pub fn decode_all(buf: &[u8]) -> Result<Vec<Tuple>> {
+    let mut pos = 0;
+    let mut out = Vec::new();
+    while pos < buf.len() {
+        out.push(decode_tuple(buf, &mut pos)?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use tukwila_common::tuple;
+
+    fn round_trip(t: &Tuple) -> Tuple {
+        let mut buf = Vec::new();
+        encode_tuple(t, &mut buf);
+        let mut pos = 0;
+        let back = decode_tuple(&buf, &mut pos).unwrap();
+        assert_eq!(pos, buf.len());
+        back
+    }
+
+    #[test]
+    fn round_trips_all_types() {
+        let t = Tuple::new(vec![
+            Value::Int(-5),
+            Value::Double(2.75),
+            Value::str("tukwila"),
+            Value::Date(9_000),
+            Value::Null,
+        ]);
+        assert_eq!(round_trip(&t), t);
+    }
+
+    #[test]
+    fn empty_tuple() {
+        assert_eq!(round_trip(&Tuple::empty()), Tuple::empty());
+    }
+
+    #[test]
+    fn decode_all_concatenated() {
+        let mut buf = Vec::new();
+        encode_tuple(&tuple![1, "a"], &mut buf);
+        encode_tuple(&tuple![2, "b"], &mut buf);
+        let ts = decode_all(&buf).unwrap();
+        assert_eq!(ts, vec![tuple![1, "a"], tuple![2, "b"]]);
+    }
+
+    #[test]
+    fn truncation_is_error_not_garbage() {
+        let mut buf = Vec::new();
+        encode_tuple(&tuple![1, "hello"], &mut buf);
+        buf.truncate(buf.len() - 2);
+        assert!(decode_all(&buf).is_err());
+    }
+
+    #[test]
+    fn unknown_tag_rejected() {
+        let buf = [1u32.to_le_bytes().to_vec(), vec![99u8]].concat();
+        assert!(decode_all(&buf).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_round_trip(ints in proptest::collection::vec(any::<i64>(), 0..6),
+                           s in "\\PC{0,24}") {
+            let mut vals: Vec<Value> = ints.into_iter().map(Value::Int).collect();
+            vals.push(Value::str(&s));
+            vals.push(Value::Double(0.5));
+            let t = Tuple::new(vals);
+            prop_assert_eq!(round_trip(&t), t);
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! # tukwila-storage
+//!
+//! Storage substrate for the Tukwila execution engine:
+//!
+//! * [`MemoryManager`] / [`MemoryReservation`] — per-operator memory budgets
+//!   (§3.1.1 item 4: every physical operator carries a memory allocation; the
+//!   `out_of_memory` event of §3.3 fires when a reservation is exhausted).
+//! * [`SpillStore`] — bucket-granularity spill files used by the hybrid hash
+//!   join and the double pipelined join's overflow strategies (§4.2.3), with
+//!   exact tuple-level I/O accounting ([`IoStats`]) so the paper's analytical
+//!   cost formulas can be checked deterministically.
+//! * [`LocalStore`] — named materialized tables written at fragment
+//!   boundaries (§3.1: "at the end of a fragment, pipelines terminate,
+//!   results are materialized").
+//! * [`codec`] — a compact binary tuple codec backing the file-based spill
+//!   store.
+//!
+//! The paper's own engine used "a custom memory-management system optimized
+//! for efficient space usage in creating hash tables" (§5); this crate plays
+//! that role.
+
+pub mod codec;
+pub mod local;
+pub mod memory;
+pub mod spill;
+
+pub use local::LocalStore;
+pub use memory::{MemoryManager, MemoryReservation};
+pub use spill::{
+    FileSpillStore, InMemorySpillStore, IoStats, SpillBucket, SpillStore, ThrottledSpillStore,
+};

@@ -1,0 +1,251 @@
+//! Per-operator memory budgets.
+//!
+//! Tukwila plans annotate every operator with a memory allocation (§3.1.1)
+//! and the engine raises an `out_of_memory` event when a join exhausts it
+//! (§3.3). The [`MemoryManager`] tracks a global pool; operators hold
+//! [`MemoryReservation`]s that charge and release bytes against both their
+//! own budget and the pool.
+//!
+//! Charging never blocks and never fails: operators *ask* whether they are
+//! over budget and then run their overflow strategy — mirroring the paper's
+//! lazy overflow resolution ("waiting until memory runs out before breaking
+//! down the relations", §4.2.1).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+/// Snapshot of a reservation's accounting, for stats reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoryUsage {
+    /// Bytes currently charged.
+    pub used: usize,
+    /// Budget in bytes.
+    pub budget: usize,
+    /// High-water mark.
+    pub peak: usize,
+}
+
+#[derive(Debug)]
+struct ReservationInner {
+    name: String,
+    used: AtomicUsize,
+    peak: AtomicUsize,
+    budget: AtomicUsize,
+    pool: Arc<PoolInner>,
+}
+
+#[derive(Debug, Default)]
+struct PoolInner {
+    used: AtomicUsize,
+    peak: AtomicUsize,
+    registry: Mutex<Vec<Arc<ReservationInner>>>,
+}
+
+/// A per-operator memory budget. Cloneable handle; all clones share the
+/// accounting (the double pipelined join's child threads charge the same
+/// reservation).
+#[derive(Debug, Clone)]
+pub struct MemoryReservation {
+    inner: Arc<ReservationInner>,
+}
+
+impl MemoryReservation {
+    /// Operator name this reservation belongs to.
+    pub fn name(&self) -> &str {
+        &self.inner.name
+    }
+
+    /// Charge `bytes` to this reservation (and the global pool).
+    pub fn charge(&self, bytes: usize) {
+        let used = self.inner.used.fetch_add(bytes, Ordering::Relaxed) + bytes;
+        self.inner.peak.fetch_max(used, Ordering::Relaxed);
+        let pool_used = self.inner.pool.used.fetch_add(bytes, Ordering::Relaxed) + bytes;
+        self.inner.pool.peak.fetch_max(pool_used, Ordering::Relaxed);
+    }
+
+    /// Release `bytes` previously charged. Saturates at zero (releasing more
+    /// than charged is an accounting bug surfaced by `debug_assert`).
+    pub fn release(&self, bytes: usize) {
+        let prev = self.inner.used.fetch_sub(bytes, Ordering::Relaxed);
+        debug_assert!(prev >= bytes, "memory accounting underflow");
+        if prev < bytes {
+            self.inner.used.store(0, Ordering::Relaxed);
+        }
+        let pool_prev = self.inner.pool.used.fetch_sub(bytes, Ordering::Relaxed);
+        if pool_prev < bytes {
+            self.inner.pool.used.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// Whether the reservation is over its budget — the trigger for the
+    /// `out_of_memory` event.
+    pub fn over_budget(&self) -> bool {
+        self.inner.used.load(Ordering::Relaxed) > self.inner.budget.load(Ordering::Relaxed)
+    }
+
+    /// Bytes that must be freed to get back under budget (0 if under).
+    pub fn overage(&self) -> usize {
+        self.inner
+            .used
+            .load(Ordering::Relaxed)
+            .saturating_sub(self.inner.budget.load(Ordering::Relaxed))
+    }
+
+    /// Current usage snapshot.
+    pub fn usage(&self) -> MemoryUsage {
+        MemoryUsage {
+            used: self.inner.used.load(Ordering::Relaxed),
+            budget: self.inner.budget.load(Ordering::Relaxed),
+            peak: self.inner.peak.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Adjust the budget at runtime — the `alter a memory allotment` rule
+    /// action (§3.1.2).
+    pub fn set_budget(&self, budget: usize) {
+        self.inner.budget.store(budget, Ordering::Relaxed);
+    }
+
+    /// Budget in bytes.
+    pub fn budget(&self) -> usize {
+        self.inner.budget.load(Ordering::Relaxed)
+    }
+}
+
+/// The engine-wide memory pool from which operators reserve budgets.
+#[derive(Debug, Clone, Default)]
+pub struct MemoryManager {
+    pool: Arc<PoolInner>,
+}
+
+impl MemoryManager {
+    /// Fresh pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register an operator with a budget (bytes). The budget is advisory —
+    /// the engine reacts to overflow adaptively rather than rejecting the
+    /// charge, per the paper's model.
+    pub fn register(&self, name: impl Into<String>, budget: usize) -> MemoryReservation {
+        let inner = Arc::new(ReservationInner {
+            name: name.into(),
+            used: AtomicUsize::new(0),
+            peak: AtomicUsize::new(0),
+            budget: AtomicUsize::new(budget),
+            pool: self.pool.clone(),
+        });
+        self.pool.registry.lock().push(inner.clone());
+        MemoryReservation { inner }
+    }
+
+    /// Total bytes currently charged across operators.
+    pub fn total_used(&self) -> usize {
+        self.pool.used.load(Ordering::Relaxed)
+    }
+
+    /// Pool high-water mark.
+    pub fn peak_used(&self) -> usize {
+        self.pool.peak.load(Ordering::Relaxed)
+    }
+
+    /// Usage of every registered reservation (name, usage), for the
+    /// statistics the engine ships back to the optimizer (§3.2).
+    pub fn per_operator(&self) -> Vec<(String, MemoryUsage)> {
+        self.pool
+            .registry
+            .lock()
+            .iter()
+            .map(|r| {
+                (
+                    r.name.clone(),
+                    MemoryUsage {
+                        used: r.used.load(Ordering::Relaxed),
+                        budget: r.budget.load(Ordering::Relaxed),
+                        peak: r.peak.load(Ordering::Relaxed),
+                    },
+                )
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn charge_release_cycle() {
+        let mm = MemoryManager::new();
+        let r = mm.register("join1", 100);
+        r.charge(60);
+        assert!(!r.over_budget());
+        r.charge(60);
+        assert!(r.over_budget());
+        assert_eq!(r.overage(), 20);
+        r.release(30);
+        assert!(!r.over_budget());
+        assert_eq!(r.usage().peak, 120);
+        assert_eq!(mm.total_used(), 90);
+    }
+
+    #[test]
+    fn pool_aggregates_reservations() {
+        let mm = MemoryManager::new();
+        let a = mm.register("a", 10);
+        let b = mm.register("b", 10);
+        a.charge(5);
+        b.charge(7);
+        assert_eq!(mm.total_used(), 12);
+        assert_eq!(mm.peak_used(), 12);
+        let per = mm.per_operator();
+        assert_eq!(per.len(), 2);
+        assert_eq!(per[0].0, "a");
+        assert_eq!(per[0].1.used, 5);
+    }
+
+    #[test]
+    fn set_budget_rule_action() {
+        let mm = MemoryManager::new();
+        let r = mm.register("dpj", 10);
+        r.charge(15);
+        assert!(r.over_budget());
+        r.set_budget(20); // rule: alter memory allotment
+        assert!(!r.over_budget());
+        assert_eq!(r.budget(), 20);
+    }
+
+    #[test]
+    fn concurrent_charges_are_consistent() {
+        let mm = MemoryManager::new();
+        let r = mm.register("dpj", 1_000_000);
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let r = r.clone();
+            handles.push(thread::spawn(move || {
+                for _ in 0..1000 {
+                    r.charge(3);
+                    r.release(1);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(r.usage().used, 8 * 1000 * 2);
+        assert_eq!(mm.total_used(), 8 * 1000 * 2);
+    }
+
+    #[test]
+    fn clones_share_accounting() {
+        let mm = MemoryManager::new();
+        let r = mm.register("x", 10);
+        let r2 = r.clone();
+        r.charge(4);
+        r2.charge(4);
+        assert_eq!(r.usage().used, 8);
+    }
+}

@@ -1,0 +1,26 @@
+//! # tukwila-tpchgen
+//!
+//! A deterministic, seeded TPC-D/TPC-H-style data generator — the substitute
+//! for the `dbgen 1.31` + IBM DB2 setup of the paper's evaluation (§6.1).
+//!
+//! The Tukwila experiments do not depend on TPC-D's text grammar or pricing
+//! rules; they depend on the *relational structure*: eight tables with the
+//! standard primary/foreign-key relationships and cardinality ratios
+//! (`lineitem` ≫ `orders` ≫ `partsupp` ≫ …), so that join orders matter,
+//! intermediate results vary by orders of magnitude, and selectivity
+//! misestimates have consequences. This crate reproduces exactly that:
+//!
+//! * all eight tables ([`TpchTable`]) with correct PK/FK structure,
+//! * cardinalities scaled by a continuous scale factor (SF 1.0 ≈ the classic
+//!   ratios: 6M lineitem, 1.5M orders, 800k partsupp, …),
+//! * deterministic output: same `(table, scale, seed)` → same relation,
+//! * the foreign-key join graph ([`join_graph`]) used to enumerate the
+//!   paper's "all 2- and 3-relation joins" (§6.2) and "all seven four-table
+//!   joins that do not involve lineitem" (§6.4) workloads.
+
+pub mod db;
+pub mod tables;
+pub mod text;
+
+pub use db::{all_k_table_joins, fig5_queries, join_graph, JoinEdge, TpchDb};
+pub use tables::{table_schema, TpchGenerator, TpchTable};

@@ -1,0 +1,143 @@
+//! Deterministic pseudo-text generation.
+//!
+//! TPC-D fills name/comment columns with grammar-generated text. The Tukwila
+//! experiments only need those columns to (a) occupy realistic space, so that
+//! memory budgets and transfer times are meaningful, and (b) be deterministic
+//! for a given seed. A syllable sampler satisfies both without reproducing
+//! dbgen's grammar.
+
+use rand::Rng;
+
+const SYLLABLES: &[&str] = &[
+    "ka", "to", "mi", "ra", "shu", "ben", "dor", "lin", "va", "zet", "pol", "qui", "mar", "ten",
+    "sol", "bri", "cal", "dun", "eri", "fos",
+];
+
+const SEGMENTS: &[&str] = &[
+    "AUTOMOBILE",
+    "BUILDING",
+    "FURNITURE",
+    "MACHINERY",
+    "HOUSEHOLD",
+];
+
+const BRAND_PREFIXES: &[&str] = &["Brand#1", "Brand#2", "Brand#3", "Brand#4", "Brand#5"];
+
+const NATION_NAMES: &[&str] = &[
+    "ALGERIA",
+    "ARGENTINA",
+    "BRAZIL",
+    "CANADA",
+    "EGYPT",
+    "ETHIOPIA",
+    "FRANCE",
+    "GERMANY",
+    "INDIA",
+    "INDONESIA",
+    "IRAN",
+    "IRAQ",
+    "JAPAN",
+    "JORDAN",
+    "KENYA",
+    "MOROCCO",
+    "MOZAMBIQUE",
+    "PERU",
+    "CHINA",
+    "ROMANIA",
+    "SAUDI ARABIA",
+    "VIETNAM",
+    "RUSSIA",
+    "UNITED KINGDOM",
+    "UNITED STATES",
+];
+
+const REGION_NAMES: &[&str] = &["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
+
+/// A pseudo-word of `syllables` syllables.
+pub fn word(rng: &mut impl Rng, syllables: usize) -> String {
+    let mut s = String::with_capacity(syllables * 3);
+    for _ in 0..syllables {
+        s.push_str(SYLLABLES[rng.gen_range(0..SYLLABLES.len())]);
+    }
+    s
+}
+
+/// A pseudo-sentence of roughly `target_len` bytes (comment columns).
+pub fn sentence(rng: &mut impl Rng, target_len: usize) -> String {
+    let mut s = String::with_capacity(target_len + 8);
+    while s.len() < target_len {
+        if !s.is_empty() {
+            s.push(' ');
+        }
+        let syllables = rng.gen_range(1..4);
+        s.push_str(&word(rng, syllables));
+    }
+    s
+}
+
+/// A TPC-style market segment.
+pub fn market_segment(rng: &mut impl Rng) -> &'static str {
+    SEGMENTS[rng.gen_range(0..SEGMENTS.len())]
+}
+
+/// A TPC-style part brand.
+pub fn brand(rng: &mut impl Rng) -> String {
+    format!(
+        "{}{}",
+        BRAND_PREFIXES[rng.gen_range(0..BRAND_PREFIXES.len())],
+        rng.gen_range(0..5)
+    )
+}
+
+/// The canonical TPC-D nation name for a nation key (0..25).
+pub fn nation_name(key: usize) -> &'static str {
+    NATION_NAMES[key % NATION_NAMES.len()]
+}
+
+/// The canonical TPC-D region name for a region key (0..5).
+pub fn region_name(key: usize) -> &'static str {
+    REGION_NAMES[key % REGION_NAMES.len()]
+}
+
+/// Number of nations / regions in the fixed-size tables.
+pub const NATION_COUNT: usize = 25;
+/// Number of regions.
+pub const REGION_COUNT: usize = 5;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn word_is_deterministic() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        assert_eq!(word(&mut a, 3), word(&mut b, 3));
+    }
+
+    #[test]
+    fn sentence_reaches_target_length() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = sentence(&mut rng, 40);
+        assert!(s.len() >= 40, "got {} bytes", s.len());
+        assert!(s.len() < 60, "should not wildly overshoot: {}", s.len());
+    }
+
+    #[test]
+    fn nation_and_region_names_fixed() {
+        assert_eq!(nation_name(0), "ALGERIA");
+        assert_eq!(nation_name(24), "UNITED STATES");
+        assert_eq!(region_name(3), "EUROPE");
+        // wraps rather than panicking
+        assert_eq!(nation_name(25), "ALGERIA");
+    }
+
+    #[test]
+    fn brand_has_expected_shape() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let b = brand(&mut rng);
+        assert!(b.starts_with("Brand#"));
+    }
+}
