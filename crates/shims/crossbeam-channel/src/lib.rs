@@ -1,0 +1,340 @@
+//! Offline shim for `crossbeam-channel`.
+//!
+//! Implements the subset the workspace uses: `bounded` MPMC channels with
+//! cloneable `Sender`/`Receiver` halves, blocking/timed/non-blocking
+//! receives, and a polling `Select` over receive operations. Backed by a
+//! `Mutex<VecDeque>` + two `Condvar`s; `Select::select` polls readiness
+//! with a short sleep, which is adequate for the small operator fan-ins
+//! (2-way joins, a handful of mirrors) this workspace wires up.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Error returned by [`Sender::send`] when every receiver has been dropped.
+pub struct SendError<T>(pub T);
+
+impl<T> fmt::Debug for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("SendError(..)")
+    }
+}
+
+/// Error returned by [`Receiver::recv`] when the channel is empty and every
+/// sender has been dropped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryRecvError {
+    Empty,
+    Disconnected,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    Timeout,
+    Disconnected,
+}
+
+struct Shared<T> {
+    queue: Mutex<VecDeque<T>>,
+    cap: usize,
+    not_empty: Condvar,
+    not_full: Condvar,
+    senders: AtomicUsize,
+    receivers: AtomicUsize,
+}
+
+impl<T> Shared<T> {
+    fn no_senders(&self) -> bool {
+        self.senders.load(Ordering::SeqCst) == 0
+    }
+
+    fn no_receivers(&self) -> bool {
+        self.receivers.load(Ordering::SeqCst) == 0
+    }
+}
+
+pub struct Sender<T> {
+    shared: Arc<Shared<T>>,
+}
+
+pub struct Receiver<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// Create a bounded channel. A capacity of 0 (rendezvous in the real crate)
+/// is rounded up to 1; no in-tree call site uses 0.
+pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    let shared = Arc::new(Shared {
+        queue: Mutex::new(VecDeque::new()),
+        cap: cap.max(1),
+        not_empty: Condvar::new(),
+        not_full: Condvar::new(),
+        senders: AtomicUsize::new(1),
+        receivers: AtomicUsize::new(1),
+    });
+    (
+        Sender {
+            shared: Arc::clone(&shared),
+        },
+        Receiver { shared },
+    )
+}
+
+impl<T> Sender<T> {
+    /// Block until there is room (or no receivers remain).
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        let shared = &*self.shared;
+        let mut queue = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if shared.no_receivers() {
+                return Err(SendError(value));
+            }
+            if queue.len() < shared.cap {
+                queue.push_back(value);
+                shared.not_empty.notify_one();
+                return Ok(());
+            }
+            // Time-boxed wait so a receiver-side disconnect is observed even
+            // if the final receiver drops without notifying.
+            let (q, _timeout) = shared
+                .not_full
+                .wait_timeout(queue, Duration::from_millis(10))
+                .unwrap_or_else(|e| e.into_inner());
+            queue = q;
+        }
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.shared.senders.fetch_add(1, Ordering::SeqCst);
+        Sender {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        if self.shared.senders.fetch_sub(1, Ordering::SeqCst) == 1 {
+            self.shared.not_empty.notify_all();
+        }
+    }
+}
+
+impl<T> Receiver<T> {
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let shared = &*self.shared;
+        let mut queue = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(v) = queue.pop_front() {
+                shared.not_full.notify_one();
+                return Ok(v);
+            }
+            if shared.no_senders() {
+                return Err(RecvError);
+            }
+            let (q, _timeout) = shared
+                .not_empty
+                .wait_timeout(queue, Duration::from_millis(10))
+                .unwrap_or_else(|e| e.into_inner());
+            queue = q;
+        }
+    }
+
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        let deadline = Instant::now() + timeout;
+        let shared = &*self.shared;
+        let mut queue = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(v) = queue.pop_front() {
+                shared.not_full.notify_one();
+                return Ok(v);
+            }
+            if shared.no_senders() {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(RecvTimeoutError::Timeout);
+            }
+            let wait = (deadline - now).min(Duration::from_millis(10));
+            let (q, _timeout) = shared
+                .not_empty
+                .wait_timeout(queue, wait)
+                .unwrap_or_else(|e| e.into_inner());
+            queue = q;
+        }
+    }
+
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let shared = &*self.shared;
+        let mut queue = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(v) = queue.pop_front() {
+            shared.not_full.notify_one();
+            return Ok(v);
+        }
+        if shared.no_senders() {
+            Err(TryRecvError::Disconnected)
+        } else {
+            Err(TryRecvError::Empty)
+        }
+    }
+
+    fn ready(&self) -> bool {
+        let queue = self
+            .shared
+            .queue
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        !queue.is_empty() || self.shared.no_senders()
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.shared.receivers.fetch_add(1, Ordering::SeqCst);
+        Receiver {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        if self.shared.receivers.fetch_sub(1, Ordering::SeqCst) == 1 {
+            self.shared.not_full.notify_all();
+        }
+    }
+}
+
+/// A select over receive operations. Readiness is polled; for the 2-way
+/// fan-ins this workspace uses, a 1 ms poll is indistinguishable from the
+/// real event-driven implementation at the granularity being measured.
+/// Ties are broken round-robin (the real crate picks uniformly at random
+/// among ready operations) so no input is systematically starved when
+/// several are ready at once.
+///
+/// Restriction vs the real crate: readiness is not atomic with consumption
+/// (`SelectedOperation::recv` performs an ordinary blocking `recv`), so a
+/// receiver polled through `Select` must not be shared with another
+/// consumer — a clone draining the same channel between poll and recv
+/// would leave the selector blocked on a message that is no longer there.
+/// Every in-tree `Select` call site is single-consumer.
+pub struct Select<'a> {
+    ready: Vec<Box<dyn Fn() -> bool + 'a>>,
+}
+
+/// Tie-break rotation shared across `Select` instances: callers (e.g. the
+/// DPJ's receive loop) construct a fresh `Select` per call, so per-instance
+/// state could not rotate.
+static SELECT_ROTATION: AtomicUsize = AtomicUsize::new(0);
+
+impl<'a> Select<'a> {
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Self {
+        Select { ready: Vec::new() }
+    }
+
+    /// Register a receive operation; returns its operation index.
+    pub fn recv<T>(&mut self, r: &'a Receiver<T>) -> usize {
+        self.ready.push(Box::new(move || r.ready()));
+        self.ready.len() - 1
+    }
+
+    /// Block until one registered operation is ready and return it.
+    pub fn select(&mut self) -> SelectedOperation {
+        let n = self.ready.len();
+        assert!(n > 0, "select with no operations");
+        loop {
+            let rotation = SELECT_ROTATION.fetch_add(1, Ordering::Relaxed);
+            for k in 0..n {
+                let i = (rotation + k) % n;
+                if self.ready[i]() {
+                    return SelectedOperation { index: i };
+                }
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+}
+
+pub struct SelectedOperation {
+    index: usize,
+}
+
+impl SelectedOperation {
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// Complete the selected operation by receiving from `r`. The caller
+    /// must pass the receiver registered at this operation's index, as with
+    /// the real crate.
+    pub fn recv<T>(self, r: &Receiver<T>) -> Result<T, RecvError> {
+        r.recv()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn send_recv_roundtrip() {
+        let (tx, rx) = bounded(4);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.try_recv(), Ok(2));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+    }
+
+    #[test]
+    fn disconnect_is_observed() {
+        let (tx, rx) = bounded::<i32>(1);
+        drop(tx);
+        assert_eq!(rx.recv(), Err(RecvError));
+        let (tx2, rx2) = bounded::<i32>(1);
+        drop(rx2);
+        assert!(tx2.send(5).is_err());
+    }
+
+    #[test]
+    fn bounded_blocks_until_drained() {
+        let (tx, rx) = bounded(1);
+        tx.send(1).unwrap();
+        let h = thread::spawn(move || tx.send(2).unwrap());
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn recv_timeout_times_out() {
+        let (_tx, rx) = bounded::<i32>(1);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(5)),
+            Err(RecvTimeoutError::Timeout)
+        );
+    }
+
+    #[test]
+    fn select_picks_ready_side() {
+        let (tx_a, rx_a) = bounded::<i32>(1);
+        let (_tx_b, rx_b) = bounded::<i32>(1);
+        tx_a.send(7).unwrap();
+        let mut sel = Select::new();
+        sel.recv(&rx_a);
+        sel.recv(&rx_b);
+        let op = sel.select();
+        assert_eq!(op.index(), 0);
+        assert_eq!(op.recv(&rx_a), Ok(7));
+    }
+}

@@ -1,0 +1,300 @@
+//! Offline shim for `proptest`.
+//!
+//! Supports the subset the workspace's property tests use: the `proptest!`
+//! macro with a `#![proptest_config(...)]` header, range strategies over
+//! integers and floats (`100usize..700`, `0.2f64..1.2`), `any::<T>()`,
+//! `proptest::collection::vec`, string-pattern strategies, and
+//! `prop_assert!`/`prop_assert_eq!`. Random values come from the in-tree
+//! `rand` shim (as real proptest builds on rand), seeded deterministically
+//! from the case index, so failures reproduce exactly on re-run (no
+//! shrinking — the failing inputs are printed instead).
+
+use std::fmt;
+use std::ops::Range;
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+#[derive(Debug, Clone)]
+pub struct TestCaseError(pub String);
+
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Deterministic per-case generator wrapping the rand shim's `StdRng`.
+pub struct Gen {
+    rng: StdRng,
+}
+
+impl Gen {
+    pub fn for_case(case: u32) -> Self {
+        Gen {
+            rng: StdRng::seed_from_u64(0x7507_7E57_u64 ^ ((case as u64) << 17)),
+        }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.rng.next_u64()
+    }
+}
+
+/// A value source for one macro argument.
+pub trait Strategy {
+    type Value: fmt::Debug + Clone;
+    fn sample(&self, gen: &mut Gen) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, gen: &mut Gen) -> $t {
+                gen.rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize, f64);
+
+/// Marker for `any::<T>()` support.
+pub trait Arbitrary: fmt::Debug + Clone {
+    fn arbitrary(gen: &mut Gen) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(gen: &mut Gen) -> $t {
+                gen.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(gen: &mut Gen) -> bool {
+        gen.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(gen: &mut Gen) -> f64 {
+        gen.rng.gen_range(-1e6..1e6)
+    }
+}
+
+pub struct AnyStrategy<T>(std::marker::PhantomData<T>);
+
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(std::marker::PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn sample(&self, gen: &mut Gen) -> T {
+        T::arbitrary(gen)
+    }
+}
+
+/// Multi-byte printable characters mixed into string samples so UTF-8
+/// handling (byte length vs char count) is actually exercised.
+const WIDE_CHARS: [char; 8] = ['é', 'ß', 'λ', 'Ω', 'ñ', '中', '…', '🦀'];
+
+/// String-pattern strategies. The real proptest interprets the pattern as a
+/// regex; this shim honors only a trailing `{lo,hi}` repetition count (as in
+/// `"\\PC{0,24}"`) and draws printable strings of a length in that range —
+/// mostly ASCII with roughly one in eight chars multi-byte — sufficient for
+/// the codec round-trip properties in this tree.
+impl Strategy for &str {
+    type Value = String;
+    fn sample(&self, gen: &mut Gen) -> String {
+        let (lo, hi) = parse_repeat_bounds(self).unwrap_or((0, 8));
+        let len = if hi > lo {
+            gen.rng.gen_range(lo..=hi)
+        } else {
+            lo
+        };
+        (0..len)
+            .map(|_| {
+                let roll = gen.next_u64();
+                if roll.is_multiple_of(8) {
+                    WIDE_CHARS[(roll >> 8) as usize % WIDE_CHARS.len()]
+                } else {
+                    (0x20 + ((roll >> 8) % 0x5f) as u8) as char
+                }
+            })
+            .collect()
+    }
+}
+
+fn parse_repeat_bounds(pattern: &str) -> Option<(usize, usize)> {
+    let body = pattern.strip_suffix('}')?;
+    let open = body.rfind('{')?;
+    let (lo, hi) = body[open + 1..].split_once(',')?;
+    Some((lo.trim().parse().ok()?, hi.trim().parse().ok()?))
+}
+
+pub mod collection {
+    use super::{Gen, Strategy};
+
+    /// `proptest::collection::vec(element, size_range)` — a Vec whose
+    /// length is drawn from `size` and whose elements from `element`.
+    pub fn vec<E: Strategy>(element: E, size: std::ops::Range<usize>) -> VecStrategy<E> {
+        VecStrategy { element, size }
+    }
+
+    pub struct VecStrategy<E> {
+        element: E,
+        size: std::ops::Range<usize>,
+    }
+
+    impl<E: Strategy> Strategy for VecStrategy<E> {
+        type Value = Vec<E::Value>;
+        fn sample(&self, gen: &mut Gen) -> Vec<E::Value> {
+            let len = Strategy::sample(&self.size, gen);
+            (0..len).map(|_| self.element.sample(gen)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, proptest, Arbitrary, Gen, ProptestConfig, Strategy,
+        TestCaseError, TestCaseResult,
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err($crate::TestCaseError(format!($($fmt)*)));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return Err($crate::TestCaseError(format!(
+                "assertion failed: {} == {} (left: {:?}, right: {:?})",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
+            )));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $(
+                $(#[$meta])*
+                fn $name( $($arg in $strat),* ) $body
+            )*
+        }
+    };
+    (
+        #![proptest_config($cfg:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                for case in 0..config.cases {
+                    let mut gen = $crate::Gen::for_case(case);
+                    $( let $arg = $crate::Strategy::sample(&($strat), &mut gen); )*
+                    let inputs = format!(
+                        concat!($(stringify!($arg), " = {:?}, ",)*),
+                        $($arg.clone()),*
+                    );
+                    let outcome: $crate::TestCaseResult = (|| { $body Ok(()) })();
+                    if let Err(e) = outcome {
+                        panic!(
+                            "proptest case {} failed ({}): {}",
+                            case, inputs, e.0
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn int_ranges_in_bounds(n in 10usize..20, x in -5i64..5) {
+            prop_assert!((10..20).contains(&n));
+            prop_assert!((-5..5).contains(&x));
+        }
+
+        #[test]
+        fn float_ranges_in_bounds(f in 0.25f64..0.75) {
+            prop_assert!((0.25..0.75).contains(&f), "f = {}", f);
+            prop_assert_eq!(f.is_nan(), false);
+        }
+
+        #[test]
+        fn string_pattern_lengths(s in "\\PC{0,24}") {
+            prop_assert!(s.chars().count() <= 24);
+        }
+    }
+
+    #[test]
+    fn strings_eventually_contain_multibyte() {
+        let found = (0..64).any(|case| {
+            let mut gen = Gen::for_case(case);
+            let s: String = Strategy::sample(&"\\PC{0,24}", &mut gen);
+            s.chars().any(|c| c.len_utf8() > 1)
+        });
+        assert!(found, "no multi-byte char in 64 cases");
+    }
+}

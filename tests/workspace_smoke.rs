@@ -1,0 +1,27 @@
+//! Workspace smoke test: the smallest end-to-end path through the system —
+//! deploy two generated TPC-H tables behind simulated sources, plan and
+//! execute a 2-table join, and check the result is nonempty. Fast enough
+//! for tier-1; everything deeper lives in `end_to_end.rs` and
+//! `adaptivity.rs`.
+
+use tukwila::prelude::*;
+
+#[test]
+fn two_table_join_produces_rows() {
+    let deployment = TpchDeployment::builder(0.002, 7)
+        .tables(&[TpchTable::Region, TpchTable::Nation])
+        .build();
+
+    let query = deployment.query_for("nations", &[TpchTable::Region, TpchTable::Nation]);
+
+    let mut system = deployment.system(OptimizerConfig::default());
+    let result = system.execute(&query).expect("query should execute");
+
+    // Every nation joins to exactly one region, so the join preserves the
+    // nation cardinality.
+    assert!(result.cardinality() > 0, "join produced no rows");
+    assert_eq!(
+        result.cardinality(),
+        deployment.db.table(TpchTable::Nation).len()
+    );
+}
