@@ -1,0 +1,74 @@
+//! Batch-size amortization curve: the same 3-way double-pipelined join
+//! pipeline at operator batch sizes 1, 64, and 1024.
+//!
+//! Batch size 1 is the old tuple-at-a-time engine (one virtual call and one
+//! transfer-queue message per tuple at every operator edge); larger batches
+//! amortize that overhead over whole blocks. Sources use instant links so
+//! the measurement isolates engine overhead from (simulated) network time —
+//! the regime where per-tuple dispatch and channel sends dominate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use tukwila_bench::runner::run_single_fragment_in_env;
+use tukwila_common::{tuple, DataType, Relation, Schema};
+use tukwila_exec::ExecEnv;
+use tukwila_plan::{JoinKind, PlanBuilder};
+use tukwila_source::{LinkModel, SimulatedSource, SourceRegistry};
+
+/// `n` tuples `(i % dup, i)` under schema `name(k, v)`.
+fn keyed(name: &str, n: i64, dup: i64) -> Relation {
+    let schema = Schema::of(name, &[("k", DataType::Int), ("v", DataType::Int)]);
+    let mut r = Relation::empty(schema);
+    for i in 0..n {
+        r.push(tuple![i % dup.max(1), i]);
+    }
+    r
+}
+
+fn registry() -> SourceRegistry {
+    let reg = SourceRegistry::new();
+    reg.register(SimulatedSource::new(
+        "A",
+        keyed("a", 3_000, 200),
+        LinkModel::instant(),
+    ));
+    reg.register(SimulatedSource::new(
+        "B",
+        keyed("b", 1_000, 200),
+        LinkModel::instant(),
+    ));
+    reg.register(SimulatedSource::new(
+        "C",
+        keyed("c", 600, 200),
+        LinkModel::instant(),
+    ));
+    reg
+}
+
+fn bench_batch_throughput(c: &mut Criterion) {
+    let reg = registry();
+    let mut g = c.benchmark_group("batch_throughput");
+    g.sample_size(10);
+    for bs in [1usize, 64, 1024] {
+        g.bench_with_input(BenchmarkId::from_parameter(bs), &bs, |b, &bs| {
+            b.iter(|| {
+                let mut pb = PlanBuilder::new();
+                let a = pb.wrapper_scan("A");
+                let bb = pb.wrapper_scan("B");
+                let cc = pb.wrapper_scan("C");
+                let j1 = pb.join(JoinKind::DoublePipelined, a, bb, "k", "k");
+                let top = pb.join(JoinKind::DoublePipelined, j1, cc, "a.k", "k");
+                let f = pb.fragment(top, "result");
+                let plan = pb.build(f);
+                let env = ExecEnv::new(reg.clone()).with_batch_size(bs);
+                let r = run_single_fragment_in_env("batch_throughput", env, &plan, f);
+                assert_eq!(r.tuples, 45_000);
+                r
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_batch_throughput);
+criterion_main!(benches);

@@ -9,12 +9,17 @@
 use tukwila_bench::runner::verdict;
 use tukwila_bench::{print_series_csv, scenarios::fig3b};
 
+/// WAN link scale for both the scenario run and the transfer-floor
+/// normalization — the verdict below is only meaningful if they agree.
+const WAN_SCALE: f64 = 0.3;
+
 fn main() {
     let scale = std::env::args()
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(0.004);
-    let results = fig3b::run(scale, 0.3);
+    let results = fig3b::run(scale, WAN_SCALE);
+    let (inner_bound, outer_bound) = fig3b::slow_transfer_bounds(scale, WAN_SCALE);
     print_series_csv(&results, 40);
 
     let get = |label: &str| {
@@ -50,16 +55,29 @@ fn main() {
             h_inner.time_to_first, d_inner.time_to_first
         ),
     );
+    // Insensitivity to the slow side is about *when output is produced*,
+    // not about raw completion time: partsupp carries 4× the rows of part,
+    // so the two configurations move very different volumes over the slow
+    // link and their totals are incomparable (the slow transfer is a hard
+    // floor either way). The DPJ's claim is (a) first output arrives at
+    // WAN-initial-delay scale whichever side is slow — unlike hybrid,
+    // whose slow inner delays all output — and (b) each run stays
+    // network-bound relative to its own slow-side transfer floor.
+    let ttf_i = d_inner.time_to_first.as_secs_f64();
+    let ttf_o = d_outer.time_to_first.as_secs_f64();
+    let hybrid_blocked = h_inner.time_to_first.as_secs_f64();
+    let ttf_close = (ttf_i - ttf_o).abs() < 0.025; // both ≈ WAN initial delay
+    let both_early = ttf_i.max(ttf_o) < hybrid_blocked * 0.5;
+    let bound_i = d_inner.total.as_secs_f64() / inner_bound.as_secs_f64();
+    let bound_o = d_outer.total.as_secs_f64() / outer_bound.as_secs_f64();
+    let network_bound = bound_i < 6.0 && bound_o < 6.0;
     verdict(
         "dpj-insensitive-to-slow-side",
-        {
-            let a = d_inner.total.as_secs_f64();
-            let b = d_outer.total.as_secs_f64();
-            (a - b).abs() / a.max(b) < 0.5
-        },
+        ttf_close && both_early && network_bound,
         format!(
-            "DPJ inner-slow {:?} ≈ outer-slow {:?}",
-            d_inner.total, d_outer.total
+            "DPJ ttf inner-slow {:?} ≈ outer-slow {:?} (hybrid inner-slow {:?}); \
+             total/slow-transfer-floor inner {bound_i:.2}x, outer {bound_o:.2}x",
+            d_inner.time_to_first, d_outer.time_to_first, h_inner.time_to_first
         ),
     );
 }

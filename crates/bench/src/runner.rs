@@ -49,7 +49,17 @@ pub fn run_single_fragment(
     plan: &QueryPlan,
     frag: FragmentId,
 ) -> JoinRunResult {
-    let env = ExecEnv::new(registry.clone());
+    run_single_fragment_in_env(label, ExecEnv::new(registry.clone()), plan, frag)
+}
+
+/// Execute one single-fragment plan in a caller-provided environment (e.g.
+/// with an overridden operator batch size or spill store).
+pub fn run_single_fragment_in_env(
+    label: &str,
+    env: ExecEnv,
+    plan: &QueryPlan,
+    frag: FragmentId,
+) -> JoinRunResult {
     let rt = PlanRuntime::for_plan(plan, env.clone());
     let mut series = Vec::new();
     let report = run_fragment_observed(plan, frag, &rt, &mut |n, d| series.push((n, d)))

@@ -69,6 +69,20 @@ pub mod fig3a {
 pub mod fig3b {
     use super::*;
 
+    /// Estimated wall-clock floor of each DPJ slow-side configuration: the
+    /// slow relation's full WAN transfer. `partsupp` holds 4× the rows of
+    /// `part`, so the two configurations move very different amounts of
+    /// data over the slow link and their raw totals are incomparable —
+    /// sensitivity claims must be normalized by these bounds. Returns
+    /// `(inner_slow, outer_slow)` = (part over WAN, partsupp over WAN).
+    pub fn slow_transfer_bounds(scale: f64, wan_scale: f64) -> (Duration, Duration) {
+        let wan = LinkModel::wide_area(wan_scale);
+        (
+            wan.estimated_transfer(TpchTable::Part.cardinality(scale)),
+            wan.estimated_transfer(TpchTable::Partsupp.cardinality(scale)),
+        )
+    }
+
     /// `partsupp` is the outer (larger) relation; `part` the inner.
     pub fn run(scale: f64, wan_scale: f64) -> Vec<JoinRunResult> {
         let fast = LinkModel::lan(0.05);

@@ -1,0 +1,403 @@
+//! Batches of tuples — the unit of data flow between operators.
+//!
+//! The iterator model moves one tuple per virtual call; every hot path then
+//! pays dynamic dispatch, channel synchronization, and statistics updates
+//! *per tuple*. A [`TupleBatch`] amortizes all three: operators exchange
+//! blocks of tuples sharing one schema, sized by the engine's configured
+//! batch capacity (ADQUEX-style block routing — adaptivity decides *where*
+//! tuples go, batching decides *how many* move per decision).
+//!
+//! Invariants relied on across the engine:
+//! * every batch handed between operators is **non-empty** (end of stream
+//!   is signalled out-of-band by `Option::None`);
+//! * all tuples in a batch share the producing operator's output schema;
+//! * [`TupleBatch::mem_size`] is maintained incrementally, so charging a
+//!   whole batch to a memory reservation is O(1), not O(len).
+
+use std::fmt;
+
+use crate::tuple::Tuple;
+
+/// Default number of tuples per batch when the engine is not configured
+/// otherwise. Large enough to amortize per-batch overhead, small enough to
+/// keep time-to-first-output and rule-reaction latency low.
+pub const DEFAULT_BATCH_CAPACITY: usize = 256;
+
+/// A block of tuples sharing one schema, with cached memory accounting.
+#[derive(Clone)]
+pub struct TupleBatch {
+    tuples: Vec<Tuple>,
+    mem_size: usize,
+    capacity: usize,
+}
+
+/// Equality is over the tuples only: `capacity` is a producer hint and
+/// `mem_size` is derived, so batches with the same content compare equal
+/// regardless of how they were built.
+impl PartialEq for TupleBatch {
+    fn eq(&self, other: &Self) -> bool {
+        self.tuples == other.tuples
+    }
+}
+
+impl Eq for TupleBatch {}
+
+impl TupleBatch {
+    /// An empty batch with the default target capacity.
+    pub fn new() -> Self {
+        Self::with_capacity(DEFAULT_BATCH_CAPACITY)
+    }
+
+    /// An empty batch that [`TupleBatch::is_full`] at `capacity` tuples.
+    pub fn with_capacity(capacity: usize) -> Self {
+        let cap = capacity.max(1);
+        TupleBatch {
+            tuples: Vec::with_capacity(cap.min(4096)),
+            mem_size: 0,
+            capacity: cap,
+        }
+    }
+
+    /// Wrap an existing vector of tuples (capacity = its length).
+    pub fn from_tuples(tuples: Vec<Tuple>) -> Self {
+        let mem_size = tuples.iter().map(Tuple::mem_size).sum();
+        let capacity = tuples.len().max(1);
+        TupleBatch {
+            tuples,
+            mem_size,
+            capacity,
+        }
+    }
+
+    /// A batch holding exactly one tuple.
+    pub fn singleton(t: Tuple) -> Self {
+        let mem_size = t.mem_size();
+        TupleBatch {
+            tuples: vec![t],
+            mem_size,
+            capacity: 1,
+        }
+    }
+
+    /// Append a tuple, updating the cached memory size.
+    pub fn push(&mut self, t: Tuple) {
+        self.mem_size += t.mem_size();
+        self.tuples.push(t);
+    }
+
+    /// Append every tuple of `iter`.
+    pub fn extend<I: IntoIterator<Item = Tuple>>(&mut self, iter: I) {
+        for t in iter {
+            self.push(t);
+        }
+    }
+
+    /// Keep only the first `n` tuples (quota enforcement), releasing the
+    /// rest from the cached memory size.
+    pub fn truncate(&mut self, n: usize) {
+        if n >= self.tuples.len() {
+            return;
+        }
+        let dropped: usize = self.tuples[n..].iter().map(Tuple::mem_size).sum();
+        self.mem_size -= dropped;
+        self.tuples.truncate(n);
+    }
+
+    /// Number of tuples in the batch.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Whether the batch holds no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Target capacity (producers stop filling at this size).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Whether the batch has reached its target capacity.
+    pub fn is_full(&self) -> bool {
+        self.tuples.len() >= self.capacity
+    }
+
+    /// Approximate resident memory of all tuples in the batch, maintained
+    /// incrementally on `push`/`truncate`.
+    pub fn mem_size(&self) -> usize {
+        self.mem_size
+    }
+
+    /// The tuples as a slice.
+    pub fn tuples(&self) -> &[Tuple] {
+        &self.tuples
+    }
+
+    /// Checked tuple accessor.
+    pub fn get(&self, idx: usize) -> Option<&Tuple> {
+        self.tuples.get(idx)
+    }
+
+    /// Iterate the tuples by reference.
+    pub fn iter(&self) -> std::slice::Iter<'_, Tuple> {
+        self.tuples.iter()
+    }
+
+    /// Consume the batch, yielding its tuples.
+    pub fn into_tuples(self) -> Vec<Tuple> {
+        self.tuples
+    }
+
+    /// Move up to `max` tuples off the front of a deque into a new batch —
+    /// the shared drain for operators that buffer pending output (double
+    /// pipelined join, hash join, dependent join). Returns an empty batch
+    /// if the deque is empty.
+    pub fn fill_from_deque(pending: &mut std::collections::VecDeque<Tuple>, max: usize) -> Self {
+        let take = max.max(1).min(pending.len());
+        let mut batch = TupleBatch::with_capacity(take.max(1));
+        for _ in 0..take {
+            match pending.pop_front() {
+                Some(t) => batch.push(t),
+                None => break,
+            }
+        }
+        batch
+    }
+}
+
+impl Default for TupleBatch {
+    fn default() -> Self {
+        TupleBatch::new()
+    }
+}
+
+impl fmt::Debug for TupleBatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TupleBatch")
+            .field("len", &self.tuples.len())
+            .field("mem_size", &self.mem_size)
+            .finish()
+    }
+}
+
+impl From<Vec<Tuple>> for TupleBatch {
+    fn from(tuples: Vec<Tuple>) -> Self {
+        TupleBatch::from_tuples(tuples)
+    }
+}
+
+impl IntoIterator for TupleBatch {
+    type Item = Tuple;
+    type IntoIter = std::vec::IntoIter<Tuple>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.tuples.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a TupleBatch {
+    type Item = &'a Tuple;
+    type IntoIter = std::slice::Iter<'a, Tuple>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.tuples.iter()
+    }
+}
+
+impl FromIterator<Tuple> for TupleBatch {
+    fn from_iter<I: IntoIterator<Item = Tuple>>(iter: I) -> Self {
+        TupleBatch::from_tuples(iter.into_iter().collect())
+    }
+}
+
+/// Accumulates tuples and emits full batches — the producer-side API for
+/// sources and operators that generate tuples one at a time but hand them
+/// downstream in blocks.
+pub struct BatchBuilder {
+    capacity: usize,
+    batch: TupleBatch,
+}
+
+impl BatchBuilder {
+    /// Builder emitting batches of `capacity` tuples.
+    pub fn new(capacity: usize) -> Self {
+        let cap = capacity.max(1);
+        BatchBuilder {
+            capacity: cap,
+            batch: TupleBatch::with_capacity(cap),
+        }
+    }
+
+    /// Add a tuple; returns the finished batch once it reaches capacity.
+    pub fn push(&mut self, t: Tuple) -> Option<TupleBatch> {
+        self.batch.push(t);
+        if self.batch.is_full() {
+            Some(std::mem::replace(
+                &mut self.batch,
+                TupleBatch::with_capacity(self.capacity),
+            ))
+        } else {
+            None
+        }
+    }
+
+    /// Tuples currently buffered.
+    pub fn buffered(&self) -> usize {
+        self.batch.len()
+    }
+
+    /// Emit whatever is buffered (possibly short), or `None` if empty.
+    pub fn finish(self) -> Option<TupleBatch> {
+        if self.batch.is_empty() {
+            None
+        } else {
+            Some(self.batch)
+        }
+    }
+
+    /// Emit the buffered partial batch without consuming the builder.
+    pub fn take_partial(&mut self) -> Option<TupleBatch> {
+        if self.batch.is_empty() {
+            None
+        } else {
+            Some(std::mem::replace(
+                &mut self.batch,
+                TupleBatch::with_capacity(self.capacity),
+            ))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple;
+
+    #[test]
+    fn push_and_access() {
+        let mut b = TupleBatch::with_capacity(4);
+        assert!(b.is_empty());
+        b.push(tuple![1, "a"]);
+        b.push(tuple![2, "b"]);
+        assert_eq!(b.len(), 2);
+        assert!(!b.is_full());
+        assert_eq!(b.get(0), Some(&tuple![1, "a"]));
+        assert_eq!(b.get(2), None);
+        assert_eq!(b.tuples().len(), 2);
+    }
+
+    #[test]
+    fn mem_size_tracks_incrementally() {
+        let mut b = TupleBatch::new();
+        assert_eq!(b.mem_size(), 0);
+        let t = tuple![1, "payload string"];
+        let expect = t.mem_size();
+        b.push(t.clone());
+        assert_eq!(b.mem_size(), expect);
+        b.push(t);
+        assert_eq!(b.mem_size(), 2 * expect);
+        // matches a fresh sum over the contents
+        let sum: usize = b.iter().map(Tuple::mem_size).sum();
+        assert_eq!(b.mem_size(), sum);
+    }
+
+    #[test]
+    fn truncate_releases_memory() {
+        let mut b = TupleBatch::from_tuples(vec![tuple![1], tuple![2], tuple![3]]);
+        let one = tuple![1].mem_size();
+        b.truncate(1);
+        assert_eq!(b.len(), 1);
+        assert_eq!(b.mem_size(), one);
+        b.truncate(5); // no-op past the end
+        assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn capacity_and_fullness() {
+        let mut b = TupleBatch::with_capacity(2);
+        assert_eq!(b.capacity(), 2);
+        b.push(tuple![1]);
+        assert!(!b.is_full());
+        b.push(tuple![2]);
+        assert!(b.is_full());
+    }
+
+    #[test]
+    fn zero_capacity_clamped() {
+        let b = TupleBatch::with_capacity(0);
+        assert_eq!(b.capacity(), 1);
+        let builder = BatchBuilder::new(0);
+        assert_eq!(builder.capacity, 1);
+    }
+
+    #[test]
+    fn iteration_by_ref_and_value() {
+        let b = TupleBatch::from_tuples(vec![tuple![1], tuple![2]]);
+        let by_ref: Vec<i64> = b
+            .iter()
+            .map(|t| t.value(0).as_int().unwrap())
+            .collect();
+        assert_eq!(by_ref, vec![1, 2]);
+        let by_val: Vec<Tuple> = b.into_iter().collect();
+        assert_eq!(by_val, vec![tuple![1], tuple![2]]);
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let b: TupleBatch = (0..3i64).map(|i| tuple![i]).collect();
+        assert_eq!(b.len(), 3);
+        assert_eq!(b.capacity(), 3);
+    }
+
+    #[test]
+    fn builder_emits_at_capacity() {
+        let mut builder = BatchBuilder::new(3);
+        assert!(builder.push(tuple![1]).is_none());
+        assert!(builder.push(tuple![2]).is_none());
+        let full = builder.push(tuple![3]).expect("full at capacity");
+        assert_eq!(full.len(), 3);
+        assert_eq!(builder.buffered(), 0);
+        assert!(builder.push(tuple![4]).is_none());
+        let rest = builder.finish().expect("partial batch");
+        assert_eq!(rest.len(), 1);
+    }
+
+    #[test]
+    fn builder_finish_empty_is_none() {
+        assert!(BatchBuilder::new(8).finish().is_none());
+        let mut b = BatchBuilder::new(8);
+        assert!(b.take_partial().is_none());
+        b.push(tuple![1]);
+        assert_eq!(b.take_partial().map(|x| x.len()), Some(1));
+        assert!(b.take_partial().is_none());
+    }
+
+    #[test]
+    fn fill_from_deque_caps_and_preserves_order() {
+        let mut pending: std::collections::VecDeque<Tuple> =
+            (0..5i64).map(|i| tuple![i]).collect();
+        let first = TupleBatch::fill_from_deque(&mut pending, 3);
+        assert_eq!(first.tuples(), &[tuple![0], tuple![1], tuple![2]]);
+        let rest = TupleBatch::fill_from_deque(&mut pending, 3);
+        assert_eq!(rest.len(), 2);
+        assert!(TupleBatch::fill_from_deque(&mut pending, 3).is_empty());
+    }
+
+    #[test]
+    fn equality_ignores_capacity_and_provenance() {
+        let a = TupleBatch::from_tuples(vec![tuple![1], tuple![2]]);
+        let mut b = TupleBatch::with_capacity(64);
+        b.push(tuple![1]);
+        b.push(tuple![2]);
+        assert_eq!(a, b);
+        b.push(tuple![3]);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn singleton_batch() {
+        let b = TupleBatch::singleton(tuple![7]);
+        assert_eq!(b.len(), 1);
+        assert!(b.is_full());
+        assert_eq!(b.mem_size(), tuple![7].mem_size());
+    }
+}

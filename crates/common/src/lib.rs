@@ -12,17 +12,23 @@
 //! * [`Tuple`] is a cheaply cloneable, immutable row (`Arc<[Value]>`); join
 //!   operators concatenate tuples without copying their inputs' buffers
 //!   more than once.
+//! * [`TupleBatch`] is the unit of data flow between operators and across
+//!   the wrapper boundary: a shared-schema block of tuples with cached
+//!   batch-level `mem_size`, amortizing per-tuple dispatch and channel
+//!   overhead on every hot path.
 //! * Every value and tuple knows its approximate in-memory size
 //!   ([`Value::mem_size`], [`Tuple::mem_size`]) so the memory manager can
 //!   enforce the per-operator budgets the paper's overflow experiments
 //!   depend on (§4.2.3, Figure 4).
 
+pub mod batch;
 pub mod error;
 pub mod relation;
 pub mod schema;
 pub mod tuple;
 pub mod value;
 
+pub use batch::{BatchBuilder, TupleBatch, DEFAULT_BATCH_CAPACITY};
 pub use error::{Result, TukwilaError};
 pub use relation::Relation;
 pub use schema::{Field, Schema};

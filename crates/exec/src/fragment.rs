@@ -52,8 +52,9 @@ pub struct FragmentReport {
 
 /// Execute one fragment, materializing its result under the fragment's
 /// `materialize_as` name. `observer` is called with `(tuples_so_far,
-/// elapsed)` per output tuple — the probe used to regenerate the paper's
-/// tuples-vs-time figures.
+/// elapsed)` per output **batch** — the probe used to regenerate the
+/// paper's tuples-vs-time figures (with batched execution one sample
+/// covers one arrival burst; slow sources still sample near-per-tuple).
 pub fn run_fragment_observed(
     plan: &QueryPlan,
     frag_id: tukwila_plan::FragmentId,
@@ -87,13 +88,13 @@ pub fn run_fragment_observed(
     let mut tuples: Vec<tukwila_common::Tuple> = Vec::new();
     let mut time_to_first = None;
     loop {
-        match root.next() {
-            Ok(Some(t)) => {
+        match root.next_batch() {
+            Ok(Some(batch)) => {
                 if tuples.is_empty() {
                     time_to_first = Some(start.elapsed());
                 }
-                tuples.push(t);
-                rt.add_produced(subject, 1);
+                rt.add_produced(subject, batch.len() as u64);
+                tuples.extend(batch);
                 observer(tuples.len() as u64, start.elapsed());
                 // Mid-fragment signals: reschedule and abort take effect
                 // immediately; replan waits for the materialization point.
@@ -316,10 +317,13 @@ mod tests {
         let l = b.wrapper_scan("L");
         let f = b.fragment(l, "out");
         let plan = b.build(f);
-        let rt = crate::runtime::PlanRuntime::for_plan(&plan, ExecEnv::new(registry(50)));
+        // batch size 10 → one observation per batch, five in total
+        let env = ExecEnv::new(registry(50)).with_batch_size(10);
+        let rt = crate::runtime::PlanRuntime::for_plan(&plan, env);
         let mut series = Vec::new();
         run_fragment_observed(&plan, f, &rt, &mut |n, d| series.push((n, d))).unwrap();
-        assert_eq!(series.len(), 50);
+        assert_eq!(series.len(), 5);
+        assert_eq!(series.last().unwrap().0, 50);
         assert!(series.windows(2).all(|w| w[0].0 < w[1].0 && w[0].1 <= w[1].1));
     }
 }

@@ -1,13 +1,15 @@
 //! # tukwila-exec
 //!
-//! The Tukwila query execution engine (§3.2–§4): a top-down, iterator-model
-//! engine whose adaptive behaviour is driven by event-condition-action rules.
+//! The Tukwila query execution engine (§3.2–§4): a top-down, batched
+//! iterator-model engine whose adaptive behaviour is driven by
+//! event-condition-action rules.
 //!
 //! Layers, bottom-up:
 //!
-//! * [`operator::Operator`] — the open/next/close iterator interface every
-//!   physical operator implements (§3.2: "the operator tree is executed
-//!   using the top-down iterator model").
+//! * [`operator::Operator`] — the open/next_batch/close interface every
+//!   physical operator implements (§3.2's top-down iterator model, moving
+//!   [`tukwila_common::TupleBatch`]es instead of single tuples so hot
+//!   paths amortize dispatch and channel overhead; see DESIGN.md §2).
 //! * [`runtime`] — the per-plan runtime shared by all operators: statistics
 //!   registry (the [`tukwila_plan::Quantity`] provider), activation /
 //!   overflow-method control cells, the event bus with the rule engine, and
@@ -31,5 +33,5 @@ pub(crate) mod test_support;
 
 pub use build::build_operator;
 pub use fragment::{run_fragment, run_fragment_observed, FragmentOutcome, FragmentReport};
-pub use operator::{Operator, OperatorBox};
+pub use operator::{drain, drain_batches, drain_tuples, Operator, OperatorBox, TupleCursor};
 pub use runtime::{EngineSignal, ExecEnv, OpHarness, PlanRuntime};

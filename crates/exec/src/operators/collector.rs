@@ -19,15 +19,15 @@ use std::time::{Duration, Instant};
 
 use crossbeam_channel::{bounded, Receiver, RecvTimeoutError, Sender};
 
-use tukwila_common::{Result, Schema, Tuple, TukwilaError};
+use tukwila_common::{Result, Schema, TukwilaError, TupleBatch};
 use tukwila_plan::{CollectorChildSpec, OpState, QuantityProvider, SubjectRef};
-use tukwila_source::SourceEvent;
+use tukwila_source::SourceBatchEvent;
 
 use crate::operator::Operator;
 use crate::runtime::OpHarness;
 
 enum ChildMsg {
-    Tuple(usize, Tuple),
+    Batch(usize, TupleBatch),
     End(usize),
     Error(usize, String),
 }
@@ -95,27 +95,30 @@ impl Collector {
         let wrapper = rt.env().sources.wrapper(&spec.source)?;
         let tx = self.tx.as_ref().unwrap().clone();
         let subject = SubjectRef::Op(spec.id);
+        let batch_size = rt.env().batch_size;
         let mut stream = wrapper.fetch();
         rt.register_cancel(subject, stream.cancel_handle());
         rt.set_state(subject, OpState::Open);
         self.children[idx].spawned = true;
         self.children[idx].last_activity = Instant::now();
+        // Each child hands its arrival bursts over as whole batches — one
+        // queue message per burst rather than per tuple.
         self.threads.push(std::thread::spawn(move || loop {
-            match stream.next_event() {
-                SourceEvent::Tuple(t) => {
-                    if tx.send(ChildMsg::Tuple(idx, t)).is_err() {
+            match stream.next_batch_event(batch_size) {
+                SourceBatchEvent::Batch(b) => {
+                    if tx.send(ChildMsg::Batch(idx, b)).is_err() {
                         return;
                     }
                 }
-                SourceEvent::End => {
+                SourceBatchEvent::End => {
                     let _ = tx.send(ChildMsg::End(idx));
                     return;
                 }
-                SourceEvent::Cancelled => {
+                SourceBatchEvent::Cancelled => {
                     let _ = tx.send(ChildMsg::End(idx));
                     return;
                 }
-                SourceEvent::Error(e) => {
+                SourceBatchEvent::Error(e) => {
                     let _ = tx.send(ChildMsg::Error(idx, e));
                     return;
                 }
@@ -205,7 +208,10 @@ impl Operator for Collector {
                 )));
             }
         }
-        let (tx, rx) = bounded::<ChildMsg>(256);
+        // Capacity is in *batches* (each message carries a whole arrival
+        // burst), so the in-flight bound scales with the batch size; 16
+        // batches keeps backpressure comparable to the tuple-era queue.
+        let (tx, rx) = bounded::<ChildMsg>(16);
         self.tx = Some(tx);
         self.rx = Some(rx);
         self.emitted = 0;
@@ -215,7 +221,7 @@ impl Operator for Collector {
         Ok(())
     }
 
-    fn next(&mut self) -> Result<Option<Tuple>> {
+    fn next_batch(&mut self) -> Result<Option<TupleBatch>> {
         if !self.opened {
             return Err(TukwilaError::Internal("Collector before open".into()));
         }
@@ -265,17 +271,24 @@ impl Operator for Collector {
                 Err(RecvTimeoutError::Disconnected) => return Ok(None),
             };
             match msg {
-                ChildMsg::Tuple(idx, t) => {
+                ChildMsg::Batch(idx, mut batch) => {
                     let subject = SubjectRef::Op(self.children[idx].spec.id);
                     if !rt.is_active(subject) {
-                        continue; // killed child: drop buffered tuples
+                        continue; // killed child: drop buffered batches
                     }
-                    self.children[idx].delivered += 1;
+                    if let Some(q) = self.quota {
+                        batch.truncate(q.saturating_sub(self.emitted));
+                        if batch.is_empty() {
+                            continue;
+                        }
+                    }
+                    let n = batch.len();
+                    self.children[idx].delivered += n;
                     self.children[idx].last_activity = Instant::now();
-                    rt.add_produced(subject, 1); // drives threshold(child, n)
-                    self.emitted += 1;
-                    self.harness.produced(1);
-                    return Ok(Some(t));
+                    rt.add_produced(subject, n as u64); // drives threshold(child, n)
+                    self.emitted += n;
+                    self.harness.produced(n as u64);
+                    return Ok(Some(batch));
                 }
                 ChildMsg::End(idx) => {
                     self.children[idx].done = true;
@@ -562,7 +575,7 @@ mod tests {
         );
         let mut c = collector_of(&fx);
         c.open().unwrap();
-        let err = match c.next() {
+        let err = match c.next_batch() {
             Ok(Some(_)) => panic!("no tuples expected"),
             Ok(None) => panic!("expected error"),
             Err(e) => e,

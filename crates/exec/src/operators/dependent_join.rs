@@ -6,10 +6,10 @@
 //! indexes it on the probe column, and probes per driving tuple — the same
 //! answers a binding-passing wrapper would return.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 
-use tukwila_common::{Result, Schema, Tuple, TukwilaError, Value};
-use tukwila_source::SourceEvent;
+use tukwila_common::{Result, Schema, Tuple, TukwilaError, TupleBatch, Value};
+use tukwila_source::SourceBatchEvent;
 
 use crate::operator::{Operator, OperatorBox};
 use crate::runtime::OpHarness;
@@ -24,7 +24,13 @@ pub struct DependentJoin {
     schema: Schema,
     bind_idx: usize,
     index: HashMap<Value, Vec<Tuple>>,
-    current: Vec<Tuple>,
+    /// Matches produced but not yet emitted (bounds output batches to the
+    /// configured capacity even for high-fanout probe keys).
+    pending: VecDeque<Tuple>,
+    /// Driving tuples received but not yet probed — probing stops as soon
+    /// as a full output block is ready, so `pending` stays bounded by
+    /// batch_size plus one key's fanout instead of a whole batch's.
+    driving: VecDeque<Tuple>,
     opened: bool,
 }
 
@@ -46,7 +52,8 @@ impl DependentJoin {
             schema: Schema::empty(),
             bind_idx: 0,
             index: HashMap::new(),
-            current: Vec::new(),
+            pending: VecDeque::new(),
+            driving: VecDeque::new(),
             opened: false,
         }
     }
@@ -60,20 +67,28 @@ impl Operator for DependentJoin {
         let probe_idx = wrapper.schema().index_of(&self.probe_col)?;
         self.schema = self.left.schema().concat(wrapper.schema());
         let mut stream = wrapper.fetch();
+        let max = self.harness.batch_size();
         loop {
-            match stream.next_event() {
-                SourceEvent::Tuple(t) => {
-                    let k = t.value(probe_idx).clone();
-                    if !k.is_null() {
-                        if let Some(r) = self.harness.reservation() {
-                            r.charge(t.mem_size());
+            match stream.next_batch_event(max) {
+                SourceBatchEvent::Batch(batch) => {
+                    let mut stored = 0usize;
+                    for t in batch {
+                        let k = t.value(probe_idx).clone();
+                        if !k.is_null() {
+                            stored += t.mem_size();
+                            self.index.entry(k).or_default().push(t);
                         }
-                        self.index.entry(k).or_default().push(t);
+                    }
+                    // One charge per batch for everything retained.
+                    if stored > 0 {
+                        if let Some(r) = self.harness.reservation() {
+                            r.charge(stored);
+                        }
                     }
                 }
-                SourceEvent::End => break,
-                SourceEvent::Cancelled => break,
-                SourceEvent::Error(reason) => {
+                SourceBatchEvent::End => break,
+                SourceBatchEvent::Cancelled => break,
+                SourceBatchEvent::Error(reason) => {
                     self.harness.failed();
                     return Err(TukwilaError::SourceUnavailable {
                         source: self.source.clone(),
@@ -87,25 +102,37 @@ impl Operator for DependentJoin {
         Ok(())
     }
 
-    fn next(&mut self) -> Result<Option<Tuple>> {
+    fn next_batch(&mut self) -> Result<Option<TupleBatch>> {
         if !self.opened {
             return Err(TukwilaError::Internal("DependentJoin before open".into()));
         }
+        // Probe buffered driving tuples one at a time into `pending` and
+        // emit in capacity-sized blocks: probing pauses the moment a full
+        // block exists, so a high-fanout key cannot balloon the buffer, and
+        // output is handed over before any (possibly blocking) input pull.
+        let max = self.harness.batch_size();
         loop {
-            if let Some(t) = self.current.pop() {
-                self.harness.produced(1);
-                return Ok(Some(t));
+            let block_ready = self.pending.len() >= max
+                || (!self.pending.is_empty() && self.driving.is_empty());
+            if block_ready {
+                let out = TupleBatch::fill_from_deque(&mut self.pending, max);
+                self.harness.produced(out.len() as u64);
+                return Ok(Some(out));
             }
-            match self.left.next()? {
-                Some(l) => {
-                    let k = l.value(self.bind_idx);
-                    if k.is_null() {
-                        continue;
-                    }
-                    if let Some(matches) = self.index.get(k) {
-                        self.current = matches.iter().map(|m| l.concat(m)).collect();
+            if let Some(l) = self.driving.pop_front() {
+                let k = l.value(self.bind_idx);
+                if k.is_null() {
+                    continue;
+                }
+                if let Some(matches) = self.index.get(k) {
+                    for m in matches {
+                        self.pending.push_back(l.concat(m));
                     }
                 }
+                continue;
+            }
+            match self.left.next_batch()? {
+                Some(batch) => self.driving.extend(batch),
                 None => return Ok(None),
             }
         }
@@ -124,6 +151,8 @@ impl Operator for DependentJoin {
                 );
             }
             self.index.clear();
+            self.pending.clear();
+            self.driving.clear();
             self.opened = false;
             self.harness.closed();
         }

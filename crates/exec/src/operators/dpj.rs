@@ -14,6 +14,12 @@
 //! threads blocking when their transfer queue fills — that backpressure is
 //! also how Incremental Left Flush "pauses" the left input.
 //!
+//! The transfer queues are **batched**: each channel message carries a
+//! whole [`TupleBatch`] from the child's batched pull, so fast sources pay
+//! one send/receive per block instead of per tuple, while slow sources
+//! still deliver singleton batches with unchanged latency (the queue
+//! capacity bounds in-flight *batches*).
+//!
 //! Memory overflow resolution (§4.2.3) implements both published
 //! strategies plus the naive baseline:
 //!
@@ -36,7 +42,7 @@ use std::thread::JoinHandle;
 
 use crossbeam_channel::{bounded, Receiver, Select};
 
-use tukwila_common::{Result, Schema, Tuple, TukwilaError};
+use tukwila_common::{Result, Schema, Tuple, TukwilaError, TupleBatch};
 use tukwila_plan::{OverflowMethod, QuantityProvider, SubjectRef};
 
 use crate::operator::{Operator, OperatorBox};
@@ -48,11 +54,12 @@ const RIGHT: usize = 1;
 
 /// Default number of hash buckets per side.
 const DEFAULT_BUCKETS: usize = 16;
-/// Default transfer queue capacity ("small tuple transfer queue", §4.2.2).
+/// Default transfer queue capacity, in batches ("small tuple transfer
+/// queue", §4.2.2 — one queue slot now holds one arrival burst).
 const DEFAULT_QUEUE_CAP: usize = 16;
 
 enum Msg {
-    Tuple(Tuple),
+    Batch(TupleBatch),
     End,
     Err(TukwilaError),
 }
@@ -85,6 +92,12 @@ pub struct DoublePipelinedJoin {
     done: [bool; 2],
     mode: ReadMode,
     pending: VecDeque<Tuple>,
+    /// Transferred tuples not yet joined (all from `staged_side`): the
+    /// output side joins them one at a time, pausing as soon as a full
+    /// output block is ready so `pending` stays bounded by batch_size plus
+    /// one tuple's fanout.
+    staged: VecDeque<Tuple>,
+    staged_side: usize,
     cleanup_next: usize,
     cleanup_active: bool,
     raised_oom: bool,
@@ -116,6 +129,8 @@ impl DoublePipelinedJoin {
             done: [false, false],
             mode: ReadMode::Both,
             pending: VecDeque::new(),
+            staged: VecDeque::new(),
+            staged_side: LEFT,
             cleanup_next: 0,
             cleanup_active: false,
             raised_oom: false,
@@ -139,6 +154,13 @@ impl DoublePipelinedJoin {
     pub fn with_descendants(mut self, subjects: Vec<SubjectRef>) -> Self {
         self.descendants = subjects;
         self
+    }
+
+    /// Move up to a block of pending output into a batch and account it.
+    fn emit_pending(&mut self, max: usize) -> TupleBatch {
+        let out = TupleBatch::fill_from_deque(&mut self.pending, max);
+        self.harness.produced(out.len() as u64);
+        out
     }
 
     fn handle_tuple(&mut self, side: usize, t: Tuple) -> Result<()> {
@@ -415,9 +437,9 @@ impl Operator for DoublePipelinedJoin {
             self.rx[side] = Some(rx);
             self.threads.push(std::thread::spawn(move || {
                 loop {
-                    match child.next() {
-                        Ok(Some(t)) => {
-                            if tx.send(Msg::Tuple(t)).is_err() {
+                    match child.next_batch() {
+                        Ok(Some(batch)) => {
+                            if tx.send(Msg::Batch(batch)).is_err() {
                                 break;
                             }
                         }
@@ -438,11 +460,17 @@ impl Operator for DoublePipelinedJoin {
         Ok(())
     }
 
-    fn next(&mut self) -> Result<Option<Tuple>> {
+    fn next_batch(&mut self) -> Result<Option<TupleBatch>> {
+        let max = self.harness.batch_size();
         loop {
-            if let Some(t) = self.pending.pop_front() {
-                self.harness.produced(1);
-                return Ok(Some(t));
+            if self.pending.len() >= max {
+                return Ok(Some(self.emit_pending(max)));
+            }
+            // Free work first: join tuples already transferred.
+            if let Some(t) = self.staged.pop_front() {
+                let side = self.staged_side;
+                self.handle_tuple(side, t)?;
+                continue;
             }
             if self.done[LEFT] && self.done[RIGHT] {
                 if !self.cleanup_active {
@@ -452,11 +480,21 @@ impl Operator for DoublePipelinedJoin {
                 if self.cleanup_step()? {
                     continue; // may have filled `pending`
                 }
-                return Ok(None);
+                if self.pending.is_empty() {
+                    return Ok(None);
+                }
+                return Ok(Some(self.emit_pending(max)));
+            }
+            // The next step blocks in receive — never hold output for it.
+            if !self.pending.is_empty() {
+                return Ok(Some(self.emit_pending(max)));
             }
             let (side, msg) = self.receive()?;
             match msg {
-                Msg::Tuple(t) => self.handle_tuple(side, t)?,
+                Msg::Batch(b) => {
+                    self.staged_side = side;
+                    self.staged.extend(b);
+                }
                 Msg::End => {
                     self.done[side] = true;
                     if side == RIGHT && self.mode == ReadMode::RightOnly {
@@ -479,6 +517,8 @@ impl Operator for DoublePipelinedJoin {
             t.clear();
         }
         self.tables.clear();
+        self.pending.clear();
+        self.staged.clear();
         self.harness.closed();
         Ok(())
     }
@@ -596,7 +636,7 @@ mod tests {
         let mut op = dpj_for(&fx);
         op.open().unwrap();
         let err = loop {
-            match op.next() {
+            match op.next_batch() {
                 Ok(Some(_)) => {}
                 Ok(None) => panic!("expected OOM"),
                 Err(e) => break e,
@@ -689,10 +729,10 @@ mod tests {
         let time_to_first = |op: &mut dyn Operator| {
             let start = Instant::now();
             op.open().unwrap();
-            let first = op.next().unwrap();
+            let first = op.next_batch().unwrap();
             assert!(first.is_some());
             let elapsed = start.elapsed();
-            while op.next().unwrap().is_some() {}
+            while op.next_batch().unwrap().is_some() {}
             op.close().unwrap();
             elapsed
         };
@@ -731,7 +771,7 @@ mod tests {
         let mut op = dpj_for(&fx);
         op.open().unwrap();
         let err = loop {
-            match op.next() {
+            match op.next_batch() {
                 Ok(Some(_)) => {}
                 Ok(None) => panic!("expected error"),
                 Err(e) => break e,
@@ -796,7 +836,7 @@ mod tests {
         );
         let mut op = dpj_for(&fx);
         op.open().unwrap();
-        let _ = op.next().unwrap();
+        let _ = op.next_batch().unwrap();
         let start = Instant::now();
         op.close().unwrap();
         assert!(

@@ -1,6 +1,6 @@
 //! Selection operator.
 
-use tukwila_common::{Result, Schema, Tuple};
+use tukwila_common::{Result, Schema, TupleBatch};
 use tukwila_plan::Predicate;
 
 use crate::operator::{Operator, OperatorBox};
@@ -37,15 +37,23 @@ impl Operator for Filter {
         Ok(())
     }
 
-    fn next(&mut self) -> Result<Option<Tuple>> {
+    fn next_batch(&mut self) -> Result<Option<TupleBatch>> {
         let compiled = self
             .compiled
             .as_ref()
             .ok_or_else(|| tukwila_common::TukwilaError::Internal("Filter before open".into()))?;
-        while let Some(t) = self.input.next()? {
-            if compiled.matches(&t) {
-                self.harness.produced(1);
-                return Ok(Some(t));
+        // Filter each input batch in place; skip batches that filter to
+        // nothing (the contract forbids emitting empty batches).
+        while let Some(batch) = self.input.next_batch()? {
+            let mut out = TupleBatch::with_capacity(batch.len());
+            for t in batch {
+                if compiled.matches(&t) {
+                    out.push(t);
+                }
+            }
+            if !out.is_empty() {
+                self.harness.produced(out.len() as u64);
+                return Ok(Some(out));
             }
         }
         Ok(None)

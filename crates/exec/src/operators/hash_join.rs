@@ -10,7 +10,7 @@
 
 use std::collections::VecDeque;
 
-use tukwila_common::{Result, Schema, Tuple, TukwilaError};
+use tukwila_common::{Result, Schema, Tuple, TukwilaError, TupleBatch};
 use tukwila_storage::SpillBucket;
 
 use crate::operator::{Operator, OperatorBox};
@@ -44,6 +44,10 @@ pub struct HashJoinOp {
     build: Option<BucketedTable>,
     probe_spill: Vec<Option<SpillBucket>>,
     pending: VecDeque<Tuple>,
+    /// Probe tuples received but not yet probed — probing pauses once a
+    /// full output block is ready, bounding `pending` to batch_size plus a
+    /// single probe tuple's fanout.
+    probe_queue: VecDeque<Tuple>,
     phase: Phase,
     raised_oom: bool,
 }
@@ -94,6 +98,7 @@ impl HashJoinOp {
             build: None,
             probe_spill: Vec::new(),
             pending: VecDeque::new(),
+            probe_queue: VecDeque::new(),
             phase: Phase::Build,
             raised_oom: false,
         }
@@ -138,18 +143,20 @@ impl HashJoinOp {
                 build.flush_bucket(b)?;
             }
         }
-        while let Some(t) = self.right.next()? {
-            let key = t.value(self.rkey).clone();
-            if key.is_null() {
-                continue;
-            }
-            let build = self.build.as_mut().unwrap();
-            let b = build.bucket_for(&key);
-            if build.is_flushed(b) {
-                build.spill_new(b, &t)?;
-            } else {
-                build.insert(key, t);
-                self.resolve_overflow()?;
+        while let Some(batch) = self.right.next_batch()? {
+            for t in batch {
+                let key = t.value(self.rkey).clone();
+                if key.is_null() {
+                    continue;
+                }
+                let build = self.build.as_mut().unwrap();
+                let b = build.bucket_for(&key);
+                if build.is_flushed(b) {
+                    build.spill_new(b, &t)?;
+                } else {
+                    build.insert(key, t);
+                    self.resolve_overflow()?;
+                }
             }
         }
         Ok(())
@@ -241,20 +248,39 @@ impl Operator for HashJoinOp {
         Ok(())
     }
 
-    fn next(&mut self) -> Result<Option<Tuple>> {
+    fn next_batch(&mut self) -> Result<Option<TupleBatch>> {
+        let max = self.harness.batch_size();
         loop {
-            if let Some(t) = self.pending.pop_front() {
-                self.harness.produced(1);
-                return Ok(Some(t));
+            // Emit once a full block exists, or when output is pending and
+            // the next step would pull (possibly blocking) probe input.
+            let block_ready = self.pending.len() >= max
+                || (!self.pending.is_empty()
+                    && match self.phase {
+                        Phase::Probe => self.probe_queue.is_empty(),
+                        Phase::Done => true,
+                        _ => false, // cleanup steps are local; keep filling
+                    });
+            if block_ready {
+                let out = TupleBatch::fill_from_deque(&mut self.pending, max);
+                self.harness.produced(out.len() as u64);
+                return Ok(Some(out));
             }
             match self.phase {
                 Phase::Build => {
-                    return Err(TukwilaError::Internal("HashJoin::next before open".into()))
+                    return Err(TukwilaError::Internal(
+                        "HashJoin::next_batch before open".into(),
+                    ))
                 }
-                Phase::Probe => match self.left.next()? {
-                    Some(t) => self.probe_one(t)?,
-                    None => self.phase = Phase::Cleanup(0),
-                },
+                Phase::Probe => {
+                    if let Some(t) = self.probe_queue.pop_front() {
+                        self.probe_one(t)?;
+                    } else {
+                        match self.left.next_batch()? {
+                            Some(batch) => self.probe_queue.extend(batch),
+                            None => self.phase = Phase::Cleanup(0),
+                        }
+                    }
+                }
                 Phase::Cleanup(b) => {
                     if b >= self.num_buckets {
                         self.phase = Phase::Done;
@@ -273,6 +299,8 @@ impl Operator for HashJoinOp {
         self.right.close()?;
         if let Some(mut b) = self.build.take() {
             b.clear();
+            self.pending.clear();
+            self.probe_queue.clear();
             self.harness.closed();
         }
         Ok(())

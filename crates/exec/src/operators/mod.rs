@@ -5,6 +5,8 @@
 //! operators: the double pipelined join ([`dpj`]) and the dynamic collector
 //! ([`collector`]).
 
+#[cfg(test)]
+mod batch_tests;
 pub mod collector;
 pub mod dependent_join;
 pub mod dpj;

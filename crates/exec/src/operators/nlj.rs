@@ -5,9 +5,9 @@
 //! inner table to be transmitted initially before pipelining begins." That
 //! blocking behaviour is exactly what we measure against.
 
-use tukwila_common::{Result, Schema, Tuple, TukwilaError};
+use tukwila_common::{Result, Schema, Tuple, TukwilaError, TupleBatch};
 
-use crate::operator::{Operator, OperatorBox};
+use crate::operator::{Operator, OperatorBox, TupleCursor};
 use crate::runtime::OpHarness;
 
 /// Equi-join by scanning the fully buffered inner relation per outer tuple.
@@ -22,6 +22,7 @@ pub struct NestedLoopsJoin {
     left_key_idx: usize,
     right_key_idx: usize,
     inner: Vec<Tuple>,
+    left_cursor: TupleCursor,
     current_left: Option<Tuple>,
     inner_pos: usize,
     opened: bool,
@@ -46,11 +47,47 @@ impl NestedLoopsJoin {
             left_key_idx: 0,
             right_key_idx: 0,
             inner: Vec::new(),
+            left_cursor: TupleCursor::new(),
             current_left: None,
             inner_pos: 0,
             opened: false,
         }
     }
+
+    /// Advance the join by one result. With `may_pull == false`, refuses to
+    /// pull a fresh outer batch (which can block on a slow source) and
+    /// reports `WouldBlock` instead; scanning the in-memory inner and
+    /// cursor-buffered outer tuples is always free.
+    fn step(&mut self, may_pull: bool) -> Result<Step> {
+        loop {
+            if self.current_left.is_none() {
+                if !may_pull && !self.left_cursor.has_buffered() {
+                    return Ok(Step::WouldBlock);
+                }
+                self.current_left = self.left_cursor.next(self.left.as_mut())?;
+                self.inner_pos = 0;
+                if self.current_left.is_none() {
+                    return Ok(Step::End);
+                }
+            }
+            let l = self.current_left.as_ref().unwrap();
+            let lk = l.value(self.left_key_idx);
+            while self.inner_pos < self.inner.len() {
+                let r = &self.inner[self.inner_pos];
+                self.inner_pos += 1;
+                if lk.sql_eq(r.value(self.right_key_idx)) == Some(true) {
+                    return Ok(Step::Match(l.concat(r)));
+                }
+            }
+            self.current_left = None;
+        }
+    }
+}
+
+enum Step {
+    Match(Tuple),
+    WouldBlock,
+    End,
 }
 
 impl Operator for NestedLoopsJoin {
@@ -60,44 +97,38 @@ impl Operator for NestedLoopsJoin {
         self.left_key_idx = self.left.schema().index_of(&self.left_key)?;
         self.right_key_idx = self.right.schema().index_of(&self.right_key)?;
         self.schema = self.left.schema().concat(self.right.schema());
-        // Block: buffer the entire inner relation.
+        // Block: buffer the entire inner relation, batch by batch.
         self.inner.clear();
-        while let Some(t) = self.right.next()? {
+        while let Some(batch) = self.right.next_batch()? {
             if let Some(r) = self.harness.reservation() {
-                r.charge(t.mem_size());
+                r.charge(batch.mem_size());
             }
-            self.inner.push(t);
+            self.inner.extend(batch);
         }
         self.opened = true;
         self.harness.opened();
         Ok(())
     }
 
-    fn next(&mut self) -> Result<Option<Tuple>> {
+    fn next_batch(&mut self) -> Result<Option<TupleBatch>> {
         if !self.opened {
             return Err(TukwilaError::Internal("NLJ before open".into()));
         }
-        loop {
-            if self.current_left.is_none() {
-                self.current_left = self.left.next()?;
-                self.inner_pos = 0;
-                if self.current_left.is_none() {
-                    return Ok(None);
-                }
+        let mut out = TupleBatch::with_capacity(self.harness.batch_size());
+        while !out.is_full() {
+            // Once output exists, a batch is never held back to fill: only
+            // free work (inner scan, cursor-buffered outer tuples) may
+            // extend it; a blocking pull ends the batch instead.
+            match self.step(out.is_empty())? {
+                Step::Match(t) => out.push(t),
+                Step::WouldBlock | Step::End => break,
             }
-            let l = self.current_left.as_ref().unwrap();
-            let lk = l.value(self.left_key_idx);
-            while self.inner_pos < self.inner.len() {
-                let r = &self.inner[self.inner_pos];
-                self.inner_pos += 1;
-                if lk.sql_eq(r.value(self.right_key_idx)) == Some(true) {
-                    let out = l.concat(r);
-                    self.harness.produced(1);
-                    return Ok(Some(out));
-                }
-            }
-            self.current_left = None;
         }
+        if out.is_empty() {
+            return Ok(None);
+        }
+        self.harness.produced(out.len() as u64);
+        Ok(Some(out))
     }
 
     fn close(&mut self) -> Result<()> {

@@ -1,6 +1,6 @@
 //! Projection operator.
 
-use tukwila_common::{Result, Schema, Tuple, TukwilaError};
+use tukwila_common::{Result, Schema, TukwilaError, TupleBatch};
 
 use crate::operator::{Operator, OperatorBox};
 use crate::runtime::OpHarness;
@@ -44,14 +44,18 @@ impl Operator for Project {
         Ok(())
     }
 
-    fn next(&mut self) -> Result<Option<Tuple>> {
+    fn next_batch(&mut self) -> Result<Option<TupleBatch>> {
         if !self.opened {
             return Err(TukwilaError::Internal("Project before open".into()));
         }
-        match self.input.next()? {
-            Some(t) => {
-                self.harness.produced(1);
-                Ok(Some(t.project(&self.indices)))
+        match self.input.next_batch()? {
+            Some(batch) => {
+                let mut out = TupleBatch::with_capacity(batch.len());
+                for t in batch.iter() {
+                    out.push(t.project(&self.indices));
+                }
+                self.harness.produced(out.len() as u64);
+                Ok(Some(out))
             }
             None => Ok(None),
         }

@@ -3,7 +3,7 @@
 
 use std::sync::Arc;
 
-use tukwila_common::{Relation, Result, Schema, Tuple, TukwilaError};
+use tukwila_common::{Relation, Result, Schema, TukwilaError, TupleBatch};
 
 use crate::operator::Operator;
 use crate::runtime::OpHarness;
@@ -40,21 +40,25 @@ impl Operator for TableScan {
         Ok(())
     }
 
-    fn next(&mut self) -> Result<Option<Tuple>> {
+    fn next_batch(&mut self) -> Result<Option<TupleBatch>> {
         let rel = self
             .relation
             .as_ref()
-            .ok_or_else(|| TukwilaError::Internal("TableScan::next before open".into()))?;
+            .ok_or_else(|| TukwilaError::Internal("TableScan::next_batch before open".into()))?;
         if !self.harness.is_active() {
             return Ok(None);
         }
         if self.pos >= rel.len() {
             return Ok(None);
         }
-        let t = rel.tuples()[self.pos].clone();
-        self.pos += 1;
-        self.harness.produced(1);
-        Ok(Some(t))
+        let end = (self.pos + self.harness.batch_size()).min(rel.len());
+        let mut batch = TupleBatch::with_capacity(end - self.pos);
+        for t in &rel.tuples()[self.pos..end] {
+            batch.push(t.clone());
+        }
+        self.pos = end;
+        self.harness.produced(batch.len() as u64);
+        Ok(Some(batch))
     }
 
     fn close(&mut self) -> Result<()> {
@@ -82,13 +86,13 @@ mod tests {
     use tukwila_plan::{PlanBuilder, SubjectRef};
     use tukwila_source::SourceRegistry;
 
-    fn setup(rows: i64) -> (OpHarness, tukwila_plan::OpId) {
+    fn setup_bs(rows: i64, batch_size: usize) -> (OpHarness, tukwila_plan::OpId) {
         let mut b = PlanBuilder::new();
         let scan = b.table_scan("t");
         let id = scan.id;
         let f = b.fragment(scan, "out");
         let plan = b.build(f);
-        let env = ExecEnv::new(SourceRegistry::new());
+        let env = ExecEnv::new(SourceRegistry::new()).with_batch_size(batch_size);
         let schema = Schema::of("t", &[("a", DataType::Int)]);
         let mut rel = Relation::empty(schema);
         for i in 0..rows {
@@ -97,6 +101,10 @@ mod tests {
         env.local.put("t", rel);
         let rt = PlanRuntime::for_plan(&plan, env);
         (OpHarness::new(rt, SubjectRef::Op(id)), id)
+    }
+
+    fn setup(rows: i64) -> (OpHarness, tukwila_plan::OpId) {
+        setup_bs(rows, tukwila_common::DEFAULT_BATCH_CAPACITY)
     }
 
     #[test]
@@ -110,6 +118,15 @@ mod tests {
     }
 
     #[test]
+    fn emits_batches_of_configured_size() {
+        let (h, _) = setup_bs(25, 10);
+        let mut op = TableScan::new("t".into(), h);
+        let batches = crate::operator::drain_batches(&mut op).unwrap();
+        let sizes: Vec<usize> = batches.iter().map(|b| b.len()).collect();
+        assert_eq!(sizes, vec![10, 10, 5]);
+    }
+
+    #[test]
     fn missing_table_errors_at_open() {
         let (h, _) = setup(1);
         let mut op = TableScan::new("nope".into(), h);
@@ -118,12 +135,12 @@ mod tests {
 
     #[test]
     fn deactivated_scan_stops() {
-        let (h, id) = setup(100);
+        let (h, id) = setup_bs(100, 10);
         let rt = h.runtime().clone();
         let mut op = TableScan::new("t".into(), h);
         op.open().unwrap();
-        assert!(op.next().unwrap().is_some());
+        assert_eq!(op.next_batch().unwrap().map(|b| b.len()), Some(10));
         rt.deactivate(SubjectRef::Op(id));
-        assert!(op.next().unwrap().is_none());
+        assert!(op.next_batch().unwrap().is_none());
     }
 }

@@ -7,7 +7,7 @@
 
 use std::cmp::Ordering;
 
-use tukwila_common::{Result, Schema, Tuple, TukwilaError};
+use tukwila_common::{Result, Schema, Tuple, TukwilaError, TupleBatch};
 
 use crate::operator::{Operator, OperatorBox};
 use crate::runtime::OpHarness;
@@ -98,6 +98,27 @@ impl SortMergeJoin {
         }
         None
     }
+
+    /// Next single join result from the merge state.
+    fn next_pair(&mut self) -> Option<Tuple> {
+        loop {
+            if let Some((_lstart, lend, rstart, rend)) = self.group {
+                let (gl, gr) = self.gpos;
+                if gl < lend {
+                    let out = self.lrun[gl].concat(&self.rrun[gr]);
+                    // advance cartesian position
+                    if gr + 1 < rend {
+                        self.gpos = (gl, gr + 1);
+                    } else {
+                        self.gpos = (gl + 1, rstart);
+                    }
+                    return Some(out);
+                }
+                self.group = None;
+            }
+            self.advance_group()?;
+        }
+    }
 }
 
 impl Operator for SortMergeJoin {
@@ -107,11 +128,11 @@ impl Operator for SortMergeJoin {
         self.lkey = self.left.schema().index_of(&self.left_key)?;
         self.rkey = self.right.schema().index_of(&self.right_key)?;
         self.schema = self.left.schema().concat(self.right.schema());
-        while let Some(t) = self.left.next()? {
-            self.lrun.push(t);
+        while let Some(batch) = self.left.next_batch()? {
+            self.lrun.extend(batch);
         }
-        while let Some(t) = self.right.next()? {
-            self.rrun.push(t);
+        while let Some(batch) = self.right.next_batch()? {
+            self.rrun.extend(batch);
         }
         let lk = self.lkey;
         let rk = self.rkey;
@@ -128,30 +149,22 @@ impl Operator for SortMergeJoin {
         Ok(())
     }
 
-    fn next(&mut self) -> Result<Option<Tuple>> {
+    fn next_batch(&mut self) -> Result<Option<TupleBatch>> {
         if !self.opened {
             return Err(TukwilaError::Internal("SMJ before open".into()));
         }
-        loop {
-            if let Some((_lstart, lend, rstart, rend)) = self.group {
-                let (gl, gr) = self.gpos;
-                if gl < lend {
-                    let out = self.lrun[gl].concat(&self.rrun[gr]);
-                    // advance cartesian position
-                    if gr + 1 < rend {
-                        self.gpos = (gl, gr + 1);
-                    } else {
-                        self.gpos = (gl + 1, rstart);
-                    }
-                    self.harness.produced(1);
-                    return Ok(Some(out));
-                }
-                self.group = None;
-            }
-            if self.advance_group().is_none() {
-                return Ok(None);
+        let mut out = TupleBatch::with_capacity(self.harness.batch_size());
+        while !out.is_full() {
+            match self.next_pair() {
+                Some(t) => out.push(t),
+                None => break,
             }
         }
+        if out.is_empty() {
+            return Ok(None);
+        }
+        self.harness.produced(out.len() as u64);
+        Ok(Some(out))
     }
 
     fn close(&mut self) -> Result<()> {

@@ -3,7 +3,7 @@
 //! for handling errors or for deciding to ignore slow mirror data
 //! sources").
 
-use tukwila_common::{Result, Schema, Tuple, TukwilaError};
+use tukwila_common::{Result, Schema, TukwilaError, TupleBatch};
 
 use crate::operator::{Operator, OperatorBox};
 use crate::runtime::OpHarness;
@@ -56,14 +56,15 @@ impl Operator for UnionAll {
         Ok(())
     }
 
-    fn next(&mut self) -> Result<Option<Tuple>> {
+    fn next_batch(&mut self) -> Result<Option<TupleBatch>> {
         if !self.opened {
             return Err(TukwilaError::Internal("UnionAll before open".into()));
         }
+        // Forward each child's batches unchanged — zero per-tuple work.
         while self.current < self.inputs.len() {
-            if let Some(t) = self.inputs[self.current].next()? {
-                self.harness.produced(1);
-                return Ok(Some(t));
+            if let Some(batch) = self.inputs[self.current].next_batch()? {
+                self.harness.produced(batch.len() as u64);
+                return Ok(Some(batch));
             }
             self.current += 1;
         }

@@ -6,11 +6,16 @@
 //! stops responding (feeding the rescheduling rules of query scrambling)
 //! and `error` events when the connection fails (feeding collector
 //! fallback policies).
+//!
+//! Delivery is batched: the wrapper hands over each arrival *burst* as one
+//! [`TupleBatch`] (blocking only for the first tuple of a burst), so a fast
+//! source costs one handoff per block while a slow source still delivers
+//! its first tuple as early as the tuple-at-a-time engine did.
 
 use std::time::Duration;
 
-use tukwila_common::{Result, Schema, Tuple, TukwilaError};
-use tukwila_source::{SourceEvent, WrapperStream};
+use tukwila_common::{Result, Schema, TukwilaError, TupleBatch};
+use tukwila_source::{SourceBatchEvent, WrapperStream};
 
 use crate::operator::Operator;
 use crate::runtime::OpHarness;
@@ -65,14 +70,15 @@ impl Operator for WrapperScan {
         Ok(())
     }
 
-    fn next(&mut self) -> Result<Option<Tuple>> {
+    fn next_batch(&mut self) -> Result<Option<TupleBatch>> {
         if self.finished {
             return Ok(None);
         }
+        let max = self.harness.batch_size();
         let stream = self
             .stream
             .as_mut()
-            .ok_or_else(|| TukwilaError::Internal("WrapperScan::next before open".into()))?;
+            .ok_or_else(|| TukwilaError::Internal("WrapperScan::next_batch before open".into()))?;
         loop {
             if !self.harness.is_active() {
                 self.finished = true;
@@ -80,7 +86,7 @@ impl Operator for WrapperScan {
             }
             let event = match self.timeout_ms {
                 Some(ms) => {
-                    match stream.next_event_timeout(Duration::from_millis(ms)) {
+                    match stream.next_batch_event_timeout(max, Duration::from_millis(ms)) {
                         Some(ev) => ev,
                         None => {
                             // Source has not responded in `ms` msec: raise the
@@ -98,25 +104,25 @@ impl Operator for WrapperScan {
                         }
                     }
                 }
-                None => stream.next_event(),
+                None => stream.next_batch_event(max),
             };
             match event {
-                SourceEvent::Tuple(t) => {
-                    self.harness.produced(1);
-                    return Ok(Some(t));
+                SourceBatchEvent::Batch(batch) => {
+                    self.harness.produced(batch.len() as u64);
+                    return Ok(Some(batch));
                 }
-                SourceEvent::End => {
+                SourceBatchEvent::End => {
                     self.finished = true;
                     self.harness.closed();
                     return Ok(None);
                 }
-                SourceEvent::Cancelled => {
+                SourceBatchEvent::Cancelled => {
                     // Deactivated mid-wait: end quietly (the rule that
                     // cancelled us decides what happens next).
                     self.finished = true;
                     return Ok(None);
                 }
-                SourceEvent::Error(reason) => {
+                SourceBatchEvent::Error(reason) => {
                     self.finished = true;
                     self.harness.failed();
                     return Err(TukwilaError::SourceUnavailable {
@@ -145,7 +151,7 @@ impl Operator for WrapperScan {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::operator::drain;
+    use crate::operator::{drain, TupleCursor};
     use crate::runtime::{ExecEnv, PlanRuntime};
     use std::sync::Arc;
     use tukwila_common::{tuple, DataType, Relation};
@@ -195,9 +201,10 @@ mod tests {
     fn source_error_fails_scan_and_emits_event() {
         let (mut op, rt, id) = setup(LinkModel::failing(3), None, None);
         op.open().unwrap();
+        let mut cursor = TupleCursor::new();
         let mut n = 0;
         let err = loop {
-            match op.next() {
+            match cursor.next(&mut op) {
                 Ok(Some(_)) => n += 1,
                 Ok(None) => panic!("expected error"),
                 Err(e) => break e,
@@ -217,11 +224,12 @@ mod tests {
         let rule = Rule::reschedule_on_timeout(rule_frag, tukwila_plan::OpId(0));
         let (mut op, rt, id) = setup(LinkModel::stalling(2), Some(30), Some(rule));
         op.open().unwrap();
-        assert!(op.next().unwrap().is_some());
-        assert!(op.next().unwrap().is_some());
+        let mut cursor = TupleCursor::new();
+        assert!(cursor.next(&mut op).unwrap().is_some());
+        assert!(cursor.next(&mut op).unwrap().is_some());
         // Third tuple stalls forever; after ~30ms the timeout fires, the
         // reschedule rule raises the signal, and the scan errors out.
-        let err = op.next().unwrap_err();
+        let err = cursor.next(&mut op).unwrap_err();
         assert_eq!(err.kind(), "source_timeout");
         assert!(rt
             .event_log()
@@ -242,9 +250,10 @@ mod tests {
         );
         let (mut op, rt, _) = setup(LinkModel::stalling(1), Some(25), Some(rule));
         op.open().unwrap();
-        assert!(op.next().unwrap().is_some());
+        let mut cursor = TupleCursor::new();
+        assert!(cursor.next(&mut op).unwrap().is_some());
         // stall → timeout → deactivate → scan ends with None, no error
-        assert!(op.next().unwrap().is_none());
+        assert!(cursor.next(&mut op).unwrap().is_none());
         assert!(!rt.signal_pending());
     }
 

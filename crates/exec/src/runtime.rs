@@ -44,22 +44,32 @@ pub struct ExecEnv {
     pub local: LocalStore,
     /// Live data sources.
     pub sources: SourceRegistry,
+    /// Target tuples per [`tukwila_common::TupleBatch`] exchanged between
+    /// operators and across the wrapper boundary.
+    pub batch_size: usize,
 }
 
 impl ExecEnv {
-    /// Environment with in-memory spill storage.
+    /// Environment with in-memory spill storage and the default batch size.
     pub fn new(sources: SourceRegistry) -> Self {
         ExecEnv {
             memory: MemoryManager::new(),
             spill: Arc::new(InMemorySpillStore::new()),
             local: LocalStore::new(),
             sources,
+            batch_size: tukwila_common::DEFAULT_BATCH_CAPACITY,
         }
     }
 
     /// Replace the spill store (e.g. with a file-backed one).
     pub fn with_spill(mut self, spill: Arc<dyn SpillStore>) -> Self {
         self.spill = spill;
+        self
+    }
+
+    /// Override the operator batch size (1 = tuple-at-a-time execution).
+    pub fn with_batch_size(mut self, batch_size: usize) -> Self {
+        self.batch_size = batch_size.max(1);
         self
     }
 }
@@ -572,8 +582,15 @@ impl OpHarness {
     }
 
     /// Record produced tuples (emits threshold events at milestones).
+    /// Batched operators call this once per emitted batch.
     pub fn produced(&self, n: u64) {
         self.rt.add_produced(self.subject, n);
+    }
+
+    /// The engine's configured batch capacity — how many tuples this
+    /// operator should aim to put in each output batch.
+    pub fn batch_size(&self) -> usize {
+        self.rt.env().batch_size
     }
 
     /// Emit a timeout event (`value` = configured timeout in ms).

@@ -71,6 +71,14 @@ impl JoinFixture {
         }
     }
 
+    /// Rebuild the runtime with a different operator batch size (1 =
+    /// tuple-at-a-time), keeping plan and sources.
+    pub fn with_batch_size(mut self, n: usize) -> Self {
+        let env = ExecEnv::new(self.rt.env().sources.clone()).with_batch_size(n);
+        self.rt = PlanRuntime::for_plan(&self.plan, env);
+        self
+    }
+
     pub fn harness(&self, id: OpId) -> OpHarness {
         OpHarness::new(self.rt.clone(), SubjectRef::Op(id))
     }

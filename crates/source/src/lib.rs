@@ -27,7 +27,7 @@ pub mod wrapper;
 
 pub use link::LinkModel;
 pub use registry::SourceRegistry;
-pub use source::{SimulatedSource, SourceConnection, SourceEvent};
+pub use source::{SimulatedSource, SourceBatchEvent, SourceConnection, SourceEvent};
 pub use wrapper::{Wrapper, WrapperStream};
 
 use std::sync::atomic::{AtomicBool, Ordering};

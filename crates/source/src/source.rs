@@ -12,7 +12,7 @@ use std::time::Duration;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use tukwila_common::{Relation, Schema, Tuple};
+use tukwila_common::{BatchBuilder, Relation, Schema, Tuple, TupleBatch};
 
 use crate::link::LinkModel;
 use crate::interruptible_sleep;
@@ -29,6 +29,33 @@ pub enum SourceEvent {
     Error(String),
     /// The pull was cancelled via the cancel flag before data arrived.
     Cancelled,
+}
+
+/// Batch-granularity variant of [`SourceEvent`]: the wrapper delivery path
+/// hands over arrival *bursts* as [`TupleBatch`]es instead of per-tuple
+/// events.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SourceBatchEvent {
+    /// One or more tuples arrived together (never empty).
+    Batch(TupleBatch),
+    /// The stream finished normally.
+    End,
+    /// The connection failed permanently.
+    Error(String),
+    /// The pull was cancelled before data arrived.
+    Cancelled,
+}
+
+impl SourceBatchEvent {
+    /// Lift a per-tuple event into the batch domain.
+    pub fn from_event(ev: SourceEvent) -> Self {
+        match ev {
+            SourceEvent::Tuple(t) => SourceBatchEvent::Batch(TupleBatch::singleton(t)),
+            SourceEvent::End => SourceBatchEvent::End,
+            SourceEvent::Error(e) => SourceBatchEvent::Error(e),
+            SourceEvent::Cancelled => SourceBatchEvent::Cancelled,
+        }
+    }
 }
 
 /// A simulated remote data source.
@@ -144,6 +171,9 @@ impl SourceConnection {
     /// Block until the next tuple arrives (per the link model) and return
     /// it. Returns [`SourceEvent::End`] at stream end, `Error` on injected
     /// failure, `Cancelled` if the cancel flag was raised mid-wait.
+    ///
+    /// KEEP IN LOCKSTEP with [`SourceConnection::ready_now`]: any new delay
+    /// or terminal condition added here must be mirrored there.
     pub fn next_event(&mut self) -> SourceEvent {
         if self.cancel.load(Ordering::Relaxed) {
             return SourceEvent::Cancelled;
@@ -198,6 +228,75 @@ impl SourceConnection {
         let t = self.relation.tuples()[self.pos].clone();
         self.pos += 1;
         SourceEvent::Tuple(t)
+    }
+
+    /// Whether the next tuple would arrive without any waiting: the stream
+    /// has started, no terminal/stall/burst-gap/service delay is due at the
+    /// current position. This is what makes a burst a burst — tuples that
+    /// have effectively "already arrived on the wire" are handed over
+    /// together, while any tuple that requires waiting ends the batch.
+    ///
+    /// KEEP IN LOCKSTEP with [`SourceConnection::next_event`]: every sleep
+    /// or terminal condition there must be mirrored here, or
+    /// `next_batch_event` silently sleeps mid-burst (the behavioral tests
+    /// `paced_link_delivers_singletons` / `burst_gap_ends_batches` /
+    /// `batch_stops_at_stall` pin each knob).
+    fn ready_now(&self) -> bool {
+        if self.cancel.load(Ordering::Relaxed) || !self.started {
+            return false;
+        }
+        if let Some(f) = self.link.fail_after {
+            if self.pos >= f {
+                return false;
+            }
+        }
+        if self.pos >= self.relation.len() {
+            return false;
+        }
+        if self.link.stall_after == Some(self.pos) {
+            return false;
+        }
+        let burst_gap_due = self.pos > 0
+            && self.link.burst_size != usize::MAX
+            && self.link.burst_size > 0
+            && self.pos.is_multiple_of(self.link.burst_size)
+            && !self.link.burst_gap.is_zero();
+        if burst_gap_due {
+            return false;
+        }
+        self.link.per_tuple.is_zero()
+    }
+
+    /// Block until data arrives, then hand over the whole arrival burst (up
+    /// to `max` tuples): the first tuple is pulled with the full link-model
+    /// wait; subsequent tuples join the batch only while they are available
+    /// without *any* further waiting. Terminal conditions encountered
+    /// mid-burst are left for the next call, so `End`/`Error`/`Cancelled`
+    /// surface on their own (sticky) pull exactly as in the per-tuple API.
+    pub fn next_batch_event(&mut self, max: usize) -> SourceBatchEvent {
+        let first = match self.next_event() {
+            SourceEvent::Tuple(t) => t,
+            other => return SourceBatchEvent::from_event(other),
+        };
+        let mut builder = BatchBuilder::new(max);
+        if let Some(full) = builder.push(first) {
+            return SourceBatchEvent::Batch(full);
+        }
+        while self.ready_now() {
+            // `ready_now` guarantees every sleep in `next_event` is zero.
+            match self.next_event() {
+                SourceEvent::Tuple(t) => {
+                    if let Some(full) = builder.push(t) {
+                        return SourceBatchEvent::Batch(full);
+                    }
+                }
+                _ => break, // unreachable given ready_now, but stay safe
+            }
+        }
+        match builder.finish() {
+            Some(batch) => SourceBatchEvent::Batch(batch),
+            None => SourceBatchEvent::End, // unreachable: `first` was pushed
+        }
     }
 
     /// Drain the remaining stream into a vector (tests; ignores delays'
@@ -307,6 +406,103 @@ mod tests {
         assert_eq!(conn.next_event(), SourceEvent::End);
         assert_eq!(conn.next_event(), SourceEvent::End);
         assert_eq!(conn.delivered(), 1);
+    }
+
+    #[test]
+    fn instant_link_delivers_full_bursts() {
+        let src = SimulatedSource::new("s", rel(100), LinkModel::instant());
+        let mut conn = src.connect(0);
+        match conn.next_batch_event(64) {
+            SourceBatchEvent::Batch(b) => assert_eq!(b.len(), 64),
+            other => panic!("unexpected {other:?}"),
+        }
+        match conn.next_batch_event(64) {
+            SourceBatchEvent::Batch(b) => assert_eq!(b.len(), 36),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(conn.next_batch_event(64), SourceBatchEvent::End);
+        assert_eq!(conn.next_batch_event(64), SourceBatchEvent::End);
+    }
+
+    #[test]
+    fn paced_link_delivers_singletons() {
+        let link = LinkModel {
+            per_tuple: Duration::from_micros(200),
+            ..LinkModel::instant()
+        };
+        let src = SimulatedSource::new("s", rel(5), link);
+        let mut conn = src.connect(0);
+        for _ in 0..5 {
+            match conn.next_batch_event(64) {
+                SourceBatchEvent::Batch(b) => assert_eq!(b.len(), 1),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert_eq!(conn.next_batch_event(64), SourceBatchEvent::End);
+    }
+
+    #[test]
+    fn burst_gap_ends_batches() {
+        // burst_size 4 with a non-zero gap: each batch covers one burst.
+        let link = LinkModel {
+            burst_size: 4,
+            burst_gap: Duration::from_micros(200),
+            ..LinkModel::instant()
+        };
+        let src = SimulatedSource::new("s", rel(10), link);
+        let mut conn = src.connect(0);
+        let mut sizes = Vec::new();
+        loop {
+            match conn.next_batch_event(64) {
+                SourceBatchEvent::Batch(b) => sizes.push(b.len()),
+                SourceBatchEvent::End => break,
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert_eq!(sizes, vec![4, 4, 2]);
+    }
+
+    #[test]
+    fn batch_stops_before_failure_then_errors() {
+        let src = SimulatedSource::new("flaky", rel(10), LinkModel::failing(4));
+        let mut conn = src.connect(0);
+        match conn.next_batch_event(64) {
+            SourceBatchEvent::Batch(b) => assert_eq!(b.len(), 4),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(matches!(
+            conn.next_batch_event(64),
+            SourceBatchEvent::Error(_)
+        ));
+    }
+
+    #[test]
+    fn batch_stops_at_stall() {
+        let src = SimulatedSource::new("stall", rel(10), LinkModel::stalling(3));
+        let mut conn = src.connect(0);
+        match conn.next_batch_event(64) {
+            SourceBatchEvent::Batch(b) => assert_eq!(b.len(), 3),
+            other => panic!("unexpected {other:?}"),
+        }
+        // the next pull would stall; cancel instead of waiting an hour
+        conn.cancel_handle().store(true, Ordering::Relaxed);
+        assert_eq!(conn.next_batch_event(64), SourceBatchEvent::Cancelled);
+    }
+
+    #[test]
+    fn batches_preserve_order_and_content() {
+        let src = SimulatedSource::new("s", rel(50), LinkModel::instant());
+        let mut conn = src.connect(0);
+        let mut all = Vec::new();
+        loop {
+            match conn.next_batch_event(7) {
+                SourceBatchEvent::Batch(b) => all.extend(b.into_tuples()),
+                SourceBatchEvent::End => break,
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        let gold = src.connect(1).drain().unwrap();
+        assert_eq!(all, gold);
     }
 
     #[test]

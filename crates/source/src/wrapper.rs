@@ -16,9 +16,9 @@ use std::thread::JoinHandle;
 
 use crossbeam_channel::{bounded, Receiver};
 
-use tukwila_common::{Schema, Tuple};
+use tukwila_common::{BatchBuilder, Schema, Tuple};
 
-use crate::source::{SimulatedSource, SourceConnection, SourceEvent};
+use crate::source::{SimulatedSource, SourceBatchEvent, SourceConnection, SourceEvent};
 
 /// A wrapper bound to one data source.
 #[derive(Clone)]
@@ -86,6 +86,7 @@ impl Wrapper {
             cancel,
             handle: Some(handle),
             finished: false,
+            pending_terminal: None,
         }
     }
 }
@@ -106,6 +107,9 @@ pub enum WrapperStream {
         handle: Option<JoinHandle<()>>,
         /// Whether a terminal event was observed.
         finished: bool,
+        /// A terminal event observed mid-batch, deferred so the preceding
+        /// tuples could be delivered first.
+        pending_terminal: Option<SourceEvent>,
     },
 }
 
@@ -115,7 +119,16 @@ impl WrapperStream {
     pub fn next_event(&mut self) -> SourceEvent {
         match self {
             WrapperStream::Direct(conn) => conn.next_event(),
-            WrapperStream::Prefetched { rx, finished, .. } => {
+            WrapperStream::Prefetched {
+                rx,
+                finished,
+                pending_terminal,
+                ..
+            } => {
+                if let Some(ev) = pending_terminal.take() {
+                    *finished = true;
+                    return ev;
+                }
                 if *finished {
                     return SourceEvent::End;
                 }
@@ -143,7 +156,16 @@ impl WrapperStream {
     pub fn next_event_timeout(&mut self, timeout: std::time::Duration) -> Option<SourceEvent> {
         match self {
             WrapperStream::Direct(_) => Some(self.next_event()),
-            WrapperStream::Prefetched { rx, finished, .. } => {
+            WrapperStream::Prefetched {
+                rx,
+                finished,
+                pending_terminal,
+                ..
+            } => {
+                if let Some(ev) = pending_terminal.take() {
+                    *finished = true;
+                    return Some(ev);
+                }
                 if *finished {
                     return Some(SourceEvent::End);
                 }
@@ -161,6 +183,77 @@ impl WrapperStream {
                     }
                 }
             }
+        }
+    }
+
+    /// Next arrival burst, blocking for the first tuple per the link model
+    /// (direct) or until the prefetcher delivers (prefetched), then handing
+    /// over — without further waiting — whatever else has already arrived,
+    /// up to `max` tuples. This is the batched wrapper delivery path: the
+    /// engine pays one handoff per burst instead of one per tuple, while a
+    /// slow source still delivers its first tuple as early as ever.
+    pub fn next_batch_event(&mut self, max: usize) -> SourceBatchEvent {
+        match self {
+            WrapperStream::Direct(conn) => conn.next_batch_event(max),
+            WrapperStream::Prefetched { .. } => {
+                let first = self.next_event();
+                self.drain_buffered(first, max)
+            }
+        }
+    }
+
+    /// Like [`WrapperStream::next_batch_event`] but with a deadline on the
+    /// *first* tuple: returns `None` if nothing arrived within `timeout`
+    /// (the engine's `timeout(n)` detector). Buffered follow-up tuples are
+    /// drained without waiting, exactly as in the untimed variant.
+    pub fn next_batch_event_timeout(
+        &mut self,
+        max: usize,
+        timeout: std::time::Duration,
+    ) -> Option<SourceBatchEvent> {
+        match self {
+            WrapperStream::Direct(_) => Some(self.next_batch_event(max)),
+            WrapperStream::Prefetched { .. } => {
+                let first = self.next_event_timeout(timeout)?;
+                Some(self.drain_buffered(first, max))
+            }
+        }
+    }
+
+    /// Turn a first event plus whatever the prefetch buffer already holds
+    /// into one batch event. A terminal event seen after at least one tuple
+    /// is stashed so it surfaces on the following pull.
+    fn drain_buffered(&mut self, first: SourceEvent, max: usize) -> SourceBatchEvent {
+        let first = match first {
+            SourceEvent::Tuple(t) => t,
+            other => return SourceBatchEvent::from_event(other),
+        };
+        let mut builder = BatchBuilder::new(max);
+        if let Some(full) = builder.push(first) {
+            return SourceBatchEvent::Batch(full);
+        }
+        if let WrapperStream::Prefetched {
+            rx, pending_terminal, ..
+        } = self
+        {
+            loop {
+                match rx.try_recv() {
+                    Ok(SourceEvent::Tuple(t)) => {
+                        if let Some(full) = builder.push(t) {
+                            return SourceBatchEvent::Batch(full);
+                        }
+                    }
+                    Ok(terminal) => {
+                        *pending_terminal = Some(terminal);
+                        break;
+                    }
+                    Err(_) => break, // empty or disconnected: burst is over
+                }
+            }
+        }
+        match builder.finish() {
+            Some(batch) => SourceBatchEvent::Batch(batch),
+            None => SourceBatchEvent::End, // unreachable: `first` was pushed
         }
     }
 
@@ -293,6 +386,70 @@ mod tests {
             start.elapsed() < Duration::from_secs(5),
             "drop must not wait for the whole stream"
         );
+    }
+
+    #[test]
+    fn prefetched_batches_drain_buffer_without_waiting() {
+        let w = Wrapper::new(SimulatedSource::new("s", rel(100), LinkModel::instant()));
+        let mut s = w.fetch_prefetching(64);
+        // Give the prefetcher a moment to fill its buffer.
+        std::thread::sleep(Duration::from_millis(20));
+        let mut total = 0;
+        let mut batches = 0;
+        loop {
+            match s.next_batch_event(32) {
+                SourceBatchEvent::Batch(b) => {
+                    assert!(!b.is_empty());
+                    assert!(b.len() <= 32);
+                    total += b.len();
+                    batches += 1;
+                }
+                SourceBatchEvent::End => break,
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert_eq!(total, 100);
+        assert!(batches < 100, "buffered tuples must coalesce into bursts");
+        // End stays sticky afterwards.
+        assert_eq!(s.next_batch_event(32), SourceBatchEvent::End);
+    }
+
+    #[test]
+    fn prefetched_batch_defers_error_until_tuples_delivered() {
+        let w = Wrapper::new(SimulatedSource::new("f", rel(10), LinkModel::failing(3)));
+        let mut s = w.fetch_prefetching(16);
+        std::thread::sleep(Duration::from_millis(20));
+        let mut got = 0;
+        loop {
+            match s.next_batch_event(16) {
+                SourceBatchEvent::Batch(b) => got += b.len(),
+                SourceBatchEvent::Error(e) => {
+                    assert!(e.contains('f'), "{e}");
+                    break;
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert_eq!(got, 3, "all pre-failure tuples delivered before the error");
+    }
+
+    #[test]
+    fn timeout_batch_variant_observes_deadline() {
+        let w = Wrapper::new(SimulatedSource::new(
+            "stall",
+            rel(10),
+            LinkModel::stalling(2),
+        ));
+        let mut s = w.fetch_prefetching(4);
+        let mut got = 0;
+        loop {
+            match s.next_batch_event_timeout(8, Duration::from_millis(30)) {
+                Some(SourceBatchEvent::Batch(b)) => got += b.len(),
+                None => break, // deadline hit while the source stalls
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert_eq!(got, 2);
     }
 
     #[test]

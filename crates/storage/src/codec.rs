@@ -4,8 +4,13 @@
 //! round-trip within one process lifetime (spill files never outlive a
 //! query), so there is no versioning; there *is* strict validation because a
 //! decode error means engine corruption and must not pass silently.
+//!
+//! Spill files are written and read at **batch** granularity: each write
+//! appends one [`encode_batch`] frame (a tuple-count header followed by the
+//! tuples), so a bucket read-back decodes whole batches instead of paying
+//! per-tuple framing on the hot overflow path.
 
-use tukwila_common::{Result, TukwilaError, Tuple, Value};
+use tukwila_common::{Result, TukwilaError, Tuple, TupleBatch, Value};
 
 const TAG_INT: u8 = 0;
 const TAG_DOUBLE: u8 = 1;
@@ -106,6 +111,40 @@ pub fn decode_all(buf: &[u8]) -> Result<Vec<Tuple>> {
     Ok(out)
 }
 
+/// Append the encoding of a whole batch frame (tuple-count prefix + tuples)
+/// to `out`.
+pub fn encode_batch(tuples: &[Tuple], out: &mut Vec<u8>) {
+    out.extend_from_slice(&(tuples.len() as u32).to_le_bytes());
+    for t in tuples {
+        encode_tuple(t, out);
+    }
+}
+
+/// Decode one batch frame starting at `pos`, advancing `pos`.
+pub fn decode_batch(buf: &[u8], pos: &mut usize) -> Result<TupleBatch> {
+    let count = u32::from_le_bytes(take(buf, pos, 4)?.try_into().unwrap()) as usize;
+    if count > 1 << 26 {
+        return Err(TukwilaError::Io(format!(
+            "spill codec: implausible batch count {count}"
+        )));
+    }
+    let mut batch = TupleBatch::with_capacity(count.max(1));
+    for _ in 0..count {
+        batch.push(decode_tuple(buf, pos)?);
+    }
+    Ok(batch)
+}
+
+/// Decode a whole buffer of concatenated batch frames.
+pub fn decode_all_batches(buf: &[u8]) -> Result<Vec<TupleBatch>> {
+    let mut pos = 0;
+    let mut out = Vec::new();
+    while pos < buf.len() {
+        out.push(decode_batch(buf, &mut pos)?);
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -159,6 +198,33 @@ mod tests {
     fn unknown_tag_rejected() {
         let buf = [1u32.to_le_bytes().to_vec(), vec![99u8]].concat();
         assert!(decode_all(&buf).is_err());
+    }
+
+    #[test]
+    fn batch_frames_round_trip() {
+        let mut buf = Vec::new();
+        encode_batch(&[tuple![1, "a"], tuple![2, "b"]], &mut buf);
+        encode_batch(&[], &mut buf);
+        encode_batch(&[tuple![3]], &mut buf);
+        let batches = decode_all_batches(&buf).unwrap();
+        assert_eq!(batches.len(), 3);
+        assert_eq!(batches[0].tuples(), &[tuple![1, "a"], tuple![2, "b"]]);
+        assert!(batches[1].is_empty());
+        assert_eq!(batches[2].tuples(), &[tuple![3]]);
+    }
+
+    #[test]
+    fn batch_decode_rejects_truncation() {
+        let mut buf = Vec::new();
+        encode_batch(&[tuple![1, "hello"], tuple![2, "world"]], &mut buf);
+        buf.truncate(buf.len() - 3);
+        assert!(decode_all_batches(&buf).is_err());
+    }
+
+    #[test]
+    fn batch_decode_rejects_implausible_count() {
+        let buf = (1u32 << 27).to_le_bytes().to_vec();
+        assert!(decode_all_batches(&buf).is_err());
     }
 
     proptest! {

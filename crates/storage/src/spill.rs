@@ -20,7 +20,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use tukwila_common::{Result, TukwilaError, Tuple};
+use tukwila_common::{Result, TukwilaError, Tuple, TupleBatch};
 
 use crate::codec;
 
@@ -97,8 +97,19 @@ pub trait SpillStore: Send + Sync {
     /// Append tuples to a bucket, counting writes.
     fn write(&self, bucket: SpillBucket, tuples: &[Tuple]) -> Result<()>;
 
+    /// Append a whole batch to a bucket in one operation — the batched
+    /// encode path; the batch's cached `mem_size` spares a per-tuple sum.
+    fn write_batch(&self, bucket: SpillBucket, batch: &TupleBatch) -> Result<()> {
+        self.write(bucket, batch.tuples())
+    }
+
     /// Read the entire bucket back, counting reads.
     fn read_all(&self, bucket: SpillBucket) -> Result<Vec<Tuple>>;
+
+    /// Read the entire bucket back as one batch.
+    fn read_all_batch(&self, bucket: SpillBucket) -> Result<TupleBatch> {
+        Ok(TupleBatch::from_tuples(self.read_all(bucket)?))
+    }
 
     /// Number of tuples currently in the bucket.
     fn len(&self, bucket: SpillBucket) -> usize;
@@ -234,10 +245,10 @@ impl SpillStore for FileSpillStore {
     }
 
     fn write(&self, bucket: SpillBucket, tuples: &[Tuple]) -> Result<()> {
+        // One batch frame per write call: the whole block is encoded and
+        // appended in a single I/O, and read back frame-by-frame.
         let mut buf = Vec::new();
-        for t in tuples {
-            codec::encode_tuple(t, &mut buf);
-        }
+        codec::encode_batch(tuples, &mut buf);
         let bytes: usize = tuples.iter().map(Tuple::mem_size).sum();
         let mut guard = self.files.lock();
         let (_, file, count) = guard
@@ -259,8 +270,12 @@ impl SpillStore for FileSpillStore {
         };
         let mut bytes = Vec::new();
         File::open(&path)?.read_to_end(&mut bytes)?;
-        let tuples = codec::decode_all(&bytes)?;
-        let mem: usize = tuples.iter().map(Tuple::mem_size).sum();
+        let mut tuples = Vec::new();
+        let mut mem = 0usize;
+        for batch in codec::decode_all_batches(&bytes)? {
+            mem += batch.mem_size();
+            tuples.extend(batch);
+        }
         self.stats.record_read(tuples.len(), mem);
         Ok(tuples)
     }
@@ -393,6 +408,27 @@ mod tests {
         );
         assert_eq!(mem.stats().bytes_written(), file.stats().bytes_written());
         assert_eq!(mem.stats().tuples_read(), file.stats().tuples_read());
+    }
+
+    #[test]
+    fn batch_write_and_read_round_trip() {
+        for store in [
+            &InMemorySpillStore::new() as &dyn SpillStore,
+            &FileSpillStore::new().unwrap() as &dyn SpillStore,
+        ] {
+            let b = store.create_bucket("batch");
+            let batch = TupleBatch::from_tuples(vec![tuple![1, "a"], tuple![2, "b"]]);
+            store.write_batch(b, &batch).unwrap();
+            store.write_batch(b, &TupleBatch::singleton(tuple![3])).unwrap();
+            assert_eq!(store.len(b), 3);
+            let back = store.read_all_batch(b).unwrap();
+            assert_eq!(
+                back.tuples(),
+                &[tuple![1, "a"], tuple![2, "b"], tuple![3]]
+            );
+            assert_eq!(store.stats().tuples_written(), 3);
+            assert_eq!(store.stats().tuples_read(), 3);
+        }
     }
 
     #[test]

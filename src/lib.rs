@@ -63,7 +63,9 @@ pub use tukwila_tpchgen as tpchgen;
 /// The most common imports for building and running queries.
 pub mod prelude {
     pub use tukwila_catalog::{AccessCost, Catalog, OverlapInfo, SourceDesc, TableStats};
-    pub use tukwila_common::{DataType, Relation, Schema, Tuple, TukwilaError, Value};
+    pub use tukwila_common::{
+        DataType, Relation, Schema, Tuple, TukwilaError, TupleBatch, Value,
+    };
     pub use tukwila_core::{
         ExecutionStats, QueryResult, StatsQuality, TpchDeployment, TukwilaSystem,
     };
