@@ -1,4 +1,4 @@
-//! Ablation benches for the design choices DESIGN.md §5 calls out:
+//! Ablation benches for the design choices DESIGN.md §6 calls out:
 //!
 //! * DPJ transfer-queue capacity (the "small tuple transfer queue"),
 //! * wrapper prefetching for the hybrid hash join (the §6.2 remark that
@@ -68,8 +68,8 @@ fn bench_prefetch(c: &mut Criterion) {
 
 fn bench_overflow_methods(c: &mut Criterion) {
     let d = deployment(LinkModel::instant());
-    let demand: usize = d.db.table(TpchTable::Part).mem_size()
-        + d.db.table(TpchTable::Partsupp).mem_size();
+    let demand: usize =
+        d.db.table(TpchTable::Part).mem_size() + d.db.table(TpchTable::Partsupp).mem_size();
     let mut g = c.benchmark_group("ablation_overflow_method");
     g.sample_size(10);
     for (label, method) in [

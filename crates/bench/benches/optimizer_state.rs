@@ -56,9 +56,7 @@ fn bench_reopt_strategies(c: &mut Criterion) {
     for n in [8usize, 10, 12] {
         let base = Memo::build(leaves(n), edges(n), &coster);
         g.bench_with_input(BenchmarkId::new("scratch", n), &n, |b, &n| {
-            b.iter(|| {
-                Memo::build_with_pins(leaves(n), edges(n), vec![(0b11, observed())], &coster)
-            })
+            b.iter(|| Memo::build_with_pins(leaves(n), edges(n), vec![(0b11, observed())], &coster))
         });
         g.bench_with_input(BenchmarkId::new("saved_with_pointers", n), &n, |b, _| {
             b.iter(|| {

@@ -36,8 +36,7 @@ fn main() {
     let last = rows.last().unwrap();
     verdict(
         "pointers-beat-scratch",
-        rows.iter()
-            .all(|r| r.with_pointers < r.scratch),
+        rows.iter().all(|r| r.with_pointers < r.scratch),
         format!("max speedup {best_speedup:.2}x (paper: up to 1.64x)"),
     );
     // The paper reports no-pointers as strictly worse than scratch; with

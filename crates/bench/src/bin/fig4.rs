@@ -7,9 +7,9 @@
 //! of both strategies is similar" — and both overflowing configurations are
 //! slower than fits-in-memory but still correct.
 
+use tukwila_bench::print_series_csv;
 use tukwila_bench::runner::verdict;
 use tukwila_bench::scenarios::fig4;
-use tukwila_bench::print_series_csv;
 
 fn main() {
     let scale = std::env::args()

@@ -1,0 +1,203 @@
+//! Multi-client service throughput/latency scenario.
+//!
+//! An open-loop client mix over the TPC-H deployment: each client submits
+//! a stream of queries (small 2-way, medium 3-way, large 4-way joins) at a
+//! fixed arrival interval — queries keep arriving whether or not earlier
+//! ones finished, so the service's admission control is part of the
+//! measurement. Reports p50/p99 latency, queries/sec, rejections, and
+//! cache counters at 1 / 4 / 16 concurrent clients, with and without the
+//! shared source-result cache.
+//!
+//! ```text
+//! cargo run --release -p tukwila-bench --bin service_bench
+//! ```
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use tukwila_core::TpchDeployment;
+use tukwila_opt::OptimizerConfig;
+use tukwila_query::ConjunctiveQuery;
+use tukwila_service::{QueryService, QueryServiceConfig};
+use tukwila_source::LinkModel;
+use tukwila_tpchgen::TpchTable;
+
+const SF: f64 = 0.002;
+const QUERIES_PER_CLIENT: usize = 12;
+const ARRIVAL_INTERVAL: Duration = Duration::from_millis(8);
+
+fn deployment() -> TpchDeployment {
+    // WAN-ish links: the engine is mostly waiting on sources, which is the
+    // regime the service tier exists for.
+    let wan = LinkModel {
+        initial_delay: Duration::from_millis(6),
+        ..LinkModel::instant()
+    };
+    let bursty = LinkModel {
+        initial_delay: Duration::from_millis(6),
+        burst_size: 400,
+        burst_gap: Duration::from_millis(1),
+        ..LinkModel::instant()
+    };
+    TpchDeployment::builder(SF, 23)
+        .tables(&[
+            TpchTable::Region,
+            TpchTable::Nation,
+            TpchTable::Supplier,
+            TpchTable::Partsupp,
+            TpchTable::Part,
+        ])
+        .default_link(wan)
+        .link(TpchTable::Partsupp, bursty.clone())
+        .link(TpchTable::Part, bursty)
+        .build()
+}
+
+fn query_mix(d: &TpchDeployment) -> Vec<ConjunctiveQuery> {
+    vec![
+        d.query_for("small", &[TpchTable::Supplier, TpchTable::Nation]),
+        d.query_for(
+            "medium",
+            &[TpchTable::Region, TpchTable::Nation, TpchTable::Supplier],
+        ),
+        d.query_for(
+            "large",
+            &[
+                TpchTable::Nation,
+                TpchTable::Supplier,
+                TpchTable::Partsupp,
+                TpchTable::Part,
+            ],
+        ),
+    ]
+}
+
+struct RunReport {
+    qps: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    completed: u64,
+    rejected: u64,
+    cache_hits: u64,
+    cache_misses: u64,
+}
+
+/// Open-loop drive: each client fires `QUERIES_PER_CLIENT` submissions at
+/// `ARRIVAL_INTERVAL`, collecting tickets as it goes and only then waiting
+/// for the tail. Rejected submissions (admission backpressure) count as
+/// such, not as latency samples.
+fn run(clients: usize, cache: bool) -> RunReport {
+    let d = deployment();
+    let svc = Arc::new(QueryService::new(
+        d.system(OptimizerConfig::default()),
+        QueryServiceConfig {
+            workers: clients.min(16),
+            queue_capacity: 8 * clients,
+            cache_memory: cache.then_some(32 << 20),
+            ..QueryServiceConfig::default()
+        },
+    ));
+    let mix = query_mix(&d);
+
+    let start = Instant::now();
+    let mut latencies: Vec<Duration> = std::thread::scope(|s| {
+        (0..clients)
+            .map(|c| {
+                let svc = svc.clone();
+                let mix = mix.clone();
+                s.spawn(move || {
+                    let mut tickets = Vec::new();
+                    for i in 0..QUERIES_PER_CLIENT {
+                        if let Ok(t) = svc.submit(&mix[(c + i) % mix.len()]) {
+                            tickets.push(t);
+                        }
+                        std::thread::sleep(ARRIVAL_INTERVAL);
+                    }
+                    tickets
+                        .into_iter()
+                        .filter_map(|t| {
+                            // Latency = queue wait + execution, stamped by
+                            // the worker at completion — independent of the
+                            // order this client drains its tickets in.
+                            let resp = t.wait();
+                            resp.is_ok()
+                                .then(|| resp.stats.queue_wait + resp.stats.duration)
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect()
+    });
+    let elapsed = start.elapsed();
+    latencies.sort_unstable();
+
+    let stats = svc.stats();
+    let cache_stats = svc.cache_stats();
+    let pct = |p: f64| -> f64 {
+        if latencies.is_empty() {
+            return f64::NAN;
+        }
+        let idx = ((latencies.len() as f64 - 1.0) * p).round() as usize;
+        latencies[idx].as_secs_f64() * 1e3
+    };
+    RunReport {
+        qps: latencies.len() as f64 / elapsed.as_secs_f64(),
+        p50_ms: pct(0.50),
+        p99_ms: pct(0.99),
+        completed: stats.completed,
+        rejected: stats.rejected,
+        cache_hits: cache_stats.map(|c| c.hits).unwrap_or(0),
+        cache_misses: cache_stats.map(|c| c.misses).unwrap_or(0),
+    }
+}
+
+fn main() {
+    println!("# service_bench: open-loop client mix over TPC-H (SF {SF})");
+    println!(
+        "# {} queries/client @ {:?} arrival interval; mix = small/medium/large joins",
+        QUERIES_PER_CLIENT, ARRIVAL_INTERVAL
+    );
+    println!("clients, cache, qps, p50_ms, p99_ms, completed, rejected, cache_hits, cache_misses");
+    let mut baseline: Option<f64> = None;
+    for &cache in &[false, true] {
+        for &clients in &[1usize, 4, 16] {
+            let r = run(clients, cache);
+            println!(
+                "{clients}, {}, {:.1}, {:.2}, {:.2}, {}, {}, {}, {}",
+                if cache { "on" } else { "off" },
+                r.qps,
+                r.p50_ms,
+                r.p99_ms,
+                r.completed,
+                r.rejected,
+                r.cache_hits,
+                r.cache_misses
+            );
+            if !cache {
+                match (clients, baseline) {
+                    (1, _) => baseline = Some(r.qps),
+                    (16, Some(base)) => {
+                        let speedup = r.qps / base;
+                        println!(
+                            "shape-check [{}] service-throughput-scales: \
+                             16-client qps = {:.2}x 1-client (need >= 2x)",
+                            if speedup >= 2.0 { "PASS" } else { "FAIL" },
+                            speedup
+                        );
+                    }
+                    _ => {}
+                }
+            } else if clients == 16 {
+                println!(
+                    "shape-check [{}] cache-serves-repeats: {} hits / {} misses",
+                    if r.cache_hits > 0 { "PASS" } else { "FAIL" },
+                    r.cache_hits,
+                    r.cache_misses
+                );
+            }
+        }
+    }
+}

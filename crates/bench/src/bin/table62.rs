@@ -16,9 +16,7 @@ fn main() {
         .unwrap_or(0.004);
     let rows = table62::run(scale, 0.5);
 
-    println!(
-        "# join, dpj_first_ms, hybrid_first_ms, dpj_total_ms, hybrid_total_ms, tuples"
-    );
+    println!("# join, dpj_first_ms, hybrid_first_ms, dpj_total_ms, hybrid_total_ms, tuples");
     let mut dpj_first_wins = 0;
     let mut dpj_total_ok = 0;
     for r in &rows {

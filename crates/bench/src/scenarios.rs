@@ -31,7 +31,13 @@ pub mod fig3a {
             let su = b.wrapper_scan("supplier");
             let or = b.wrapper_scan("orders");
             let ls = b.join(JoinKind::DoublePipelined, li, su, "l_suppkey", "s_suppkey");
-            let top = b.join(JoinKind::DoublePipelined, ls, or, "l_orderkey", "o_orderkey");
+            let top = b.join(
+                JoinKind::DoublePipelined,
+                ls,
+                or,
+                "l_orderkey",
+                "o_orderkey",
+            );
             b.fragment(top, "result")
         };
         // Hybrid, good inner choice: (Lineitem ⋈ Supplier) ⋈ Order with
@@ -58,8 +64,16 @@ pub mod fig3a {
 
         vec![
             run_config("Double Pipelined", registry, dpj),
-            run_config("Hybrid - (Lineitem x Supplier) x Order", registry, hybrid_good),
-            run_config("Hybrid - (Supplier x Lineitem) x Order", registry, hybrid_bad),
+            run_config(
+                "Hybrid - (Lineitem x Supplier) x Order",
+                registry,
+                hybrid_good,
+            ),
+            run_config(
+                "Hybrid - (Supplier x Lineitem) x Order",
+                registry,
+                hybrid_bad,
+            ),
         ]
     }
 }
@@ -174,12 +188,12 @@ pub mod table62 {
                     .map(|t| t.name())
                     .collect::<Vec<_>>()
                     .join("-");
-                let sizes: Vec<usize> =
-                    tables.iter().map(|t| deployment.db.table(*t).len()).collect();
+                let sizes: Vec<usize> = tables
+                    .iter()
+                    .map(|t| deployment.db.table(*t).len())
+                    .collect();
                 let (tables_r, edges_r, sizes_r) = (&tables, &edges, &sizes);
-                let rel_of = move |t: TpchTable| {
-                    tables_r.iter().position(|&x| x == t).unwrap()
-                };
+                let rel_of = move |t: TpchTable| tables_r.iter().position(|&x| x == t).unwrap();
                 let build = |kind: JoinKind| {
                     move |b: &mut PlanBuilder| {
                         let (tables, edges, sizes) = (tables_r, edges_r, sizes_r);
@@ -197,8 +211,7 @@ pub mod table62 {
                                 .find(|&&i| {
                                     !seq.contains(&i)
                                         && edges.iter().any(|e| {
-                                            let (a, b2) =
-                                                (rel_of(e.from), rel_of(e.to));
+                                            let (a, b2) = (rel_of(e.from), rel_of(e.to));
                                             (seq.contains(&a) && b2 == i)
                                                 || (seq.contains(&b2) && a == i)
                                         })
@@ -456,7 +469,7 @@ pub mod fig5 {
                     Duration::from_micros(40),
                 ),
             ));
-            let mut system = TukwilaSystem::new(
+            let system = TukwilaSystem::new(
                 Reformulator::new(deployment.mediated.clone()),
                 Optimizer::new(deployment.catalog.clone(), config),
                 env,
@@ -474,10 +487,13 @@ pub mod fig5 {
                 let name = format!(
                     "Q{} ({})",
                     i + 1,
-                    tables.iter().map(|t| t.name()).collect::<Vec<_>>().join("-")
+                    tables
+                        .iter()
+                        .map(|t| t.name())
+                        .collect::<Vec<_>>()
+                        .join("-")
                 );
-                let (materialize, _) =
-                    run_policy(tables, PipelinePolicy::MaterializeEachJoin);
+                let (materialize, _) = run_policy(tables, PipelinePolicy::MaterializeEachJoin);
                 let (replan, replan_count) =
                     run_policy(tables, PipelinePolicy::MaterializeAndReplan);
                 let (pipeline, _) = run_policy(tables, PipelinePolicy::FullyPipelined);
@@ -495,9 +511,8 @@ pub mod fig5 {
     /// Aggregate speedups over the workload (paper: replan ≈1.42× vs
     /// pipeline, ≈1.69× vs materialize).
     pub fn speedups(rows: &[Row]) -> (f64, f64) {
-        let total = |f: fn(&Row) -> Duration| -> f64 {
-            rows.iter().map(|r| f(r).as_secs_f64()).sum()
-        };
+        let total =
+            |f: fn(&Row) -> Duration| -> f64 { rows.iter().map(|r| f(r).as_secs_f64()).sum() };
         let replan = total(|r| r.replan);
         (
             total(|r| r.pipeline) / replan,
@@ -510,8 +525,8 @@ pub mod fig5 {
 /// and without usage pointers.
 pub mod exp65 {
     use super::*;
-    use tukwila_opt::{Estimate, Memo};
     use tukwila_opt::memo::EdgeSpec;
+    use tukwila_opt::{Estimate, Memo};
 
     /// Results of one comparison at a given query size.
     #[derive(Debug, Clone)]

@@ -230,7 +230,11 @@ mod tests {
     #[test]
     fn sources_for_relation_sorted() {
         let c = catalog_with_two_mirrors();
-        let names: Vec<&str> = c.sources_for("bib").iter().map(|s| s.name.as_str()).collect();
+        let names: Vec<&str> = c
+            .sources_for("bib")
+            .iter()
+            .map(|s| s.name.as_str())
+            .collect();
         assert_eq!(names, vec!["bib-eu", "bib-us"]);
         assert!(c.sources_for("movies").is_empty());
     }

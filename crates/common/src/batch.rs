@@ -332,10 +332,7 @@ mod tests {
     #[test]
     fn iteration_by_ref_and_value() {
         let b = TupleBatch::from_tuples(vec![tuple![1], tuple![2]]);
-        let by_ref: Vec<i64> = b
-            .iter()
-            .map(|t| t.value(0).as_int().unwrap())
-            .collect();
+        let by_ref: Vec<i64> = b.iter().map(|t| t.value(0).as_int().unwrap()).collect();
         assert_eq!(by_ref, vec![1, 2]);
         let by_val: Vec<Tuple> = b.into_iter().collect();
         assert_eq!(by_val, vec![tuple![1], tuple![2]]);
@@ -373,8 +370,7 @@ mod tests {
 
     #[test]
     fn fill_from_deque_caps_and_preserves_order() {
-        let mut pending: std::collections::VecDeque<Tuple> =
-            (0..5i64).map(|i| tuple![i]).collect();
+        let mut pending: std::collections::VecDeque<Tuple> = (0..5i64).map(|i| tuple![i]).collect();
         let first = TupleBatch::fill_from_deque(&mut pending, 3);
         assert_eq!(first.tuples(), &[tuple![0], tuple![1], tuple![2]]);
         let rest = TupleBatch::fill_from_deque(&mut pending, 3);

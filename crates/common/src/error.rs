@@ -51,8 +51,18 @@ pub enum TukwilaError {
     /// A rule's action failed or the rule set is inconsistent (conflicting
     /// simultaneous rules, §3.1.2 restriction 3).
     Rule(String),
-    /// Execution was cancelled by a rule action (`return error to user`).
+    /// Execution was cancelled by a rule action (`return error to user`)
+    /// or by the client through its query control.
     Cancelled(String),
+    /// The wall-clock deadline given at query submission passed before the
+    /// query finished (distinct from rule-driven aborts).
+    DeadlineExceeded {
+        /// Time the query had been running when the deadline tripped.
+        elapsed_ms: u64,
+    },
+    /// The service refused the query at the front door (in-flight bound
+    /// reached and the wait queue full — backpressure).
+    Admission(String),
     /// Spill-store / local-store I/O failure.
     Io(String),
     /// Catch-all for internal invariant violations; always a bug.
@@ -72,6 +82,8 @@ impl TukwilaError {
             TukwilaError::Reformulation(_) => "reformulation",
             TukwilaError::Rule(_) => "rule",
             TukwilaError::Cancelled(_) => "cancelled",
+            TukwilaError::DeadlineExceeded { .. } => "deadline_exceeded",
+            TukwilaError::Admission(_) => "admission",
             TukwilaError::Io(_) => "io",
             TukwilaError::Internal(_) => "internal",
         }
@@ -111,6 +123,10 @@ impl fmt::Display for TukwilaError {
             TukwilaError::Reformulation(m) => write!(f, "reformulation error: {m}"),
             TukwilaError::Rule(m) => write!(f, "rule error: {m}"),
             TukwilaError::Cancelled(m) => write!(f, "execution cancelled: {m}"),
+            TukwilaError::DeadlineExceeded { elapsed_ms } => {
+                write!(f, "query deadline exceeded after {elapsed_ms}ms")
+            }
+            TukwilaError::Admission(m) => write!(f, "query not admitted: {m}"),
             TukwilaError::Io(m) => write!(f, "io error: {m}"),
             TukwilaError::Internal(m) => write!(f, "internal error (bug): {m}"),
         }

@@ -31,5 +31,5 @@ pub mod system;
 pub mod tpch;
 
 pub use stats::{ExecutionStats, QueryResult};
-pub use system::TukwilaSystem;
+pub use system::{PreparedQuery, TukwilaSystem};
 pub use tpch::{StatsQuality, TpchDeployment, TpchDeploymentBuilder};

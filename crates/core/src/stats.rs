@@ -22,18 +22,36 @@ pub struct ExecutionStats {
     pub spill_tuples_written: usize,
     /// Tuples read back from spill storage.
     pub spill_tuples_read: usize,
-    /// Peak engine memory across the run, bytes.
+    /// Bytes written to spill storage (this query's own I/O, by snapshot
+    /// delta when the store is shared across a fleet).
+    pub spill_bytes_written: usize,
+    /// Bytes read back from spill storage.
+    pub spill_bytes_read: usize,
+    /// Memory high-water mark of this query's pool across the run, bytes.
     pub peak_memory: usize,
     /// Total wall-clock duration.
     pub duration: Duration,
     /// Time until the first tuple of the *final* fragment appeared.
     pub time_to_first: Option<Duration>,
+    /// The submission deadline tripped and cancelled the query mid-run
+    /// (distinct from rule-driven aborts, which leave this false).
+    pub deadline_exceeded: bool,
+    /// The client (or service shutdown) cancelled the query mid-run.
+    pub cancelled: bool,
+    /// Time spent waiting in the service's admission queue before a worker
+    /// picked the query up (zero outside the service).
+    pub queue_wait: Duration,
 }
 
 impl ExecutionStats {
     /// Total spill I/O in tuples (the unit of §4.2.3's analysis).
     pub fn spill_tuple_io(&self) -> usize {
         self.spill_tuples_written + self.spill_tuples_read
+    }
+
+    /// Total spill I/O in bytes.
+    pub fn spill_byte_io(&self) -> usize {
+        self.spill_bytes_written + self.spill_bytes_read
     }
 }
 

@@ -16,17 +16,31 @@
 //!
 //! The loop terminates when a complete plan's output fragment finishes, a
 //! rule aborts the query, or the replan/retry budgets are exhausted.
+//!
+//! **Concurrency.** The system is shareable: every execution path takes
+//! `&self`, the optimizer sits behind a mutex that is held only while
+//! planning/replanning (never across fragment execution), and
+//! [`TukwilaSystem::execute_in_env`] runs a query in a caller-provided
+//! [`ExecEnv`] (fresh materialization namespace and memory pool, shared
+//! sources/spill) so a service can drive many queries through one system
+//! from many threads. The lifecycle is exposed as reusable stages —
+//! [`TukwilaSystem::prepare`] (reformulate + optimize) and
+//! [`TukwilaSystem::run_prepared`] (the fragment/replan loop) — which
+//! `execute` merely composes.
 
 use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
 use std::time::Instant;
 
-use tukwila_common::{Result, TukwilaError};
-use tukwila_exec::{run_fragment_observed, ExecEnv, FragmentOutcome, PlanRuntime};
-use tukwila_opt::{Observation, Optimizer, PlannedQuery};
-use tukwila_plan::{
-    FragmentId, OpState, OperatorSpec, QuantityProvider, QueryPlan, SubjectRef,
+use parking_lot::{Mutex, MutexGuard};
+
+use tukwila_common::{Relation, Result, TukwilaError};
+use tukwila_exec::{
+    run_fragment_observed, CancelKind, ExecEnv, FragmentOutcome, PlanRuntime, QueryControl,
 };
-use tukwila_query::{ConjunctiveQuery, Reformulator};
+use tukwila_opt::{Observation, Optimizer, PlannedQuery};
+use tukwila_plan::{FragmentId, OpState, OperatorSpec, QuantityProvider, QueryPlan, SubjectRef};
+use tukwila_query::{ConjunctiveQuery, ReformulatedQuery, Reformulator};
 
 use crate::stats::{ExecutionStats, QueryResult};
 
@@ -35,10 +49,24 @@ enum PlanRun {
     Replan { observations: Vec<Observation> },
 }
 
+/// A query after the reformulation and initial optimization stages: ready
+/// for (repeated) fragment execution via [`TukwilaSystem::run_prepared`].
+pub struct PreparedQuery {
+    rq: ReformulatedQuery,
+    planned: PlannedQuery,
+}
+
+impl PreparedQuery {
+    /// The current plan (replaced on each replan).
+    pub fn planned(&self) -> &PlannedQuery {
+        &self.planned
+    }
+}
+
 /// The Tukwila data integration system.
 pub struct TukwilaSystem {
     reformulator: Reformulator,
-    optimizer: Optimizer,
+    optimizer: Mutex<Optimizer>,
     env: ExecEnv,
     /// Maximum optimizer re-invocations per query.
     pub max_replans: usize,
@@ -51,7 +79,7 @@ impl TukwilaSystem {
     pub fn new(reformulator: Reformulator, optimizer: Optimizer, env: ExecEnv) -> Self {
         TukwilaSystem {
             reformulator,
-            optimizer,
+            optimizer: Mutex::new(optimizer),
             env,
             max_replans: 16,
             max_fragment_retries: 3,
@@ -64,40 +92,122 @@ impl TukwilaSystem {
     }
 
     /// The optimizer (for inspecting the catalog after observations).
-    pub fn optimizer(&self) -> &Optimizer {
-        &self.optimizer
+    /// Holds the planning lock while the guard lives — do not keep it
+    /// across fragment execution.
+    pub fn optimizer(&self) -> MutexGuard<'_, Optimizer> {
+        self.optimizer.lock()
     }
 
     /// Execute a conjunctive query over the mediated schema.
-    pub fn execute(&mut self, query: &ConjunctiveQuery) -> Result<QueryResult> {
-        let started = Instant::now();
-        let rq = self.reformulator.reformulate(query, self.optimizer.catalog())?;
-        let mut planned = self.optimizer.plan(&rq)?;
+    pub fn execute(&self, query: &ConjunctiveQuery) -> Result<QueryResult> {
         let mut stats = ExecutionStats::default();
+        self.execute_controlled(query, &QueryControl::unbounded(), &mut stats)
+    }
+
+    /// [`TukwilaSystem::execute`] under a caller-owned [`QueryControl`]
+    /// (cancellation, deadline), accumulating into caller-owned stats so
+    /// partial statistics survive a cancelled or failed run. Each call
+    /// derives a per-query environment ([`ExecEnv::for_query`]), so
+    /// concurrent calls on one shared system cannot collide on
+    /// materialization names or pollute each other's memory/spill
+    /// accounting.
+    pub fn execute_controlled(
+        &self,
+        query: &ConjunctiveQuery,
+        control: &Arc<QueryControl>,
+        stats: &mut ExecutionStats,
+    ) -> Result<QueryResult> {
+        self.execute_in_env(query, control, self.env.for_query(), stats)
+    }
+
+    /// Execute in a caller-provided environment — the service path: each
+    /// concurrent query gets a derived environment
+    /// ([`ExecEnv::for_query`]) so materializations and memory accounting
+    /// stay per-query while sources and spill storage are shared.
+    pub fn execute_in_env(
+        &self,
+        query: &ConjunctiveQuery,
+        control: &Arc<QueryControl>,
+        env: ExecEnv,
+        stats: &mut ExecutionStats,
+    ) -> Result<QueryResult> {
+        let started = Instant::now();
+        let spill_base = env.spill.stats().snapshot();
         let mut series: Vec<(u64, std::time::Duration)> = Vec::new();
 
+        let outcome = (|| -> Result<Arc<Relation>> {
+            control.check()?;
+            let mut prepared = self.prepare(query)?;
+            self.run_prepared(&mut prepared, control, &env, stats, &mut series)
+        })();
+
+        // A per-query env's spill store is scoped (counts only this
+        // query's traffic); the snapshot delta additionally covers callers
+        // passing a raw shared env. Memory peak is the env pool's.
+        let io = env.spill.stats().snapshot().since(&spill_base);
+        stats.spill_tuples_written = io.tuples_written;
+        stats.spill_tuples_read = io.tuples_read;
+        stats.spill_bytes_written = io.bytes_written;
+        stats.spill_bytes_read = io.bytes_read;
+        stats.peak_memory = env.memory.peak_used();
+        stats.duration = started.elapsed();
+        stats.time_to_first = stats.fragment_reports.last().and_then(|r| r.time_to_first);
+
+        match outcome {
+            Ok(relation) => Ok(QueryResult {
+                relation,
+                stats: stats.clone(),
+                series,
+            }),
+            Err(e) => {
+                match (&e, control.cancelled()) {
+                    (TukwilaError::DeadlineExceeded { .. }, _) => {
+                        stats.deadline_exceeded = true;
+                    }
+                    // A client/shutdown cancellation — distinct from a
+                    // rule-driven abort, which also surfaces as
+                    // `Cancelled` but without a tripped control.
+                    (TukwilaError::Cancelled(_), Some(kind)) if kind != CancelKind::Deadline => {
+                        stats.cancelled = true;
+                    }
+                    _ => {}
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// Stage 1 of the lifecycle: reformulate the mediated-schema query and
+    /// run the initial optimization. Holds the planning lock only for the
+    /// duration of this call.
+    pub fn prepare(&self, query: &ConjunctiveQuery) -> Result<PreparedQuery> {
+        let mut opt = self.optimizer.lock();
+        let rq = self.reformulator.reformulate(query, opt.catalog())?;
+        let planned = opt.plan(&rq)?;
+        Ok(PreparedQuery { rq, planned })
+    }
+
+    /// Stage 2 of the lifecycle: drive the prepared query's execute →
+    /// observe → replan loop to a final relation. Re-invocations of the
+    /// optimizer take the planning lock briefly; no lock is held across
+    /// fragment execution.
+    pub fn run_prepared(
+        &self,
+        prepared: &mut PreparedQuery,
+        control: &Arc<QueryControl>,
+        env: &ExecEnv,
+        stats: &mut ExecutionStats,
+        series: &mut Vec<(u64, std::time::Duration)>,
+    ) -> Result<Arc<Relation>> {
         loop {
             series.clear();
-            let run = self.run_plan(&planned, &mut stats, &mut series)?;
+            let run = self.run_plan(&prepared.planned, control, env, stats, series)?;
             match run {
                 PlanRun::Finished { result_name } => {
-                    let relation = self.env.local.get(&result_name)?;
-                    let io = self.env.spill.stats();
-                    stats.spill_tuples_written = io.tuples_written();
-                    stats.spill_tuples_read = io.tuples_read();
-                    stats.peak_memory = self.env.memory.peak_used();
-                    stats.duration = started.elapsed();
-                    stats.time_to_first = stats
-                        .fragment_reports
-                        .last()
-                        .and_then(|r| r.time_to_first);
-                    return Ok(QueryResult {
-                        relation,
-                        stats,
-                        series,
-                    });
+                    return env.local.get(&result_name);
                 }
                 PlanRun::Replan { observations } => {
+                    control.check()?;
                     if stats.replans >= self.max_replans {
                         return Err(TukwilaError::Optimizer(format!(
                             "replan budget ({}) exhausted",
@@ -105,9 +215,11 @@ impl TukwilaSystem {
                         )));
                     }
                     stats.replans += 1;
-                    planned =
-                        self.optimizer
-                            .replan(&rq, planned.memo.take(), &observations)?;
+                    prepared.planned = self.optimizer.lock().replan(
+                        &prepared.rq,
+                        prepared.planned.memo.take(),
+                        &observations,
+                    )?;
                 }
             }
         }
@@ -115,13 +227,15 @@ impl TukwilaSystem {
 
     /// Run one plan to completion or to a replan request.
     fn run_plan(
-        &mut self,
+        &self,
         planned: &PlannedQuery,
+        control: &Arc<QueryControl>,
+        env: &ExecEnv,
         stats: &mut ExecutionStats,
         series: &mut Vec<(u64, std::time::Duration)>,
     ) -> Result<PlanRun> {
         let plan = &planned.lowered.plan;
-        let rt = PlanRuntime::for_plan(plan, self.env.clone());
+        let rt = PlanRuntime::for_plan_controlled(plan, env.clone(), control.clone());
         let mut completed: BTreeSet<FragmentId> = BTreeSet::new();
         let mut retries: HashMap<FragmentId, usize> = HashMap::new();
         let mut deferred: BTreeSet<FragmentId> = BTreeSet::new();
@@ -135,9 +249,11 @@ impl TukwilaSystem {
                 if completed.contains(&plan.output) {
                     break;
                 }
-                if plan.fragments.iter().all(|f| {
-                    completed.contains(&f.id) || !active(f.id)
-                }) {
+                if plan
+                    .fragments
+                    .iter()
+                    .all(|f| completed.contains(&f.id) || !active(f.id))
+                {
                     return Err(TukwilaError::Plan(
                         "no runnable fragments but output incomplete".into(),
                     ));
@@ -176,7 +292,7 @@ impl TukwilaSystem {
                         .any(|f| !completed.contains(&f.id) && active(f.id));
                     if replan_requested && (work_remains || !plan.complete) {
                         return Ok(PlanRun::Replan {
-                            observations: gather_observations(plan, &rt, &completed, &self.env),
+                            observations: gather_observations(plan, &rt, &completed, env),
                         });
                     }
                     if completed.contains(&plan.output) && !work_remains {
@@ -228,7 +344,7 @@ impl TukwilaSystem {
             // Partial plan ran out of planned work: hand observations back
             // to the optimizer for the next planning step (§3).
             Ok(PlanRun::Replan {
-                observations: gather_observations(plan, &rt, &completed, &self.env),
+                observations: gather_observations(plan, &rt, &completed, env),
             })
         }
     }
@@ -315,7 +431,7 @@ mod tests {
             .tables(&[TpchTable::Nation, TpchTable::Supplier])
             .build();
         let q = d.query_for("q2", &[TpchTable::Supplier, TpchTable::Nation]);
-        let mut sys = d.system(config(PipelinePolicy::Adaptive));
+        let sys = d.system(config(PipelinePolicy::Adaptive));
         let result = sys.execute(&q).unwrap();
         assert_gold(&d, &q, &result);
         assert_eq!(result.stats.replans, 0);
@@ -347,7 +463,7 @@ mod tests {
             PipelinePolicy::MaterializeAndReplan,
             PipelinePolicy::Adaptive,
         ] {
-            let mut sys = d.system(config(policy));
+            let sys = d.system(config(policy));
             let result = sys.execute(&q).unwrap();
             assert_gold(&d, &q, &result);
         }
@@ -373,7 +489,7 @@ mod tests {
                 TpchTable::Part,
             ],
         );
-        let mut sys = d.system(config(PipelinePolicy::MaterializeAndReplan));
+        let sys = d.system(config(PipelinePolicy::MaterializeAndReplan));
         let result = sys.execute(&q).unwrap();
         assert!(
             result.stats.replans >= 1,
@@ -392,7 +508,7 @@ mod tests {
             "q-unknown",
             &[TpchTable::Region, TpchTable::Nation, TpchTable::Supplier],
         );
-        let mut sys = d.system(config(PipelinePolicy::Adaptive));
+        let sys = d.system(config(PipelinePolicy::Adaptive));
         let result = sys.execute(&q).unwrap();
         assert!(
             result.stats.replans >= 1,
@@ -442,7 +558,7 @@ mod tests {
             .mirror(TpchTable::Supplier, "supplier_mirror", LinkModel::instant())
             .build();
         let q = d.query_for("q-mirror", &[TpchTable::Supplier, TpchTable::Nation]);
-        let mut sys = d.system(config(PipelinePolicy::Adaptive));
+        let sys = d.system(config(PipelinePolicy::Adaptive));
         let result = sys.execute(&q).unwrap();
         assert_gold(&d, &q, &result);
     }
@@ -454,7 +570,7 @@ mod tests {
             .link(TpchTable::Supplier, LinkModel::down())
             .build();
         let q = d.query_for("q-dead", &[TpchTable::Supplier, TpchTable::Nation]);
-        let mut sys = d.system(config(PipelinePolicy::Adaptive));
+        let sys = d.system(config(PipelinePolicy::Adaptive));
         let err = sys.execute(&q).unwrap_err();
         assert_eq!(err.kind(), "source_unavailable");
     }
@@ -472,8 +588,133 @@ mod tests {
         ];
         let d = TpchDeployment::builder(0.002, 23).tables(&tables).build();
         let q = d.query_for("q7", &tables);
-        let mut sys = d.system(config(PipelinePolicy::Adaptive));
+        let sys = d.system(config(PipelinePolicy::Adaptive));
         let result = sys.execute(&q).unwrap();
         assert_gold(&d, &q, &result);
+    }
+
+    #[test]
+    fn deadline_cancels_mid_fragment_and_is_reported_in_stats() {
+        // supplier stalls 10s after 5 tuples; a 100ms deadline must cancel
+        // the run long before the stall ends and flag the stats —
+        // distinctly from a rule-driven abort.
+        let stalling = LinkModel {
+            stall_after: Some(5),
+            stall_duration: Duration::from_secs(10),
+            ..LinkModel::instant()
+        };
+        let d = TpchDeployment::builder(SF, 29)
+            .tables(&[TpchTable::Nation, TpchTable::Supplier])
+            .link(TpchTable::Supplier, stalling)
+            .build();
+        let q = d.query_for("q-deadline", &[TpchTable::Supplier, TpchTable::Nation]);
+        let sys = d.system(config(PipelinePolicy::Adaptive));
+        let control = tukwila_exec::QueryControl::with_deadline(Duration::from_millis(100));
+        let mut stats = ExecutionStats::default();
+        let started = Instant::now();
+        let err = sys
+            .execute_controlled(&q, &control, &mut stats)
+            .unwrap_err();
+        assert_eq!(err.kind(), "deadline_exceeded");
+        assert!(stats.deadline_exceeded, "deadline must be flagged in stats");
+        assert!(!stats.cancelled, "a deadline is not a client cancel");
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "cancellation must interrupt the stalled source promptly"
+        );
+        assert!(stats.duration > Duration::ZERO);
+    }
+
+    #[test]
+    fn client_cancel_is_reported_in_stats() {
+        let stalling = LinkModel {
+            stall_after: Some(5),
+            stall_duration: Duration::from_secs(10),
+            ..LinkModel::instant()
+        };
+        let d = TpchDeployment::builder(SF, 37)
+            .tables(&[TpchTable::Nation, TpchTable::Supplier])
+            .link(TpchTable::Supplier, stalling)
+            .build();
+        let q = d.query_for("q-cancel", &[TpchTable::Supplier, TpchTable::Nation]);
+        let sys = d.system(config(PipelinePolicy::Adaptive));
+        let control = tukwila_exec::QueryControl::unbounded();
+        let canceller = {
+            let control = control.clone();
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(60));
+                control.cancel(tukwila_exec::CancelKind::User);
+            })
+        };
+        let mut stats = ExecutionStats::default();
+        let started = Instant::now();
+        let err = sys
+            .execute_controlled(&q, &control, &mut stats)
+            .unwrap_err();
+        canceller.join().unwrap();
+        assert_eq!(err.kind(), "cancelled");
+        assert!(stats.cancelled);
+        assert!(!stats.deadline_exceeded);
+        assert!(started.elapsed() < Duration::from_secs(5));
+    }
+
+    #[test]
+    fn concurrent_direct_executes_on_one_system_stay_isolated() {
+        // Even without the service tier, `execute(&self)` must be safe to
+        // call from several threads: each call derives a per-query env, so
+        // materialization names cannot collide across queries.
+        let d = TpchDeployment::builder(SF, 43)
+            .tables(&[TpchTable::Region, TpchTable::Nation, TpchTable::Supplier])
+            .build();
+        let q2 = d.query_for("q2", &[TpchTable::Supplier, TpchTable::Nation]);
+        let q3 = d.query_for(
+            "q3",
+            &[TpchTable::Region, TpchTable::Nation, TpchTable::Supplier],
+        );
+        let sys = d.system(config(PipelinePolicy::MaterializeEachJoin));
+        let gold2 = d.gold(&q2).unwrap();
+        let gold3 = d.gold(&q3).unwrap();
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..6)
+                .map(|i| {
+                    let (q, gold) = if i % 2 == 0 {
+                        (&q2, &gold2)
+                    } else {
+                        (&q3, &gold3)
+                    };
+                    let sys = &sys;
+                    s.spawn(move || {
+                        let result = sys.execute(q).unwrap();
+                        assert!(
+                            result.relation.bag_eq_unordered(gold),
+                            "concurrent direct execute diverged"
+                        );
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+        });
+    }
+
+    #[test]
+    fn prepare_and_run_prepared_compose_like_execute() {
+        let d = TpchDeployment::builder(SF, 41)
+            .tables(&[TpchTable::Nation, TpchTable::Supplier])
+            .build();
+        let q = d.query_for("q-stages", &[TpchTable::Supplier, TpchTable::Nation]);
+        let sys = d.system(config(PipelinePolicy::Adaptive));
+        let mut prepared = sys.prepare(&q).unwrap();
+        let control = tukwila_exec::QueryControl::unbounded();
+        let env = sys.env().for_query();
+        let mut stats = ExecutionStats::default();
+        let mut series = Vec::new();
+        let relation = sys
+            .run_prepared(&mut prepared, &control, &env, &mut stats, &mut series)
+            .unwrap();
+        let gold = d.gold(&q).unwrap();
+        assert!(relation.bag_eq_unordered(&gold));
+        assert!(!series.is_empty());
     }
 }

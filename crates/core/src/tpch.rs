@@ -230,10 +230,8 @@ impl TpchDeployment {
     /// A conjunctive query joining `tables` along every join-graph edge
     /// among them.
     pub fn query_for(&self, name: &str, tables: &[TpchTable]) -> ConjunctiveQuery {
-        let mut q = ConjunctiveQuery::new(
-            name,
-            tables.iter().map(|t| t.name().to_string()).collect(),
-        );
+        let mut q =
+            ConjunctiveQuery::new(name, tables.iter().map(|t| t.name().to_string()).collect());
         for edge in join_graph() {
             if tables.contains(&edge.from) && tables.contains(&edge.to) {
                 q = q.join(

@@ -77,6 +77,12 @@ pub fn run_fragment_observed(
         })
     };
 
+    // Refuse to start under a cancelled/expired control.
+    if let Err(e) = rt.control().check() {
+        rt.set_state(subject, OpState::Failed);
+        return finish(FragmentOutcome::Failed(e), 0, None);
+    }
+
     let mut root = build_operator(&frag.root, rt)?;
     rt.set_state(subject, OpState::Open);
     if let Err(e) = root.open() {
@@ -96,6 +102,17 @@ pub fn run_fragment_observed(
                 rt.add_produced(subject, batch.len() as u64);
                 tuples.extend(batch);
                 observer(tuples.len() as u64, start.elapsed());
+                // Cooperative cancellation: the query control is checked at
+                // every batch boundary (deadlines self-trip here).
+                if let Err(e) = rt.control().check() {
+                    let _ = root.close();
+                    rt.set_state(subject, OpState::Failed);
+                    return finish(
+                        FragmentOutcome::Failed(e),
+                        tuples.len() as u64,
+                        time_to_first,
+                    );
+                }
                 // Mid-fragment signals: reschedule and abort take effect
                 // immediately; replan waits for the materialization point.
                 if rt.signal_pending() {
@@ -112,6 +129,18 @@ pub fn run_fragment_observed(
                 return finish(classify_error(rt, e), tuples.len() as u64, time_to_first);
             }
         }
+    }
+    // A cancellation that interrupted a source mid-stream makes operators
+    // end quietly; re-check the control before materializing so a truncated
+    // stream can never masquerade as a completed fragment.
+    if let Err(e) = rt.control().check() {
+        let _ = root.close();
+        rt.set_state(subject, OpState::Failed);
+        return finish(
+            FragmentOutcome::Failed(e),
+            tuples.len() as u64,
+            time_to_first,
+        );
     }
     let produced = tuples.len() as u64;
     let schema = root.schema().clone();
@@ -215,10 +244,7 @@ mod tests {
             } => {
                 assert!(cardinality > 0);
                 assert!(!replan_requested);
-                assert_eq!(
-                    rt.env().local.cardinality("result"),
-                    Some(cardinality)
-                );
+                assert_eq!(rt.env().local.cardinality("result"), Some(cardinality));
             }
             other => panic!("unexpected outcome {other:?}"),
         }
@@ -324,6 +350,8 @@ mod tests {
         run_fragment_observed(&plan, f, &rt, &mut |n, d| series.push((n, d))).unwrap();
         assert_eq!(series.len(), 5);
         assert_eq!(series.last().unwrap().0, 50);
-        assert!(series.windows(2).all(|w| w[0].0 < w[1].0 && w[0].1 <= w[1].1));
+        assert!(series
+            .windows(2)
+            .all(|w| w[0].0 < w[1].0 && w[0].1 <= w[1].1));
     }
 }

@@ -23,6 +23,7 @@
 //!   planning/execution (crate `tukwila-core`) loops over this.
 
 pub mod build;
+pub mod control;
 pub mod fragment;
 pub mod operator;
 pub mod operators;
@@ -32,6 +33,7 @@ pub mod runtime;
 pub(crate) mod test_support;
 
 pub use build::build_operator;
+pub use control::{CancelKind, QueryControl};
 pub use fragment::{run_fragment, run_fragment_observed, FragmentOutcome, FragmentReport};
 pub use operator::{drain, drain_batches, drain_tuples, Operator, OperatorBox, TupleCursor};
 pub use runtime::{EngineSignal, ExecEnv, OpHarness, PlanRuntime};

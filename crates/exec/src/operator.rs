@@ -86,9 +86,7 @@ impl TupleCursor {
     /// next `next` call cannot block on the underlying operator. Lets
     /// consumers fill an output batch only as long as doing so is free.
     pub fn has_buffered(&self) -> bool {
-        self.buf
-            .as_ref()
-            .is_some_and(|b| self.pos < b.len())
+        self.buf.as_ref().is_some_and(|b| self.pos < b.len())
     }
 
     /// Drop any buffered tuples (e.g. before a retry).

@@ -39,11 +39,7 @@ fn registry_with(entries: &[(&str, Relation)]) -> SourceRegistry {
 }
 
 /// Drain the root of `plan` at the given batch size through the batch path.
-fn run_at_batch_size(
-    plan: &QueryPlan,
-    registry: &SourceRegistry,
-    batch_size: usize,
-) -> Vec<Tuple> {
+fn run_at_batch_size(plan: &QueryPlan, registry: &SourceRegistry, batch_size: usize) -> Vec<Tuple> {
     let env = ExecEnv::new(registry.clone()).with_batch_size(batch_size);
     let rt = PlanRuntime::for_plan(plan, env);
     let mut op = build_operator(&plan.fragments[0].root, &rt).unwrap();
@@ -72,55 +68,85 @@ fn all_operators_batched_equals_single_tuple() {
     let l = keyed_relation("l", 90, 9);
     let r = keyed_relation("r", 45, 9);
     let cases: Vec<(&str, QueryPlan)> = vec![
-        ("filter", plan_of(|b| {
-            let s = b.wrapper_scan("L");
-            b.select(s, tukwila_plan::Predicate::eq_lit("k", 3i64))
-        })),
-        ("project", plan_of(|b| {
-            let s = b.wrapper_scan("L");
-            b.project(s, &["v", "k"])
-        })),
-        ("union", plan_of(|b| {
-            let a = b.wrapper_scan("L");
-            let c = b.wrapper_scan("R");
-            b.union(vec![a, c])
-        })),
-        ("nlj", plan_of(|b| {
-            let ls = b.wrapper_scan("L");
-            let rs = b.wrapper_scan("R");
-            b.join(JoinKind::NestedLoops, ls, rs, "k", "k")
-        })),
-        ("smj", plan_of(|b| {
-            let ls = b.wrapper_scan("L");
-            let rs = b.wrapper_scan("R");
-            b.join(JoinKind::SortMerge, ls, rs, "k", "k")
-        })),
-        ("hybrid_hash", plan_of(|b| {
-            let ls = b.wrapper_scan("L");
-            let rs = b.wrapper_scan("R");
-            b.join(JoinKind::HybridHash, ls, rs, "k", "k")
-        })),
-        ("grace_hash", plan_of(|b| {
-            let ls = b.wrapper_scan("L");
-            let rs = b.wrapper_scan("R");
-            b.join(JoinKind::GraceHash, ls, rs, "k", "k")
-        })),
-        ("dpj", plan_of(|b| {
-            let ls = b.wrapper_scan("L");
-            let rs = b.wrapper_scan("R");
-            b.dpj(ls, rs, "k", "k", OverflowMethod::IncrementalLeftFlush)
-        })),
-        ("dependent_join", plan_of(|b| {
-            let ls = b.wrapper_scan("L");
-            b.dependent_join(ls, "R", "k", "k")
-        })),
-        ("table_scan+deep", plan_of(|b| {
-            let ls = b.wrapper_scan("L");
-            let rs = b.wrapper_scan("R");
-            let j = b.join(JoinKind::DoublePipelined, ls, rs, "k", "k");
-            let p = b.project(j, &["l.k", "l.v", "r.v"]);
-            b.select(p, tukwila_plan::Predicate::eq_lit("l.k", 2i64))
-        })),
+        (
+            "filter",
+            plan_of(|b| {
+                let s = b.wrapper_scan("L");
+                b.select(s, tukwila_plan::Predicate::eq_lit("k", 3i64))
+            }),
+        ),
+        (
+            "project",
+            plan_of(|b| {
+                let s = b.wrapper_scan("L");
+                b.project(s, &["v", "k"])
+            }),
+        ),
+        (
+            "union",
+            plan_of(|b| {
+                let a = b.wrapper_scan("L");
+                let c = b.wrapper_scan("R");
+                b.union(vec![a, c])
+            }),
+        ),
+        (
+            "nlj",
+            plan_of(|b| {
+                let ls = b.wrapper_scan("L");
+                let rs = b.wrapper_scan("R");
+                b.join(JoinKind::NestedLoops, ls, rs, "k", "k")
+            }),
+        ),
+        (
+            "smj",
+            plan_of(|b| {
+                let ls = b.wrapper_scan("L");
+                let rs = b.wrapper_scan("R");
+                b.join(JoinKind::SortMerge, ls, rs, "k", "k")
+            }),
+        ),
+        (
+            "hybrid_hash",
+            plan_of(|b| {
+                let ls = b.wrapper_scan("L");
+                let rs = b.wrapper_scan("R");
+                b.join(JoinKind::HybridHash, ls, rs, "k", "k")
+            }),
+        ),
+        (
+            "grace_hash",
+            plan_of(|b| {
+                let ls = b.wrapper_scan("L");
+                let rs = b.wrapper_scan("R");
+                b.join(JoinKind::GraceHash, ls, rs, "k", "k")
+            }),
+        ),
+        (
+            "dpj",
+            plan_of(|b| {
+                let ls = b.wrapper_scan("L");
+                let rs = b.wrapper_scan("R");
+                b.dpj(ls, rs, "k", "k", OverflowMethod::IncrementalLeftFlush)
+            }),
+        ),
+        (
+            "dependent_join",
+            plan_of(|b| {
+                let ls = b.wrapper_scan("L");
+                b.dependent_join(ls, "R", "k", "k")
+            }),
+        ),
+        (
+            "table_scan+deep",
+            plan_of(|b| {
+                let ls = b.wrapper_scan("L");
+                let rs = b.wrapper_scan("R");
+                let j = b.join(JoinKind::DoublePipelined, ls, rs, "k", "k");
+                let p = b.project(j, &["l.k", "l.v", "r.v"]);
+                b.select(p, tukwila_plan::Predicate::eq_lit("l.k", 2i64))
+            }),
+        ),
     ];
     for (name, plan) in cases {
         let registry = registry_with(&[("L", l.clone()), ("R", r.clone())]);

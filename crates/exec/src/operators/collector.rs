@@ -96,31 +96,51 @@ impl Collector {
         let tx = self.tx.as_ref().unwrap().clone();
         let subject = SubjectRef::Op(spec.id);
         let batch_size = rt.env().batch_size;
-        let mut stream = wrapper.fetch();
-        rt.register_cancel(subject, stream.cancel_handle());
         rt.set_state(subject, OpState::Open);
         self.children[idx].spawned = true;
         self.children[idx].last_activity = Instant::now();
+        let thread_rt = rt.clone();
         // Each child hands its arrival bursts over as whole batches — one
-        // queue message per burst rather than per tuple.
-        self.threads.push(std::thread::spawn(move || loop {
-            match stream.next_batch_event(batch_size) {
-                SourceBatchEvent::Batch(b) => {
-                    if tx.send(ChildMsg::Batch(idx, b)).is_err() {
+        // queue message per burst rather than per tuple. Children fetch
+        // through the shared source-result cache like plain wrapper scans
+        // (the open happens on the child thread, so a coalesced wait never
+        // blocks the collector; `register_cancel` flips handles registered
+        // after a deactivation, so a rule firing in the spawn window still
+        // cancels the stream).
+        self.threads.push(std::thread::spawn(move || {
+            let mut stream =
+                match crate::operators::open_source_stream(&thread_rt, subject, &wrapper, |w| {
+                    w.fetch()
+                }) {
+                    Ok(Some(s)) => s,
+                    // Wait cancelled, or the whole query was: end quietly like
+                    // any other cancelled child (query-level cancellation is
+                    // reported by the fragment loop, not by this thread).
+                    Ok(None) | Err(_) => {
+                        let _ = tx.send(ChildMsg::End(idx));
                         return;
                     }
-                }
-                SourceBatchEvent::End => {
-                    let _ = tx.send(ChildMsg::End(idx));
-                    return;
-                }
-                SourceBatchEvent::Cancelled => {
-                    let _ = tx.send(ChildMsg::End(idx));
-                    return;
-                }
-                SourceBatchEvent::Error(e) => {
-                    let _ = tx.send(ChildMsg::Error(idx, e));
-                    return;
+                };
+            thread_rt.register_cancel(subject, stream.cancel_handle());
+            loop {
+                match stream.next_batch_event(batch_size) {
+                    SourceBatchEvent::Batch(b) => {
+                        if tx.send(ChildMsg::Batch(idx, b)).is_err() {
+                            return;
+                        }
+                    }
+                    SourceBatchEvent::End => {
+                        let _ = tx.send(ChildMsg::End(idx));
+                        return;
+                    }
+                    SourceBatchEvent::Cancelled => {
+                        let _ = tx.send(ChildMsg::End(idx));
+                        return;
+                    }
+                    SourceBatchEvent::Error(e) => {
+                        let _ = tx.send(ChildMsg::Error(idx, e));
+                        return;
+                    }
                 }
             }
         }));
@@ -156,12 +176,7 @@ impl Collector {
         // collector could in principle still fire; such policies must keep
         // the collector alive via an active child instead.)
         self.children.iter().any(|c| {
-            !c.spawned
-                && !c.done
-                && self
-                    .harness
-                    .runtime()
-                    .is_active(SubjectRef::Op(c.spec.id))
+            !c.spawned && !c.done && self.harness.runtime().is_active(SubjectRef::Op(c.spec.id))
         })
     }
 
@@ -241,11 +256,7 @@ impl Operator for Collector {
                 // No data can arrive anymore. Total failure with zero
                 // output is surfaced as an error; partial delivery is a
                 // policy outcome, not an error.
-                let all_failed = self
-                    .children
-                    .iter()
-                    .filter(|c| c.spawned)
-                    .all(|c| c.failed)
+                let all_failed = self.children.iter().filter(|c| c.spawned).all(|c| c.failed)
                     && self.children.iter().any(|c| c.spawned);
                 if all_failed && self.emitted == 0 {
                     return Err(TukwilaError::SourceUnavailable {
@@ -341,9 +352,9 @@ impl Operator for Collector {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::Arc;
     use crate::operator::drain;
     use crate::runtime::{ExecEnv, PlanRuntime};
+    use std::sync::Arc;
     use tukwila_common::{tuple, DataType, Relation};
     use tukwila_plan::{
         Action, Condition, EventKind, EventPattern, OpId, PlanBuilder, QueryPlan, Rule,

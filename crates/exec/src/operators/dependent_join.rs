@@ -8,7 +8,7 @@
 
 use std::collections::{HashMap, VecDeque};
 
-use tukwila_common::{Result, Schema, Tuple, TukwilaError, TupleBatch, Value};
+use tukwila_common::{Result, Schema, TukwilaError, Tuple, TupleBatch, Value};
 use tukwila_source::SourceBatchEvent;
 
 use crate::operator::{Operator, OperatorBox};
@@ -112,8 +112,8 @@ impl Operator for DependentJoin {
         // output is handed over before any (possibly blocking) input pull.
         let max = self.harness.batch_size();
         loop {
-            let block_ready = self.pending.len() >= max
-                || (!self.pending.is_empty() && self.driving.is_empty());
+            let block_ready =
+                self.pending.len() >= max || (!self.pending.is_empty() && self.driving.is_empty());
             if block_ready {
                 let out = TupleBatch::fill_from_deque(&mut self.pending, max);
                 self.harness.produced(out.len() as u64);
@@ -142,13 +142,7 @@ impl Operator for DependentJoin {
         self.left.close()?;
         if self.opened {
             if let Some(r) = self.harness.reservation() {
-                r.release(
-                    self.index
-                        .values()
-                        .flatten()
-                        .map(Tuple::mem_size)
-                        .sum(),
-                );
+                r.release(self.index.values().flatten().map(Tuple::mem_size).sum());
             }
             self.index.clear();
             self.pending.clear();

@@ -42,7 +42,7 @@ use std::thread::JoinHandle;
 
 use crossbeam_channel::{bounded, Receiver, Select};
 
-use tukwila_common::{Result, Schema, Tuple, TukwilaError, TupleBatch};
+use tukwila_common::{Result, Schema, TukwilaError, Tuple, TupleBatch};
 use tukwila_plan::{OverflowMethod, QuantityProvider, SubjectRef};
 
 use crate::operator::{Operator, OperatorBox};
@@ -211,7 +211,9 @@ impl DoublePipelinedJoin {
         let Some(res) = self.harness.reservation() else {
             return Ok(());
         };
-        if !res.over_budget() {
+        // `under_pressure` folds in query- and fleet-level budgets from the
+        // memory governor, not just this operator's own reservation.
+        if !res.under_pressure() {
             return Ok(());
         }
         if !self.raised_oom {
@@ -251,7 +253,7 @@ impl DoublePipelinedJoin {
         if !self.done[LEFT] && !self.done[RIGHT] && !flush_all {
             self.mode = ReadMode::RightOnly;
         }
-        while res.over_budget() {
+        while res.under_pressure() {
             if let Some(b) = self.tables[LEFT].largest_unflushed() {
                 self.tables[LEFT].flush_bucket(b)?;
             } else if let Some(b) = self.tables[RIGHT].largest_unflushed() {
@@ -269,12 +271,10 @@ impl DoublePipelinedJoin {
         let Some(res) = self.harness.reservation() else {
             return Ok(());
         };
-        while res.over_budget() {
+        while res.under_pressure() {
             // Fattest bucket by combined residency across both tables.
             let candidate = (0..self.num_buckets)
-                .filter(|&b| {
-                    !self.tables[LEFT].is_flushed(b) || !self.tables[RIGHT].is_flushed(b)
-                })
+                .filter(|&b| !self.tables[LEFT].is_flushed(b) || !self.tables[RIGHT].is_flushed(b))
                 .max_by_key(|&b| {
                     self.tables[LEFT].bucket_bytes(b) + self.tables[RIGHT].bucket_bytes(b)
                 });
@@ -539,9 +539,7 @@ mod tests {
     use crate::test_support::{keyed_relation, JoinFixture};
     use std::time::{Duration, Instant};
     use tukwila_common::Relation;
-    use tukwila_plan::{
-        Action, Condition, EventKind, EventPattern, JoinKind, Rule,
-    };
+    use tukwila_plan::{Action, Condition, EventKind, EventPattern, JoinKind, Rule};
     use tukwila_source::LinkModel;
 
     fn dpj_for(fx: &JoinFixture) -> DoublePipelinedJoin {
@@ -660,9 +658,7 @@ mod tests {
         // rebuild runtime with the extra rule
         fx.rt = crate::runtime::PlanRuntime::for_plan(
             &fx.plan,
-            crate::runtime::ExecEnv::new(
-                fx.rt.env().sources.clone(),
-            ),
+            crate::runtime::ExecEnv::new(fx.rt.env().sources.clone()),
         );
         let mut op = dpj_for(&fx);
         let out = drain(&mut op).unwrap();
@@ -869,10 +865,7 @@ mod tests {
         let mut op = dpj_for(&fx);
         let out = drain(&mut op).unwrap();
         fx.assert_gold(out);
-        assert_eq!(
-            fx.rt.memory_budget(SubjectRef::Op(join)),
-            Some(123_456.0)
-        );
+        assert_eq!(fx.rt.memory_budget(SubjectRef::Op(join)), Some(123_456.0));
     }
 
     /// Check gold equality under every overflow method and several budgets
@@ -888,8 +881,7 @@ mod tests {
                 let fx = fixture(250, 200, 25, method, Some(budget));
                 let mut op = dpj_for(&fx);
                 let out = drain(&mut op).unwrap();
-                let got =
-                    Relation::new(fx.gold.schema().clone(), out).unwrap();
+                let got = Relation::new(fx.gold.schema().clone(), out).unwrap();
                 assert!(
                     got.bag_eq(&fx.gold),
                     "mismatch for {method:?} at budget {budget}: got {}, want {}",

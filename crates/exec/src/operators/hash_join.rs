@@ -10,7 +10,7 @@
 
 use std::collections::VecDeque;
 
-use tukwila_common::{Result, Schema, Tuple, TukwilaError, TupleBatch};
+use tukwila_common::{Result, Schema, TukwilaError, Tuple, TupleBatch};
 use tukwila_storage::SpillBucket;
 
 use crate::operator::{Operator, OperatorBox};
@@ -115,7 +115,9 @@ impl HashJoinOp {
         let Some(res) = self.harness.reservation() else {
             return Ok(());
         };
-        while res.over_budget() {
+        // `under_pressure` folds in query- and fleet-level budgets from the
+        // memory governor, not just this operator's own reservation.
+        while res.under_pressure() {
             if !self.raised_oom {
                 self.raised_oom = true;
                 self.harness.out_of_memory();
@@ -330,10 +332,8 @@ mod tests {
     use tukwila_source::{LinkModel, SimulatedSource, SourceRegistry};
 
     fn rel(name: &str, n: i64, dup: i64) -> Relation {
-        let schema = tukwila_common::Schema::of(
-            name,
-            &[("k", DataType::Int), ("v", DataType::Int)],
-        );
+        let schema =
+            tukwila_common::Schema::of(name, &[("k", DataType::Int), ("v", DataType::Int)]);
         let mut r = Relation::empty(schema);
         for i in 0..n {
             r.push(tuple![i % dup, i]);
@@ -443,10 +443,7 @@ mod tests {
 
     #[test]
     fn null_keys_skipped() {
-        let schema = tukwila_common::Schema::of(
-            "l",
-            &[("k", DataType::Int), ("v", DataType::Int)],
-        );
+        let schema = tukwila_common::Schema::of("l", &[("k", DataType::Int), ("v", DataType::Int)]);
         let mut l = Relation::empty(schema.clone());
         l.push(Tuple::new(vec![tukwila_common::Value::Null, 1i64.into()]));
         l.push(tuple![1, 2]);

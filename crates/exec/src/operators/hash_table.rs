@@ -11,8 +11,8 @@
 //! arriving after the flush are *new* (marked). The overflow cleanup joins
 //! old×new, new×old, and new×new — never old×old, which was emitted online.
 
-use std::collections::HashMap;
 use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 
@@ -154,10 +154,7 @@ impl BucketedTable {
     /// marked new.
     pub fn spill_new(&mut self, b: usize, tuple: &Tuple) -> Result<()> {
         if self.new_spill[b].is_none() {
-            self.new_spill[b] = Some(
-                self.spill
-                    .create_bucket(&format!("{}-new-{b}", self.label)),
-            );
+            self.new_spill[b] = Some(self.spill.create_bucket(&format!("{}-new-{b}", self.label)));
         }
         self.spill
             .write(self.new_spill[b].unwrap(), std::slice::from_ref(tuple))?;
@@ -190,10 +187,8 @@ impl BucketedTable {
         let primary: Vec<Tuple> = self.mem[b].drain().flat_map(|(_, v)| v).collect();
         if !primary.is_empty() {
             if self.old_spill[b].is_none() {
-                self.old_spill[b] = Some(
-                    self.spill
-                        .create_bucket(&format!("{}-old-{b}", self.label)),
-                );
+                self.old_spill[b] =
+                    Some(self.spill.create_bucket(&format!("{}-old-{b}", self.label)));
             }
             self.spill.write(self.old_spill[b].unwrap(), &primary)?;
             written += primary.len();
@@ -201,10 +196,8 @@ impl BucketedTable {
         let marked: Vec<Tuple> = self.mem_marked[b].drain().flat_map(|(_, v)| v).collect();
         if !marked.is_empty() {
             if self.new_spill[b].is_none() {
-                self.new_spill[b] = Some(
-                    self.spill
-                        .create_bucket(&format!("{}-new-{b}", self.label)),
-                );
+                self.new_spill[b] =
+                    Some(self.spill.create_bucket(&format!("{}-new-{b}", self.label)));
             }
             self.spill.write(self.new_spill[b].unwrap(), &marked)?;
             written += marked.len();
@@ -293,7 +286,11 @@ pub fn join_sets(
             }
             if let Some(matches) = table.get(k) {
                 for b in matches {
-                    out.push(if probe_first { p.concat(b) } else { b.concat(p) });
+                    out.push(if probe_first {
+                        p.concat(b)
+                    } else {
+                        b.concat(p)
+                    });
                 }
             }
         }
@@ -458,9 +455,7 @@ mod tests {
         // different salts redistribute (not a hard guarantee per value, but
         // across many values the distributions must differ)
         let moved = (0..100i64)
-            .filter(|&i| {
-                bucket_of(&Value::Int(i), 16, 0) != bucket_of(&Value::Int(i), 16, 1)
-            })
+            .filter(|&i| bucket_of(&Value::Int(i), 16, 0) != bucket_of(&Value::Int(i), 16, 1))
             .count();
         assert!(moved > 50, "salt should redistribute, moved={moved}");
     }

@@ -22,6 +22,46 @@ pub mod smj;
 pub mod union_op;
 pub mod wrapper_scan;
 
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+
+use tukwila_common::Result;
+use tukwila_plan::SubjectRef;
+use tukwila_source::{Wrapper, WrapperStream};
+
+use crate::runtime::PlanRuntime;
+
+/// Open a wrapper stream for `subject`, going through the shared
+/// source-result cache when one is installed (cache hit → replay; cold key
+/// → teeing single-flight leader; in-flight key → coalesced wait keyed by
+/// the query's flight id). The coalesced wait is interruptible: its cancel
+/// flag is registered like any other blocking pull, so rule-driven
+/// deactivation and query-level cancellation both end it. Returns
+/// `Ok(None)` when the wait was cancelled by a rule (quiet end); a
+/// query-level cancellation surfaces as the control's error.
+pub(crate) fn open_source_stream(
+    rt: &Arc<PlanRuntime>,
+    subject: SubjectRef,
+    wrapper: &Wrapper,
+    base: impl FnOnce(&Wrapper) -> WrapperStream,
+) -> Result<Option<WrapperStream>> {
+    match rt.env().sources.cache() {
+        Some(cache) => {
+            let wait_cancel = Arc::new(AtomicBool::new(false));
+            rt.register_cancel(subject, wait_cancel.clone());
+            let flight = rt.control().flight_id();
+            match wrapper.fetch_through_cache(&cache, flight, Some(&wait_cancel), base) {
+                Some(stream) => Ok(Some(stream)),
+                None => {
+                    rt.control().check()?;
+                    Ok(None)
+                }
+            }
+        }
+        None => Ok(Some(base(wrapper))),
+    }
+}
+
 pub use collector::Collector;
 pub use dependent_join::DependentJoin;
 pub use dpj::DoublePipelinedJoin;

@@ -5,7 +5,7 @@
 //! inner table to be transmitted initially before pipelining begins." That
 //! blocking behaviour is exactly what we measure against.
 
-use tukwila_common::{Result, Schema, Tuple, TukwilaError, TupleBatch};
+use tukwila_common::{Result, Schema, TukwilaError, Tuple, TupleBatch};
 
 use crate::operator::{Operator, OperatorBox, TupleCursor};
 use crate::runtime::OpHarness;

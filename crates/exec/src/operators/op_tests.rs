@@ -10,9 +10,7 @@ use crate::test_support::keyed_relation;
 use std::sync::Arc;
 
 use tukwila_common::{tuple, DataType, Relation, Schema, Tuple, Value};
-use tukwila_plan::{
-    CmpOp, JoinKind, OperatorNode, PlanBuilder, Predicate, QueryPlan, SubjectRef,
-};
+use tukwila_plan::{CmpOp, JoinKind, OperatorNode, PlanBuilder, Predicate, QueryPlan, SubjectRef};
 use tukwila_source::{LinkModel, SimulatedSource, SourceRegistry};
 
 /// Build a one-fragment plan from a closure, returning plan + runtime.
@@ -36,7 +34,11 @@ fn run_root(plan: &QueryPlan, rt: &Arc<PlanRuntime>) -> Vec<Tuple> {
 fn registry_with(entries: &[(&str, Relation)]) -> SourceRegistry {
     let reg = SourceRegistry::new();
     for (name, rel) in entries {
-        reg.register(SimulatedSource::new(*name, rel.clone(), LinkModel::instant()));
+        reg.register(SimulatedSource::new(
+            *name,
+            rel.clone(),
+            LinkModel::instant(),
+        ));
     }
     reg
 }
@@ -114,11 +116,7 @@ fn union_concatenates_in_order() {
 
 #[test]
 fn union_arity_mismatch_rejected() {
-    let wide = Relation::new(
-        Schema::of("w", &[("a", DataType::Int)]),
-        vec![tuple![1]],
-    )
-    .unwrap();
+    let wide = Relation::new(Schema::of("w", &[("a", DataType::Int)]), vec![tuple![1]]).unwrap();
     let reg = registry_with(&[("A", keyed_relation("a", 2, 2)), ("W", wide)]);
     let (plan, rt) = plan_runtime(reg, |b| {
         let a = b.wrapper_scan("A");
@@ -264,7 +262,5 @@ fn deep_composed_pipeline() {
     let out = run_root(&plan, &rt);
     assert!(!out.is_empty());
     assert!(out.iter().all(|t| t.arity() == 3));
-    assert!(out
-        .iter()
-        .all(|t| t.value(0).as_int().unwrap() >= 5));
+    assert!(out.iter().all(|t| t.value(0).as_int().unwrap() >= 5));
 }

@@ -7,7 +7,7 @@
 
 use std::cmp::Ordering;
 
-use tukwila_common::{Result, Schema, Tuple, TukwilaError, TupleBatch};
+use tukwila_common::{Result, Schema, TukwilaError, Tuple, TupleBatch};
 
 use crate::operator::{Operator, OperatorBox};
 use crate::runtime::OpHarness;

@@ -54,14 +54,30 @@ impl WrapperScan {
 
 impl Operator for WrapperScan {
     fn open(&mut self) -> Result<()> {
-        let wrapper = self.harness.runtime().env().sources.wrapper(&self.source)?;
+        let rt = self.harness.runtime().clone();
+        let wrapper = rt.env().sources.wrapper(&self.source)?;
         self.schema = wrapper.schema().clone();
         // Timeout detection requires the buffered fetch (a direct pull
         // blocks inside the link model and cannot observe a deadline).
-        let stream = match (self.timeout_ms, self.prefetch) {
-            (None, None) => wrapper.fetch(),
-            (_, Some(buf)) => wrapper.fetch_prefetching(buf),
-            (Some(_), None) => wrapper.fetch_prefetching(1),
+        let base = |w: &tukwila_source::Wrapper| match (self.timeout_ms, self.prefetch) {
+            (None, None) => w.fetch(),
+            (_, Some(buf)) => w.fetch_prefetching(buf),
+            (Some(_), None) => w.fetch_prefetching(1),
+        };
+        let stream = match crate::operators::open_source_stream(
+            &rt,
+            self.harness.subject(),
+            &wrapper,
+            base,
+        )? {
+            Some(s) => s,
+            None => {
+                // Wait cancelled by a rule: end quietly (the rule that
+                // cancelled us decides what happens next).
+                self.finished = true;
+                self.harness.opened();
+                return Ok(());
+            }
         };
         self.harness.register_cancel(stream.cancel_handle());
         self.stream = Some(stream);
@@ -117,9 +133,12 @@ impl Operator for WrapperScan {
                     return Ok(None);
                 }
                 SourceBatchEvent::Cancelled => {
-                    // Deactivated mid-wait: end quietly (the rule that
-                    // cancelled us decides what happens next).
                     self.finished = true;
+                    // Query-level cancellation (client cancel, deadline)
+                    // surfaces as an error so the fragment fails cleanly;
+                    // rule-driven deactivation ends quietly (the rule that
+                    // cancelled us decides what happens next).
+                    self.harness.runtime().control().check()?;
                     return Ok(None);
                 }
                 SourceBatchEvent::Error(reason) => {
@@ -155,9 +174,7 @@ mod tests {
     use crate::runtime::{ExecEnv, PlanRuntime};
     use std::sync::Arc;
     use tukwila_common::{tuple, DataType, Relation};
-    use tukwila_plan::{
-        Action, Condition, EventKind, EventPattern, PlanBuilder, Rule, SubjectRef,
-    };
+    use tukwila_plan::{Action, Condition, EventKind, EventPattern, PlanBuilder, Rule, SubjectRef};
     use tukwila_source::{LinkModel, SimulatedSource, SourceRegistry};
 
     fn rel(n: i64) -> Relation {

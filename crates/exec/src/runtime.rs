@@ -30,8 +30,10 @@ use tukwila_plan::{
 };
 use tukwila_source::SourceRegistry;
 use tukwila_storage::{
-    InMemorySpillStore, LocalStore, MemoryManager, MemoryReservation, SpillStore,
+    InMemorySpillStore, LocalStore, MemoryManager, MemoryReservation, ScopedSpillStore, SpillStore,
 };
+
+use crate::control::QueryControl;
 
 /// Engine environment shared across plan runs.
 #[derive(Clone)]
@@ -71,6 +73,30 @@ impl ExecEnv {
     pub fn with_batch_size(mut self, batch_size: usize) -> Self {
         self.batch_size = batch_size.max(1);
         self
+    }
+
+    /// Derive an environment for one query run in a concurrent service:
+    /// sources and the backing spill store are shared with this base
+    /// environment, but the local store (materialization namespace) and
+    /// the memory pool are fresh — concurrent queries cannot collide on
+    /// materialization names or each other's memory accounting — and the
+    /// spill store is wrapped in a [`ScopedSpillStore`] so this query's
+    /// spill I/O counters include only its own traffic.
+    pub fn for_query(&self) -> ExecEnv {
+        self.for_query_with_memory(MemoryManager::new())
+    }
+
+    /// [`ExecEnv::for_query`] with a caller-built memory pool — the memory
+    /// governor passes a pool parented to the query's grant on the fleet
+    /// pool (see `tukwila_storage::MemoryManager::with_parent`).
+    pub fn for_query_with_memory(&self, memory: MemoryManager) -> ExecEnv {
+        ExecEnv {
+            memory,
+            spill: Arc::new(ScopedSpillStore::new(self.spill.clone())),
+            local: LocalStore::new(),
+            sources: self.sources.clone(),
+            batch_size: self.batch_size,
+        }
     }
 }
 
@@ -160,6 +186,7 @@ struct Signals {
 pub struct PlanRuntime {
     env: ExecEnv,
     epoch: Instant,
+    control: Arc<QueryControl>,
     subjects: HashMap<SubjectRef, SubjectRecord>,
     rules: Mutex<Vec<RuleSlot>>,
     event_queue: Mutex<VecDeque<Event>>,
@@ -176,6 +203,17 @@ impl PlanRuntime {
     /// budgeted operators, loads all rules, and harvests threshold
     /// milestones.
     pub fn for_plan(plan: &QueryPlan, env: ExecEnv) -> Arc<PlanRuntime> {
+        Self::for_plan_controlled(plan, env, QueryControl::unbounded())
+    }
+
+    /// [`PlanRuntime::for_plan`] under an externally owned [`QueryControl`]
+    /// — the service threads one control through every plan a query runs so
+    /// cancellation and deadlines reach all of them.
+    pub fn for_plan_controlled(
+        plan: &QueryPlan,
+        env: ExecEnv,
+        control: Arc<QueryControl>,
+    ) -> Arc<PlanRuntime> {
         let mut milestones: HashMap<SubjectRef, Vec<u64>> = HashMap::new();
         for rule in plan.all_rules() {
             if rule.event.kind == EventKind::Threshold {
@@ -252,6 +290,7 @@ impl PlanRuntime {
         Arc::new(PlanRuntime {
             env,
             epoch: Instant::now(),
+            control,
             subjects,
             rules: Mutex::new(rules),
             event_queue: Mutex::new(VecDeque::new()),
@@ -264,6 +303,11 @@ impl PlanRuntime {
     /// The engine environment.
     pub fn env(&self) -> &ExecEnv {
         &self.env
+    }
+
+    /// The query-level control this plan runs under.
+    pub fn control(&self) -> &Arc<QueryControl> {
+        &self.control
     }
 
     fn record(&self, s: SubjectRef) -> Result<&SubjectRecord> {
@@ -382,10 +426,19 @@ impl PlanRuntime {
     }
 
     /// Register a cancellation handle to be flipped if `subject` is
-    /// deactivated.
+    /// deactivated — or if the whole query is cancelled or times out (the
+    /// handle is also registered with the query control). A handle
+    /// registered *after* the subject was deactivated is flipped
+    /// immediately: streams created on worker threads (collector
+    /// children) may register after a rule has already fired, and the
+    /// cancellation must not be lost in that window.
     pub fn register_cancel(&self, subject: SubjectRef, handle: Arc<AtomicBool>) {
+        self.control.register_handle(handle.clone());
         if let Ok(rec) = self.record(subject) {
-            rec.cancel_handles.lock().push(handle);
+            rec.cancel_handles.lock().push(handle.clone());
+            if !rec.active.load(Ordering::Relaxed) {
+                handle.store(true, Ordering::Relaxed);
+            }
         }
     }
 
@@ -528,7 +581,14 @@ impl QuantityProvider for PlanRuntime {
     }
 
     fn memory_used(&self, subject: SubjectRef) -> Option<f64> {
-        Some(self.record(subject).ok()?.reservation.as_ref()?.usage().used as f64)
+        Some(
+            self.record(subject)
+                .ok()?
+                .reservation
+                .as_ref()?
+                .usage()
+                .used as f64,
+        )
     }
 
     fn memory_budget(&self, subject: SubjectRef) -> Option<f64> {
@@ -595,13 +655,17 @@ impl OpHarness {
 
     /// Emit a timeout event (`value` = configured timeout in ms).
     pub fn timeout(&self, timeout_ms: u64) {
-        self.rt
-            .emit(Event::with_value(EventKind::Timeout, self.subject, timeout_ms));
+        self.rt.emit(Event::with_value(
+            EventKind::Timeout,
+            self.subject,
+            timeout_ms,
+        ));
     }
 
     /// Emit an out-of-memory event.
     pub fn out_of_memory(&self) {
-        self.rt.emit(Event::new(EventKind::OutOfMemory, self.subject));
+        self.rt
+            .emit(Event::new(EventKind::OutOfMemory, self.subject));
     }
 
     /// Whether this operator is still active.
@@ -633,9 +697,7 @@ impl OpHarness {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tukwila_plan::{
-        Condition, EventPattern, JoinKind, PlanBuilder, Rule,
-    };
+    use tukwila_plan::{Condition, EventPattern, JoinKind, PlanBuilder, Rule};
 
     fn simple_plan() -> QueryPlan {
         let mut b = PlanBuilder::new();

@@ -75,10 +75,7 @@ impl CostModel {
         for name in sources {
             let desc = catalog.source(name).ok()?;
             let card = catalog.cardinality(name)? as f64;
-            let width = desc
-                .stats
-                .avg_tuple_bytes
-                .unwrap_or(default_tuple_bytes) as f64;
+            let width = desc.stats.avg_tuple_bytes.unwrap_or(default_tuple_bytes) as f64;
             let cost = desc.cost.transfer_ms(card as usize);
             let est = Estimate {
                 cost_ms: cost,
@@ -129,8 +126,7 @@ impl CostModel {
         } else {
             0.0
         };
-        let io =
-            2.0 * (overflow_tuples + probe_share * left.card) * self.io_per_tuple_ms;
+        let io = 2.0 * (overflow_tuples + probe_share * left.card) * self.io_per_tuple_ms;
         cpu + io
     }
 
@@ -178,9 +174,7 @@ mod tests {
     #[test]
     fn source_scan_costs_transfer() {
         let m = model();
-        let est = m
-            .source_scan(&catalog(), &["small".into()], 96)
-            .unwrap();
+        let est = m.source_scan(&catalog(), &["small".into()], 96).unwrap();
         assert_eq!(est.card, 100.0);
         assert_eq!(est.cost_ms, 5.0 + 0.1 * 100.0);
         assert_eq!(est.tuple_bytes, 50.0);

@@ -107,9 +107,7 @@ impl<'a> Lowerer<'a> {
             JoinTree::Leaf { rel } => self.lower_leaf(*rel),
             JoinTree::Materialized { mask } => {
                 let est = self.memo.estimate(*mask);
-                let node = self
-                    .builder
-                    .table_scan(&materialization_name(*mask));
+                let node = self.builder.table_scan(&materialization_name(*mask));
                 let card = est.map(|e| e.card).unwrap_or(0.0);
                 Ok((node.with_est_cardinality(card), Vec::new(), card))
             }
@@ -195,9 +193,7 @@ impl<'a> Lowerer<'a> {
             })
             .collect();
         let timeout = self.config.source_timeout_ms;
-        let (node, child_ids) = self
-            .builder
-            .collector_with_timeout(&specs, None, timeout);
+        let (node, child_ids) = self.builder.collector_with_timeout(&specs, None, timeout);
         let coll = node.id;
         // Fallback chain: on error or timeout of child i, activate child
         // i+1 (if currently standby) and deactivate child i.
@@ -307,18 +303,17 @@ impl<'a> Lowerer<'a> {
         let budget = if self.config.estimate_driven_memory {
             let demand = match kind {
                 // DPJ holds both inputs; hybrid holds the build (right) side.
-                JoinKind::DoublePipelined => l_est.map(|e| e.bytes()).unwrap_or(0.0)
-                    + r_est.map(|e| e.bytes()).unwrap_or(0.0),
+                JoinKind::DoublePipelined => {
+                    l_est.map(|e| e.bytes()).unwrap_or(0.0)
+                        + r_est.map(|e| e.bytes()).unwrap_or(0.0)
+                }
                 _ => r_est.map(|e| e.bytes()).unwrap_or(0.0),
             };
-            ((demand * 1.3) as usize)
-                .clamp(16 << 10, self.config.join_memory_budget)
+            ((demand * 1.3) as usize).clamp(16 << 10, self.config.join_memory_budget)
         } else {
             self.config.join_memory_budget
         };
-        let node = node
-            .with_memory(budget)
-            .with_est_cardinality(out_card);
+        let node = node.with_memory(budget).with_est_cardinality(out_card);
         let join_id = node.id;
         let _ = swapped;
 
@@ -341,9 +336,7 @@ impl<'a> Lowerer<'a> {
         let materialize_here = mask != self.root_mask
             && match self.config.policy {
                 PipelinePolicy::FullyPipelined => false,
-                PipelinePolicy::MaterializeEachJoin | PipelinePolicy::MaterializeAndReplan => {
-                    true
-                }
+                PipelinePolicy::MaterializeEachJoin | PipelinePolicy::MaterializeAndReplan => true,
                 PipelinePolicy::Adaptive => kind == JoinKind::HybridHash,
             };
         if materialize_here {

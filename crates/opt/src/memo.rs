@@ -134,7 +134,10 @@ impl Memo {
         coster: StepCoster<'_>,
     ) -> Memo {
         let n = leaves.len();
-        assert!(n <= 20, "mask-based enumeration supports up to 20 relations");
+        assert!(
+            n <= 20,
+            "mask-based enumeration supports up to 20 relations"
+        );
         let mut memo = Memo {
             n,
             edges,
@@ -560,9 +563,7 @@ mod tests {
         fn has_mat(t: &JoinTree, mask: RelMask) -> bool {
             match t {
                 JoinTree::Materialized { mask: m } => *m == mask,
-                JoinTree::Join { left, right, .. } => {
-                    has_mat(left, mask) || has_mat(right, mask)
-                }
+                JoinTree::Join { left, right, .. } => has_mat(left, mask) || has_mat(right, mask),
                 _ => false,
             }
         }
@@ -619,7 +620,10 @@ mod tests {
         scratch.update_without_pointers(&simple_coster);
 
         assert_eq!(
-            incremental.estimate(incremental.full_mask()).unwrap().cost_ms,
+            incremental
+                .estimate(incremental.full_mask())
+                .unwrap()
+                .cost_ms,
             scratch.estimate(scratch.full_mask()).unwrap().cost_ms
         );
     }

@@ -150,8 +150,7 @@ impl Optimizer {
         if leaves.iter().all(Option::is_some) {
             let ests: Vec<Estimate> = leaves.into_iter().map(Option::unwrap).collect();
             let coster = self.step_coster();
-            let pins: Vec<(RelMask, Estimate)> =
-                self.pins.iter().map(|(&m, &e)| (m, e)).collect();
+            let pins: Vec<(RelMask, Estimate)> = self.pins.iter().map(|(&m, &e)| (m, e)).collect();
             let memo = Memo::build_with_pins(ests, edges, pins, &coster);
             let full = memo.full_mask();
             let tree = memo.extract(full).ok_or_else(|| {
@@ -234,10 +233,7 @@ impl Optimizer {
             card: 0.0,
             tuple_bytes: self.config.default_tuple_bytes as f64,
         };
-        let ests: Vec<Estimate> = leaves
-            .iter()
-            .map(|l| l.unwrap_or(placeholder))
-            .collect();
+        let ests: Vec<Estimate> = leaves.iter().map(|l| l.unwrap_or(placeholder)).collect();
         let coster = self.step_coster();
         let pins: Vec<(RelMask, Estimate)> = self.pins.iter().map(|(&m, &e)| (m, e)).collect();
         let memo = Memo::build_with_pins(ests, edges, pins, &coster);
@@ -350,8 +346,8 @@ pub fn parse_materialization(name: &str) -> Option<RelMask> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::lower::materialization_name;
     use crate::config::PipelinePolicy;
+    use crate::lower::materialization_name;
     use tukwila_catalog::{AccessCost, SourceDesc, TableStats};
     use tukwila_common::{DataType, Schema};
     use tukwila_plan::{JoinKind, OperatorSpec};
@@ -422,8 +418,7 @@ mod tests {
         let without = plain.plan(&rq).unwrap();
         assert!(without.lowered.plan.all_rules().is_empty());
 
-        let mut replanning =
-            Optimizer::new(cat, config(PipelinePolicy::MaterializeAndReplan));
+        let mut replanning = Optimizer::new(cat, config(PipelinePolicy::MaterializeAndReplan));
         let with = replanning.plan(&rq).unwrap();
         assert!(!with.lowered.plan.all_rules().is_empty());
         assert!(with
@@ -538,7 +533,11 @@ mod tests {
                 .with_stats(TableStats::new(1000, 64))
                 .with_cost(AccessCost::new(50.0, 0.01)),
         );
-        cat.set_overlap("src_a", "src_a2", tukwila_catalog::OverlapInfo::symmetric(1.0));
+        cat.set_overlap(
+            "src_a",
+            "src_a2",
+            tukwila_catalog::OverlapInfo::symmetric(1.0),
+        );
 
         let mut m = MediatedSchema::new();
         m.add_relation("a", sa);

@@ -5,9 +5,7 @@
 //! unique within a plan (a [`crate::validate::validate_plan`] invariant).
 
 use crate::ids::{FragmentId, OpId};
-use crate::ops::{
-    CollectorChildSpec, JoinKind, OperatorNode, OperatorSpec, OverflowMethod,
-};
+use crate::ops::{CollectorChildSpec, JoinKind, OperatorNode, OperatorSpec, OverflowMethod};
 use crate::plan::{Fragment, QueryPlan};
 use crate::predicate::Predicate;
 
@@ -127,13 +125,7 @@ impl PlanBuilder {
         right_key: &str,
         overflow: OverflowMethod,
     ) -> OperatorNode {
-        let mut node = self.join(
-            JoinKind::DoublePipelined,
-            left,
-            right,
-            left_key,
-            right_key,
-        );
+        let mut node = self.join(JoinKind::DoublePipelined, left, right, left_key, right_key);
         if let OperatorSpec::Join { overflow: o, .. } = &mut node.spec {
             *o = overflow;
         }
@@ -283,7 +275,9 @@ mod tests {
         assert_eq!(ids.len(), 2);
         assert_ne!(ids[0], ids[1]);
         match node.spec {
-            OperatorSpec::Collector { children, quota, .. } => {
+            OperatorSpec::Collector {
+                children, quota, ..
+            } => {
                 assert_eq!(children[0].source, "m1");
                 assert!(children[0].initially_active);
                 assert!(!children[1].initially_active);

@@ -34,11 +34,11 @@ pub mod validate;
 pub use builder::PlanBuilder;
 pub use ids::{FragmentId, OpId};
 pub use ops::{CollectorChildSpec, JoinKind, OperatorNode, OperatorSpec, OverflowMethod};
+pub use parse::parse_plan;
 pub use plan::{Fragment, QueryPlan};
 pub use predicate::{CmpOp, Predicate};
 pub use rules::{
     Action, Condition, Event, EventKind, EventPattern, OpState, Quantity, QuantityProvider, Rule,
     SubjectRef,
 };
-pub use parse::parse_plan;
 pub use validate::validate_plan;

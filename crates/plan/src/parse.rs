@@ -143,7 +143,10 @@ impl<'a> Parser<'a> {
     }
 
     fn next(&mut self) -> Result<&Token> {
-        let t = self.tokens.get(self.pos).ok_or_else(|| err("unexpected end of input"))?;
+        let t = self
+            .tokens
+            .get(self.pos)
+            .ok_or_else(|| err("unexpected end of input"))?;
         self.pos += 1;
         Ok(t)
     }
@@ -166,7 +169,8 @@ impl<'a> Parser<'a> {
 
     fn int(&mut self) -> Result<u64> {
         let w = self.word()?;
-        w.parse().map_err(|_| err(format!("expected integer, got `{w}`")))
+        w.parse()
+            .map_err(|_| err(format!("expected integer, got `{w}`")))
     }
 
     /// Optional `:key value` option; returns true if consumed.
@@ -225,9 +229,7 @@ impl<'a> Parser<'a> {
                         "symmetric" => OverflowMethod::IncrementalSymmetricFlush,
                         "flushall" => OverflowMethod::FlushAllLeft,
                         "fail" => OverflowMethod::Fail,
-                        other => {
-                            return Err(err(format!("unknown overflow method `{other}`")))
-                        }
+                        other => return Err(err(format!("unknown overflow method `{other}`"))),
                     })
                 } else {
                     None
@@ -283,14 +285,8 @@ impl<'a> Parser<'a> {
                     Value::str(&lit_word)
                 };
                 let input = self.node()?;
-                self.builder.select(
-                    input,
-                    Predicate::ColLit {
-                        col,
-                        op,
-                        value,
-                    },
-                )
+                self.builder
+                    .select(input, Predicate::ColLit { col, op, value })
             }
             "project" => {
                 self.expect(Token::OpenBracket)?;
@@ -349,10 +345,8 @@ impl<'a> Parser<'a> {
                 if children.is_empty() {
                     return Err(err("collector needs at least one child"));
                 }
-                let specs: Vec<(&str, bool)> = children
-                    .iter()
-                    .map(|(s, a)| (s.as_str(), *a))
-                    .collect();
+                let specs: Vec<(&str, bool)> =
+                    children.iter().map(|(s, a)| (s.as_str(), *a)).collect();
                 let (node, _) = self.builder.collector_with_timeout(&specs, quota, timeout);
                 node
             }
@@ -539,10 +533,9 @@ mod tests {
 
     #[test]
     fn select_string_literal() {
-        let plan = parse_plan(
-            r#"(fragment f (select name = "FRANCE" (wrapper nation))) (output f)"#,
-        )
-        .unwrap();
+        let plan =
+            parse_plan(r#"(fragment f (select name = "FRANCE" (wrapper nation))) (output f)"#)
+                .unwrap();
         match &plan.fragments[0].root.spec {
             OperatorSpec::Select { predicate, .. } => match predicate {
                 Predicate::ColLit { value, .. } => {
@@ -558,10 +551,19 @@ mod tests {
     fn errors_are_descriptive() {
         for (input, needle) in [
             ("(fragment f (wrapper A))", "missing (output"),
-            ("(fragment f (join bad k = k (wrapper A) (wrapper B))) (output f)", "join kind"),
+            (
+                "(fragment f (join bad k = k (wrapper A) (wrapper B))) (output f)",
+                "join kind",
+            ),
             ("(output ghost)", "unknown fragment"),
-            ("(fragment f (union (wrapper A))) (output f)", "at least two"),
-            ("(fragment f (wrapper A)) (fragment f (wrapper B)) (output f)", "duplicate"),
+            (
+                "(fragment f (union (wrapper A))) (output f)",
+                "at least two",
+            ),
+            (
+                "(fragment f (wrapper A)) (fragment f (wrapper B)) (output f)",
+                "duplicate",
+            ),
         ] {
             let e = parse_plan(input).unwrap_err().to_string();
             assert!(e.contains(needle), "input `{input}`: {e}");

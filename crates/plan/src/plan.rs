@@ -201,8 +201,7 @@ mod tests {
     fn two_fragment_plan() -> QueryPlan {
         let f0 = Fragment::new(FragmentId(0), scan(0, "a"), "tmp0");
         let f1 = Fragment::new(FragmentId(1), scan(1, "tmp0"), "out");
-        QueryPlan::new(vec![f0, f1], FragmentId(1))
-            .with_dependency(FragmentId(0), FragmentId(1))
+        QueryPlan::new(vec![f0, f1], FragmentId(1)).with_dependency(FragmentId(0), FragmentId(1))
     }
 
     #[test]
@@ -210,11 +209,17 @@ mod tests {
         let plan = two_fragment_plan();
         let none = BTreeSet::new();
         let all_active = |_id: FragmentId| true;
-        assert_eq!(plan.ready_fragments(&none, &all_active), vec![FragmentId(0)]);
+        assert_eq!(
+            plan.ready_fragments(&none, &all_active),
+            vec![FragmentId(0)]
+        );
 
         let mut done = BTreeSet::new();
         done.insert(FragmentId(0));
-        assert_eq!(plan.ready_fragments(&done, &all_active), vec![FragmentId(1)]);
+        assert_eq!(
+            plan.ready_fragments(&done, &all_active),
+            vec![FragmentId(1)]
+        );
 
         done.insert(FragmentId(1));
         assert!(plan.ready_fragments(&done, &all_active).is_empty());
@@ -253,14 +258,13 @@ mod tests {
         use crate::rules::{Rule, SubjectRef};
         let f0 = Fragment::new(FragmentId(0), scan(0, "a"), "tmp0")
             .with_rule(Rule::reschedule_on_timeout(FragmentId(0), OpId(0)));
-        let plan = QueryPlan::new(vec![f0], FragmentId(0)).with_rule(
-            Rule::replan_on_misestimate(FragmentId(0), OpId(0), 2.0),
-        );
-        assert_eq!(plan.all_rules().len(), 2);
-        assert!(matches!(
-            plan.all_rules()[0].owner,
-            SubjectRef::Fragment(_)
+        let plan = QueryPlan::new(vec![f0], FragmentId(0)).with_rule(Rule::replan_on_misestimate(
+            FragmentId(0),
+            OpId(0),
+            2.0,
         ));
+        assert_eq!(plan.all_rules().len(), 2);
+        assert!(matches!(plan.all_rules()[0].owner, SubjectRef::Fragment(_)));
     }
 
     #[test]

@@ -145,11 +145,9 @@ impl Predicate {
             Predicate::ColLit { col, op, value } => {
                 CompiledPredicate::ColLit(schema.index_of(col)?, *op, value.clone())
             }
-            Predicate::ColCol { left, op, right } => CompiledPredicate::ColCol(
-                schema.index_of(left)?,
-                *op,
-                schema.index_of(right)?,
-            ),
+            Predicate::ColCol { left, op, right } => {
+                CompiledPredicate::ColCol(schema.index_of(left)?, *op, schema.index_of(right)?)
+            }
             Predicate::And(ps) => CompiledPredicate::And(
                 ps.iter()
                     .map(|p| p.compile(schema))
@@ -194,9 +192,7 @@ impl CompiledPredicate {
     pub fn eval3(&self, t: &Tuple) -> Option<bool> {
         match self {
             CompiledPredicate::True => Some(true),
-            CompiledPredicate::ColLit(i, op, v) => {
-                t.value(*i).sql_cmp(v).map(|ord| op.eval(ord))
-            }
+            CompiledPredicate::ColLit(i, op, v) => t.value(*i).sql_cmp(v).map(|ord| op.eval(ord)),
             CompiledPredicate::ColCol(i, op, j) => {
                 t.value(*i).sql_cmp(t.value(*j)).map(|ord| op.eval(ord))
             }
@@ -248,7 +244,11 @@ mod tests {
     fn schema() -> Schema {
         Schema::of(
             "r",
-            &[("a", DataType::Int), ("b", DataType::Int), ("s", DataType::Str)],
+            &[
+                ("a", DataType::Int),
+                ("b", DataType::Int),
+                ("s", DataType::Str),
+            ],
         )
     }
 

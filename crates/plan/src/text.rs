@@ -35,8 +35,16 @@ pub fn render_plan(plan: &QueryPlan) -> String {
 /// Render one fragment.
 pub fn render_fragment(f: &Fragment) -> String {
     let mut out = String::new();
-    let active = if f.initially_active { "" } else { " [contingent]" };
-    let _ = writeln!(out, "  fragment {} -> `{}`{}", f.id, f.materialize_as, active);
+    let active = if f.initially_active {
+        ""
+    } else {
+        " [contingent]"
+    };
+    let _ = writeln!(
+        out,
+        "  fragment {} -> `{}`{}",
+        f.id, f.materialize_as, active
+    );
     for rule in &f.local_rules {
         let _ = writeln!(out, "    {}", render_rule(rule));
     }
@@ -61,12 +69,12 @@ fn render_node(node: &OperatorNode, depth: usize, out: &mut String) {
     let _ = writeln!(out, "{indent}{} {}{}", node.id, node.label(), ann);
     if let OperatorSpec::Collector { children, .. } = &node.spec {
         for c in children {
-            let act = if c.initially_active { "active" } else { "standby" };
-            let _ = writeln!(
-                out,
-                "{indent}  {} child({}) [{act}]",
-                c.id, c.source
-            );
+            let act = if c.initially_active {
+                "active"
+            } else {
+                "standby"
+            };
+            let _ = writeln!(out, "{indent}  {} child({}) [{act}]", c.id, c.source);
         }
     }
     for c in node.children() {

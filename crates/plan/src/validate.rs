@@ -33,7 +33,10 @@ fn check_unique_ids(plan: &QueryPlan) -> Result<()> {
     let mut op_ids: BTreeSet<OpId> = BTreeSet::new();
     for f in &plan.fragments {
         if !frag_ids.insert(f.id) {
-            return Err(TukwilaError::Plan(format!("duplicate fragment id {}", f.id)));
+            return Err(TukwilaError::Plan(format!(
+                "duplicate fragment id {}",
+                f.id
+            )));
         }
         for id in f.op_ids() {
             if !op_ids.insert(id) {

@@ -130,10 +130,7 @@ impl ConjunctiveQuery {
             schema.relation(r)?;
         }
         for j in &self.joins {
-            for (col, rel) in [
-                (&j.left, j.left_relation()),
-                (&j.right, j.right_relation()),
-            ] {
+            for (col, rel) in [(&j.left, j.left_relation()), (&j.right, j.right_relation())] {
                 if !self.relations.iter().any(|r| r == rel) {
                     return Err(TukwilaError::Reformulation(format!(
                         "join column `{col}` references relation `{rel}` not in query `{}`",
@@ -214,10 +211,7 @@ mod tests {
     #[test]
     fn unknown_relation_rejected() {
         let q = ConjunctiveQuery::new("q", vec!["movie".into()]);
-        assert_eq!(
-            q.validate(&mediated()).unwrap_err().kind(),
-            "reformulation"
-        );
+        assert_eq!(q.validate(&mediated()).unwrap_err().kind(), "reformulation");
     }
 
     #[test]
@@ -229,8 +223,7 @@ mod tests {
 
     #[test]
     fn join_column_on_foreign_relation_rejected() {
-        let q = ConjunctiveQuery::new("q", vec!["book".into()])
-            .join("book.isbn", "review.isbn");
+        let q = ConjunctiveQuery::new("q", vec!["book".into()]).join("book.isbn", "review.isbn");
         assert!(q.validate(&mediated()).is_err());
     }
 

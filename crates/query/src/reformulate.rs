@@ -46,9 +46,7 @@ pub struct ReformulatedQuery {
 impl ReformulatedQuery {
     /// The leaf for a given mediated relation.
     pub fn leaf(&self, relation: &str) -> Option<&LeafAlternatives> {
-        self.leaves
-            .iter()
-            .find(|l| l.mediated_relation == relation)
+        self.leaves.iter().find(|l| l.mediated_relation == relation)
     }
 
     /// Total number of sources mentioned.
@@ -152,10 +150,7 @@ mod tests {
     fn uncovered_relation_is_error() {
         let (_r, c) = setup();
         let mut m2 = MediatedSchema::new();
-        m2.add_relation(
-            "movie",
-            Schema::of("movie", &[("id", DataType::Int)]),
-        );
+        m2.add_relation("movie", Schema::of("movie", &[("id", DataType::Int)]));
         let r2 = Reformulator::new(m2);
         let q = ConjunctiveQuery::new("q", vec!["movie".into()]);
         let err = r2.reformulate(&q, &c).unwrap_err();

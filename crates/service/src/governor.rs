@@ -1,0 +1,101 @@
+//! The global memory governor.
+//!
+//! Tukwila's storage layer tracks memory per operator
+//! ([`tukwila_storage::MemoryReservation`]); the governor layers two more
+//! levels on top for a fleet of concurrent queries:
+//!
+//! * a **per-query budget** — each admitted query executes in its own
+//!   [`MemoryManager`] whose pool budget is the query's grant, so the
+//!   engine's overflow resolution (`under_pressure`) fires when the query
+//!   as a whole outgrows its share, not just when one operator does;
+//! * a **fleet budget** — every per-query pool is parented to a
+//!   reservation on the governor's fleet pool, so total usage is visible
+//!   in one place and fleet-level overage pressures *every* query (and the
+//!   shared source-result cache) into shedding memory.
+//!
+//! The effect the service tier needs: one spilling query resolves its own
+//! overflow against its own budget and cannot starve the rest of the
+//! fleet.
+
+use tukwila_storage::{MemoryManager, MemoryReservation};
+
+/// Point-in-time view of fleet memory.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GovernorSnapshot {
+    /// Fleet budget in bytes (0 = unlimited).
+    pub total_budget: usize,
+    /// Bytes currently charged across all queries and the cache.
+    pub total_used: usize,
+    /// Fleet high-water mark.
+    pub peak_used: usize,
+}
+
+/// Fleet-wide memory governor.
+#[derive(Debug, Clone)]
+pub struct MemoryGovernor {
+    fleet: MemoryManager,
+}
+
+impl MemoryGovernor {
+    /// Governor with a fleet-wide budget in bytes (0 = unlimited).
+    pub fn new(total_budget: usize) -> Self {
+        MemoryGovernor {
+            fleet: MemoryManager::new().with_budget(total_budget),
+        }
+    }
+
+    /// The fleet pool (for registering non-query consumers such as the
+    /// shared source-result cache).
+    pub fn fleet(&self) -> &MemoryManager {
+        &self.fleet
+    }
+
+    /// Grant `budget` bytes to a named consumer as a reservation on the
+    /// fleet pool.
+    pub fn grant(&self, label: impl Into<String>, budget: usize) -> MemoryReservation {
+        self.fleet.register(label, budget)
+    }
+
+    /// Build the per-query memory pool for one admitted query: its charges
+    /// propagate into a fleet-pool grant, and its pool budget makes
+    /// query-level overage trigger operator overflow resolution.
+    pub fn query_pool(&self, label: impl Into<String>, budget: usize) -> MemoryManager {
+        MemoryManager::with_parent(self.grant(label, budget)).with_budget(budget)
+    }
+
+    /// Fleet memory snapshot.
+    pub fn snapshot(&self) -> GovernorSnapshot {
+        GovernorSnapshot {
+            total_budget: self.fleet.budget(),
+            total_used: self.fleet.total_used(),
+            peak_used: self.fleet.peak_used(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn query_pools_roll_up_to_fleet() {
+        let gov = MemoryGovernor::new(1000);
+        let p1 = gov.query_pool("q1", 400);
+        let p2 = gov.query_pool("q2", 400);
+        let r1 = p1.register("op1", 1_000_000);
+        let r2 = p2.register("op2", 1_000_000);
+        r1.charge(300);
+        r2.charge(350);
+        let snap = gov.snapshot();
+        assert_eq!(snap.total_used, 650);
+        assert_eq!(snap.total_budget, 1000);
+        assert!(!r1.under_pressure() && !r2.under_pressure());
+        // q1 exceeds its own 400-byte grant → only q1 is pressured
+        r1.charge(150);
+        assert!(r1.under_pressure());
+        assert!(!r2.under_pressure(), "q2 is unaffected by q1's overage");
+        // fleet exceeds 1000 → everyone is pressured
+        r2.charge(1_000);
+        assert!(r2.under_pressure() && r1.under_pressure());
+    }
+}

@@ -1,0 +1,37 @@
+//! # tukwila-service
+//!
+//! The concurrent multi-query service tier over the Tukwila engine: where
+//! the single-query library of the paper meets production traffic.
+//!
+//! ```text
+//!  clients ──▶ admission control ──▶ wait queue ──▶ worker pool
+//!                  (reject)                          │  │  │
+//!                                                    ▼  ▼  ▼
+//!                                       TukwilaSystem (&self, shared)
+//!                                        │ per-query ExecEnv + grant
+//!                                        ▼
+//!              memory governor ◀── charges ──▶ shared source-result cache
+//!              (fleet budget)                  (single-flight, LRU)
+//! ```
+//!
+//! * [`QueryService`] — session front door: submit with per-query
+//!   deadlines, cancel via [`QueryTicket`], bounded in-flight queries plus
+//!   a bounded wait queue (submissions beyond that are rejected —
+//!   backpressure instead of collapse).
+//! * [`MemoryGovernor`] — layers per-query memory budgets (and a fleet
+//!   budget) on top of the storage layer's per-operator reservations, so
+//!   one spilling query resolves overflow against its own share instead of
+//!   starving the fleet.
+//! * The shared **source-result cache**
+//!   ([`tukwila_source::SourceResultCache`]) is installed into the source
+//!   registry so concurrent queries over the same mediated relations fetch
+//!   each slow wrapper result once (single-flight), with memory-bounded
+//!   LRU eviction charged to the governor.
+
+pub mod governor;
+pub mod service;
+
+pub use governor::{GovernorSnapshot, MemoryGovernor};
+pub use service::{
+    QueryOptions, QueryResponse, QueryService, QueryServiceConfig, QueryTicket, ServiceStats,
+};

@@ -1,0 +1,228 @@
+//! Concurrency stress: many queries through one `QueryService` from many
+//! client threads — mixed fast/slow sources, a spilling query, a client
+//! cancellation, a deadline — asserting *isolation*: every completed
+//! query's result multiset matches its trusted single-query reference.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use tukwila_core::TpchDeployment;
+use tukwila_opt::{OptimizerConfig, PipelinePolicy};
+use tukwila_service::{QueryOptions, QueryService, QueryServiceConfig};
+use tukwila_source::LinkModel;
+use tukwila_tpchgen::TpchTable;
+
+const SF: f64 = 0.002;
+
+/// Deployment with a fast core (region/nation/supplier), a bursty "slow"
+/// pair (partsupp/part), and a stalling orders source for the
+/// cancellation/deadline queries.
+fn deployment() -> TpchDeployment {
+    let bursty = LinkModel {
+        burst_size: 200,
+        burst_gap: Duration::from_millis(2),
+        ..LinkModel::instant()
+    };
+    let stalling = LinkModel {
+        stall_after: Some(20),
+        stall_duration: Duration::from_secs(3),
+        ..LinkModel::instant()
+    };
+    TpchDeployment::builder(SF, 31)
+        .tables(&[
+            TpchTable::Region,
+            TpchTable::Nation,
+            TpchTable::Supplier,
+            TpchTable::Partsupp,
+            TpchTable::Part,
+            TpchTable::Customer,
+            TpchTable::Orders,
+        ])
+        .link(TpchTable::Partsupp, bursty.clone())
+        .link(TpchTable::Part, bursty)
+        .link(TpchTable::Orders, stalling)
+        .build()
+}
+
+fn service(d: &TpchDeployment, config: OptimizerConfig) -> QueryService {
+    QueryService::new(
+        d.system(config),
+        QueryServiceConfig {
+            workers: 6,
+            queue_capacity: 32,
+            cache_memory: Some(8 << 20),
+            ..QueryServiceConfig::default()
+        },
+    )
+}
+
+#[test]
+fn eight_plus_concurrent_queries_stay_isolated() {
+    let d = deployment();
+    // Tiny fixed join budgets force the big partsupp⋈part query through
+    // overflow resolution while the small ones stay in memory.
+    let config = OptimizerConfig {
+        policy: PipelinePolicy::Adaptive,
+        join_memory_budget: 64 << 10,
+        estimate_driven_memory: false,
+        ..OptimizerConfig::default()
+    };
+    let svc = Arc::new(service(&d, config));
+
+    let q_small = d.query_for("q-small", &[TpchTable::Supplier, TpchTable::Nation]);
+    let q_med = d.query_for(
+        "q-med",
+        &[TpchTable::Region, TpchTable::Nation, TpchTable::Supplier],
+    );
+    let q_big = d.query_for(
+        "q-big",
+        &[TpchTable::Supplier, TpchTable::Partsupp, TpchTable::Part],
+    );
+    let q_stall = d.query_for("q-stall", &[TpchTable::Customer, TpchTable::Orders]);
+
+    let gold_small = d.gold(&q_small).unwrap();
+    let gold_med = d.gold(&q_med).unwrap();
+    let gold_big = d.gold(&q_big).unwrap();
+
+    // One query cancelled by the client, one killed by its deadline; both
+    // sit on the stalling orders source so they are reliably mid-flight.
+    let cancelled = svc.submit(&q_stall).unwrap();
+    let timed_out = svc
+        .submit_with(
+            &q_stall,
+            QueryOptions::with_timeout(Duration::from_millis(120)),
+        )
+        .unwrap();
+
+    // 12 queries from 4 client threads (3 each, mixed sizes).
+    let mut results = Vec::new();
+    std::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let svc = svc.clone();
+            let queries = [&q_small, &q_med, &q_big];
+            handles.push(s.spawn(move || {
+                queries
+                    .into_iter()
+                    .map(|q| {
+                        let name = q.name.clone();
+                        (name, svc.submit(q).unwrap().wait())
+                    })
+                    .collect::<Vec<_>>()
+            }));
+        }
+        std::thread::sleep(Duration::from_millis(40));
+        cancelled.cancel();
+        for h in handles {
+            results.extend(h.join().unwrap());
+        }
+    });
+
+    // Isolation: every concurrent run matches its single-query reference.
+    let mut big_spilled = false;
+    for (name, resp) in &results {
+        let result = resp
+            .outcome
+            .as_ref()
+            .unwrap_or_else(|e| panic!("query `{name}` failed: {e}"));
+        let gold = match name.as_str() {
+            "q-small" => &gold_small,
+            "q-med" => &gold_med,
+            "q-big" => &gold_big,
+            other => panic!("unexpected query {other}"),
+        };
+        assert!(
+            result.relation.bag_eq_unordered(gold),
+            "query `{}` diverged under concurrency: got {} tuples, want {}",
+            name,
+            result.relation.len(),
+            gold.len()
+        );
+        if name == "q-big" && result.stats.spill_bytes_written > 0 {
+            big_spilled = true;
+        }
+    }
+    assert_eq!(results.len(), 12);
+    assert!(
+        big_spilled,
+        "the partsupp⋈part query must spill under its tiny join budget"
+    );
+
+    // The cancelled query reports a client cancellation...
+    let c = cancelled.wait();
+    assert_eq!(c.outcome.unwrap_err().kind(), "cancelled");
+    assert!(c.stats.cancelled, "client cancel must be flagged in stats");
+    assert!(!c.stats.deadline_exceeded);
+    // ...the timed-out one a deadline, well before the 3s stall would end.
+    let t = timed_out.wait();
+    assert_eq!(t.outcome.unwrap_err().kind(), "deadline_exceeded");
+    assert!(
+        t.stats.deadline_exceeded,
+        "deadline must be flagged in stats"
+    );
+    assert!(t.stats.duration < Duration::from_secs(2));
+
+    let stats = svc.stats();
+    assert_eq!(stats.submitted, 14);
+    assert_eq!(stats.completed, 12);
+    assert_eq!(stats.cancelled, 1);
+    assert_eq!(stats.timed_out, 1);
+    assert_eq!(stats.failed, 0);
+
+    // The shared cache coalesced repeated fetches of the same tables.
+    let cache = svc.cache_stats().unwrap();
+    assert!(
+        cache.hits > 0,
+        "concurrent identical queries must hit the cache"
+    );
+
+    // Fleet memory was accounted and released.
+    let snap = svc.governor().snapshot();
+    assert!(snap.peak_used > 0);
+}
+
+#[test]
+fn admission_control_rejects_when_queue_is_full() {
+    let d = deployment();
+    let svc = QueryService::new(
+        d.system(OptimizerConfig::default()),
+        QueryServiceConfig {
+            workers: 1,
+            queue_capacity: 2,
+            cache_memory: None,
+            ..QueryServiceConfig::default()
+        },
+    );
+    let q_stall = d.query_for("q-stall", &[TpchTable::Customer, TpchTable::Orders]);
+    let q_fast = d.query_for("q-fast", &[TpchTable::Supplier, TpchTable::Nation]);
+
+    // Occupy the single worker with a stalling query, then fill the queue.
+    let running = svc.submit(&q_stall).unwrap();
+    std::thread::sleep(Duration::from_millis(50)); // worker picks it up
+    let _queued1 = svc.submit(&q_fast).unwrap();
+    let _queued2 = svc.submit(&q_fast).unwrap();
+    let rejected = match svc.submit(&q_fast) {
+        Err(e) => e,
+        Ok(_) => panic!("queue of 2 is full; backpressure must reject"),
+    };
+    assert_eq!(rejected.kind(), "admission");
+    assert_eq!(svc.stats().rejected, 1);
+
+    running.cancel();
+    let resp = running.wait();
+    assert!(resp.stats.cancelled);
+}
+
+#[test]
+fn shutdown_cancels_in_flight_queries() {
+    let d = deployment();
+    let svc = service(&d, OptimizerConfig::default());
+    let q_stall = d.query_for("q-stall", &[TpchTable::Customer, TpchTable::Orders]);
+    let ticket = svc.submit(&q_stall).unwrap();
+    std::thread::sleep(Duration::from_millis(50));
+    let start = std::time::Instant::now();
+    svc.shutdown(); // must not wait out the 3s stall
+    assert!(start.elapsed() < Duration::from_secs(2));
+    let resp = ticket.wait();
+    assert!(resp.outcome.is_err());
+}

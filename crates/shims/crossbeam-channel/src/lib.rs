@@ -187,11 +187,7 @@ impl<T> Receiver<T> {
     }
 
     fn ready(&self) -> bool {
-        let queue = self
-            .shared
-            .queue
-            .lock()
-            .unwrap_or_else(|e| e.into_inner());
+        let queue = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
         !queue.is_empty() || self.shared.no_senders()
     }
 }

@@ -6,7 +6,11 @@
 //! a poisoned std lock is recovered transparently, matching parking_lot's
 //! semantics of never poisoning).
 
-use std::sync::{self, MutexGuard, RwLockReadGuard, RwLockWriteGuard};
+use std::sync::{self, RwLockReadGuard, RwLockWriteGuard};
+
+// parking_lot names its guard type; callers holding a guard in a binding or
+// returning one from a function need the path.
+pub use std::sync::MutexGuard;
 
 #[derive(Default, Debug)]
 pub struct Mutex<T: ?Sized>(sync::Mutex<T>);

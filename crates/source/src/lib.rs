@@ -20,11 +20,13 @@
 //! Figure 2). Delays are real wall-clock sleeps scaled to milliseconds:
 //! adaptive behaviour is preserved, absolute times shrink (DESIGN.md §3).
 
+pub mod cache;
 pub mod link;
 pub mod registry;
 pub mod source;
 pub mod wrapper;
 
+pub use cache::{CacheLookup, CacheStats, FetchLease, SourceQueryKey, SourceResultCache};
 pub use link::LinkModel;
 pub use registry::SourceRegistry;
 pub use source::{SimulatedSource, SourceBatchEvent, SourceConnection, SourceEvent};

@@ -12,13 +12,19 @@ use parking_lot::RwLock;
 
 use tukwila_common::{Result, TukwilaError};
 
+use crate::cache::SourceResultCache;
 use crate::source::SimulatedSource;
 use crate::wrapper::Wrapper;
 
 /// Thread-safe name → wrapper registry (cheap to clone; clones share state).
+///
+/// The registry is also where the engine finds the optional shared
+/// [`SourceResultCache`]: installing one makes every wrapper scan over
+/// these sources fetch through it.
 #[derive(Clone, Default)]
 pub struct SourceRegistry {
     sources: Arc<RwLock<HashMap<String, Wrapper>>>,
+    cache: Arc<RwLock<Option<SourceResultCache>>>,
 }
 
 impl SourceRegistry {
@@ -38,12 +44,14 @@ impl SourceRegistry {
 
     /// Look up a wrapper by source name.
     pub fn wrapper(&self, name: &str) -> Result<Wrapper> {
-        self.sources.read().get(name).cloned().ok_or_else(|| {
-            TukwilaError::SourceUnavailable {
+        self.sources
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| TukwilaError::SourceUnavailable {
                 source: name.to_string(),
                 reason: "not registered".to_string(),
-            }
-        })
+            })
     }
 
     /// Whether a source is registered.
@@ -56,6 +64,32 @@ impl SourceRegistry {
         let mut v: Vec<String> = self.sources.read().keys().cloned().collect();
         v.sort();
         v
+    }
+
+    /// Install a shared source-result cache; subsequent wrapper scans
+    /// fetch through it. All registry clones see the cache.
+    pub fn set_cache(&self, cache: SourceResultCache) {
+        *self.cache.write() = Some(cache);
+    }
+
+    /// Remove the cache (scans go back to fetching every time).
+    pub fn clear_cache(&self) {
+        *self.cache.write() = None;
+    }
+
+    /// Remove the cache only if it is `cache` itself — owners (e.g. a
+    /// dropping `QueryService`) use this so they cannot clobber a cache a
+    /// different owner installed on this shared registry afterwards.
+    pub fn uninstall_cache(&self, cache: &SourceResultCache) {
+        let mut slot = self.cache.write();
+        if slot.as_ref().is_some_and(|c| c.same_instance(cache)) {
+            *slot = None;
+        }
+    }
+
+    /// The installed cache, if any.
+    pub fn cache(&self) -> Option<SourceResultCache> {
+        self.cache.read().clone()
     }
 }
 

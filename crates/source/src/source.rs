@@ -14,8 +14,8 @@ use rand::{Rng, SeedableRng};
 
 use tukwila_common::{BatchBuilder, Relation, Schema, Tuple, TupleBatch};
 
-use crate::link::LinkModel;
 use crate::interruptible_sleep;
+use crate::link::LinkModel;
 
 /// What a connection yields next.
 #[derive(Debug, Clone, PartialEq)]
@@ -124,7 +124,9 @@ impl SimulatedSource {
             source_name: self.name.clone(),
             relation: self.relation.clone(),
             link: self.link.clone(),
-            rng: StdRng::seed_from_u64(self.seed ^ (conn_ordinal.wrapping_mul(0xD1B5_4A32_D192_ED03))),
+            rng: StdRng::seed_from_u64(
+                self.seed ^ (conn_ordinal.wrapping_mul(0xD1B5_4A32_D192_ED03)),
+            ),
             pos: 0,
             started: false,
             cancel: Arc::new(AtomicBool::new(false)),
@@ -164,7 +166,10 @@ impl SourceConnection {
         if self.link.jitter_frac <= 0.0 || d.is_zero() {
             return d;
         }
-        let f = 1.0 + self.rng.gen_range(-self.link.jitter_frac..self.link.jitter_frac);
+        let f = 1.0
+            + self
+                .rng
+                .gen_range(-self.link.jitter_frac..self.link.jitter_frac);
         d.mul_f64(f.max(0.0))
     }
 

@@ -8,7 +8,7 @@
 //! returns a pull stream straight off the connection;
 //! [`Wrapper::fetch_prefetching`] interposes a buffering thread that reads
 //! ahead into a bounded queue — the configuration used by the prefetching
-//! ablation (DESIGN.md §5).
+//! ablation (DESIGN.md §6).
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -16,8 +16,9 @@ use std::thread::JoinHandle;
 
 use crossbeam_channel::{bounded, Receiver};
 
-use tukwila_common::{BatchBuilder, Schema, Tuple};
+use tukwila_common::{BatchBuilder, Relation, Schema, Tuple, TupleBatch};
 
+use crate::cache::{CacheLookup, FetchLease, SourceQueryKey, SourceResultCache};
 use crate::source::{SimulatedSource, SourceBatchEvent, SourceConnection, SourceEvent};
 
 /// A wrapper bound to one data source.
@@ -66,6 +67,37 @@ impl Wrapper {
         WrapperStream::Direct(self.source.connect(ordinal))
     }
 
+    /// Fetch through the shared source-result cache: a cached result
+    /// replays from memory (no network), a cold key makes this caller the
+    /// single-flight leader (its stream tees every tuple and installs the
+    /// complete result on clean end-of-stream), and a fetch already in
+    /// flight blocks until that leader completes — unless the leader is
+    /// this caller's own `flight` (a self-join on one thread), in which
+    /// case the fetch bypasses the cache to avoid self-deadlock. `base`
+    /// builds the underlying stream when a real fetch is needed (so the
+    /// caller keeps control of prefetching/timeout configuration);
+    /// `cancel` aborts a coalesced wait. Returns `None` if cancelled
+    /// while waiting.
+    pub fn fetch_through_cache(
+        &self,
+        cache: &SourceResultCache,
+        flight: u64,
+        cancel: Option<&AtomicBool>,
+        base: impl FnOnce(&Wrapper) -> WrapperStream,
+    ) -> Option<WrapperStream> {
+        let key = SourceQueryKey::full_scan(self.source_name());
+        match cache.lookup_or_lead(&key, flight, cancel) {
+            CacheLookup::Hit(rel) => Some(WrapperStream::replay(rel)),
+            CacheLookup::Lead(lease) => Some(WrapperStream::Tee {
+                inner: Box::new(base(self)),
+                schema: self.schema().clone(),
+                tee: TeeState::new(lease),
+            }),
+            CacheLookup::Bypass => Some(base(self)),
+            CacheLookup::Cancelled => None,
+        }
+    }
+
     /// Fetch with a prefetching buffer thread of capacity `buffer` tuples.
     /// The thread keeps pulling from the source while the consumer is busy,
     /// overlapping network wait with computation.
@@ -111,14 +143,144 @@ pub enum WrapperStream {
         /// tuples could be delivered first.
         pending_terminal: Option<SourceEvent>,
     },
+    /// Replay a cached complete result from memory (cache hit).
+    Replay {
+        /// The cached relation.
+        relation: Arc<Relation>,
+        /// Next tuple to deliver.
+        pos: usize,
+        /// Cancels the replay (rule-driven deactivation).
+        cancel: Arc<AtomicBool>,
+    },
+    /// Stream through the inner fetch while collecting every tuple; on a
+    /// clean end-of-stream the complete result is installed in the cache
+    /// via the lease (cache-miss leader). Errors, cancellation, or being
+    /// dropped early abandon the lease so a waiter takes over — as does
+    /// the collected copy outgrowing the cache budget (a result that can
+    /// never be retained is not worth buffering).
+    Tee {
+        /// The real fetch.
+        inner: Box<WrapperStream>,
+        /// Schema of the fetched relation (for building the cached copy).
+        schema: Schema,
+        /// The teed state: buffered tuples plus the single-flight lease.
+        tee: TeeState,
+    },
+}
+
+/// Buffered-copy state of a cache-miss leader's stream.
+pub struct TeeState {
+    collected: Vec<Tuple>,
+    collected_bytes: usize,
+    /// `None` once fulfilled or abandoned.
+    lease: Option<FetchLease>,
+}
+
+impl TeeState {
+    fn new(lease: FetchLease) -> Self {
+        TeeState {
+            collected: Vec::new(),
+            collected_bytes: 0,
+            lease: Some(lease),
+        }
+    }
+
+    /// Fulfil the lease with the collected tuples (clean end-of-stream); a
+    /// second call is a no-op because the lease is taken.
+    fn finish(&mut self, schema: &Schema) {
+        if let Some(lease) = self.lease.take() {
+            match Relation::new(schema.clone(), std::mem::take(&mut self.collected)) {
+                Ok(rel) => lease.fulfill(Arc::new(rel)),
+                Err(_) => drop(lease), // schema mismatch: abandon, don't poison
+            }
+        }
+    }
+
+    /// Stop leading and free the buffered copy (error, cancellation, or a
+    /// result too large for the cache).
+    fn abandon(&mut self) {
+        self.lease.take(); // dropped → abandoned, waiters promoted
+        self.collected = Vec::new();
+        self.collected_bytes = 0;
+    }
+
+    fn collect(&mut self, t: &Tuple) {
+        if self.lease.is_none() {
+            return; // already abandoned: stream through without buffering
+        }
+        self.collected_bytes += t.mem_size();
+        self.collected.push(t.clone());
+        // A result bigger than the whole cache budget would be evicted the
+        // moment it was inserted — abandon instead of buffering it all.
+        if self
+            .lease
+            .as_ref()
+            .is_some_and(|l| self.collected_bytes > l.budget_bytes())
+        {
+            self.abandon();
+        }
+    }
+
+    /// Record one observed event: collect tuples, fulfil on end, abandon
+    /// on error/cancel.
+    fn observe(&mut self, ev: &SourceEvent, schema: &Schema) {
+        match ev {
+            SourceEvent::Tuple(t) => self.collect(t),
+            SourceEvent::End => self.finish(schema),
+            SourceEvent::Error(_) | SourceEvent::Cancelled => self.abandon(),
+        }
+    }
+
+    /// Batch-level variant of [`TeeState::observe`].
+    fn observe_batch(&mut self, ev: &SourceBatchEvent, schema: &Schema) {
+        match ev {
+            SourceBatchEvent::Batch(b) => {
+                for t in b.iter() {
+                    self.collect(t);
+                }
+            }
+            SourceBatchEvent::End => self.finish(schema),
+            SourceBatchEvent::Error(_) | SourceBatchEvent::Cancelled => self.abandon(),
+        }
+    }
 }
 
 impl WrapperStream {
+    /// A stream that replays a complete cached relation from memory.
+    pub fn replay(relation: Arc<Relation>) -> WrapperStream {
+        WrapperStream::Replay {
+            relation,
+            pos: 0,
+            cancel: Arc::new(AtomicBool::new(false)),
+        }
+    }
+
     /// Next event, blocking per the link model (direct) or until the
     /// prefetcher delivers (prefetched).
     pub fn next_event(&mut self) -> SourceEvent {
         match self {
             WrapperStream::Direct(conn) => conn.next_event(),
+            WrapperStream::Replay {
+                relation,
+                pos,
+                cancel,
+            } => {
+                if cancel.load(Ordering::Relaxed) {
+                    return SourceEvent::Cancelled;
+                }
+                match relation.tuples().get(*pos) {
+                    Some(t) => {
+                        *pos += 1;
+                        SourceEvent::Tuple(t.clone())
+                    }
+                    None => SourceEvent::End,
+                }
+            }
+            WrapperStream::Tee { inner, schema, tee } => {
+                let ev = inner.next_event();
+                tee.observe(&ev, schema);
+                ev
+            }
             WrapperStream::Prefetched {
                 rx,
                 finished,
@@ -155,7 +317,12 @@ impl WrapperStream {
     /// timeouts must fetch with prefetching.
     pub fn next_event_timeout(&mut self, timeout: std::time::Duration) -> Option<SourceEvent> {
         match self {
-            WrapperStream::Direct(_) => Some(self.next_event()),
+            WrapperStream::Direct(_) | WrapperStream::Replay { .. } => Some(self.next_event()),
+            WrapperStream::Tee { inner, schema, tee } => {
+                let ev = inner.next_event_timeout(timeout)?;
+                tee.observe(&ev, schema);
+                Some(ev)
+            }
             WrapperStream::Prefetched {
                 rx,
                 finished,
@@ -195,6 +362,28 @@ impl WrapperStream {
     pub fn next_batch_event(&mut self, max: usize) -> SourceBatchEvent {
         match self {
             WrapperStream::Direct(conn) => conn.next_batch_event(max),
+            WrapperStream::Replay {
+                relation,
+                pos,
+                cancel,
+            } => {
+                if cancel.load(Ordering::Relaxed) {
+                    return SourceBatchEvent::Cancelled;
+                }
+                let tuples = relation.tuples();
+                if *pos >= tuples.len() {
+                    return SourceBatchEvent::End;
+                }
+                let end = (*pos + max.max(1)).min(tuples.len());
+                let batch = TupleBatch::from_tuples(tuples[*pos..end].to_vec());
+                *pos = end;
+                SourceBatchEvent::Batch(batch)
+            }
+            WrapperStream::Tee { inner, schema, tee } => {
+                let ev = inner.next_batch_event(max);
+                tee.observe_batch(&ev, schema);
+                ev
+            }
             WrapperStream::Prefetched { .. } => {
                 let first = self.next_event();
                 self.drain_buffered(first, max)
@@ -212,7 +401,14 @@ impl WrapperStream {
         timeout: std::time::Duration,
     ) -> Option<SourceBatchEvent> {
         match self {
-            WrapperStream::Direct(_) => Some(self.next_batch_event(max)),
+            WrapperStream::Direct(_) | WrapperStream::Replay { .. } => {
+                Some(self.next_batch_event(max))
+            }
+            WrapperStream::Tee { inner, schema, tee } => {
+                let ev = inner.next_batch_event_timeout(max, timeout)?;
+                tee.observe_batch(&ev, schema);
+                Some(ev)
+            }
             WrapperStream::Prefetched { .. } => {
                 let first = self.next_event_timeout(timeout)?;
                 Some(self.drain_buffered(first, max))
@@ -233,7 +429,9 @@ impl WrapperStream {
             return SourceBatchEvent::Batch(full);
         }
         if let WrapperStream::Prefetched {
-            rx, pending_terminal, ..
+            rx,
+            pending_terminal,
+            ..
         } = self
         {
             loop {
@@ -262,6 +460,8 @@ impl WrapperStream {
         match self {
             WrapperStream::Direct(conn) => conn.cancel_handle(),
             WrapperStream::Prefetched { cancel, .. } => cancel.clone(),
+            WrapperStream::Replay { cancel, .. } => cancel.clone(),
+            WrapperStream::Tee { inner, .. } => inner.cancel_handle(),
         }
     }
 
@@ -281,7 +481,10 @@ impl WrapperStream {
 
 impl Drop for WrapperStream {
     fn drop(&mut self) {
-        if let WrapperStream::Prefetched { cancel, handle, rx, .. } = self {
+        if let WrapperStream::Prefetched {
+            cancel, handle, rx, ..
+        } = self
+        {
             cancel.store(true, Ordering::Relaxed);
             if let Some(h) = handle.take() {
                 // The producer may be blocked sending into the bounded
@@ -450,6 +653,133 @@ mod tests {
             }
         }
         assert_eq!(got, 2);
+    }
+
+    #[test]
+    fn cached_fetch_tees_then_replays() {
+        use crate::cache::SourceResultCache;
+        let link = LinkModel {
+            per_tuple: Duration::from_micros(300),
+            ..LinkModel::instant()
+        };
+        let w = Wrapper::new(SimulatedSource::new("s", rel(30), link));
+        let cache = SourceResultCache::new(1 << 20);
+        // Cold: this fetch leads and tees into the cache.
+        let got = w
+            .fetch_through_cache(&cache, 1, None, |w| w.fetch())
+            .unwrap()
+            .drain()
+            .unwrap();
+        assert_eq!(got.len(), 30);
+        assert_eq!(cache.stats().misses, 1);
+        assert_eq!(cache.stats().entries, 1);
+        // Warm: replays from memory — the base fetch must not be built.
+        let start = Instant::now();
+        let replayed = w
+            .fetch_through_cache(&cache, 1, None, |_| {
+                panic!("warm fetch must not hit the source")
+            })
+            .unwrap()
+            .drain()
+            .unwrap();
+        assert_eq!(replayed, got);
+        assert!(
+            start.elapsed() < Duration::from_millis(5),
+            "replay is instant"
+        );
+        assert_eq!(cache.stats().hits, 1);
+    }
+
+    #[test]
+    fn cached_replay_delivers_batches() {
+        use crate::cache::SourceResultCache;
+        let w = Wrapper::new(SimulatedSource::new("s", rel(100), LinkModel::instant()));
+        let cache = SourceResultCache::new(1 << 20);
+        w.fetch_through_cache(&cache, 1, None, |w| w.fetch())
+            .unwrap()
+            .drain()
+            .unwrap();
+        let mut s = w
+            .fetch_through_cache(&cache, 1, None, |_| unreachable!())
+            .unwrap();
+        let mut total = 0;
+        loop {
+            match s.next_batch_event(32) {
+                SourceBatchEvent::Batch(b) => {
+                    assert!(b.len() <= 32);
+                    total += b.len();
+                }
+                SourceBatchEvent::End => break,
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert_eq!(total, 100);
+        assert_eq!(s.next_batch_event(32), SourceBatchEvent::End);
+    }
+
+    #[test]
+    fn failed_tee_caches_nothing() {
+        use crate::cache::SourceResultCache;
+        let w = Wrapper::new(SimulatedSource::new("f", rel(10), LinkModel::failing(3)));
+        let cache = SourceResultCache::new(1 << 20);
+        let err = w
+            .fetch_through_cache(&cache, 1, None, |w| w.fetch())
+            .unwrap()
+            .drain()
+            .unwrap_err();
+        assert!(err.contains('f'), "{err}");
+        assert_eq!(cache.stats().entries, 0, "partial streams are not cached");
+        // The abandoned lease lets the next fetch lead again.
+        assert_eq!(cache.stats().misses, 1);
+        let err2 = w
+            .fetch_through_cache(&cache, 1, None, |w| w.fetch())
+            .unwrap()
+            .drain()
+            .unwrap_err();
+        assert!(err2.contains('f'));
+        assert_eq!(cache.stats().misses, 2);
+    }
+
+    #[test]
+    fn tee_abandons_results_larger_than_the_cache_budget() {
+        use crate::cache::SourceResultCache;
+        let w = Wrapper::new(SimulatedSource::new("big", rel(200), LinkModel::instant()));
+        let budget = rel(200).mem_size() / 4; // result can never fit
+        let cache = SourceResultCache::new(budget);
+        let got = w
+            .fetch_through_cache(&cache, 1, None, |w| w.fetch())
+            .unwrap()
+            .drain()
+            .unwrap();
+        assert_eq!(got.len(), 200, "the stream itself is unaffected");
+        let s = cache.stats();
+        assert_eq!(s.entries, 0);
+        assert_eq!(
+            s.evictions, 0,
+            "abandoned mid-stream, never buffered in full or inserted"
+        );
+        // The abandoned lease lets the next fetch lead (and abandon) again.
+        assert_eq!(s.misses, 1);
+    }
+
+    #[test]
+    fn dropped_tee_mid_stream_abandons_lease() {
+        use crate::cache::SourceResultCache;
+        let w = Wrapper::new(SimulatedSource::new("s", rel(50), LinkModel::instant()));
+        let cache = SourceResultCache::new(1 << 20);
+        {
+            let mut s = w
+                .fetch_through_cache(&cache, 1, None, |w| w.fetch())
+                .unwrap();
+            let _ = s.next_event(); // partial read, then drop
+        }
+        assert_eq!(cache.stats().entries, 0);
+        // Next fetch becomes the new leader and completes the entry.
+        w.fetch_through_cache(&cache, 1, None, |w| w.fetch())
+            .unwrap()
+            .drain()
+            .unwrap();
+        assert_eq!(cache.stats().entries, 1);
     }
 
     #[test]

@@ -25,7 +25,8 @@ pub mod memory;
 pub mod spill;
 
 pub use local::LocalStore;
-pub use memory::{MemoryManager, MemoryReservation};
+pub use memory::{MemoryManager, MemoryReservation, MemoryUsage};
 pub use spill::{
-    FileSpillStore, InMemorySpillStore, IoStats, SpillBucket, SpillStore, ThrottledSpillStore,
+    FileSpillStore, InMemorySpillStore, IoSnapshot, IoStats, ScopedSpillStore, SpillBucket,
+    SpillStore, ThrottledSpillStore,
 };

@@ -40,7 +40,17 @@ struct ReservationInner {
 struct PoolInner {
     used: AtomicUsize,
     peak: AtomicUsize,
-    registry: Mutex<Vec<Arc<ReservationInner>>>,
+    /// Pool-level budget in bytes; 0 means unlimited. Exceeding it puts
+    /// every reservation in the pool [`MemoryReservation::under_pressure`].
+    budget: AtomicUsize,
+    /// Reservation in an enclosing pool that mirrors this pool's usage —
+    /// the governor layering: a per-query pool parented to a per-query
+    /// reservation on the fleet pool.
+    parent: Option<MemoryReservation>,
+    /// Weak handles so short-lived reservations (per-query grants in a
+    /// long-running service) are reclaimed when their last clone drops;
+    /// dead entries are pruned on the next registry access.
+    registry: Mutex<Vec<std::sync::Weak<ReservationInner>>>,
 }
 
 /// A per-operator memory budget. Cloneable handle; all clones share the
@@ -63,19 +73,31 @@ impl MemoryReservation {
         self.inner.peak.fetch_max(used, Ordering::Relaxed);
         let pool_used = self.inner.pool.used.fetch_add(bytes, Ordering::Relaxed) + bytes;
         self.inner.pool.peak.fetch_max(pool_used, Ordering::Relaxed);
+        if let Some(parent) = &self.inner.pool.parent {
+            parent.charge(bytes);
+        }
     }
 
-    /// Release `bytes` previously charged. Saturates at zero (releasing more
-    /// than charged is an accounting bug surfaced by `debug_assert`).
+    /// Release `bytes` previously charged. Saturates at zero (releasing
+    /// more than charged is an accounting bug surfaced by `debug_assert`),
+    /// and only the amount actually held propagates to the pool and the
+    /// parent chain — an over-release must not deflate a shared pool that
+    /// still holds *other* reservations' live charges.
     pub fn release(&self, bytes: usize) {
         let prev = self.inner.used.fetch_sub(bytes, Ordering::Relaxed);
         debug_assert!(prev >= bytes, "memory accounting underflow");
-        if prev < bytes {
+        let actual = if prev < bytes {
             self.inner.used.store(0, Ordering::Relaxed);
-        }
-        let pool_prev = self.inner.pool.used.fetch_sub(bytes, Ordering::Relaxed);
-        if pool_prev < bytes {
+            prev
+        } else {
+            bytes
+        };
+        let pool_prev = self.inner.pool.used.fetch_sub(actual, Ordering::Relaxed);
+        if pool_prev < actual {
             self.inner.pool.used.store(0, Ordering::Relaxed);
+        }
+        if let Some(parent) = &self.inner.pool.parent {
+            parent.release(actual);
         }
     }
 
@@ -83,6 +105,22 @@ impl MemoryReservation {
     /// `out_of_memory` event.
     pub fn over_budget(&self) -> bool {
         self.inner.used.load(Ordering::Relaxed) > self.inner.budget.load(Ordering::Relaxed)
+    }
+
+    /// Whether this reservation should shed memory *now*: it is over its
+    /// own budget, its pool is over the pool budget, or an enclosing pool
+    /// up the parent chain is — the memory governor's enforcement hook.
+    /// Operators use this instead of [`MemoryReservation::over_budget`] so
+    /// query-level and fleet-level pressure trigger the same overflow
+    /// resolution as an operator-level overage.
+    pub fn under_pressure(&self) -> bool {
+        if self.over_budget() || self.inner.pool.over_budget() {
+            return true;
+        }
+        match &self.inner.pool.parent {
+            Some(parent) => parent.under_pressure(),
+            None => false,
+        }
     }
 
     /// Bytes that must be freed to get back under budget (0 if under).
@@ -114,6 +152,13 @@ impl MemoryReservation {
     }
 }
 
+impl PoolInner {
+    fn over_budget(&self) -> bool {
+        let budget = self.budget.load(Ordering::Relaxed);
+        budget != 0 && self.used.load(Ordering::Relaxed) > budget
+    }
+}
+
 /// The engine-wide memory pool from which operators reserve budgets.
 #[derive(Debug, Clone, Default)]
 pub struct MemoryManager {
@@ -124,6 +169,42 @@ impl MemoryManager {
     /// Fresh pool.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Fresh pool whose usage is mirrored into `parent` — a reservation in
+    /// an enclosing pool. This is how the service's memory governor layers
+    /// per-query budgets over per-operator reservations: every charge in
+    /// the query's pool also charges the query's grant on the fleet pool.
+    pub fn with_parent(parent: MemoryReservation) -> Self {
+        MemoryManager {
+            pool: Arc::new(PoolInner {
+                parent: Some(parent),
+                ..Default::default()
+            }),
+        }
+    }
+
+    /// Set the pool-level budget in bytes (0 = unlimited). Exceeding it
+    /// makes every reservation in this pool report
+    /// [`MemoryReservation::under_pressure`].
+    pub fn set_budget(&self, budget: usize) {
+        self.pool.budget.store(budget, Ordering::Relaxed);
+    }
+
+    /// Builder-style [`MemoryManager::set_budget`].
+    pub fn with_budget(self, budget: usize) -> Self {
+        self.set_budget(budget);
+        self
+    }
+
+    /// Pool-level budget (0 = unlimited).
+    pub fn budget(&self) -> usize {
+        self.pool.budget.load(Ordering::Relaxed)
+    }
+
+    /// Whether the pool as a whole exceeds its budget.
+    pub fn over_budget(&self) -> bool {
+        self.pool.over_budget()
     }
 
     /// Register an operator with a budget (bytes). The budget is advisory —
@@ -137,7 +218,10 @@ impl MemoryManager {
             budget: AtomicUsize::new(budget),
             pool: self.pool.clone(),
         });
-        self.pool.registry.lock().push(inner.clone());
+        let mut registry = self.pool.registry.lock();
+        registry.retain(|w| w.strong_count() > 0);
+        registry.push(Arc::downgrade(&inner));
+        drop(registry);
         MemoryReservation { inner }
     }
 
@@ -154,10 +238,11 @@ impl MemoryManager {
     /// Usage of every registered reservation (name, usage), for the
     /// statistics the engine ships back to the optimizer (§3.2).
     pub fn per_operator(&self) -> Vec<(String, MemoryUsage)> {
-        self.pool
-            .registry
-            .lock()
+        let mut registry = self.pool.registry.lock();
+        registry.retain(|w| w.strong_count() > 0);
+        registry
             .iter()
+            .filter_map(std::sync::Weak::upgrade)
             .map(|r| {
                 (
                     r.name.clone(),
@@ -237,6 +322,103 @@ mod tests {
         }
         assert_eq!(r.usage().used, 8 * 1000 * 2);
         assert_eq!(mm.total_used(), 8 * 1000 * 2);
+    }
+
+    #[test]
+    fn dropped_reservations_leave_the_registry() {
+        let mm = MemoryManager::new();
+        for i in 0..100 {
+            let r = mm.register(format!("q{i}"), 10);
+            r.charge(1);
+            r.release(1);
+        }
+        // A service registering one grant per query must not accumulate
+        // dead entries.
+        assert!(mm.per_operator().is_empty());
+        let live = mm.register("live", 10);
+        assert_eq!(mm.per_operator().len(), 1);
+        drop(live);
+        assert!(mm.per_operator().is_empty());
+    }
+
+    #[cfg(not(debug_assertions))] // over-release debug_asserts; release-mode clamps
+    #[test]
+    fn over_release_does_not_deflate_shared_pools() {
+        let fleet = MemoryManager::new();
+        let other = fleet.register("other", 1000);
+        other.charge(500);
+        let grant = fleet.register("q", 400);
+        let pool = MemoryManager::with_parent(grant.clone());
+        let op = pool.register("op", 1000);
+        op.charge(100);
+        assert_eq!(fleet.total_used(), 600);
+        op.release(150); // buggy over-release: only the 100 held may leave
+        assert_eq!(op.usage().used, 0);
+        assert_eq!(grant.usage().used, 0);
+        assert_eq!(
+            fleet.total_used(),
+            500,
+            "other reservations' charges must survive an over-release"
+        );
+    }
+
+    #[test]
+    fn pool_budget_creates_pressure() {
+        let mm = MemoryManager::new().with_budget(100);
+        let a = mm.register("a", 1_000); // generous operator budget
+        let b = mm.register("b", 1_000);
+        a.charge(60);
+        b.charge(30);
+        assert!(!a.under_pressure() && !b.under_pressure());
+        b.charge(20); // pool total 110 > 100
+        assert!(mm.over_budget());
+        assert!(
+            a.under_pressure(),
+            "pool pressure reaches every reservation"
+        );
+        assert!(b.under_pressure());
+        assert!(!a.over_budget(), "operator budgets themselves are fine");
+        b.release(20);
+        assert!(!a.under_pressure());
+    }
+
+    #[test]
+    fn unlimited_pool_never_pressures() {
+        let mm = MemoryManager::new();
+        let r = mm.register("r", 10);
+        r.charge(1_000_000);
+        assert!(r.over_budget());
+        assert!(!mm.over_budget(), "budget 0 means unlimited");
+        r.release(1_000_000);
+        assert!(!r.under_pressure());
+    }
+
+    #[test]
+    fn parent_chain_mirrors_usage_and_pressure() {
+        // fleet pool (total 100) ← query grant (budget 50) ← query pool
+        let fleet = MemoryManager::new().with_budget(100);
+        let grant = fleet.register("q1", 50);
+        let query_pool = MemoryManager::with_parent(grant.clone()).with_budget(50);
+        let op = query_pool.register("join", 1_000);
+
+        op.charge(40);
+        assert_eq!(fleet.total_used(), 40, "usage propagates to the fleet pool");
+        assert_eq!(grant.usage().used, 40);
+        assert!(!op.under_pressure());
+
+        op.charge(20); // query pool 60 > 50
+        assert!(op.under_pressure(), "query budget exceeded");
+        op.release(60);
+        assert_eq!(fleet.total_used(), 0);
+
+        // fleet-level pressure reaches operators of an under-budget query
+        let hog = fleet.register("q2", 200);
+        hog.charge(150); // fleet 150 > 100
+        op.charge(10);
+        assert!(!op.over_budget() && !query_pool.over_budget());
+        assert!(op.under_pressure(), "fleet pressure reaches every query");
+        hog.release(150);
+        assert!(!op.under_pressure());
     }
 
     #[test]

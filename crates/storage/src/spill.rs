@@ -71,6 +71,17 @@ impl IoStats {
         self.flush_events.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Copyable point-in-time snapshot — subtract two to attribute spill
+    /// I/O to one query when the store is shared across a fleet.
+    pub fn snapshot(&self) -> IoSnapshot {
+        IoSnapshot {
+            tuples_written: self.tuples_written(),
+            tuples_read: self.tuples_read(),
+            bytes_written: self.bytes_written(),
+            bytes_read: self.bytes_read(),
+        }
+    }
+
     fn record_write(&self, tuples: usize, bytes: usize) {
         self.tuples_written.fetch_add(tuples, Ordering::Relaxed);
         self.bytes_written.fetch_add(bytes, Ordering::Relaxed);
@@ -79,6 +90,33 @@ impl IoStats {
     fn record_read(&self, tuples: usize, bytes: usize) {
         self.tuples_read.fetch_add(tuples, Ordering::Relaxed);
         self.bytes_read.fetch_add(bytes, Ordering::Relaxed);
+    }
+}
+
+/// Point-in-time copy of [`IoStats`] counters. Subtracting a start-of-query
+/// snapshot from an end-of-query one yields that query's own spill I/O even
+/// when several queries share the store.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IoSnapshot {
+    /// Tuples written to spill storage.
+    pub tuples_written: usize,
+    /// Tuples read back.
+    pub tuples_read: usize,
+    /// Bytes written.
+    pub bytes_written: usize,
+    /// Bytes read back.
+    pub bytes_read: usize,
+}
+
+impl IoSnapshot {
+    /// Counter-wise saturating difference (`self` later, `earlier` first).
+    pub fn since(&self, earlier: &IoSnapshot) -> IoSnapshot {
+        IoSnapshot {
+            tuples_written: self.tuples_written.saturating_sub(earlier.tuples_written),
+            tuples_read: self.tuples_read.saturating_sub(earlier.tuples_read),
+            bytes_written: self.bytes_written.saturating_sub(earlier.bytes_written),
+            bytes_read: self.bytes_read.saturating_sub(earlier.bytes_read),
+        }
     }
 }
 
@@ -118,6 +156,13 @@ pub trait SpillStore: Send + Sync {
     fn is_empty(&self, bucket: SpillBucket) -> bool {
         self.len(bucket) == 0
     }
+
+    /// Reclaim a bucket's storage. Reading a removed bucket errors;
+    /// removing an unknown bucket is a no-op. Long-lived stores shared by
+    /// a query fleet rely on this — see [`ScopedSpillStore`], which
+    /// removes every bucket its query created when the query's
+    /// environment is dropped.
+    fn remove_bucket(&self, bucket: SpillBucket);
 
     /// Shared I/O counters.
     fn stats(&self) -> &Arc<IoStats>;
@@ -177,6 +222,10 @@ impl SpillStore for InMemorySpillStore {
             .get(&bucket.0)
             .map(Vec::len)
             .unwrap_or(0)
+    }
+
+    fn remove_bucket(&self, bucket: SpillBucket) {
+        self.buckets.lock().remove(&bucket.0);
     }
 
     fn stats(&self) -> &Arc<IoStats> {
@@ -263,9 +312,9 @@ impl SpillStore for FileSpillStore {
     fn read_all(&self, bucket: SpillBucket) -> Result<Vec<Tuple>> {
         let path = {
             let guard = self.files.lock();
-            let (path, _, _) = guard
-                .get(&bucket.0)
-                .ok_or_else(|| TukwilaError::Internal(format!("unknown spill bucket {bucket:?}")))?;
+            let (path, _, _) = guard.get(&bucket.0).ok_or_else(|| {
+                TukwilaError::Internal(format!("unknown spill bucket {bucket:?}"))
+            })?;
             path.clone()
         };
         let mut bytes = Vec::new();
@@ -286,6 +335,86 @@ impl SpillStore for FileSpillStore {
             .get(&bucket.0)
             .map(|(_, _, n)| *n)
             .unwrap_or(0)
+    }
+
+    fn remove_bucket(&self, bucket: SpillBucket) {
+        if let Some((path, file, _)) = self.files.lock().remove(&bucket.0) {
+            drop(file);
+            let _ = std::fs::remove_file(path);
+        }
+    }
+
+    fn stats(&self) -> &Arc<IoStats> {
+        &self.stats
+    }
+}
+
+/// Decorator giving one consumer (a query in a concurrent fleet) its own
+/// I/O counters over a shared backing store: operations delegate to
+/// `inner` (whose global counters still advance) while this store's
+/// `stats()` count only the traffic that went through *this* handle — the
+/// exact per-query attribution `ExecutionStats` reports. Dropping the
+/// scope reclaims every bucket created through it, so a long-running
+/// service does not accumulate finished queries' overflow data.
+pub struct ScopedSpillStore {
+    inner: Arc<dyn SpillStore>,
+    stats: Arc<IoStats>,
+    created: Mutex<Vec<SpillBucket>>,
+}
+
+impl ScopedSpillStore {
+    /// Wrap `inner` with fresh counters.
+    pub fn new(inner: Arc<dyn SpillStore>) -> Self {
+        ScopedSpillStore {
+            inner,
+            stats: Arc::new(IoStats::default()),
+            created: Mutex::new(Vec::new()),
+        }
+    }
+}
+
+impl Drop for ScopedSpillStore {
+    fn drop(&mut self) {
+        for bucket in self.created.get_mut().drain(..) {
+            self.inner.remove_bucket(bucket);
+        }
+    }
+}
+
+impl SpillStore for ScopedSpillStore {
+    fn create_bucket(&self, label: &str) -> SpillBucket {
+        let bucket = self.inner.create_bucket(label);
+        self.created.lock().push(bucket);
+        bucket
+    }
+
+    fn write(&self, bucket: SpillBucket, tuples: &[Tuple]) -> Result<()> {
+        self.inner.write(bucket, tuples)?;
+        let bytes: usize = tuples.iter().map(Tuple::mem_size).sum();
+        self.stats.record_write(tuples.len(), bytes);
+        Ok(())
+    }
+
+    fn write_batch(&self, bucket: SpillBucket, batch: &TupleBatch) -> Result<()> {
+        self.inner.write_batch(bucket, batch)?;
+        self.stats.record_write(batch.len(), batch.mem_size());
+        Ok(())
+    }
+
+    fn read_all(&self, bucket: SpillBucket) -> Result<Vec<Tuple>> {
+        let out = self.inner.read_all(bucket)?;
+        let bytes: usize = out.iter().map(Tuple::mem_size).sum();
+        self.stats.record_read(out.len(), bytes);
+        Ok(out)
+    }
+
+    fn len(&self, bucket: SpillBucket) -> usize {
+        self.inner.len(bucket)
+    }
+
+    fn remove_bucket(&self, bucket: SpillBucket) {
+        self.created.lock().retain(|b| *b != bucket);
+        self.inner.remove_bucket(bucket);
     }
 
     fn stats(&self) -> &Arc<IoStats> {
@@ -341,6 +470,10 @@ impl SpillStore for ThrottledSpillStore {
         self.inner.len(bucket)
     }
 
+    fn remove_bucket(&self, bucket: SpillBucket) {
+        self.inner.remove_bucket(bucket);
+    }
+
     fn stats(&self) -> &Arc<IoStats> {
         self.inner.stats()
     }
@@ -350,6 +483,45 @@ impl SpillStore for ThrottledSpillStore {
 mod tests {
     use super::*;
     use tukwila_common::tuple;
+
+    #[test]
+    fn scoped_store_attributes_io_per_handle() {
+        let shared: Arc<dyn SpillStore> = Arc::new(InMemorySpillStore::new());
+        let a = ScopedSpillStore::new(shared.clone());
+        let b = ScopedSpillStore::new(shared.clone());
+        let ba = a.create_bucket("a");
+        let bb = b.create_bucket("b");
+        a.write(ba, &[tuple![1], tuple![2]]).unwrap();
+        b.write(bb, &[tuple![3]]).unwrap();
+        let _ = a.read_all(ba).unwrap();
+        // Each scope sees only its own traffic...
+        assert_eq!(a.stats().tuples_written(), 2);
+        assert_eq!(a.stats().tuples_read(), 2);
+        assert_eq!(b.stats().tuples_written(), 1);
+        assert_eq!(b.stats().tuples_read(), 0);
+        // ...while the shared store aggregates everything.
+        assert_eq!(shared.stats().tuples_written(), 3);
+        // Buckets live in the shared store: b can read a's bucket.
+        assert_eq!(b.read_all(ba).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn scoped_store_reclaims_its_buckets_on_drop() {
+        let shared: Arc<dyn SpillStore> = Arc::new(InMemorySpillStore::new());
+        let survivor = shared.create_bucket("keep");
+        shared.write(survivor, &[tuple![0]]).unwrap();
+        let scoped_bucket = {
+            let scoped = ScopedSpillStore::new(shared.clone());
+            let b = scoped.create_bucket("q1");
+            scoped.write(b, &[tuple![1], tuple![2]]).unwrap();
+            assert_eq!(shared.len(b), 2);
+            b
+        }; // query done → its overflow data is reclaimed
+           // The scope's bucket is gone; unrelated buckets survive.
+        assert_eq!(shared.len(scoped_bucket), 0);
+        assert!(shared.read_all(scoped_bucket).is_err());
+        assert_eq!(shared.len(survivor), 1);
+    }
 
     fn exercise(store: &dyn SpillStore) {
         let b1 = store.create_bucket("left-3");
@@ -399,13 +571,12 @@ mod tests {
         let file = FileSpillStore::new().unwrap();
         for store in [&mem as &dyn SpillStore, &file as &dyn SpillStore] {
             let b = store.create_bucket("acct");
-            store.write(b, &[tuple![1, "payload"], tuple![2, "x"]]).unwrap();
+            store
+                .write(b, &[tuple![1, "payload"], tuple![2, "x"]])
+                .unwrap();
             store.read_all(b).unwrap();
         }
-        assert_eq!(
-            mem.stats().tuples_written(),
-            file.stats().tuples_written()
-        );
+        assert_eq!(mem.stats().tuples_written(), file.stats().tuples_written());
         assert_eq!(mem.stats().bytes_written(), file.stats().bytes_written());
         assert_eq!(mem.stats().tuples_read(), file.stats().tuples_read());
     }
@@ -419,13 +590,12 @@ mod tests {
             let b = store.create_bucket("batch");
             let batch = TupleBatch::from_tuples(vec![tuple![1, "a"], tuple![2, "b"]]);
             store.write_batch(b, &batch).unwrap();
-            store.write_batch(b, &TupleBatch::singleton(tuple![3])).unwrap();
+            store
+                .write_batch(b, &TupleBatch::singleton(tuple![3]))
+                .unwrap();
             assert_eq!(store.len(b), 3);
             let back = store.read_all_batch(b).unwrap();
-            assert_eq!(
-                back.tuples(),
-                &[tuple![1, "a"], tuple![2, "b"], tuple![3]]
-            );
+            assert_eq!(back.tuples(), &[tuple![1, "a"], tuple![2, "b"], tuple![3]]);
             assert_eq!(store.stats().tuples_written(), 3);
             assert_eq!(store.stats().tuples_read(), 3);
         }

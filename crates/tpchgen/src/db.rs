@@ -79,10 +79,7 @@ pub fn join_graph() -> Vec<JoinEdge> {
 /// queries are conjunctive, extra predicates only reduce cardinality).
 ///
 /// Returns queries as `(tables, edges)` sorted deterministically.
-pub fn all_k_table_joins(
-    k: usize,
-    exclude: &[TpchTable],
-) -> Vec<(Vec<TpchTable>, Vec<JoinEdge>)> {
+pub fn all_k_table_joins(k: usize, exclude: &[TpchTable]) -> Vec<(Vec<TpchTable>, Vec<JoinEdge>)> {
     let graph = join_graph();
     let tables: Vec<TpchTable> = TpchTable::ALL
         .iter()

@@ -476,18 +476,10 @@ mod tests {
         let pairs: HashSet<(i64, i64)> = ps
             .tuples()
             .iter()
-            .map(|t| {
-                (
-                    t.value(0).as_int().unwrap(),
-                    t.value(1).as_int().unwrap(),
-                )
-            })
+            .map(|t| (t.value(0).as_int().unwrap(), t.value(1).as_int().unwrap()))
             .collect();
         for l in li.tuples().iter().take(500) {
-            let pair = (
-                l.value(1).as_int().unwrap(),
-                l.value(2).as_int().unwrap(),
-            );
+            let pair = (l.value(1).as_int().unwrap(), l.value(2).as_int().unwrap());
             assert!(pairs.contains(&pair), "lineitem FK pair {pair:?} missing");
         }
     }

@@ -62,9 +62,7 @@ fn main() {
         ("hybrid hash     ", JoinKind::HybridHash),
     ] {
         let (first, total, n) = run(kind, &deployment);
-        println!(
-            "  {label}: first tuple {first:>10.2?}   completed {total:>10.2?}   ({n} tuples)"
-        );
+        println!("  {label}: first tuple {first:>10.2?}   completed {total:>10.2?}   ({n} tuples)");
     }
     println!("(the DPJ streams results while the network is still busy)");
 }

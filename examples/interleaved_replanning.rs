@@ -30,8 +30,14 @@ fn main() {
     let query = deployment.query_for("parts_by_nation", &tables);
 
     for (label, policy) in [
-        ("materialize only      ", PipelinePolicy::MaterializeEachJoin),
-        ("materialize and replan", PipelinePolicy::MaterializeAndReplan),
+        (
+            "materialize only      ",
+            PipelinePolicy::MaterializeEachJoin,
+        ),
+        (
+            "materialize and replan",
+            PipelinePolicy::MaterializeAndReplan,
+        ),
         ("fully pipelined       ", PipelinePolicy::FullyPipelined),
     ] {
         // modest memory so bad estimates hurt (overflowing joins)
@@ -40,7 +46,7 @@ fn main() {
             join_memory_budget: 256 << 10,
             ..OptimizerConfig::default()
         };
-        let mut system = deployment.system(config);
+        let system = deployment.system(config);
         let result = system.execute(&query).expect("query should succeed");
         println!(
             "{label}: {:>8} tuples in {:>9.2?}  (replans: {}, fragments: {}, spill IO: {} tuples)",

@@ -29,7 +29,11 @@ fn main() {
         .link(TpchTable::Supplier, LinkModel::down())
         // two mirrors with different health
         .mirror(TpchTable::Supplier, "supplier_mirror_slow", slow)
-        .mirror(TpchTable::Supplier, "supplier_mirror_fast", LinkModel::lan(0.02))
+        .mirror(
+            TpchTable::Supplier,
+            "supplier_mirror_fast",
+            LinkModel::lan(0.02),
+        )
         .build();
 
     let query = deployment.query_for("who_supplies", &[TpchTable::Supplier, TpchTable::Nation]);
@@ -38,9 +42,11 @@ fn main() {
         source_timeout_ms: Some(150), // collector latency watchdog
         ..OptimizerConfig::default()
     };
-    let mut system = deployment.system(config);
+    let system = deployment.system(config);
 
-    let result = system.execute(&query).expect("mirrors should cover the outage");
+    let result = system
+        .execute(&query)
+        .expect("mirrors should cover the outage");
 
     println!(
         "answered from mirrors despite a dead primary: {} tuples in {:?}",

@@ -36,20 +36,18 @@ fn main() {
     // 3. Execute with the adaptive policy: double pipelined joins while
     //    memory estimates allow, hybrid hash with materialization above,
     //    replan rules at every materialization point.
-    let mut system = deployment.system(OptimizerConfig::default());
+    let system = deployment.system(OptimizerConfig::default());
     let result = system.execute(&query).expect("query should succeed");
 
-    println!("query `{}` returned {} tuples", query.name, result.cardinality());
     println!(
-        "  fragments run:    {}",
-        result.stats.fragments_run
+        "query `{}` returned {} tuples",
+        query.name,
+        result.cardinality()
     );
+    println!("  fragments run:    {}", result.stats.fragments_run);
     println!("  re-optimizations: {}", result.stats.replans);
     println!("  reschedules:      {}", result.stats.reschedules);
-    println!(
-        "  time to first:    {:?}",
-        result.stats.time_to_first
-    );
+    println!("  time to first:    {:?}", result.stats.time_to_first);
     println!("  total time:       {:?}", result.stats.duration);
     println!(
         "  spill I/O:        {} tuples",

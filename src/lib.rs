@@ -37,7 +37,7 @@
 //!     &[TpchTable::Region, TpchTable::Nation, TpchTable::Supplier],
 //! );
 //!
-//! let mut system = deployment.system(OptimizerConfig::default());
+//! let system = deployment.system(OptimizerConfig::default());
 //! let result = system.execute(&query).unwrap();
 //! assert_eq!(
 //!     result.cardinality(),
@@ -56,6 +56,7 @@ pub use tukwila_exec as exec;
 pub use tukwila_opt as opt;
 pub use tukwila_plan as plan;
 pub use tukwila_query as query;
+pub use tukwila_service as service;
 pub use tukwila_source as source;
 pub use tukwila_storage as storage;
 pub use tukwila_tpchgen as tpchgen;
@@ -63,16 +64,20 @@ pub use tukwila_tpchgen as tpchgen;
 /// The most common imports for building and running queries.
 pub mod prelude {
     pub use tukwila_catalog::{AccessCost, Catalog, OverlapInfo, SourceDesc, TableStats};
-    pub use tukwila_common::{
-        DataType, Relation, Schema, Tuple, TukwilaError, TupleBatch, Value,
-    };
+    pub use tukwila_common::{DataType, Relation, Schema, TukwilaError, Tuple, TupleBatch, Value};
     pub use tukwila_core::{
         ExecutionStats, QueryResult, StatsQuality, TpchDeployment, TukwilaSystem,
     };
-    pub use tukwila_exec::ExecEnv;
+    pub use tukwila_exec::{CancelKind, ExecEnv, QueryControl};
     pub use tukwila_opt::{Optimizer, OptimizerConfig, PipelinePolicy, ReoptStrategy};
     pub use tukwila_plan::{JoinKind, OverflowMethod, Predicate};
     pub use tukwila_query::{ConjunctiveQuery, MediatedSchema, Reformulator};
-    pub use tukwila_source::{LinkModel, SimulatedSource, SourceRegistry};
+    pub use tukwila_service::{
+        MemoryGovernor, QueryOptions, QueryResponse, QueryService, QueryServiceConfig, QueryTicket,
+        ServiceStats,
+    };
+    pub use tukwila_source::{
+        CacheStats, LinkModel, SimulatedSource, SourceRegistry, SourceResultCache,
+    };
     pub use tukwila_tpchgen::{TpchDb, TpchGenerator, TpchTable};
 }

@@ -31,9 +31,21 @@ fn query_scrambling_runs_independent_fragment_first() {
         ..LinkModel::instant()
     };
     registry.register(SimulatedSource::new("A", keyed("a", 40), stall));
-    registry.register(SimulatedSource::new("B", keyed("b", 40), LinkModel::instant()));
-    registry.register(SimulatedSource::new("D", keyed("d", 40), LinkModel::instant()));
-    registry.register(SimulatedSource::new("E", keyed("e", 40), LinkModel::instant()));
+    registry.register(SimulatedSource::new(
+        "B",
+        keyed("b", 40),
+        LinkModel::instant(),
+    ));
+    registry.register(SimulatedSource::new(
+        "D",
+        keyed("d", 40),
+        LinkModel::instant(),
+    ));
+    registry.register(SimulatedSource::new(
+        "E",
+        keyed("e", 40),
+        LinkModel::instant(),
+    ));
 
     let mut b = PlanBuilder::new();
     let a = b.wrapper_scan_opts("A", Some(40), None);
@@ -88,9 +100,21 @@ fn query_scrambling_runs_independent_fragment_first() {
 #[test]
 fn choose_node_selects_fragment_by_observed_cardinality() {
     let registry = SourceRegistry::new();
-    registry.register(SimulatedSource::new("S", keyed("s", 50), LinkModel::instant()));
-    registry.register(SimulatedSource::new("ALT1", keyed("x", 5), LinkModel::instant()));
-    registry.register(SimulatedSource::new("ALT2", keyed("y", 7), LinkModel::instant()));
+    registry.register(SimulatedSource::new(
+        "S",
+        keyed("s", 50),
+        LinkModel::instant(),
+    ));
+    registry.register(SimulatedSource::new(
+        "ALT1",
+        keyed("x", 5),
+        LinkModel::instant(),
+    ));
+    registry.register(SimulatedSource::new(
+        "ALT2",
+        keyed("y", 7),
+        LinkModel::instant(),
+    ));
 
     let mut b = PlanBuilder::new();
     let s = b.wrapper_scan("S");
@@ -171,14 +195,15 @@ fn paper_collector_policy_timeout_path() {
             ..LinkModel::instant()
         },
     ));
-    registry.register(SimulatedSource::new("C", keyed("c", 100), LinkModel::instant()));
+    registry.register(SimulatedSource::new(
+        "C",
+        keyed("c", 100),
+        LinkModel::instant(),
+    ));
 
     let mut b = PlanBuilder::new();
-    let (coll, ids) = b.collector_with_timeout(
-        &[("A", true), ("B", true), ("C", false)],
-        None,
-        Some(60),
-    );
+    let (coll, ids) =
+        b.collector_with_timeout(&[("A", true), ("B", true), ("C", false)], None, Some(60));
     let coll_id = coll.id;
     let (a, bb, c) = (
         SubjectRef::Op(ids[0]),
@@ -255,7 +280,7 @@ fn replanning_changes_join_order_after_misestimate() {
         policy: PipelinePolicy::MaterializeAndReplan,
         ..OptimizerConfig::default()
     };
-    let mut system = deployment.system(config);
+    let system = deployment.system(config);
     let result = system.execute(&query).unwrap();
     assert!(result.stats.replans >= 1);
     let gold = deployment.gold(&query).unwrap();

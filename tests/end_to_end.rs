@@ -7,7 +7,7 @@ use tukwila::prelude::*;
 const SF: f64 = 0.003;
 
 fn check(deployment: &TpchDeployment, query: &ConjunctiveQuery, config: OptimizerConfig) {
-    let mut system = deployment.system(config);
+    let system = deployment.system(config);
     let result = system
         .execute(query)
         .unwrap_or_else(|e| panic!("query `{}` failed: {e}", query.name));
@@ -108,7 +108,7 @@ fn filters_and_projection_apply() {
         .query_for("filtered", &[TpchTable::Supplier, TpchTable::Nation])
         .filter(Predicate::eq_lit("nation.n_name", "FRANCE"))
         .project(vec!["supplier.s_name".into(), "nation.n_name".into()]);
-    let mut system = deployment.system(OptimizerConfig::default());
+    let system = deployment.system(OptimizerConfig::default());
     let result = system.execute(&query).expect("filtered query");
     assert_eq!(result.relation.schema().arity(), 2);
     for t in result.relation.tuples() {
@@ -140,7 +140,7 @@ fn partial_planning_converges_on_multi_join_query() {
         .stats(StatsQuality::Unknown)
         .build();
     let query = deployment.query_for("partial", &tables);
-    let mut system = deployment.system(OptimizerConfig::default());
+    let system = deployment.system(OptimizerConfig::default());
     let result = system.execute(&query).expect("interleaved planning");
     let gold = deployment.gold(&query).unwrap();
     assert!(result.relation.bag_eq_unordered(&gold));
@@ -169,7 +169,7 @@ fn file_backed_spill_store_round_trips() {
     let env = ExecEnv::new(deployment.registry.clone())
         .with_spill(Arc::new(FileSpillStore::new().unwrap()));
     let spill = env.spill.clone();
-    let mut system = TukwilaSystem::new(reformulator, optimizer, env);
+    let system = TukwilaSystem::new(reformulator, optimizer, env);
 
     let result = system.execute(&query).expect("file-spill query");
     let gold = deployment.gold(&query).unwrap();

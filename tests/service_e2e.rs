@@ -1,0 +1,144 @@
+//! Service-tier acceptance: multi-client throughput scaling and
+//! cache-on/cache-off result equivalence over the TPC-H deployment.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use tukwila::prelude::*;
+
+/// Fast-source mix: every source answers, but only after a network-style
+/// initial delay — so query latency is wait-dominated and a concurrent
+/// service overlaps the waits (the scaling the paper's setting implies:
+/// the engine is mostly waiting on autonomous sources).
+fn fast_mix_deployment(seed: u64) -> TpchDeployment {
+    let wan = LinkModel {
+        initial_delay: Duration::from_millis(8),
+        ..LinkModel::instant()
+    };
+    TpchDeployment::builder(0.002, seed)
+        .tables(&[TpchTable::Region, TpchTable::Nation, TpchTable::Supplier])
+        .default_link(wan)
+        .build()
+}
+
+fn service(d: &TpchDeployment, workers: usize, cache: Option<usize>) -> QueryService {
+    QueryService::new(
+        d.system(OptimizerConfig::default()),
+        QueryServiceConfig {
+            workers,
+            queue_capacity: 64,
+            cache_memory: cache,
+            ..QueryServiceConfig::default()
+        },
+    )
+}
+
+/// Drive `total` queries through `svc` from `clients` closed-loop client
+/// threads; returns queries/second.
+fn drive(svc: &Arc<QueryService>, d: &TpchDeployment, clients: usize, total: usize) -> f64 {
+    let q = d.query_for(
+        "q3",
+        &[TpchTable::Region, TpchTable::Nation, TpchTable::Supplier],
+    );
+    let per_client = total / clients;
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        for _ in 0..clients {
+            let svc = svc.clone();
+            let q = q.clone();
+            s.spawn(move || {
+                for _ in 0..per_client {
+                    let resp = svc.submit(&q).expect("admitted").wait();
+                    assert!(resp.is_ok(), "query failed: {:?}", resp.outcome.err());
+                }
+            });
+        }
+    });
+    (clients * per_client) as f64 / start.elapsed().as_secs_f64()
+}
+
+#[test]
+fn sixteen_clients_at_least_double_single_client_throughput() {
+    // Cache off for both sides: the comparison isolates concurrency
+    // (overlapped source waits), not result reuse.
+    let d = fast_mix_deployment(7);
+    let single = Arc::new(service(&d, 1, None));
+    let qps_1 = drive(&single, &d, 1, 16);
+    drop(single);
+
+    let fleet = Arc::new(service(&d, 16, None));
+    let qps_16 = drive(&fleet, &d, 16, 48);
+    let s = fleet.stats();
+    assert_eq!(s.completed as usize, 48);
+    drop(fleet);
+
+    assert!(
+        qps_16 >= 2.0 * qps_1,
+        "16 clients must at least double 1-client throughput on the \
+         fast-source mix: got {qps_16:.1} qps vs {qps_1:.1} qps"
+    );
+}
+
+#[test]
+fn cache_on_and_off_agree_byte_for_byte_and_cache_hits() {
+    // Two deployments from the same seed serve identical data; one service
+    // caches source results, the other does not.
+    let d_on = fast_mix_deployment(11);
+    let d_off = fast_mix_deployment(11);
+    let on = Arc::new(service(&d_on, 4, Some(16 << 20)));
+    let off = Arc::new(service(&d_off, 4, None));
+
+    let tables = [TpchTable::Region, TpchTable::Nation, TpchTable::Supplier];
+    let q_on = d_on.query_for("q", &tables);
+    let q_off = d_off.query_for("q", &tables);
+
+    // Several concurrent clients issuing the same query: the cached
+    // service fetches each source once and serves the rest from memory.
+    let run = |svc: &Arc<QueryService>, q: &ConjunctiveQuery| -> Vec<Arc<Relation>> {
+        std::thread::scope(|s| {
+            (0..4)
+                .map(|_| {
+                    let svc = svc.clone();
+                    let q = q.clone();
+                    s.spawn(move || {
+                        (0..2)
+                            .map(|_| {
+                                svc.submit(&q)
+                                    .expect("admitted")
+                                    .wait()
+                                    .outcome
+                                    .expect("query ok")
+                                    .relation
+                            })
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .flat_map(|h| h.join().unwrap())
+                .collect()
+        })
+    };
+
+    let results_on = run(&on, &q_on);
+    let results_off = run(&off, &q_off);
+
+    let cache = on.cache_stats().expect("cache installed");
+    assert!(
+        cache.hits > 0,
+        "8 identical queries must produce cache hits"
+    );
+    assert!(cache.misses >= tables.len() as u64);
+    assert_eq!(off.cache_stats(), None);
+
+    // Byte-for-byte equivalence: canonicalized tuple streams are equal
+    // across every run, cache-on and cache-off alike.
+    let reference = results_off[0].sorted_tuples();
+    for r in results_on.iter().chain(results_off.iter()) {
+        assert_eq!(
+            r.sorted_tuples(),
+            reference,
+            "cache must not change results"
+        );
+    }
+}

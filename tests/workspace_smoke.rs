@@ -14,7 +14,7 @@ fn two_table_join_produces_rows() {
 
     let query = deployment.query_for("nations", &[TpchTable::Region, TpchTable::Nation]);
 
-    let mut system = deployment.system(OptimizerConfig::default());
+    let system = deployment.system(OptimizerConfig::default());
     let result = system.execute(&query).expect("query should execute");
 
     // Every nation joins to exactly one region, so the join preserves the
