@@ -1,0 +1,216 @@
+//! Hot-path performance smoke: scan, join, and spill scenarios with
+//! machine-readable output.
+//!
+//! Runs each scenario several times and writes `BENCH_join.json` (or
+//! `--out <path>`) with rows/sec, p50 latency, peak engine memory, and
+//! spill I/O — the recorded perf trajectory every subsequent PR measures
+//! against. `--quick` shrinks data sizes and repetitions for CI, where the
+//! goal is "completes and emits valid JSON", not stable timings.
+//!
+//! Reproduce the committed baseline with:
+//! ```text
+//! cargo run --release -p tukwila-bench --bin perf_smoke
+//! ```
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+use tukwila_bench::runner::run_single_fragment_in_env;
+use tukwila_common::{tuple, DataType, Relation, Schema};
+use tukwila_exec::ExecEnv;
+use tukwila_plan::{JoinKind, OverflowMethod, PlanBuilder};
+use tukwila_source::{LinkModel, SimulatedSource, SourceRegistry};
+
+/// `n` tuples `(i % dup, i)` under schema `name(k, v)`.
+fn keyed(name: &str, n: i64, dup: i64) -> Relation {
+    let schema = Schema::of(name, &[("k", DataType::Int), ("v", DataType::Int)]);
+    let mut r = Relation::empty(schema);
+    for i in 0..n {
+        r.push(tuple![i % dup.max(1), i]);
+    }
+    r
+}
+
+struct ScenarioResult {
+    name: &'static str,
+    runs: usize,
+    rows: u64,
+    p50: Duration,
+    rows_per_sec: f64,
+    peak_mem_bytes: usize,
+    spill_tuple_io: usize,
+}
+
+/// Run `f` `runs` times; report the median duration and the stats of the
+/// median run (all runs must produce the same row count).
+fn measure(
+    name: &'static str,
+    runs: usize,
+    mut f: impl FnMut() -> (u64, Duration, usize, usize),
+) -> ScenarioResult {
+    let mut samples: Vec<(u64, Duration, usize, usize)> = (0..runs).map(|_| f()).collect();
+    let rows = samples[0].0;
+    assert!(
+        samples.iter().all(|s| s.0 == rows),
+        "{name}: row count varied across runs"
+    );
+    samples.sort_by_key(|s| s.1);
+    let median = samples[samples.len() / 2];
+    ScenarioResult {
+        name,
+        runs,
+        rows,
+        p50: median.1,
+        rows_per_sec: rows as f64 / median.1.as_secs_f64(),
+        peak_mem_bytes: median.2,
+        spill_tuple_io: median.3,
+    }
+}
+
+/// Single wrapper scan of `n` rows — the source replay / delivery floor.
+fn scan_scenario(n: i64, batch: usize) -> (u64, Duration, usize, usize) {
+    let reg = SourceRegistry::new();
+    reg.register(SimulatedSource::new(
+        "S",
+        keyed("s", n, n.max(1)),
+        LinkModel::instant(),
+    ));
+    let mut pb = PlanBuilder::new();
+    let s = pb.wrapper_scan("S");
+    let f = pb.fragment(s, "result");
+    let plan = pb.build(f);
+    let env = ExecEnv::new(reg).with_batch_size(batch);
+    let start = Instant::now();
+    let r = run_single_fragment_in_env("scan", env, &plan, f);
+    (r.tuples, start.elapsed(), r.peak_memory, r.spill_tuple_io)
+}
+
+/// The 3-way double-pipelined join pipeline (the `batch_throughput` shape).
+fn join_scenario(scale: i64, batch: usize) -> (u64, Duration, usize, usize) {
+    let reg = SourceRegistry::new();
+    reg.register(SimulatedSource::new(
+        "A",
+        keyed("a", 3_000 * scale, 200),
+        LinkModel::instant(),
+    ));
+    reg.register(SimulatedSource::new(
+        "B",
+        keyed("b", 1_000 * scale, 200),
+        LinkModel::instant(),
+    ));
+    reg.register(SimulatedSource::new(
+        "C",
+        keyed("c", 600, 200),
+        LinkModel::instant(),
+    ));
+    let mut pb = PlanBuilder::new();
+    let a = pb.wrapper_scan("A");
+    let b = pb.wrapper_scan("B");
+    let c = pb.wrapper_scan("C");
+    let j1 = pb.join(JoinKind::DoublePipelined, a, b, "k", "k");
+    let top = pb.join(JoinKind::DoublePipelined, j1, c, "a.k", "k");
+    let f = pb.fragment(top, "result");
+    let plan = pb.build(f);
+    let env = ExecEnv::new(reg).with_batch_size(batch);
+    let start = Instant::now();
+    let r = run_single_fragment_in_env("join", env, &plan, f);
+    (r.tuples, start.elapsed(), r.peak_memory, r.spill_tuple_io)
+}
+
+/// DPJ under a memory budget small enough to force overflow spilling.
+fn spill_scenario(n: i64, batch: usize) -> (u64, Duration, usize, usize) {
+    let reg = SourceRegistry::new();
+    reg.register(SimulatedSource::new(
+        "L",
+        keyed("l", n, n / 10),
+        LinkModel::instant(),
+    ));
+    reg.register(SimulatedSource::new(
+        "R",
+        keyed("r", n, n / 10),
+        LinkModel::instant(),
+    ));
+    let mut pb = PlanBuilder::new();
+    let l = pb.wrapper_scan("L");
+    let r = pb.wrapper_scan("R");
+    let j = pb
+        .dpj(l, r, "k", "k", OverflowMethod::IncrementalSymmetricFlush)
+        .with_memory(8_000);
+    let f = pb.fragment(j, "result");
+    let plan = pb.build(f);
+    let env = ExecEnv::new(reg).with_batch_size(batch);
+    let start = Instant::now();
+    let res = run_single_fragment_in_env("spill", env, &plan, f);
+    (
+        res.tuples,
+        start.elapsed(),
+        res.peak_memory,
+        res.spill_tuple_io,
+    )
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_join.json".to_string());
+
+    let batch = 1024usize;
+    let (runs, scan_rows, join_scale, spill_rows) = if quick {
+        (3, 20_000i64, 1i64, 800i64)
+    } else {
+        (9, 200_000i64, 1i64, 2_000i64)
+    };
+
+    eprintln!("perf_smoke: quick={quick} batch={batch} runs={runs}");
+    let results = [
+        measure("scan", runs, || scan_scenario(scan_rows, batch)),
+        measure("dpj3_join", runs, || join_scenario(join_scale, batch)),
+        measure("dpj_spill", runs, || spill_scenario(spill_rows, batch)),
+    ];
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"version\": 1,");
+    let _ = writeln!(json, "  \"bench\": \"perf_smoke\",");
+    let _ = writeln!(json, "  \"quick\": {quick},");
+    let _ = writeln!(json, "  \"batch_size\": {batch},");
+    json.push_str("  \"scenarios\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        json.push_str("    {\n");
+        let _ = writeln!(json, "      \"name\": \"{}\",", json_escape(r.name));
+        let _ = writeln!(json, "      \"runs\": {},", r.runs);
+        let _ = writeln!(json, "      \"rows\": {},", r.rows);
+        let _ = writeln!(json, "      \"p50_ms\": {:.3},", r.p50.as_secs_f64() * 1e3);
+        let _ = writeln!(json, "      \"rows_per_sec\": {:.0},", r.rows_per_sec);
+        let _ = writeln!(json, "      \"peak_mem_bytes\": {},", r.peak_mem_bytes);
+        let _ = writeln!(json, "      \"spill_tuple_io\": {}", r.spill_tuple_io);
+        json.push_str(if i + 1 < results.len() {
+            "    },\n"
+        } else {
+            "    }\n"
+        });
+    }
+    json.push_str("  ]\n}\n");
+
+    for r in &results {
+        eprintln!(
+            "  {:>10}: rows={:<8} p50={:>9.3}ms  rows/sec={:>12.0}  peak_mem={:>9}  spill_io={}",
+            r.name,
+            r.rows,
+            r.p50.as_secs_f64() * 1e3,
+            r.rows_per_sec,
+            r.peak_mem_bytes,
+            r.spill_tuple_io
+        );
+    }
+    std::fs::write(&out_path, &json).expect("write BENCH json");
+    eprintln!("perf_smoke: wrote {out_path}");
+}

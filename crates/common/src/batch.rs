@@ -11,23 +11,40 @@
 //! * every batch handed between operators is **non-empty** (end of stream
 //!   is signalled out-of-band by `Option::None`);
 //! * all tuples in a batch share the producing operator's output schema;
-//! * [`TupleBatch::mem_size`] is maintained incrementally, so charging a
-//!   whole batch to a memory reservation is O(1), not O(len).
+//! * [`TupleBatch::mem_size`] is maintained incrementally for
+//!   producer-built batches (charging a whole source batch to a memory
+//!   reservation is O(1)); batches assembled by the join emit path defer
+//!   accounting until someone asks.
 
+use std::collections::VecDeque;
 use std::fmt;
+use std::sync::Arc;
 
 use crate::tuple::Tuple;
+use crate::value::Value;
 
 /// Default number of tuples per batch when the engine is not configured
 /// otherwise. Large enough to amortize per-batch overhead, small enough to
 /// keep time-to-first-output and rule-reaction latency low.
 pub const DEFAULT_BATCH_CAPACITY: usize = 256;
 
+/// Memory accounting state of a [`TupleBatch`]: maintained incrementally
+/// for producer-built batches, deferred for assembled output blocks (whose
+/// `mem_size` is rarely read — computing it eagerly would put a full value
+/// walk on every join's emit path).
+#[derive(Clone, Copy, Debug)]
+enum MemSize {
+    /// Exact cached size, updated on `push`/`truncate`.
+    Exact(usize),
+    /// Not yet computed; `mem_size()` walks the tuples on demand.
+    Lazy,
+}
+
 /// A block of tuples sharing one schema, with cached memory accounting.
 #[derive(Clone)]
 pub struct TupleBatch {
     tuples: Vec<Tuple>,
-    mem_size: usize,
+    mem_size: MemSize,
     capacity: usize,
 }
 
@@ -53,25 +70,54 @@ impl TupleBatch {
         let cap = capacity.max(1);
         TupleBatch {
             tuples: Vec::with_capacity(cap.min(4096)),
-            mem_size: 0,
+            mem_size: MemSize::Exact(0),
             capacity: cap,
         }
     }
 
     /// Wrap an existing vector of tuples (capacity = its length).
+    /// Accounting is deferred: `mem_size()` walks on demand.
     pub fn from_tuples(tuples: Vec<Tuple>) -> Self {
-        let mem_size = tuples.iter().map(Tuple::mem_size).sum();
         let capacity = tuples.len().max(1);
         TupleBatch {
             tuples,
-            mem_size,
+            mem_size: MemSize::Lazy,
             capacity,
+        }
+    }
+
+    /// Assemble from sealed parts with deferred accounting — putting a
+    /// full value walk on every sealed block would tax the join emit path
+    /// for a size that is rarely read.
+    pub(crate) fn from_parts(tuples: Vec<Tuple>, capacity: usize) -> Self {
+        TupleBatch {
+            tuples,
+            mem_size: MemSize::Lazy,
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Keep only tuples matching `pred`, in place, updating the cached
+    /// memory size — the batch-native filter primitive (no new buffer when
+    /// nothing is dropped).
+    pub fn retain(&mut self, mut pred: impl FnMut(&Tuple) -> bool) {
+        match &mut self.mem_size {
+            MemSize::Exact(m) => {
+                self.tuples.retain(|t| {
+                    let keep = pred(t);
+                    if !keep {
+                        *m -= t.mem_size();
+                    }
+                    keep
+                });
+            }
+            MemSize::Lazy => self.tuples.retain(|t| pred(t)),
         }
     }
 
     /// A batch holding exactly one tuple.
     pub fn singleton(t: Tuple) -> Self {
-        let mem_size = t.mem_size();
+        let mem_size = MemSize::Exact(t.mem_size());
         TupleBatch {
             tuples: vec![t],
             mem_size,
@@ -79,9 +125,11 @@ impl TupleBatch {
         }
     }
 
-    /// Append a tuple, updating the cached memory size.
+    /// Append a tuple, updating the cached memory size (when exact).
     pub fn push(&mut self, t: Tuple) {
-        self.mem_size += t.mem_size();
+        if let MemSize::Exact(m) = &mut self.mem_size {
+            *m += t.mem_size();
+        }
         self.tuples.push(t);
     }
 
@@ -98,8 +146,9 @@ impl TupleBatch {
         if n >= self.tuples.len() {
             return;
         }
-        let dropped: usize = self.tuples[n..].iter().map(Tuple::mem_size).sum();
-        self.mem_size -= dropped;
+        if let MemSize::Exact(m) = &mut self.mem_size {
+            *m -= self.tuples[n..].iter().map(Tuple::mem_size).sum::<usize>();
+        }
         self.tuples.truncate(n);
     }
 
@@ -123,10 +172,14 @@ impl TupleBatch {
         self.tuples.len() >= self.capacity
     }
 
-    /// Approximate resident memory of all tuples in the batch, maintained
-    /// incrementally on `push`/`truncate`.
+    /// Approximate resident memory of all tuples in the batch: maintained
+    /// incrementally on `push`/`truncate` for producer-built batches,
+    /// computed on demand for assembled blocks.
     pub fn mem_size(&self) -> usize {
-        self.mem_size
+        match self.mem_size {
+            MemSize::Exact(m) => m,
+            MemSize::Lazy => self.tuples.iter().map(Tuple::mem_size).sum(),
+        }
     }
 
     /// The tuples as a slice.
@@ -147,22 +200,6 @@ impl TupleBatch {
     /// Consume the batch, yielding its tuples.
     pub fn into_tuples(self) -> Vec<Tuple> {
         self.tuples
-    }
-
-    /// Move up to `max` tuples off the front of a deque into a new batch —
-    /// the shared drain for operators that buffer pending output (double
-    /// pipelined join, hash join, dependent join). Returns an empty batch
-    /// if the deque is empty.
-    pub fn fill_from_deque(pending: &mut std::collections::VecDeque<Tuple>, max: usize) -> Self {
-        let take = max.max(1).min(pending.len());
-        let mut batch = TupleBatch::with_capacity(take.max(1));
-        for _ in 0..take {
-            match pending.pop_front() {
-                Some(t) => batch.push(t),
-                None => break,
-            }
-        }
-        batch
     }
 }
 
@@ -264,6 +301,189 @@ impl BatchBuilder {
                 TupleBatch::with_capacity(self.capacity),
             ))
         }
+    }
+}
+
+/// Allocation-free row assembly: accumulates output rows (concatenations,
+/// projections, copies) into **one** shared value buffer and seals them
+/// into a [`TupleBatch`] whose tuples are views of that block. The emit
+/// loops of the joins and `Project` pay one buffer + one `Arc` allocation
+/// per batch instead of one `Vec` + one `Arc` per row.
+pub struct BatchAssembler {
+    capacity: usize,
+    values: Vec<Value>,
+    /// Row end offsets into `values` (row `i` spans `ends[i-1]..ends[i]`).
+    ends: Vec<u32>,
+}
+
+impl BatchAssembler {
+    /// An assembler sealing batches of `capacity` rows.
+    pub fn new(capacity: usize) -> Self {
+        BatchAssembler {
+            capacity: capacity.max(1),
+            values: Vec::new(),
+            ends: Vec::new(),
+        }
+    }
+
+    /// Rows currently buffered (unsealed).
+    pub fn row_count(&self) -> usize {
+        self.ends.len()
+    }
+
+    /// Whether the assembler holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.ends.is_empty()
+    }
+
+    /// Whether a sealed batch is due.
+    pub fn is_full(&self) -> bool {
+        self.ends.len() >= self.capacity
+    }
+
+    #[inline]
+    fn end_row(&mut self) {
+        self.ends.push(self.values.len() as u32);
+        if self.ends.len() == 1 {
+            // Rows in one batch share a schema, so the first row's width
+            // predicts the whole block: reserve it once instead of paying
+            // doubling reallocs (and their copies) across the batch.
+            self.values.reserve(self.values.len() * (self.capacity - 1));
+            self.ends.reserve(self.capacity - 1);
+        }
+    }
+
+    /// Append the concatenation `a ++ b` as one row (join emit).
+    #[inline]
+    pub fn push_concat(&mut self, a: &Tuple, b: &Tuple) {
+        self.values.extend_from_slice(a.values());
+        self.values.extend_from_slice(b.values());
+        self.end_row();
+    }
+
+    /// Append `t` projected onto `indices` as one row.
+    #[inline]
+    pub fn push_project(&mut self, t: &Tuple, indices: &[usize]) {
+        let vals = t.values();
+        for &i in indices {
+            self.values.push(vals[i].clone());
+        }
+        self.end_row();
+    }
+
+    /// Append a copy of `t` as one row.
+    #[inline]
+    pub fn push_tuple(&mut self, t: &Tuple) {
+        self.values.extend_from_slice(t.values());
+        self.end_row();
+    }
+
+    /// Seal everything buffered into one batch sharing a single value
+    /// block; `None` when empty. The assembler is reusable afterwards.
+    /// Memory accounting of the sealed batch is deferred (computed if and
+    /// when someone asks).
+    pub fn seal(&mut self) -> Option<TupleBatch> {
+        if self.ends.is_empty() {
+            return None;
+        }
+        let block: Arc<[Value]> = std::mem::take(&mut self.values).into();
+        let mut tuples = Vec::with_capacity(self.ends.len());
+        let mut start = 0usize;
+        for &end in &self.ends {
+            tuples.push(Tuple::view(block.clone(), start, end as usize - start));
+            start = end as usize;
+        }
+        self.ends.clear();
+        Some(TupleBatch::from_parts(tuples, self.capacity))
+    }
+}
+
+/// A FIFO of produced-but-unemitted join output, assembled block-at-a-time:
+/// replaces the seed's `VecDeque<Tuple>` pending buffers. Rows pushed via
+/// [`OutputQueue::push_concat`] land in a [`BatchAssembler`] (zero per-row
+/// allocations); already-materialized tuples (spill-cleanup results) are
+/// chunked into ready blocks. `pop_block` hands back batches of at most the
+/// configured block size, oldest first.
+pub struct OutputQueue {
+    block: usize,
+    ready: VecDeque<TupleBatch>,
+    ready_rows: usize,
+    asm: BatchAssembler,
+}
+
+impl OutputQueue {
+    /// A queue emitting blocks of up to `block` rows.
+    pub fn new(block: usize) -> Self {
+        OutputQueue {
+            block: block.max(1),
+            ready: VecDeque::new(),
+            ready_rows: 0,
+            asm: BatchAssembler::new(block),
+        }
+    }
+
+    /// Total rows pending (ready blocks + unsealed assembler rows).
+    pub fn len(&self) -> usize {
+        self.ready_rows + self.asm.row_count()
+    }
+
+    /// Whether nothing is pending.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    #[inline]
+    fn roll(&mut self) {
+        if self.asm.is_full() {
+            let b = self.asm.seal().expect("full assembler seals non-empty");
+            self.ready_rows += b.len();
+            self.ready.push_back(b);
+        }
+    }
+
+    /// Append the join result `a ++ b`.
+    #[inline]
+    pub fn push_concat(&mut self, a: &Tuple, b: &Tuple) {
+        self.asm.push_concat(a, b);
+        self.roll();
+    }
+
+    /// Append already-materialized tuples (overflow-cleanup output),
+    /// preserving FIFO order with assembled rows.
+    pub fn extend_tuples(&mut self, tuples: Vec<Tuple>) {
+        if tuples.is_empty() {
+            return;
+        }
+        // Seal buffered assembled rows first so order is preserved; the
+        // invariant is that assembler rows are always the newest pending.
+        if let Some(b) = self.asm.seal() {
+            self.ready_rows += b.len();
+            self.ready.push_back(b);
+        }
+        let mut it = tuples.into_iter().peekable();
+        while it.peek().is_some() {
+            let chunk: Vec<Tuple> = it.by_ref().take(self.block).collect();
+            let b = TupleBatch::from_tuples(chunk);
+            self.ready_rows += b.len();
+            self.ready.push_back(b);
+        }
+    }
+
+    /// Pop the oldest pending block (≤ block size), sealing a partial
+    /// assembler batch when no full block is ready. `None` when empty.
+    pub fn pop_block(&mut self) -> Option<TupleBatch> {
+        if let Some(b) = self.ready.pop_front() {
+            self.ready_rows -= b.len();
+            return Some(b);
+        }
+        self.asm.seal()
+    }
+
+    /// Drop everything pending.
+    pub fn clear(&mut self) {
+        self.ready.clear();
+        self.ready_rows = 0;
+        self.asm = BatchAssembler::new(self.block);
     }
 }
 
@@ -369,16 +589,6 @@ mod tests {
     }
 
     #[test]
-    fn fill_from_deque_caps_and_preserves_order() {
-        let mut pending: std::collections::VecDeque<Tuple> = (0..5i64).map(|i| tuple![i]).collect();
-        let first = TupleBatch::fill_from_deque(&mut pending, 3);
-        assert_eq!(first.tuples(), &[tuple![0], tuple![1], tuple![2]]);
-        let rest = TupleBatch::fill_from_deque(&mut pending, 3);
-        assert_eq!(rest.len(), 2);
-        assert!(TupleBatch::fill_from_deque(&mut pending, 3).is_empty());
-    }
-
-    #[test]
     fn equality_ignores_capacity_and_provenance() {
         let a = TupleBatch::from_tuples(vec![tuple![1], tuple![2]]);
         let mut b = TupleBatch::with_capacity(64);
@@ -395,5 +605,76 @@ mod tests {
         assert_eq!(b.len(), 1);
         assert!(b.is_full());
         assert_eq!(b.mem_size(), tuple![7].mem_size());
+    }
+
+    #[test]
+    fn retain_updates_mem_size() {
+        let mut b = TupleBatch::from_tuples(vec![tuple![1], tuple![2], tuple![3], tuple![4]]);
+        b.retain(|t| t.value(0).as_int().unwrap() % 2 == 0);
+        assert_eq!(b.tuples(), &[tuple![2], tuple![4]]);
+        let sum: usize = b.iter().map(Tuple::mem_size).sum();
+        assert_eq!(b.mem_size(), sum);
+    }
+
+    #[test]
+    fn assembler_concat_matches_tuple_concat() {
+        let mut asm = BatchAssembler::new(4);
+        let a = tuple![1, "x"];
+        let b = tuple![2.5];
+        asm.push_concat(&a, &b);
+        asm.push_project(&tuple![10, 20, 30], &[2, 0]);
+        asm.push_tuple(&tuple![7]);
+        assert_eq!(asm.row_count(), 3);
+        assert!(!asm.is_full());
+        let batch = asm.seal().unwrap();
+        assert_eq!(batch.len(), 3);
+        assert_eq!(batch.get(0), Some(&a.concat(&b)));
+        assert_eq!(batch.get(1), Some(&tuple![30, 10]));
+        assert_eq!(batch.get(2), Some(&tuple![7]));
+        // mem accounting matches a fresh sum (from_parts debug-asserts too)
+        let sum: usize = batch.iter().map(Tuple::mem_size).sum();
+        assert_eq!(batch.mem_size(), sum);
+        // rows share one block: consecutive rows are adjacent in memory
+        let r0 = batch.get(0).unwrap().values().as_ptr();
+        let r1 = batch.get(1).unwrap().values().as_ptr();
+        assert!(std::ptr::eq(r0.wrapping_add(3), r1));
+        // assembler reusable after seal
+        assert!(asm.seal().is_none());
+        asm.push_tuple(&tuple![9]);
+        assert_eq!(asm.seal().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn output_queue_blocks_and_order() {
+        let mut q = OutputQueue::new(3);
+        assert!(q.is_empty());
+        for i in 0..5i64 {
+            q.push_concat(&tuple![i], &tuple![i * 10]);
+        }
+        assert_eq!(q.len(), 5);
+        // interleave already-materialized tuples: order must hold
+        q.extend_tuples(vec![tuple![100, 1000], tuple![101, 1010]]);
+        assert_eq!(q.len(), 7);
+        let mut all = Vec::new();
+        while let Some(b) = q.pop_block() {
+            assert!(b.len() <= 3);
+            all.extend(b);
+        }
+        assert!(q.is_empty());
+        let want: Vec<Tuple> = (0..5i64)
+            .map(|i| tuple![i, i * 10])
+            .chain([tuple![100, 1000], tuple![101, 1010]])
+            .collect();
+        assert_eq!(all, want);
+    }
+
+    #[test]
+    fn output_queue_clear() {
+        let mut q = OutputQueue::new(2);
+        q.push_concat(&tuple![1], &tuple![2]);
+        q.extend_tuples(vec![tuple![3]]);
+        q.clear();
+        assert!(q.is_empty());
+        assert!(q.pop_block().is_none());
     }
 }

@@ -23,13 +23,19 @@
 
 pub mod batch;
 pub mod error;
+pub mod hash;
+pub mod key;
 pub mod relation;
 pub mod schema;
 pub mod tuple;
 pub mod value;
 
-pub use batch::{BatchBuilder, TupleBatch, DEFAULT_BATCH_CAPACITY};
+pub use batch::{BatchAssembler, BatchBuilder, OutputQueue, TupleBatch, DEFAULT_BATCH_CAPACITY};
 pub use error::{Result, TukwilaError};
+pub use hash::{
+    fold_hash, fx_hash, mix, FxBuildHasher, FxHashMap, FxHashSet, FxHasher, PrehashMap,
+};
+pub use key::{JoinKey, KeyVector, KeyedBatch};
 pub use relation::Relation;
 pub use schema::{Field, Schema};
 pub use tuple::Tuple;

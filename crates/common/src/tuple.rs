@@ -1,10 +1,14 @@
 //! Immutable, cheaply-cloneable tuples.
 //!
 //! Joins in Tukwila are hash-based and produce concatenations of their input
-//! tuples. A [`Tuple`] wraps `Arc<[Value]>`, so cloning a tuple into a hash
-//! table, a transfer queue, or a spill bucket costs one refcount bump. The
-//! double pipelined join holds *both* inputs in memory (§4.2.2), so this
-//! representation is what makes the memory accounting meaningful.
+//! tuples. A [`Tuple`] is a view into a shared `Arc<[Value]>` **block**: an
+//! independently built tuple owns its whole block, while rows assembled by
+//! [`crate::BatchAssembler`] are slices of one block shared by the whole
+//! output batch — so hot emit loops pay one buffer allocation per *batch*
+//! instead of one `Vec` plus one `Arc` per row. Cloning either form costs
+//! one refcount bump. The double pipelined join holds *both* inputs in
+//! memory (§4.2.2), so this representation is what makes the memory
+//! accounting meaningful.
 
 use std::fmt;
 use std::hash::{Hash, Hasher};
@@ -12,55 +16,87 @@ use std::sync::Arc;
 
 use crate::value::Value;
 
-/// An immutable row of [`Value`]s.
-#[derive(Clone, PartialEq, Eq)]
+/// An immutable row of [`Value`]s: a (possibly whole-block) view into a
+/// shared value buffer.
+///
+/// The block is `Arc<[Value]>` (single indirection on every read — value
+/// reads dominate the probe/hash paths, so this beats an adopt-the-Vec
+/// `Arc<Vec<Value>>` representation even though sealing pays one move-copy
+/// of the buffer into the `Arc` allocation).
+#[derive(Clone)]
 pub struct Tuple {
-    values: Arc<[Value]>,
+    block: Arc<[Value]>,
+    start: u32,
+    len: u32,
 }
 
+/// Per-row bookkeeping bytes charged by [`Tuple::mem_size`] on top of the
+/// values (tuple struct + `Arc` header) — shared with the batch assembler
+/// so incrementally tracked batch sizes match a fresh per-tuple sum.
+pub(crate) const TUPLE_HEADER_BYTES: usize =
+    std::mem::size_of::<Tuple>() + 2 * std::mem::size_of::<usize>();
+
 impl Tuple {
-    /// Build a tuple from values.
+    /// Build a tuple owning its own block.
     pub fn new(values: Vec<Value>) -> Self {
+        let block: Arc<[Value]> = values.into();
+        let len = block.len() as u32;
         Tuple {
-            values: values.into(),
+            block,
+            start: 0,
+            len,
         }
     }
 
     /// The empty tuple (identity for [`Tuple::concat`]).
     pub fn empty() -> Self {
+        Tuple::new(Vec::new())
+    }
+
+    /// A view of `len` values of `block` starting at `start` — the
+    /// batch-assembly constructor ([`crate::BatchAssembler`] owns the only
+    /// call sites; rows of one output batch share one block).
+    pub(crate) fn view(block: Arc<[Value]>, start: usize, len: usize) -> Self {
+        debug_assert!(start + len <= block.len());
         Tuple {
-            values: Vec::new().into(),
+            block,
+            start: start as u32,
+            len: len as u32,
         }
     }
 
     /// Number of columns.
     pub fn arity(&self) -> usize {
-        self.values.len()
+        self.len as usize
     }
 
     /// Column accessor. Panics on out-of-range like slice indexing; use
     /// [`Tuple::get`] for the checked variant.
+    #[inline]
     pub fn value(&self, idx: usize) -> &Value {
-        &self.values[idx]
+        &self.values()[idx]
     }
 
     /// Checked column accessor.
     pub fn get(&self, idx: usize) -> Option<&Value> {
-        self.values.get(idx)
+        self.values().get(idx)
     }
 
     /// All values as a slice.
+    #[inline]
     pub fn values(&self) -> &[Value] {
-        &self.values
+        &self.block[self.start as usize..(self.start + self.len) as usize]
     }
 
     /// Concatenate two tuples (join output). Allocates a fresh buffer of
     /// `self.arity() + other.arity()` values; the `Value`s themselves are
     /// cloned cheaply (strings are `Arc<str>`).
     pub fn concat(&self, other: &Tuple) -> Tuple {
-        let mut out = Vec::with_capacity(self.values.len() + other.values.len());
-        out.extend_from_slice(&self.values);
-        out.extend_from_slice(&other.values);
+        let a = self.values();
+        let b = other.values();
+        let mut out = Vec::with_capacity(a.len() + b.len());
+        out.extend_from_slice(a);
+        out.extend_from_slice(b);
         Tuple::new(out)
     }
 
@@ -69,13 +105,30 @@ impl Tuple {
     /// Panics if an index is out of range — the planner validates indices
     /// before execution.
     pub fn project(&self, indices: &[usize]) -> Tuple {
-        let out: Vec<Value> = indices.iter().map(|&i| self.values[i].clone()).collect();
+        let vals = self.values();
+        let out: Vec<Value> = indices.iter().map(|&i| vals[i].clone()).collect();
         Tuple::new(out)
     }
 
-    /// Extract the join key for `key_cols` as an owned vector of values.
-    pub fn key(&self, key_cols: &[usize]) -> Vec<Value> {
-        key_cols.iter().map(|&i| self.values[i].clone()).collect()
+    /// Extract the join key for `key_cols` as an owned [`crate::JoinKey`]
+    /// (inline for one- and two-column keys — no `Vec` allocation).
+    pub fn key(&self, key_cols: &[usize]) -> crate::JoinKey {
+        crate::JoinKey::from_tuple(self, key_cols)
+    }
+
+    /// Return a tuple owning exactly its own values. A no-op for tuples
+    /// that already own their whole block; a partial view into a shared
+    /// batch block is copied out. Long-term retainers whose memory
+    /// accounting must track *freeable* bytes (the bucketed join tables,
+    /// whose overflow flushes release their charge) detach on insert —
+    /// otherwise one retained row would pin its entire batch block while
+    /// the books claim only the slice.
+    pub fn detach(self) -> Tuple {
+        if self.len as usize == self.block.len() {
+            self
+        } else {
+            Tuple::new(self.values().to_vec())
+        }
     }
 
     /// Approximate resident memory footprint in bytes: the shared buffer
@@ -85,27 +138,34 @@ impl Tuple {
     /// (a deliberate, conservative over-count matching the paper's model of
     /// "memory holds M tuples").
     pub fn mem_size(&self) -> usize {
-        let header = std::mem::size_of::<Tuple>() + 2 * std::mem::size_of::<usize>();
-        header + self.values.iter().map(Value::mem_size).sum::<usize>()
+        TUPLE_HEADER_BYTES + self.values().iter().map(Value::mem_size).sum::<usize>()
     }
 }
 
+impl PartialEq for Tuple {
+    fn eq(&self, other: &Self) -> bool {
+        self.values() == other.values()
+    }
+}
+
+impl Eq for Tuple {}
+
 impl Hash for Tuple {
     fn hash<H: Hasher>(&self, state: &mut H) {
-        self.values.hash(state);
+        self.values().hash(state);
     }
 }
 
 impl fmt::Debug for Tuple {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_list().entries(self.values.iter()).finish()
+        f.debug_list().entries(self.values().iter()).finish()
     }
 }
 
 impl fmt::Display for Tuple {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str("(")?;
-        for (i, v) in self.values.iter().enumerate() {
+        for (i, v) in self.values().iter().enumerate() {
             if i > 0 {
                 f.write_str(", ")?;
             }
@@ -172,8 +232,43 @@ mod tests {
     #[test]
     fn key_extraction() {
         let t = tuple![10, "k", 30];
-        assert_eq!(t.key(&[1]), vec![Value::str("k")]);
-        assert_eq!(t.key(&[0, 2]), vec![Value::Int(10), Value::Int(30)]);
+        assert_eq!(t.key(&[1]), crate::JoinKey::One(Value::str("k")));
+        assert_eq!(
+            t.key(&[0, 2]),
+            crate::JoinKey::Pair(Value::Int(10), Value::Int(30))
+        );
+    }
+
+    #[test]
+    fn detach_unshares_partial_views_only() {
+        let block: Arc<[Value]> = vec![Value::Int(1), Value::Int(2), Value::Int(3)].into();
+        let whole = Tuple::view(block.clone(), 0, 3);
+        let part = Tuple::view(block.clone(), 1, 2);
+        // whole-block view: no copy
+        let whole_ptr = whole.values().as_ptr();
+        assert!(std::ptr::eq(whole.detach().values().as_ptr(), whole_ptr));
+        // partial view: copied into its own buffer, values preserved
+        let detached = part.clone().detach();
+        assert_eq!(detached, part);
+        assert!(!std::ptr::eq(
+            detached.values().as_ptr(),
+            part.values().as_ptr()
+        ));
+    }
+
+    #[test]
+    fn view_tuples_share_one_block() {
+        let block: Arc<[Value]> =
+            vec![Value::Int(1), Value::Int(2), Value::str("x"), Value::Int(3)].into();
+        let a = Tuple::view(block.clone(), 0, 2);
+        let b = Tuple::view(block.clone(), 2, 2);
+        assert_eq!(a, tuple![1, 2]);
+        assert_eq!(b, tuple!["x", 3]);
+        // same underlying buffer, disjoint ranges
+        assert!(std::ptr::eq(
+            a.values().as_ptr().wrapping_add(2),
+            b.values().as_ptr()
+        ));
     }
 
     #[test]

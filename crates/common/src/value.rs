@@ -60,6 +60,11 @@ pub enum Value {
     Null,
 }
 
+/// Bytes charged per value before string payloads (enum discriminant +
+/// payload words) — shared with the batch assembler's fused copy/accounting
+/// loop.
+pub(crate) const VALUE_BASE_BYTES: usize = std::mem::size_of::<Value>();
+
 impl Value {
     /// Build a string value.
     pub fn str(s: impl AsRef<str>) -> Self {
@@ -86,11 +91,9 @@ impl Value {
     /// manager to charge operators (Figure 4 experiments depend on this
     /// being stable and deterministic).
     pub fn mem_size(&self) -> usize {
-        // Enum discriminant + payload word(s).
-        const BASE: usize = std::mem::size_of::<Value>();
         match self {
-            Value::Str(s) => BASE + s.len(),
-            _ => BASE,
+            Value::Str(s) => VALUE_BASE_BYTES + s.len(),
+            _ => VALUE_BASE_BYTES,
         }
     }
 

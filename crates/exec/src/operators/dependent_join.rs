@@ -6,9 +6,10 @@
 //! indexes it on the probe column, and probes per driving tuple — the same
 //! answers a binding-passing wrapper would return.
 
-use std::collections::{HashMap, VecDeque};
-
-use tukwila_common::{Result, Schema, TukwilaError, Tuple, TupleBatch, Value};
+use tukwila_common::{
+    KeyVector, KeyedBatch, OutputQueue, PrehashMap, Result, Schema, TukwilaError, Tuple,
+    TupleBatch, Value,
+};
 use tukwila_source::SourceBatchEvent;
 
 use crate::operator::{Operator, OperatorBox};
@@ -23,14 +24,19 @@ pub struct DependentJoin {
     harness: OpHarness,
     schema: Schema,
     bind_idx: usize,
-    index: HashMap<Value, Vec<Tuple>>,
+    /// Prehash-keyed index over the fetched source: probes reuse the
+    /// driving batch's cached prehashes and borrow matches (no rehash, no
+    /// clone, no allocation per probe).
+    index: PrehashMap<Value, Vec<Tuple>>,
     /// Matches produced but not yet emitted (bounds output batches to the
     /// configured capacity even for high-fanout probe keys).
-    pending: VecDeque<Tuple>,
-    /// Driving tuples received but not yet probed — probing stops as soon
-    /// as a full output block is ready, so `pending` stays bounded by
-    /// batch_size plus one key's fanout instead of a whole batch's.
-    driving: VecDeque<Tuple>,
+    pending: OutputQueue,
+    /// The driving batch currently being probed, prehashed once on arrival
+    /// and drained in place (NULL bind keys are skipped at consumption).
+    /// Probing stops as soon as a full output block is ready, so `pending`
+    /// stays bounded by batch_size plus one key's fanout instead of a
+    /// whole batch's.
+    driving: Option<KeyedBatch>,
     opened: bool,
 }
 
@@ -51,9 +57,9 @@ impl DependentJoin {
             harness,
             schema: Schema::empty(),
             bind_idx: 0,
-            index: HashMap::new(),
-            pending: VecDeque::new(),
-            driving: VecDeque::new(),
+            index: PrehashMap::new(),
+            pending: OutputQueue::new(tukwila_common::DEFAULT_BATCH_CAPACITY),
+            driving: None,
             opened: false,
         }
     }
@@ -68,15 +74,21 @@ impl Operator for DependentJoin {
         self.schema = self.left.schema().concat(wrapper.schema());
         let mut stream = wrapper.fetch();
         let max = self.harness.batch_size();
+        self.pending = OutputQueue::new(max);
         loop {
             match stream.next_batch_event(max) {
                 SourceBatchEvent::Batch(batch) => {
                     let mut stored = 0usize;
-                    for t in batch {
-                        let k = t.value(probe_idx).clone();
-                        if !k.is_null() {
+                    // One prehash pass per fetched batch; inserts clone the
+                    // key only when it is new to the index.
+                    let kv = KeyVector::compute(&batch, probe_idx);
+                    for (i, t) in batch.into_iter().enumerate() {
+                        if let Some(hash) = kv.get(i) {
                             stored += t.mem_size();
-                            self.index.entry(k).or_default().push(t);
+                            let key = t.value(probe_idx);
+                            self.index
+                                .entry_hashed(hash, |k| k == key, || key.clone())
+                                .push(t);
                         }
                     }
                     // One charge per batch for everything retained.
@@ -112,27 +124,34 @@ impl Operator for DependentJoin {
         // output is handed over before any (possibly blocking) input pull.
         let max = self.harness.batch_size();
         loop {
-            let block_ready =
-                self.pending.len() >= max || (!self.pending.is_empty() && self.driving.is_empty());
+            let drained = self.driving.as_ref().is_none_or(|d| d.remaining() == 0);
+            let block_ready = self.pending.len() >= max || (!self.pending.is_empty() && drained);
             if block_ready {
-                let out = TupleBatch::fill_from_deque(&mut self.pending, max);
+                let out = self.pending.pop_block().unwrap_or_default();
                 self.harness.produced(out.len() as u64);
                 return Ok(Some(out));
             }
-            if let Some(l) = self.driving.pop_front() {
-                let k = l.value(self.bind_idx);
-                if k.is_null() {
+            match self.driving.as_mut().map(KeyedBatch::next) {
+                Some(Some((l, hash))) => {
+                    if let Some(hash) = hash {
+                        let k = l.value(self.bind_idx);
+                        if let Some(matches) = self.index.get_hashed(hash, |kk| kk == k) {
+                            for m in matches {
+                                self.pending.push_concat(&l, m);
+                            }
+                        }
+                    }
+                    // NULL bind keys never join; skip.
                     continue;
                 }
-                if let Some(matches) = self.index.get(k) {
-                    for m in matches {
-                        self.pending.push_back(l.concat(m));
-                    }
-                }
-                continue;
+                Some(None) => self.driving = None,
+                None => {}
             }
             match self.left.next_batch()? {
-                Some(batch) => self.driving.extend(batch),
+                Some(batch) => {
+                    // Prehash the driving batch once and drain it in place.
+                    self.driving = Some(KeyedBatch::new(batch, self.bind_idx));
+                }
                 None => return Ok(None),
             }
         }
@@ -146,7 +165,7 @@ impl Operator for DependentJoin {
             }
             self.index.clear();
             self.pending.clear();
-            self.driving.clear();
+            self.driving = None;
             self.opened = false;
             self.harness.closed();
         }

@@ -37,12 +37,11 @@
 //! Duplicate avoidance follows the paper's marking rule: cleanup joins
 //! old×new, new×old and new×new — never old×old, which was emitted online.
 
-use std::collections::VecDeque;
 use std::thread::JoinHandle;
 
 use crossbeam_channel::{bounded, Receiver, Select};
 
-use tukwila_common::{Result, Schema, TukwilaError, Tuple, TupleBatch};
+use tukwila_common::{KeyedBatch, OutputQueue, Result, Schema, TukwilaError, Tuple, TupleBatch};
 use tukwila_plan::{OverflowMethod, QuantityProvider, SubjectRef};
 
 use crate::operator::{Operator, OperatorBox};
@@ -91,17 +90,23 @@ pub struct DoublePipelinedJoin {
     tables: Vec<BucketedTable>,
     done: [bool; 2],
     mode: ReadMode,
-    pending: VecDeque<Tuple>,
-    /// Transferred tuples not yet joined (all from `staged_side`): the
-    /// output side joins them one at a time, pausing as soon as a full
-    /// output block is ready so `pending` stays bounded by batch_size plus
-    /// one tuple's fanout.
-    staged: VecDeque<Tuple>,
+    pending: OutputQueue,
+    /// The transferred batch currently being joined (from `staged_side`),
+    /// prehashed once on arrival and drained in place — no per-tuple copy
+    /// into a side buffer. The output side joins one tuple at a time,
+    /// pausing as soon as a full output block is ready so `pending` stays
+    /// bounded by batch_size plus one tuple's fanout.
+    staged: Option<KeyedBatch>,
     staged_side: usize,
     cleanup_next: usize,
     cleanup_active: bool,
     raised_oom: bool,
+    /// Alternates the try_recv probe order in `receive` (fairness).
+    recv_flip: bool,
     engaged_method: Option<OverflowMethod>,
+    /// Cached at open: `OpHarness::reservation` is a subject-map lookup +
+    /// `Arc` clone, far too expensive for the per-insert overflow check.
+    reservation: Option<tukwila_storage::MemoryReservation>,
 }
 
 impl DoublePipelinedJoin {
@@ -128,13 +133,15 @@ impl DoublePipelinedJoin {
             tables: Vec::new(),
             done: [false, false],
             mode: ReadMode::Both,
-            pending: VecDeque::new(),
-            staged: VecDeque::new(),
+            pending: OutputQueue::new(tukwila_common::DEFAULT_BATCH_CAPACITY),
+            staged: None,
             staged_side: LEFT,
             cleanup_next: 0,
             cleanup_active: false,
             raised_oom: false,
+            recv_flip: false,
             engaged_method: None,
+            reservation: None,
         }
     }
 
@@ -156,20 +163,21 @@ impl DoublePipelinedJoin {
         self
     }
 
-    /// Move up to a block of pending output into a batch and account it.
-    fn emit_pending(&mut self, max: usize) -> TupleBatch {
-        let out = TupleBatch::fill_from_deque(&mut self.pending, max);
+    /// Move the oldest pending output block into a batch and account it.
+    fn emit_pending(&mut self) -> TupleBatch {
+        let out = self.pending.pop_block().unwrap_or_default();
         self.harness.produced(out.len() as u64);
         out
     }
 
-    fn handle_tuple(&mut self, side: usize, t: Tuple) -> Result<()> {
+    /// Join one transferred tuple using its cached key prehash (NULL keys
+    /// were dropped at staging). The in-memory path hashes nothing, clones
+    /// no `Value`, and allocates nothing per probe: matches are borrowed
+    /// from the opposite table and outputs are assembled into the pending
+    /// queue's shared block.
+    fn handle_tuple(&mut self, side: usize, t: Tuple, hash: u64) -> Result<()> {
         let opp = 1 - side;
-        let key = t.value(self.key_idx[side]).clone();
-        if key.is_null() {
-            return Ok(()); // NULL keys never join and need no storage
-        }
-        let b = self.tables[side].bucket_for(&key);
+        let b = self.tables[side].bucket_for_hash(hash);
         if self.tables[side].is_flushed(b) {
             // Arrivals for a flushed bucket divert to disk, marked new,
             // WITHOUT probing (paper step: "write the tuples to disk;
@@ -182,33 +190,33 @@ impl DoublePipelinedJoin {
         // Probe the opposite table's in-memory primary partition. If the
         // opposite bucket is flushed its memory is empty, so this is
         // correct (the missed pairs are produced by the cleanup phase).
-        let matches: Vec<Tuple> = self.tables[opp].probe(&key).to_vec();
-        for m in matches {
-            self.pending.push_back(if side == LEFT {
-                t.concat(&m)
+        let key = t.value(self.key_idx[side]);
+        for m in self.tables[opp].probe_hashed(hash, key) {
+            if side == LEFT {
+                self.pending.push_concat(&t, m);
             } else {
-                m.concat(&t)
-            });
+                self.pending.push_concat(m, &t);
+            }
         }
         if self.tables[opp].is_flushed(b) {
             // Opposite bucket flushed (Left Flush): keep in memory, marked,
             // so the cleanup can join it against the opposite spill without
             // writing this side to disk.
-            self.tables[side].insert_marked(key, t);
+            self.tables[side].insert_marked_hashed(hash, t);
             self.check_overflow()?;
         } else if self.done[opp] {
             // Footnote 3: the opposite relation is complete and this bucket
             // fully in memory — the probe above produced every match, no
             // need to store the tuple.
         } else {
-            self.tables[side].insert(key, t);
+            self.tables[side].insert_hashed(hash, t);
             self.check_overflow()?;
         }
         Ok(())
     }
 
     fn check_overflow(&mut self) -> Result<()> {
-        let Some(res) = self.harness.reservation() else {
+        let Some(res) = self.reservation.as_ref() else {
             return Ok(());
         };
         // `under_pressure` folds in query- and fleet-level budgets from the
@@ -237,7 +245,7 @@ impl DoublePipelinedJoin {
     }
 
     fn resolve_left_flush(&mut self, flush_all: bool) -> Result<()> {
-        let Some(res) = self.harness.reservation() else {
+        let Some(res) = self.reservation.clone() else {
             return Ok(());
         };
         if flush_all {
@@ -268,7 +276,7 @@ impl DoublePipelinedJoin {
     }
 
     fn resolve_symmetric(&mut self) -> Result<()> {
-        let Some(res) = self.harness.reservation() else {
+        let Some(res) = self.reservation.clone() else {
             return Ok(());
         };
         while res.under_pressure() {
@@ -304,6 +312,21 @@ impl DoublePipelinedJoin {
                     self.rx[LEFT].as_ref().unwrap(),
                     self.rx[RIGHT].as_ref().unwrap(),
                 );
+                // Fast path: data already waiting — skip the select
+                // machinery (two boxed closures + waker registration).
+                // Alternate which side is tried first so neither input is
+                // systematically favored when both are ready.
+                self.recv_flip = !self.recv_flip;
+                let order = if self.recv_flip {
+                    [LEFT, RIGHT]
+                } else {
+                    [RIGHT, LEFT]
+                };
+                for side in order {
+                    if let Ok(m) = self.rx[side].as_ref().unwrap().try_recv() {
+                        return Ok((side, m));
+                    }
+                }
                 let mut sel = Select::new();
                 sel.recv(l);
                 sel.recv(r);
@@ -381,7 +404,7 @@ impl DoublePipelinedJoin {
             true,
             &mut out,
         )?;
-        self.pending.extend(out);
+        self.pending.extend_tuples(out);
         Ok(true)
     }
 
@@ -414,7 +437,9 @@ impl Operator for DoublePipelinedJoin {
             right.schema().index_of(&self.right_key)?,
         ];
         self.schema = left.schema().concat(right.schema());
+        self.pending = OutputQueue::new(self.harness.batch_size());
         let reservation = self.harness.reservation();
+        self.reservation = reservation.clone();
         let spill = self.harness.runtime().env().spill.clone();
         self.tables = vec![
             BucketedTable::new(
@@ -464,13 +489,20 @@ impl Operator for DoublePipelinedJoin {
         let max = self.harness.batch_size();
         loop {
             if self.pending.len() >= max {
-                return Ok(Some(self.emit_pending(max)));
+                return Ok(Some(self.emit_pending()));
             }
             // Free work first: join tuples already transferred.
-            if let Some(t) = self.staged.pop_front() {
-                let side = self.staged_side;
-                self.handle_tuple(side, t)?;
-                continue;
+            match self.staged.as_mut().map(KeyedBatch::next) {
+                Some(Some((t, hash))) => {
+                    if let Some(hash) = hash {
+                        let side = self.staged_side;
+                        self.handle_tuple(side, t, hash)?;
+                    }
+                    // NULL keys never join and need no storage.
+                    continue;
+                }
+                Some(None) => self.staged = None,
+                None => {}
             }
             if self.done[LEFT] && self.done[RIGHT] {
                 if !self.cleanup_active {
@@ -483,17 +515,19 @@ impl Operator for DoublePipelinedJoin {
                 if self.pending.is_empty() {
                     return Ok(None);
                 }
-                return Ok(Some(self.emit_pending(max)));
+                return Ok(Some(self.emit_pending()));
             }
             // The next step blocks in receive — never hold output for it.
             if !self.pending.is_empty() {
-                return Ok(Some(self.emit_pending(max)));
+                return Ok(Some(self.emit_pending()));
             }
             let (side, msg) = self.receive()?;
             match msg {
                 Msg::Batch(b) => {
+                    // Prehash the whole arriving batch once and drain it in
+                    // place (NULL-keyed rows are skipped at consumption).
                     self.staged_side = side;
-                    self.staged.extend(b);
+                    self.staged = Some(KeyedBatch::new(b, self.key_idx[side]));
                 }
                 Msg::End => {
                     self.done[side] = true;
@@ -518,7 +552,7 @@ impl Operator for DoublePipelinedJoin {
         }
         self.tables.clear();
         self.pending.clear();
-        self.staged.clear();
+        self.staged = None;
         self.harness.closed();
         Ok(())
     }

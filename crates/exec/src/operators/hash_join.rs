@@ -8,9 +8,9 @@
 //! immediately during the probe phase. Grace hashing partitions everything
 //! to disk up front.
 
-use std::collections::VecDeque;
-
-use tukwila_common::{Result, Schema, TukwilaError, Tuple, TupleBatch};
+use tukwila_common::{
+    KeyVector, KeyedBatch, OutputQueue, Result, Schema, TukwilaError, Tuple, TupleBatch,
+};
 use tukwila_storage::SpillBucket;
 
 use crate::operator::{Operator, OperatorBox};
@@ -43,13 +43,17 @@ pub struct HashJoinOp {
     rkey: usize,
     build: Option<BucketedTable>,
     probe_spill: Vec<Option<SpillBucket>>,
-    pending: VecDeque<Tuple>,
-    /// Probe tuples received but not yet probed — probing pauses once a
-    /// full output block is ready, bounding `pending` to batch_size plus a
-    /// single probe tuple's fanout.
-    probe_queue: VecDeque<Tuple>,
+    pending: OutputQueue,
+    /// The probe batch currently being drained, prehashed once on arrival
+    /// (NULL-keyed rows are skipped at consumption — they never join).
+    /// Probing pauses once a full output block is ready, bounding
+    /// `pending` to batch_size plus a single probe tuple's fanout.
+    probe_queue: Option<KeyedBatch>,
     phase: Phase,
     raised_oom: bool,
+    /// Cached at open: `OpHarness::reservation` is a subject-map lookup +
+    /// `Arc` clone, far too expensive for the per-insert overflow check.
+    reservation: Option<tukwila_storage::MemoryReservation>,
 }
 
 impl HashJoinOp {
@@ -97,10 +101,11 @@ impl HashJoinOp {
             rkey: 0,
             build: None,
             probe_spill: Vec::new(),
-            pending: VecDeque::new(),
-            probe_queue: VecDeque::new(),
+            pending: OutputQueue::new(tukwila_common::DEFAULT_BATCH_CAPACITY),
+            probe_queue: None,
             phase: Phase::Build,
             raised_oom: false,
+            reservation: None,
         }
     }
 
@@ -112,7 +117,7 @@ impl HashJoinOp {
 
     fn resolve_overflow(&mut self) -> Result<()> {
         let build = self.build.as_mut().unwrap();
-        let Some(res) = self.harness.reservation() else {
+        let Some(res) = self.reservation.as_ref() else {
             return Ok(());
         };
         // `under_pressure` folds in query- and fleet-level budgets from the
@@ -146,17 +151,19 @@ impl HashJoinOp {
             }
         }
         while let Some(batch) = self.right.next_batch()? {
-            for t in batch {
-                let key = t.value(self.rkey).clone();
-                if key.is_null() {
-                    continue;
-                }
+            // One key-prehash pass per batch; inserts reuse the hash for
+            // bucket routing and group lookup (no rehash, no key clone).
+            let kv = KeyVector::compute(&batch, self.rkey);
+            for (i, t) in batch.into_iter().enumerate() {
+                let Some(hash) = kv.get(i) else {
+                    continue; // NULL key never joins
+                };
                 let build = self.build.as_mut().unwrap();
-                let b = build.bucket_for(&key);
+                let b = build.bucket_for_hash(hash);
                 if build.is_flushed(b) {
                     build.spill_new(b, &t)?;
                 } else {
-                    build.insert(key, t);
+                    build.insert_hashed(hash, t);
                     self.resolve_overflow()?;
                 }
             }
@@ -164,13 +171,9 @@ impl HashJoinOp {
         Ok(())
     }
 
-    fn probe_one(&mut self, t: Tuple) -> Result<()> {
-        let key = t.value(self.lkey);
-        if key.is_null() {
-            return Ok(());
-        }
+    fn probe_one(&mut self, t: Tuple, hash: u64) -> Result<()> {
         let build = self.build.as_ref().unwrap();
-        let b = build.bucket_for(key);
+        let b = build.bucket_for_hash(hash);
         if build.is_flushed(b) {
             if self.probe_spill[b].is_none() {
                 self.probe_spill[b] = Some(
@@ -187,8 +190,9 @@ impl HashJoinOp {
                 .spill
                 .write(self.probe_spill[b].unwrap(), std::slice::from_ref(&t))?;
         } else {
-            for m in build.probe(key) {
-                self.pending.push_back(t.concat(m));
+            let key = t.value(self.lkey);
+            for m in build.probe_hashed(hash, key) {
+                self.pending.push_concat(&t, m);
             }
         }
         Ok(())
@@ -221,7 +225,7 @@ impl HashJoinOp {
             true,
             &mut out,
         )?;
-        self.pending.extend(out);
+        self.pending.extend_tuples(out);
         Ok(())
     }
 }
@@ -233,14 +237,16 @@ impl Operator for HashJoinOp {
         self.lkey = self.left.schema().index_of(&self.left_key)?;
         self.rkey = self.right.schema().index_of(&self.right_key)?;
         self.schema = self.left.schema().concat(self.right.schema());
+        self.reservation = self.harness.reservation();
         self.build = Some(BucketedTable::new(
             format!("hj-build-{}", self.harness.subject()),
             self.num_buckets,
             self.rkey,
-            self.harness.reservation(),
+            self.reservation.clone(),
             self.harness.runtime().env().spill.clone(),
         ));
         self.probe_spill = vec![None; self.num_buckets];
+        self.pending = OutputQueue::new(self.harness.batch_size());
         self.harness.opened();
         // The blocking build phase happens at open: this is precisely the
         // "time to first tuple is extended by the hash join's non-pipelined
@@ -258,12 +264,14 @@ impl Operator for HashJoinOp {
             let block_ready = self.pending.len() >= max
                 || (!self.pending.is_empty()
                     && match self.phase {
-                        Phase::Probe => self.probe_queue.is_empty(),
+                        Phase::Probe => {
+                            self.probe_queue.as_ref().is_none_or(|q| q.remaining() == 0)
+                        }
                         Phase::Done => true,
                         _ => false, // cleanup steps are local; keep filling
                     });
             if block_ready {
-                let out = TupleBatch::fill_from_deque(&mut self.pending, max);
+                let out = self.pending.pop_block().unwrap_or_default();
                 self.harness.produced(out.len() as u64);
                 return Ok(Some(out));
             }
@@ -273,16 +281,23 @@ impl Operator for HashJoinOp {
                         "HashJoin::next_batch before open".into(),
                     ))
                 }
-                Phase::Probe => {
-                    if let Some(t) = self.probe_queue.pop_front() {
-                        self.probe_one(t)?;
-                    } else {
-                        match self.left.next_batch()? {
-                            Some(batch) => self.probe_queue.extend(batch),
-                            None => self.phase = Phase::Cleanup(0),
+                Phase::Probe => match self.probe_queue.as_mut().map(KeyedBatch::next) {
+                    Some(Some((t, hash))) => {
+                        if let Some(hash) = hash {
+                            self.probe_one(t, hash)?;
                         }
+                        // NULL probe keys never join; skip.
                     }
-                }
+                    Some(None) => self.probe_queue = None,
+                    None => match self.left.next_batch()? {
+                        Some(batch) => {
+                            // Prehash the probe batch once and drain it in
+                            // place.
+                            self.probe_queue = Some(KeyedBatch::new(batch, self.lkey));
+                        }
+                        None => self.phase = Phase::Cleanup(0),
+                    },
+                },
                 Phase::Cleanup(b) => {
                     if b >= self.num_buckets {
                         self.phase = Phase::Done;
@@ -302,7 +317,7 @@ impl Operator for HashJoinOp {
         if let Some(mut b) = self.build.take() {
             b.clear();
             self.pending.clear();
-            self.probe_queue.clear();
+            self.probe_queue = None;
             self.harness.closed();
         }
         Ok(())

@@ -11,33 +11,41 @@
 //! arriving after the flush are *new* (marked). The overflow cleanup joins
 //! old×new, new×old, and new×new — never old×old, which was emitted online.
 
-use std::collections::hash_map::DefaultHasher;
-use std::collections::HashMap;
-use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 
-use tukwila_common::{Result, Tuple, Value};
+use tukwila_common::{fold_hash, fx_hash, PrehashMap, Result, Tuple, Value};
 use tukwila_storage::{MemoryReservation, SpillBucket, SpillStore};
 
 /// Hash a key value into one of `n` buckets, with a recursion `salt` so
-/// overflow sub-partitioning (recursive hashing) redistributes.
+/// overflow sub-partitioning (recursive hashing) redistributes. Computes
+/// the Fx prehash; hot paths that already hold a prehash use
+/// [`bucket_of_hash`] instead and never rehash the value.
 pub fn bucket_of(v: &Value, n: usize, salt: u64) -> usize {
-    let mut h = DefaultHasher::new();
-    salt.hash(&mut h);
-    v.hash(&mut h);
-    (h.finish() as usize) % n.max(1)
+    bucket_of_hash(fx_hash(v), n, salt)
 }
 
-/// One side's bucketed hash table.
+/// Bucket routing from a cached prehash: `mix(prehash, salt) % n`. The
+/// same prehash serves bucket selection, the per-bucket map, and salted
+/// re-partitioning — the key is hashed exactly once per tuple.
+#[inline]
+pub fn bucket_of_hash(hash: u64, n: usize, salt: u64) -> usize {
+    fold_hash(hash, n, salt)
+}
+
+/// One side's bucketed hash table. Key groups live in [`PrehashMap`]s
+/// addressed by the caller's cached prehash, so neither insert nor probe
+/// ever rehashes (the seed hashed once for bucket routing and again inside
+/// a per-bucket SipHash `HashMap`), and probes borrow — the in-memory
+/// probe path performs no allocation and no `Value` clone.
 pub struct BucketedTable {
     label: String,
     num_buckets: usize,
     key_idx: usize,
     /// Primary ("old") in-memory partitions: key → tuples.
-    mem: Vec<HashMap<Value, Vec<Tuple>>>,
+    mem: Vec<PrehashMap<Value, Vec<Tuple>>>,
     /// Marked ("new") in-memory partitions — used by Incremental Left
     /// Flush, where the unflushed side keeps post-flush arrivals in memory.
-    mem_marked: Vec<HashMap<Value, Vec<Tuple>>>,
+    mem_marked: Vec<PrehashMap<Value, Vec<Tuple>>>,
     mem_bytes: Vec<usize>,
     flushed: Vec<bool>,
     old_spill: Vec<Option<SpillBucket>>,
@@ -63,8 +71,8 @@ impl BucketedTable {
             label: label.into(),
             num_buckets: n,
             key_idx,
-            mem: (0..n).map(|_| HashMap::new()).collect(),
-            mem_marked: (0..n).map(|_| HashMap::new()).collect(),
+            mem: (0..n).map(|_| PrehashMap::new()).collect(),
+            mem_marked: (0..n).map(|_| PrehashMap::new()).collect(),
             mem_bytes: vec![0; n],
             flushed: vec![false; n],
             old_spill: vec![None; n],
@@ -85,9 +93,16 @@ impl BucketedTable {
         self.key_idx
     }
 
-    /// Bucket index for a key.
+    /// Bucket index for a key (computes the prehash; prefer
+    /// [`BucketedTable::bucket_for_hash`] when one is cached).
     pub fn bucket_for(&self, key: &Value) -> usize {
         bucket_of(key, self.num_buckets, 0)
+    }
+
+    /// Bucket index from a cached prehash.
+    #[inline]
+    pub fn bucket_for_hash(&self, hash: u64) -> usize {
+        bucket_of_hash(hash, self.num_buckets, 0)
     }
 
     /// Whether a bucket has been flushed.
@@ -128,23 +143,53 @@ impl BucketedTable {
     }
 
     /// Insert into the primary (old) in-memory partition of the tuple's
-    /// bucket. Caller must ensure the bucket is not flushed.
-    pub fn insert(&mut self, key: Value, tuple: Tuple) {
-        let b = self.bucket_for(&key);
+    /// bucket, hashing the key column (convenience / test path).
+    pub fn insert(&mut self, tuple: Tuple) {
+        let hash = fx_hash(tuple.value(self.key_idx));
+        self.insert_hashed(hash, tuple);
+    }
+
+    /// Prehashed insert into the primary (old) partition. The key `Value`
+    /// is cloned only when the key is new to its group map — duplicate-key
+    /// inserts clone nothing. Caller must ensure the bucket is not flushed
+    /// and the key is non-NULL.
+    ///
+    /// Block-view tuples (assembled join output feeding this join) are
+    /// detached: the table retains tuples until flush/clear, and a flush
+    /// must free the bytes it releases from its reservation — a view
+    /// would pin its whole batch block while the books claim the slice.
+    pub fn insert_hashed(&mut self, hash: u64, tuple: Tuple) {
+        let tuple = tuple.detach();
+        let b = self.bucket_for_hash(hash);
         debug_assert!(!self.flushed[b], "insert into flushed bucket");
         let bytes = tuple.mem_size();
-        self.mem[b].entry(key).or_default().push(tuple);
+        let key = tuple.value(self.key_idx);
+        self.mem[b]
+            .entry_hashed(hash, |k| k == key, || key.clone())
+            .push(tuple);
         self.mem_bytes[b] += bytes;
         self.charge(bytes);
         self.tuples_total += 1;
     }
 
-    /// Insert into the marked (new) in-memory partition (Left Flush keeps
+    /// Insert into the marked (new) in-memory partition, hashing the key
+    /// column (convenience / test path).
+    pub fn insert_marked(&mut self, tuple: Tuple) {
+        let hash = fx_hash(tuple.value(self.key_idx));
+        self.insert_marked_hashed(hash, tuple);
+    }
+
+    /// Prehashed insert into the marked (new) partition (Left Flush keeps
     /// the unflushed side's post-flush arrivals in memory, marked).
-    pub fn insert_marked(&mut self, key: Value, tuple: Tuple) {
-        let b = self.bucket_for(&key);
+    /// Detaches block views like [`BucketedTable::insert_hashed`].
+    pub fn insert_marked_hashed(&mut self, hash: u64, tuple: Tuple) {
+        let tuple = tuple.detach();
+        let b = self.bucket_for_hash(hash);
         let bytes = tuple.mem_size();
-        self.mem_marked[b].entry(key).or_default().push(tuple);
+        let key = tuple.value(self.key_idx);
+        self.mem_marked[b]
+            .entry_hashed(hash, |k| k == key, || key.clone())
+            .push(tuple);
         self.mem_bytes[b] += bytes;
         self.charge(bytes);
         self.tuples_total += 1;
@@ -162,21 +207,37 @@ impl BucketedTable {
         Ok(())
     }
 
-    /// Probe the primary in-memory partition. Returns matches (empty slice
-    /// if none or bucket flushed).
+    /// Probe the primary in-memory partition, hashing the key (convenience
+    /// / test path).
     pub fn probe(&self, key: &Value) -> &[Tuple] {
-        let b = self.bucket_for(key);
-        self.mem[b].get(key).map(|v| v.as_slice()).unwrap_or(&[])
+        self.probe_hashed(fx_hash(key), key)
+    }
+
+    /// Prehashed probe of the primary partition: borrows matches (empty
+    /// slice if none or bucket flushed). Allocation-free, clone-free.
+    #[inline]
+    pub fn probe_hashed(&self, hash: u64, key: &Value) -> &[Tuple] {
+        let b = self.bucket_for_hash(hash);
+        self.mem[b]
+            .get_hashed(hash, |k| k == key)
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
     }
 
     /// Probe both primary and marked in-memory partitions.
-    pub fn probe_all_mem<'a>(&'a self, key: &Value) -> impl Iterator<Item = &'a Tuple> + 'a {
-        let b = self.bucket_for(key);
+    pub fn probe_all_mem<'a>(&'a self, key: &'a Value) -> impl Iterator<Item = &'a Tuple> + 'a {
+        let hash = fx_hash(key);
+        let b = self.bucket_for_hash(hash);
         self.mem[b]
-            .get(key)
+            .get_hashed(hash, |k| k == key)
             .into_iter()
             .flatten()
-            .chain(self.mem_marked[b].get(key).into_iter().flatten())
+            .chain(
+                self.mem_marked[b]
+                    .get_hashed(hash, |k| k == key)
+                    .into_iter()
+                    .flatten(),
+            )
     }
 
     /// Flush bucket `b`: write primary tuples to the old-spill file and
@@ -184,7 +245,7 @@ impl BucketedTable {
     /// Returns the number of tuples written.
     pub fn flush_bucket(&mut self, b: usize) -> Result<usize> {
         let mut written = 0;
-        let primary: Vec<Tuple> = self.mem[b].drain().flat_map(|(_, v)| v).collect();
+        let primary: Vec<Tuple> = self.mem[b].drain().flat_map(|(_k, v)| v).collect();
         if !primary.is_empty() {
             if self.old_spill[b].is_none() {
                 self.old_spill[b] =
@@ -193,7 +254,7 @@ impl BucketedTable {
             self.spill.write(self.old_spill[b].unwrap(), &primary)?;
             written += primary.len();
         }
-        let marked: Vec<Tuple> = self.mem_marked[b].drain().flat_map(|(_, v)| v).collect();
+        let marked: Vec<Tuple> = self.mem_marked[b].drain().flat_map(|(_k, v)| v).collect();
         if !marked.is_empty() {
             if self.new_spill[b].is_none() {
                 self.new_spill[b] =
@@ -272,11 +333,15 @@ pub fn join_sets(
     let build_bytes: usize = build.iter().map(Tuple::mem_size).sum();
     let fits = budget.map(|b| build_bytes <= b).unwrap_or(true);
     if fits || salt >= MAX_DEPTH_SALT || build.len() <= 1 {
-        let mut table: HashMap<&Value, Vec<&Tuple>> = HashMap::with_capacity(build.len());
-        for t in &build {
+        // Prehash-keyed index over the build side: keys are borrowed (no
+        // clones), each probe hashes once and borrows its matches.
+        let mut table: PrehashMap<&Value, Vec<u32>> = PrehashMap::new();
+        for (i, t) in build.iter().enumerate() {
             let k = t.value(build_key);
             if !k.is_null() {
-                table.entry(k).or_default().push(t);
+                table
+                    .entry_hashed(fx_hash(k), |kk| *kk == k, || k)
+                    .push(i as u32);
             }
         }
         for p in &probe {
@@ -284,8 +349,9 @@ pub fn join_sets(
             if k.is_null() {
                 continue;
             }
-            if let Some(matches) = table.get(k) {
-                for b in matches {
+            if let Some(matches) = table.get_hashed(fx_hash(k), |kk| *kk == k) {
+                for &i in matches {
+                    let b = &build[i as usize];
                     out.push(if probe_first {
                         p.concat(b)
                     } else {
@@ -352,9 +418,9 @@ mod tests {
     #[test]
     fn insert_and_probe() {
         let (mut t, _, _) = table(1_000_000);
-        t.insert(Value::Int(1), tuple![1, 10]);
-        t.insert(Value::Int(1), tuple![1, 11]);
-        t.insert(Value::Int(2), tuple![2, 20]);
+        t.insert(tuple![1, 10]);
+        t.insert(tuple![1, 11]);
+        t.insert(tuple![2, 20]);
         assert_eq!(t.probe(&Value::Int(1)).len(), 2);
         assert_eq!(t.probe(&Value::Int(2)).len(), 1);
         assert!(t.probe(&Value::Int(3)).is_empty());
@@ -365,7 +431,7 @@ mod tests {
     fn flush_releases_memory_and_diverts() {
         let (mut t, r, spill) = table(1_000_000);
         for i in 0..20i64 {
-            t.insert(Value::Int(i), tuple![i, i]);
+            t.insert(tuple![i, i]);
         }
         let used_before = r.usage().used;
         assert!(used_before > 0);
@@ -384,8 +450,8 @@ mod tests {
     #[test]
     fn marked_tuples_tracked_separately() {
         let (mut t, _, _) = table(1_000_000);
-        t.insert(Value::Int(1), tuple![1, 1]);
-        t.insert_marked(Value::Int(1), tuple![1, 2]);
+        t.insert(tuple![1, 1]);
+        t.insert_marked(tuple![1, 2]);
         assert_eq!(t.probe(&Value::Int(1)).len(), 1); // primary only
         assert_eq!(t.probe_all_mem(&Value::Int(1)).count(), 2);
         let b = t.bucket_for(&Value::Int(1));
@@ -396,8 +462,8 @@ mod tests {
     #[test]
     fn flush_preserves_marks() {
         let (mut t, _, _) = table(1_000_000);
-        t.insert(Value::Int(1), tuple![1, 1]);
-        t.insert_marked(Value::Int(1), tuple![1, 2]);
+        t.insert(tuple![1, 1]);
+        t.insert_marked(tuple![1, 2]);
         let b = t.bucket_for(&Value::Int(1));
         t.flush_bucket(b).unwrap();
         assert_eq!(t.old_tuples(b).unwrap(), vec![tuple![1, 1]]);

@@ -16,6 +16,8 @@ pub mod hash_table;
 pub mod nlj;
 #[cfg(test)]
 mod op_tests;
+#[cfg(test)]
+mod prehash_tests;
 pub mod project;
 pub mod scan;
 pub mod smj;

@@ -5,7 +5,7 @@
 //! inner table to be transmitted initially before pipelining begins." That
 //! blocking behaviour is exactly what we measure against.
 
-use tukwila_common::{Result, Schema, TukwilaError, Tuple, TupleBatch};
+use tukwila_common::{BatchAssembler, Result, Schema, TukwilaError, Tuple, TupleBatch};
 
 use crate::operator::{Operator, OperatorBox, TupleCursor};
 use crate::runtime::OpHarness;
@@ -76,7 +76,9 @@ impl NestedLoopsJoin {
                 let r = &self.inner[self.inner_pos];
                 self.inner_pos += 1;
                 if lk.sql_eq(r.value(self.right_key_idx)) == Some(true) {
-                    return Ok(Step::Match(l.concat(r)));
+                    // Report the match by inner index; the caller assembles
+                    // `current_left ++ inner[idx]` into the output block.
+                    return Ok(Step::Match(self.inner_pos - 1));
                 }
             }
             self.current_left = None;
@@ -85,7 +87,7 @@ impl NestedLoopsJoin {
 }
 
 enum Step {
-    Match(Tuple),
+    Match(usize),
     WouldBlock,
     End,
 }
@@ -114,21 +116,28 @@ impl Operator for NestedLoopsJoin {
         if !self.opened {
             return Err(TukwilaError::Internal("NLJ before open".into()));
         }
-        let mut out = TupleBatch::with_capacity(self.harness.batch_size());
-        while !out.is_full() {
+        // Assemble output rows into one shared value block per batch — no
+        // per-row `Vec`/`Arc` allocation in the emit loop.
+        let mut asm = BatchAssembler::new(self.harness.batch_size());
+        while !asm.is_full() {
             // Once output exists, a batch is never held back to fill: only
             // free work (inner scan, cursor-buffered outer tuples) may
             // extend it; a blocking pull ends the batch instead.
-            match self.step(out.is_empty())? {
-                Step::Match(t) => out.push(t),
+            match self.step(asm.is_empty())? {
+                Step::Match(idx) => {
+                    let l = self.current_left.as_ref().expect("match has outer row");
+                    asm.push_concat(l, &self.inner[idx]);
+                }
                 Step::WouldBlock | Step::End => break,
             }
         }
-        if out.is_empty() {
-            return Ok(None);
+        match asm.seal() {
+            None => Ok(None),
+            Some(out) => {
+                self.harness.produced(out.len() as u64);
+                Ok(Some(out))
+            }
         }
-        self.harness.produced(out.len() as u64);
-        Ok(Some(out))
     }
 
     fn close(&mut self) -> Result<()> {

@@ -1,6 +1,6 @@
 //! Projection operator.
 
-use tukwila_common::{Result, Schema, TukwilaError, TupleBatch};
+use tukwila_common::{BatchAssembler, Result, Schema, TukwilaError, TupleBatch};
 
 use crate::operator::{Operator, OperatorBox};
 use crate::runtime::OpHarness;
@@ -10,6 +10,9 @@ pub struct Project {
     input: OperatorBox,
     columns: Vec<String>,
     indices: Vec<usize>,
+    /// True when the projection keeps every column in input order — the
+    /// batch passes through untouched (no per-row rebuild).
+    identity: bool,
     schema: Schema,
     harness: OpHarness,
     opened: bool,
@@ -22,6 +25,7 @@ impl Project {
             input,
             columns,
             indices: Vec::new(),
+            identity: false,
             schema: Schema::empty(),
             harness,
             opened: false,
@@ -39,6 +43,8 @@ impl Operator for Project {
             .map(|c| in_schema.index_of(c))
             .collect::<Result<Vec<_>>>()?;
         self.schema = in_schema.project(&self.indices);
+        self.identity = self.indices.len() == in_schema.arity()
+            && self.indices.iter().enumerate().all(|(i, &c)| i == c);
         self.opened = true;
         self.harness.opened();
         Ok(())
@@ -50,10 +56,18 @@ impl Operator for Project {
         }
         match self.input.next_batch()? {
             Some(batch) => {
-                let mut out = TupleBatch::with_capacity(batch.len());
-                for t in batch.iter() {
-                    out.push(t.project(&self.indices));
+                // Identity projection: hand the batch through untouched.
+                if self.identity {
+                    self.harness.produced(batch.len() as u64);
+                    return Ok(Some(batch));
                 }
+                // Otherwise assemble all projected rows into one shared
+                // value block (one allocation per batch, not per row).
+                let mut asm = BatchAssembler::new(batch.len());
+                for t in batch.iter() {
+                    asm.push_project(t, &self.indices);
+                }
+                let out = asm.seal().expect("non-empty input batch");
                 self.harness.produced(out.len() as u64);
                 Ok(Some(out))
             }

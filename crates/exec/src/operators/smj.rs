@@ -7,7 +7,7 @@
 
 use std::cmp::Ordering;
 
-use tukwila_common::{Result, Schema, TukwilaError, Tuple, TupleBatch};
+use tukwila_common::{BatchAssembler, Result, Schema, TukwilaError, Tuple, TupleBatch};
 
 use crate::operator::{Operator, OperatorBox};
 use crate::runtime::OpHarness;
@@ -99,20 +99,20 @@ impl SortMergeJoin {
         None
     }
 
-    /// Next single join result from the merge state.
-    fn next_pair(&mut self) -> Option<Tuple> {
+    /// Next join result from the merge state, as `(lrun, rrun)` indices —
+    /// the caller assembles the concatenation into its output block.
+    fn next_pair(&mut self) -> Option<(usize, usize)> {
         loop {
             if let Some((_lstart, lend, rstart, rend)) = self.group {
                 let (gl, gr) = self.gpos;
                 if gl < lend {
-                    let out = self.lrun[gl].concat(&self.rrun[gr]);
                     // advance cartesian position
                     if gr + 1 < rend {
                         self.gpos = (gl, gr + 1);
                     } else {
                         self.gpos = (gl + 1, rstart);
                     }
-                    return Some(out);
+                    return Some((gl, gr));
                 }
                 self.group = None;
             }
@@ -153,18 +153,22 @@ impl Operator for SortMergeJoin {
         if !self.opened {
             return Err(TukwilaError::Internal("SMJ before open".into()));
         }
-        let mut out = TupleBatch::with_capacity(self.harness.batch_size());
-        while !out.is_full() {
+        // Assemble output rows into one shared value block per batch — no
+        // per-row `Vec`/`Arc` allocation in the merge loop.
+        let mut asm = BatchAssembler::new(self.harness.batch_size());
+        while !asm.is_full() {
             match self.next_pair() {
-                Some(t) => out.push(t),
+                Some((gl, gr)) => asm.push_concat(&self.lrun[gl], &self.rrun[gr]),
                 None => break,
             }
         }
-        if out.is_empty() {
-            return Ok(None);
+        match asm.seal() {
+            None => Ok(None),
+            Some(out) => {
+                self.harness.produced(out.len() as u64);
+                Ok(Some(out))
+            }
         }
-        self.harness.produced(out.len() as u64);
-        Ok(Some(out))
     }
 
     fn close(&mut self) -> Result<()> {

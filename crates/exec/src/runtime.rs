@@ -187,7 +187,9 @@ pub struct PlanRuntime {
     env: ExecEnv,
     epoch: Instant,
     control: Arc<QueryControl>,
-    subjects: HashMap<SubjectRef, SubjectRecord>,
+    /// Fx-keyed: `record()` sits on the per-batch accounting path of every
+    /// operator (`produced`, `is_active`), so SipHash lookups add up.
+    subjects: tukwila_common::FxHashMap<SubjectRef, SubjectRecord>,
     rules: Mutex<Vec<RuleSlot>>,
     event_queue: Mutex<VecDeque<Event>>,
     /// Serializes rule processing; also records processed events for tests
@@ -227,7 +229,7 @@ impl PlanRuntime {
             ms.dedup();
         }
 
-        let mut subjects = HashMap::new();
+        let mut subjects = tukwila_common::FxHashMap::default();
         for frag in &plan.fragments {
             subjects.insert(
                 SubjectRef::Fragment(frag.id),

@@ -2,10 +2,13 @@
 //!
 //! Implements the subset the workspace uses: `bounded` MPMC channels with
 //! cloneable `Sender`/`Receiver` halves, blocking/timed/non-blocking
-//! receives, and a polling `Select` over receive operations. Backed by a
-//! `Mutex<VecDeque>` + two `Condvar`s; `Select::select` polls readiness
-//! with a short sleep, which is adequate for the small operator fan-ins
-//! (2-way joins, a handful of mirrors) this workspace wires up.
+//! receives, and an event-driven `Select` over receive operations. Backed
+//! by a `Mutex<VecDeque>` + two `Condvar`s; `Select::select` registers a
+//! waker with every involved channel and blocks until one signals
+//! readiness — the double pipelined join sits in `select` on its transfer
+//! queues on the engine's hottest path, so a polling implementation (the
+//! original shim slept 1 ms between readiness sweeps) throttles every join
+//! in the tree.
 
 use std::collections::VecDeque;
 use std::fmt;
@@ -39,6 +42,43 @@ pub enum RecvTimeoutError {
     Disconnected,
 }
 
+/// Wakes a blocked `Select`: a flag + condvar pair registered (weakly) with
+/// every channel the selector watches. Channels signal it on any event that
+/// can change receive readiness (message enqueued, last sender dropped).
+struct SelectWaker {
+    signalled: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl SelectWaker {
+    fn new() -> Self {
+        SelectWaker {
+            signalled: Mutex::new(false),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn signal(&self) {
+        let mut s = self.signalled.lock().unwrap_or_else(|e| e.into_inner());
+        *s = true;
+        self.cv.notify_all();
+    }
+
+    /// Block until signalled (consuming the signal). A bounded wait guards
+    /// against any lost-wakeup path; correctness never depends on it.
+    fn wait(&self) {
+        let mut s = self.signalled.lock().unwrap_or_else(|e| e.into_inner());
+        if !*s {
+            let (guard, _) = self
+                .cv
+                .wait_timeout(s, Duration::from_millis(50))
+                .unwrap_or_else(|e| e.into_inner());
+            s = guard;
+        }
+        *s = false;
+    }
+}
+
 struct Shared<T> {
     queue: Mutex<VecDeque<T>>,
     cap: usize,
@@ -46,6 +86,9 @@ struct Shared<T> {
     not_full: Condvar,
     senders: AtomicUsize,
     receivers: AtomicUsize,
+    /// Wakers of `Select`s currently blocked on this channel. Almost always
+    /// empty; dead entries are swept on each signal pass.
+    select_wakers: Mutex<Vec<std::sync::Weak<SelectWaker>>>,
 }
 
 impl<T> Shared<T> {
@@ -55,6 +98,34 @@ impl<T> Shared<T> {
 
     fn no_receivers(&self) -> bool {
         self.receivers.load(Ordering::SeqCst) == 0
+    }
+
+    /// Signal every live registered selector that readiness may have
+    /// changed.
+    fn wake_selects(&self) {
+        let mut wakers = self.select_wakers.lock().unwrap_or_else(|e| e.into_inner());
+        if wakers.is_empty() {
+            return;
+        }
+        wakers.retain(|w| match w.upgrade() {
+            Some(w) => {
+                w.signal();
+                true
+            }
+            None => false,
+        });
+    }
+
+    fn register_select(&self, waker: &Arc<SelectWaker>) {
+        let mut wakers = self.select_wakers.lock().unwrap_or_else(|e| e.into_inner());
+        // Dead entries are normally swept by `wake_selects`, but a channel
+        // that never sends (stalled source) would otherwise accumulate one
+        // dead Weak per select that returned via its sibling — sweep here
+        // too once the list is non-trivial.
+        if wakers.len() >= 8 {
+            wakers.retain(|w| w.strong_count() > 0);
+        }
+        wakers.push(Arc::downgrade(waker));
     }
 }
 
@@ -76,6 +147,7 @@ pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
         not_full: Condvar::new(),
         senders: AtomicUsize::new(1),
         receivers: AtomicUsize::new(1),
+        select_wakers: Mutex::new(Vec::new()),
     });
     (
         Sender {
@@ -97,6 +169,8 @@ impl<T> Sender<T> {
             if queue.len() < shared.cap {
                 queue.push_back(value);
                 shared.not_empty.notify_one();
+                drop(queue);
+                shared.wake_selects();
                 return Ok(());
             }
             // Time-boxed wait so a receiver-side disconnect is observed even
@@ -123,6 +197,8 @@ impl<T> Drop for Sender<T> {
     fn drop(&mut self) {
         if self.shared.senders.fetch_sub(1, Ordering::SeqCst) == 1 {
             self.shared.not_empty.notify_all();
+            // Disconnection makes receives ready (with RecvError).
+            self.shared.wake_selects();
         }
     }
 }
@@ -209,12 +285,22 @@ impl<T> Drop for Receiver<T> {
     }
 }
 
-/// A select over receive operations. Readiness is polled; for the 2-way
-/// fan-ins this workspace uses, a 1 ms poll is indistinguishable from the
-/// real event-driven implementation at the granularity being measured.
-/// Ties are broken round-robin (the real crate picks uniformly at random
-/// among ready operations) so no input is systematically starved when
-/// several are ready at once.
+/// Type-erased waker registrar for one channel.
+type Registrar<'a> = Box<dyn Fn(&Arc<SelectWaker>) + 'a>;
+
+/// Operation registered with a [`Select`]: a readiness probe plus a waker
+/// registrar (both type-erased over the receiver's element type).
+struct SelectOp<'a> {
+    ready: Box<dyn Fn() -> bool + 'a>,
+    register: Registrar<'a>,
+}
+
+/// An event-driven select over receive operations: blocked selectors
+/// register a waker with every involved channel and sleep on a condvar
+/// until a send (or sender disconnect) signals readiness — no polling on
+/// the hot path. Ties are broken round-robin (the real crate picks
+/// uniformly at random among ready operations) so no input is
+/// systematically starved when several are ready at once.
 ///
 /// Restriction vs the real crate: readiness is not atomic with consumption
 /// (`SelectedOperation::recv` performs an ordinary blocking `recv`), so a
@@ -223,7 +309,7 @@ impl<T> Drop for Receiver<T> {
 /// would leave the selector blocked on a message that is no longer there.
 /// Every in-tree `Select` call site is single-consumer.
 pub struct Select<'a> {
-    ready: Vec<Box<dyn Fn() -> bool + 'a>>,
+    ops: Vec<SelectOp<'a>>,
 }
 
 /// Tie-break rotation shared across `Select` instances: callers (e.g. the
@@ -234,28 +320,49 @@ static SELECT_ROTATION: AtomicUsize = AtomicUsize::new(0);
 impl<'a> Select<'a> {
     #[allow(clippy::new_without_default)]
     pub fn new() -> Self {
-        Select { ready: Vec::new() }
+        Select { ops: Vec::new() }
     }
 
     /// Register a receive operation; returns its operation index.
     pub fn recv<T>(&mut self, r: &'a Receiver<T>) -> usize {
-        self.ready.push(Box::new(move || r.ready()));
-        self.ready.len() - 1
+        let shared = Arc::clone(&r.shared);
+        self.ops.push(SelectOp {
+            ready: Box::new(move || r.ready()),
+            register: Box::new(move |w| shared.register_select(w)),
+        });
+        self.ops.len() - 1
+    }
+
+    /// One readiness sweep with rotated tie-breaking.
+    fn poll(&self) -> Option<usize> {
+        let n = self.ops.len();
+        let rotation = SELECT_ROTATION.fetch_add(1, Ordering::Relaxed);
+        (0..n)
+            .map(|k| (rotation + k) % n)
+            .find(|&i| (self.ops[i].ready)())
     }
 
     /// Block until one registered operation is ready and return it.
     pub fn select(&mut self) -> SelectedOperation {
-        let n = self.ready.len();
-        assert!(n > 0, "select with no operations");
+        assert!(!self.ops.is_empty(), "select with no operations");
+        // Fast path: something is already ready.
+        if let Some(i) = self.poll() {
+            return SelectedOperation { index: i };
+        }
+        // Slow path: register a waker everywhere, then re-check before each
+        // sleep (a send between the poll and the registration would
+        // otherwise be missed; after registration every send signals us).
+        let waker = Arc::new(SelectWaker::new());
+        for op in &self.ops {
+            (op.register)(&waker);
+        }
         loop {
-            let rotation = SELECT_ROTATION.fetch_add(1, Ordering::Relaxed);
-            for k in 0..n {
-                let i = (rotation + k) % n;
-                if self.ready[i]() {
-                    return SelectedOperation { index: i };
-                }
+            if let Some(i) = self.poll() {
+                // Dropping `waker` leaves only dead weak refs behind; the
+                // channels sweep those on their next signal pass.
+                return SelectedOperation { index: i };
             }
-            std::thread::sleep(Duration::from_millis(1));
+            waker.wait();
         }
     }
 }

@@ -58,7 +58,106 @@ impl Gen {
 pub trait Strategy {
     type Value: fmt::Debug + Clone;
     fn sample(&self, gen: &mut Gen) -> Self::Value;
+
+    /// Map sampled values through `f` (the real crate's `prop_map`).
+    fn prop_map<U: fmt::Debug + Clone, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
 }
+
+/// Always yields a clone of the given value (the real crate's `Just`).
+#[derive(Debug, Clone)]
+pub struct Just<T: fmt::Debug + Clone>(pub T);
+
+impl<T: fmt::Debug + Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _gen: &mut Gen) -> T {
+        self.0.clone()
+    }
+}
+
+/// Strategy adapter produced by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U: fmt::Debug + Clone, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn sample(&self, gen: &mut Gen) -> U {
+        (self.f)(self.inner.sample(gen))
+    }
+}
+
+/// Box a strategy for heterogeneous arm lists ([`prop_oneof!`] support).
+pub fn boxed<S: Strategy + 'static>(s: S) -> Box<dyn Strategy<Value = S::Value>> {
+    Box::new(s)
+}
+
+impl<V: fmt::Debug + Clone> Strategy for Box<dyn Strategy<Value = V>> {
+    type Value = V;
+    fn sample(&self, gen: &mut Gen) -> V {
+        (**self).sample(gen)
+    }
+}
+
+/// Weighted union of strategies (the real crate's `prop_oneof!` backing).
+pub struct OneOf<V> {
+    arms: Vec<(u32, Box<dyn Strategy<Value = V>>)>,
+}
+
+impl<V: fmt::Debug + Clone> OneOf<V> {
+    pub fn new(arms: Vec<(u32, Box<dyn Strategy<Value = V>>)>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        assert!(arms.iter().any(|(w, _)| *w > 0), "all arm weights zero");
+        OneOf { arms }
+    }
+}
+
+impl<V: fmt::Debug + Clone> Strategy for OneOf<V> {
+    type Value = V;
+    fn sample(&self, gen: &mut Gen) -> V {
+        let total: u64 = self.arms.iter().map(|(w, _)| *w as u64).sum();
+        let mut roll = gen.next_u64() % total;
+        for (w, s) in &self.arms {
+            if roll < *w as u64 {
+                return s.sample(gen);
+            }
+            roll -= *w as u64;
+        }
+        unreachable!("weighted roll exceeded total")
+    }
+}
+
+/// Weighted (`w => strat`) or uniform choice among strategies yielding the
+/// same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::OneOf::new(vec![$(($weight as u32, $crate::boxed($strat))),+])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::OneOf::new(vec![$((1u32, $crate::boxed($strat))),+])
+    };
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident),+))+) => {$(
+        #[allow(non_snake_case)]
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn sample(&self, gen: &mut Gen) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.sample(gen),)+)
+            }
+        }
+    )+};
+}
+
+impl_tuple_strategy! { (A, B) (A, B, C) (A, B, C, D) }
 
 macro_rules! impl_range_strategy {
     ($($t:ty),*) => {$(
@@ -178,8 +277,8 @@ pub mod collection {
 
 pub mod prelude {
     pub use crate::{
-        any, prop_assert, prop_assert_eq, proptest, Arbitrary, Gen, ProptestConfig, Strategy,
-        TestCaseError, TestCaseResult,
+        any, prop_assert, prop_assert_eq, prop_oneof, proptest, Arbitrary, Gen, Just,
+        ProptestConfig, Strategy, TestCaseError, TestCaseResult,
     };
 }
 
@@ -285,6 +384,15 @@ mod tests {
         #[test]
         fn string_pattern_lengths(s in "\\PC{0,24}") {
             prop_assert!(s.chars().count() <= 24);
+        }
+
+        #[test]
+        fn oneof_just_map_and_tuples(
+            v in prop_oneof![3 => (0i64..5).prop_map(Some), 1 => Just(None)],
+            pair in ((0i64..3), (10i64..13)),
+        ) {
+            prop_assert!(v.is_none() || (0..5).contains(&v.unwrap()));
+            prop_assert!((0..3).contains(&pair.0) && (10..13).contains(&pair.1));
         }
     }
 
