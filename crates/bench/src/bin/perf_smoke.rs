@@ -1,11 +1,16 @@
-//! Hot-path performance smoke: scan, join, and spill scenarios with
-//! machine-readable output.
+//! Hot-path performance smoke: scan, join, spill, and intra-query
+//! parallelism scenarios with machine-readable output.
 //!
 //! Runs each scenario several times and writes `BENCH_join.json` (or
 //! `--out <path>`) with rows/sec, p50 latency, peak engine memory, and
 //! spill I/O — the recorded perf trajectory every subsequent PR measures
 //! against. `--quick` shrinks data sizes and repetitions for CI, where the
 //! goal is "completes and emits valid JSON", not stable timings.
+//!
+//! The `par_speedup` scenario runs a dpj3_join-class fragment DAG (two
+//! independent paced-source join fragments feeding a partitioned top
+//! join) at intra-query thread budgets 1, 2, and 4, asserts the results
+//! are multiset-identical, and reports the 4-thread-vs-1 median speedup.
 //!
 //! Reproduce the committed baseline with:
 //! ```text
@@ -17,6 +22,7 @@ use std::time::{Duration, Instant};
 
 use tukwila_bench::runner::run_single_fragment_in_env;
 use tukwila_common::{tuple, DataType, Relation, Schema};
+use tukwila_core::execute_plan;
 use tukwila_exec::ExecEnv;
 use tukwila_plan::{JoinKind, OverflowMethod, PlanBuilder};
 use tukwila_source::{LinkModel, SimulatedSource, SourceRegistry};
@@ -149,6 +155,71 @@ fn spill_scenario(n: i64, batch: usize) -> (u64, Duration, usize, usize) {
     )
 }
 
+/// The `par_speedup` scenario: a dpj3_join-class fragment DAG — two
+/// independent double-pipelined join fragments over paced (latency-bound)
+/// sources feeding a final exchange-partitioned join. Sequential
+/// execution pays both fragments' source stalls back to back; the DAG
+/// scheduler overlaps them, and the exchange partitions the top join.
+/// Returns the timing tuple plus the result relation so the caller can
+/// assert multiset equality across thread budgets.
+fn par_speedup_scenario(
+    n: i64,
+    threads: usize,
+    batch: usize,
+) -> ((u64, Duration, usize, usize), Relation) {
+    let paced = LinkModel {
+        per_tuple: Duration::from_micros(30),
+        ..LinkModel::instant()
+    };
+    let reg = SourceRegistry::new();
+    let distinct = |name: &str, n: i64| {
+        let schema = Schema::of(name, &[("k", DataType::Int), ("v", DataType::Int)]);
+        let mut r = Relation::empty(schema);
+        for i in 0..n {
+            r.push(tuple![i, i]);
+        }
+        r
+    };
+    for src in ["A", "B", "C", "D"] {
+        reg.register(SimulatedSource::new(src, distinct(src, n), paced.clone()));
+    }
+    let mut pb = PlanBuilder::new();
+    let a = pb.wrapper_scan("A");
+    let b = pb.wrapper_scan("B");
+    let j0 = pb.join(JoinKind::DoublePipelined, a, b, "k", "k");
+    let f0 = pb.fragment(j0, "mat0");
+    let c = pb.wrapper_scan("C");
+    let d = pb.wrapper_scan("D");
+    let j1 = pb.join(JoinKind::DoublePipelined, c, d, "k", "k");
+    let f1 = pb.fragment(j1, "mat1");
+    let m0 = pb.table_scan("mat0");
+    let m1 = pb.table_scan("mat1");
+    let top = pb.join(JoinKind::DoublePipelined, m0, m1, "A.k", "C.k");
+    let root = if threads > 1 {
+        pb.exchange(top, threads)
+    } else {
+        top
+    };
+    let f2 = pb.fragment(root, "result");
+    pb.depends(f0, f2);
+    pb.depends(f1, f2);
+    let plan = pb.build(f2);
+    let env = ExecEnv::new(reg)
+        .with_batch_size(batch)
+        .with_threads(threads);
+    let start = Instant::now();
+    let (rel, stats) = execute_plan(&plan, env).expect("par_speedup plan failed");
+    (
+        (
+            rel.len() as u64,
+            start.elapsed(),
+            stats.peak_memory,
+            stats.spill_tuples_written + stats.spill_tuples_read,
+        ),
+        rel.as_ref().clone(),
+    )
+}
+
 fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
@@ -163,18 +234,53 @@ fn main() {
         .unwrap_or_else(|| "BENCH_join.json".to_string());
 
     let batch = 1024usize;
-    let (runs, scan_rows, join_scale, spill_rows) = if quick {
-        (3, 20_000i64, 1i64, 800i64)
+    let (runs, scan_rows, join_scale, spill_rows, par_rows) = if quick {
+        (3, 20_000i64, 1i64, 800i64, 600i64)
     } else {
-        (9, 200_000i64, 1i64, 2_000i64)
+        (9, 200_000i64, 1i64, 2_000i64, 2_000i64)
     };
 
     eprintln!("perf_smoke: quick={quick} batch={batch} runs={runs}");
-    let results = [
+    let mut results = vec![
         measure("scan", runs, || scan_scenario(scan_rows, batch)),
         measure("dpj3_join", runs, || join_scenario(join_scale, batch)),
         measure("dpj_spill", runs, || spill_scenario(spill_rows, batch)),
     ];
+
+    // Intra-query parallelism: the same DAG at thread budgets 1/2/4, with
+    // a multiset-identity check across budgets.
+    let mut par_relations: Vec<(usize, Relation)> = Vec::new();
+    for &threads in &[1usize, 2, 4] {
+        let name = match threads {
+            1 => "par_speedup_t1",
+            2 => "par_speedup_t2",
+            _ => "par_speedup_t4",
+        };
+        let mut last: Option<Relation> = None;
+        let res = measure(name, runs, || {
+            let (timing, rel) = par_speedup_scenario(par_rows, threads, batch);
+            last = Some(rel);
+            timing
+        });
+        par_relations.push((threads, last.expect("scenario ran")));
+        results.push(res);
+    }
+    let baseline = &par_relations[0].1;
+    for (threads, rel) in &par_relations[1..] {
+        assert!(
+            rel.bag_eq(baseline),
+            "par_speedup: {threads}-thread result diverged from sequential"
+        );
+    }
+    let p50_of = |name: &str| {
+        results
+            .iter()
+            .find(|r| r.name == name)
+            .map(|r| r.p50.as_secs_f64())
+            .unwrap_or(f64::NAN)
+    };
+    let par_speedup_4v1 = p50_of("par_speedup_t1") / p50_of("par_speedup_t4");
+    eprintln!("  par_speedup: 4 threads vs 1 = {par_speedup_4v1:.2}x (results multiset-identical)");
 
     let mut json = String::new();
     json.push_str("{\n");
@@ -182,6 +288,7 @@ fn main() {
     let _ = writeln!(json, "  \"bench\": \"perf_smoke\",");
     let _ = writeln!(json, "  \"quick\": {quick},");
     let _ = writeln!(json, "  \"batch_size\": {batch},");
+    let _ = writeln!(json, "  \"par_speedup_4v1\": {par_speedup_4v1:.3},");
     json.push_str("  \"scenarios\": [\n");
     for (i, r) in results.iter().enumerate() {
         json.push_str("    {\n");

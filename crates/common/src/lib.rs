@@ -31,6 +31,20 @@ pub mod tuple;
 pub mod value;
 
 pub use batch::{BatchAssembler, BatchBuilder, OutputQueue, TupleBatch, DEFAULT_BATCH_CAPACITY};
+
+/// The process-wide default intra-query parallelism, read from the
+/// `TUKWILA_THREADS` environment variable (minimum 1; unset or invalid
+/// means sequential execution). Both the execution environment's fragment
+/// scheduler budget and the optimizer's default exchange degree start from
+/// this, so one knob flips the whole stack — the CI matrix runs the tier-1
+/// suite at 1 and 4.
+pub fn env_parallelism() -> usize {
+    std::env::var("TUKWILA_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(1)
+}
 pub use error::{Result, TukwilaError};
 pub use hash::{
     fold_hash, fx_hash, mix, FxBuildHasher, FxHashMap, FxHashSet, FxHasher, PrehashMap,

@@ -15,21 +15,26 @@
 //! ```
 //!
 //! [`TukwilaSystem::execute`] runs the **interleaved planning and
-//! execution** loop (§3): plans may be partial; fragments execute one at a
-//! time; rules raised during execution can reschedule blocked fragments
-//! (query scrambling) or terminate the plan and re-invoke the optimizer
-//! with corrected statistics, which replans incrementally from its saved
-//! search space.
+//! execution** loop (§3): plans may be partial; fragments execute on the
+//! [`scheduler`]'s dependency DAG (sequentially under a thread budget of
+//! one — the paper's model — or concurrently over independent fragments
+//! otherwise); rules raised during execution can reschedule blocked
+//! fragments (query scrambling — under the DAG, "deprioritize while
+//! siblings make progress") or terminate the plan and re-invoke the
+//! optimizer with corrected statistics, which replans incrementally from
+//! its saved search space.
 //!
 //! The [`tpch`] module provides a deployable TPC-D-style scenario — data
 //! generation, simulated network sources, catalog with (optionally
 //! deliberately wrong) statistics — used by the examples, the integration
 //! tests, and the benchmark harness that regenerates the paper's figures.
 
+pub mod scheduler;
 pub mod stats;
 pub mod system;
 pub mod tpch;
 
+pub use scheduler::{execute_plan, SchedOutcome};
 pub use stats::{ExecutionStats, QueryResult};
 pub use system::{PreparedQuery, TukwilaSystem};
 pub use tpch::{StatsQuality, TpchDeployment, TpchDeploymentBuilder};

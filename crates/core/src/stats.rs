@@ -16,7 +16,17 @@ pub struct ExecutionStats {
     pub reschedules: usize,
     /// Fragment runs (including retries).
     pub fragments_run: usize,
-    /// Per-fragment reports in execution order.
+    /// Fragment runs dispatched while at least one sibling was already in
+    /// flight — the DAG scheduler's intra-query overlap counter (always 0
+    /// under a thread budget of one).
+    pub fragments_overlapped: usize,
+    /// Largest exchange partition degree any join ran with (0 = fully
+    /// sequential pipelines).
+    pub partitions: usize,
+    /// Spill tuples written per exchange partition index, summed across
+    /// all partitioned joins of the query.
+    pub partition_spill_tuples: Vec<u64>,
+    /// Per-fragment reports in completion order.
     pub fragment_reports: Vec<FragmentReport>,
     /// Tuples written to spill storage (overflow resolution).
     pub spill_tuples_written: usize,

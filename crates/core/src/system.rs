@@ -28,16 +28,14 @@
 //! [`TukwilaSystem::run_prepared`] (the fragment/replan loop) — which
 //! `execute` merely composes.
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::BTreeSet;
 use std::sync::Arc;
 use std::time::Instant;
 
 use parking_lot::{Mutex, MutexGuard};
 
 use tukwila_common::{Relation, Result, TukwilaError};
-use tukwila_exec::{
-    run_fragment_observed, CancelKind, ExecEnv, FragmentOutcome, PlanRuntime, QueryControl,
-};
+use tukwila_exec::{CancelKind, ExecEnv, PlanRuntime, QueryControl};
 use tukwila_opt::{Observation, Optimizer, PlannedQuery};
 use tukwila_plan::{FragmentId, OpState, OperatorSpec, QuantityProvider, QueryPlan, SubjectRef};
 use tukwila_query::{ConjunctiveQuery, ReformulatedQuery, Reformulator};
@@ -225,7 +223,10 @@ impl TukwilaSystem {
         }
     }
 
-    /// Run one plan to completion or to a replan request.
+    /// Run one plan to completion or to a replan request. Fragment
+    /// execution is delegated to the DAG scheduler
+    /// ([`crate::scheduler::run_fragments`]): sequential under a thread
+    /// budget of one, concurrent over independent fragments otherwise.
     fn run_plan(
         &self,
         planned: &PlannedQuery,
@@ -236,118 +237,41 @@ impl TukwilaSystem {
     ) -> Result<PlanRun> {
         let plan = &planned.lowered.plan;
         let rt = PlanRuntime::for_plan_controlled(plan, env.clone(), control.clone());
-        let mut completed: BTreeSet<FragmentId> = BTreeSet::new();
-        let mut retries: HashMap<FragmentId, usize> = HashMap::new();
-        let mut deferred: BTreeSet<FragmentId> = BTreeSet::new();
+        let outcome = crate::scheduler::run_fragments(
+            plan,
+            &rt,
+            env.intra_query_threads,
+            self.max_fragment_retries,
+            stats,
+            series,
+        )?;
 
-        loop {
-            let active = |id: FragmentId| rt.is_active(SubjectRef::Fragment(id));
-            let ready = plan.ready_fragments(&completed, &active);
-            if ready.is_empty() {
-                // Done if the output fragment completed; otherwise the plan
-                // is stuck (contingent fragments never activated).
-                if completed.contains(&plan.output) {
-                    break;
-                }
-                if plan
-                    .fragments
-                    .iter()
-                    .all(|f| completed.contains(&f.id) || !active(f.id))
-                {
-                    return Err(TukwilaError::Plan(
-                        "no runnable fragments but output incomplete".into(),
-                    ));
-                }
-                return Err(TukwilaError::Internal(
-                    "scheduler stalled with ready set empty".into(),
-                ));
+        match outcome {
+            crate::scheduler::SchedOutcome::Finished if plan.complete => {
+                let result_name = plan
+                    .fragment(plan.output)
+                    .map(|f| f.materialize_as.clone())
+                    .unwrap_or_else(|| "result".to_string());
+                Ok(PlanRun::Finished { result_name })
             }
-            // Prefer fragments that were not just rescheduled (query
-            // scrambling runs other work first).
-            let frag = *ready
-                .iter()
-                .find(|f| !deferred.contains(f))
-                .unwrap_or(&ready[0]);
-            let is_output = frag == plan.output;
-
-            let mut observer = |n: u64, d: std::time::Duration| {
-                if is_output {
-                    series.push((n, d));
-                }
-            };
-            let report = run_fragment_observed(plan, frag, &rt, &mut observer)?;
-            stats.fragments_run += 1;
-            let outcome = report.outcome.clone();
-            stats.fragment_reports.push(report);
-
-            match outcome {
-                FragmentOutcome::Completed {
-                    replan_requested, ..
-                } => {
-                    completed.insert(frag);
-                    deferred.clear(); // conditions changed; retry blocked work
-                    let work_remains = plan
-                        .fragments
-                        .iter()
-                        .any(|f| !completed.contains(&f.id) && active(f.id));
-                    if replan_requested && (work_remains || !plan.complete) {
-                        return Ok(PlanRun::Replan {
-                            observations: gather_observations(plan, &rt, &completed, env),
-                        });
-                    }
-                    if completed.contains(&plan.output) && !work_remains {
-                        break;
-                    }
-                }
-                FragmentOutcome::Rescheduled => {
-                    stats.reschedules += 1;
-                    let r = retries.entry(frag).or_insert(0);
-                    *r += 1;
-                    if *r > self.max_fragment_retries {
-                        return Err(TukwilaError::Plan(format!(
-                            "fragment {frag} exceeded its retry budget"
-                        )));
-                    }
-                    if let Some(f) = plan.fragment(frag) {
-                        rt.reset_fragment(f);
-                    }
-                    deferred.insert(frag);
-                    // If nothing else is runnable, fall through and retry it
-                    // immediately on the next iteration (deferral is only a
-                    // preference).
-                }
-                FragmentOutcome::Aborted(m) => return Err(TukwilaError::Cancelled(m)),
-                FragmentOutcome::Failed(e) => {
-                    if !e.is_recoverable() {
-                        return Err(e);
-                    }
-                    let r = retries.entry(frag).or_insert(0);
-                    *r += 1;
-                    if *r > self.max_fragment_retries {
-                        return Err(e);
-                    }
-                    if let Some(f) = plan.fragment(frag) {
-                        rt.reset_fragment(f);
-                    }
-                    deferred.insert(frag);
-                }
-            }
-        }
-
-        if plan.complete {
-            let result_name = plan
-                .fragment(plan.output)
-                .map(|f| f.materialize_as.clone())
-                .unwrap_or_else(|| "result".to_string());
-            Ok(PlanRun::Finished { result_name })
-        } else {
-            // Partial plan ran out of planned work: hand observations back
-            // to the optimizer for the next planning step (§3).
-            Ok(PlanRun::Replan {
-                observations: gather_observations(plan, &rt, &completed, env),
-            })
+            // A mid-plan replan request, or a partial plan that ran out of
+            // planned work: hand observations back to the optimizer for
+            // the next planning step (§3).
+            _ => Ok(PlanRun::Replan {
+                observations: gather_observations(plan, &rt, &completed_fragments(plan, &rt), env),
+            }),
         }
     }
+}
+
+/// Fragments whose state reached `Closed` — the completion set the
+/// observation gatherer works from after the scheduler returns.
+fn completed_fragments(plan: &QueryPlan, rt: &PlanRuntime) -> BTreeSet<FragmentId> {
+    plan.fragments
+        .iter()
+        .filter(|f| rt.state(SubjectRef::Fragment(f.id)) == OpState::Closed)
+        .map(|f| f.id)
+        .collect()
 }
 
 /// Collect the statistics the engine ships back to the optimizer (§3.2):

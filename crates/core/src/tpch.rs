@@ -221,9 +221,23 @@ impl TpchDeployment {
 
     /// Assemble a [`TukwilaSystem`] over this deployment.
     pub fn system(&self, config: OptimizerConfig) -> TukwilaSystem {
+        self.system_with_env(config, ExecEnv::new(self.registry.clone()))
+    }
+
+    /// Assemble a system with an explicit intra-query thread budget
+    /// (overriding the `TUKWILA_THREADS` default) — the parallelism tests'
+    /// entry point.
+    pub fn system_threads(&self, config: OptimizerConfig, threads: usize) -> TukwilaSystem {
+        self.system_with_env(
+            config,
+            ExecEnv::new(self.registry.clone()).with_threads(threads),
+        )
+    }
+
+    /// Assemble a system over a caller-built environment.
+    pub fn system_with_env(&self, config: OptimizerConfig, env: ExecEnv) -> TukwilaSystem {
         let reformulator = Reformulator::new(self.mediated.clone());
         let optimizer = Optimizer::new(self.catalog.clone(), config);
-        let env = ExecEnv::new(self.registry.clone());
         TukwilaSystem::new(reformulator, optimizer, env)
     }
 

@@ -7,8 +7,8 @@ use tukwila_plan::{JoinKind, OperatorNode, OperatorSpec, SubjectRef};
 
 use crate::operator::OperatorBox;
 use crate::operators::{
-    Collector, DependentJoin, DoublePipelinedJoin, Filter, HashJoinOp, NestedLoopsJoin, Project,
-    SortMergeJoin, TableScan, UnionAll, WrapperScan,
+    Collector, DependentJoin, DoublePipelinedJoin, Exchange, Filter, HashJoinOp, NestedLoopsJoin,
+    Project, SortMergeJoin, TableScan, UnionAll, WrapperScan,
 };
 use crate::runtime::{OpHarness, PlanRuntime};
 
@@ -97,5 +97,44 @@ pub fn build_operator(node: &OperatorNode, rt: &Arc<PlanRuntime>) -> Result<Oper
             *child_timeout_ms,
             harness,
         )),
+        OperatorSpec::Exchange { input, partitions } => {
+            // Partition only hash-partitionable joins with an actual
+            // degree; everything else executes as a transparent
+            // passthrough (the wrapper node stays registered but idle).
+            match &input.spec {
+                OperatorSpec::Join {
+                    left,
+                    right,
+                    left_key,
+                    right_key,
+                    kind,
+                    overflow: _,
+                } if *partitions > 1 && crate::operators::is_partitionable(*kind) => {
+                    let l = build_operator(left, rt)?;
+                    let r = build_operator(right, rt)?;
+                    let descendants: Vec<SubjectRef> = left
+                        .all_ids()
+                        .into_iter()
+                        .chain(right.all_ids())
+                        .map(SubjectRef::Op)
+                        .collect();
+                    let join_harness = OpHarness::new(rt.clone(), SubjectRef::Op(input.id));
+                    Box::new(
+                        Exchange::new(
+                            l,
+                            r,
+                            left_key.clone(),
+                            right_key.clone(),
+                            *kind,
+                            *partitions,
+                            harness,
+                            join_harness,
+                        )
+                        .with_descendants(descendants),
+                    )
+                }
+                _ => build_operator(input, rt)?,
+            }
+        }
     })
 }

@@ -88,7 +88,7 @@ pub fn run_fragment_observed(
     if let Err(e) = root.open() {
         let _ = root.close();
         rt.set_state(subject, OpState::Failed);
-        return finish(classify_error(rt, e), 0, None);
+        return finish(classify_error(rt, frag_id, e), 0, None);
     }
 
     let mut tuples: Vec<tukwila_common::Tuple> = Vec::new();
@@ -115,8 +115,10 @@ pub fn run_fragment_observed(
                 }
                 // Mid-fragment signals: reschedule and abort take effect
                 // immediately; replan waits for the materialization point.
+                // Reschedule is fragment-scoped: a request raised for a
+                // concurrent sibling stays queued for that sibling.
                 if rt.signal_pending() {
-                    if let Some(sig) = peek_interrupting_signal(rt) {
+                    if let Some(sig) = peek_interrupting_signal(rt, frag_id) {
                         let _ = root.close();
                         return finish(sig, tuples.len() as u64, time_to_first);
                     }
@@ -126,7 +128,11 @@ pub fn run_fragment_observed(
             Err(e) => {
                 let _ = root.close();
                 rt.set_state(subject, OpState::Failed);
-                return finish(classify_error(rt, e), tuples.len() as u64, time_to_first);
+                return finish(
+                    classify_error(rt, frag_id, e),
+                    tuples.len() as u64,
+                    time_to_first,
+                );
             }
         }
     }
@@ -150,7 +156,7 @@ pub fn run_fragment_observed(
 
     // Materialization point: emit closed(frag); replan rules fire here.
     rt.set_state(subject, OpState::Closed);
-    let outcome = match rt.take_signal() {
+    let outcome = match rt.take_signal_for(frag_id) {
         Some(EngineSignal::Abort(m)) => FragmentOutcome::Aborted(m),
         Some(EngineSignal::Replan) => FragmentOutcome::Completed {
             cardinality: produced as usize,
@@ -173,8 +179,11 @@ pub fn run_fragment(
     run_fragment_observed(plan, frag_id, rt, &mut |_, _| {})
 }
 
-fn peek_interrupting_signal(rt: &PlanRuntime) -> Option<FragmentOutcome> {
-    match rt.take_signal() {
+fn peek_interrupting_signal(
+    rt: &PlanRuntime,
+    frag_id: tukwila_plan::FragmentId,
+) -> Option<FragmentOutcome> {
+    match rt.take_signal_for(frag_id) {
         Some(EngineSignal::Abort(m)) => Some(FragmentOutcome::Aborted(m)),
         Some(EngineSignal::Reschedule) => Some(FragmentOutcome::Rescheduled),
         Some(EngineSignal::Replan) => {
@@ -190,10 +199,14 @@ fn peek_interrupting_signal(rt: &PlanRuntime) -> Option<FragmentOutcome> {
     }
 }
 
-fn classify_error(rt: &PlanRuntime, e: TukwilaError) -> FragmentOutcome {
+fn classify_error(
+    rt: &PlanRuntime,
+    frag_id: tukwila_plan::FragmentId,
+    e: TukwilaError,
+) -> FragmentOutcome {
     // A recoverable error accompanied by a pending signal becomes that
     // signal's outcome (e.g. timeout + reschedule rule ⇒ Rescheduled).
-    match rt.take_signal() {
+    match rt.take_signal_for(frag_id) {
         Some(EngineSignal::Abort(m)) => FragmentOutcome::Aborted(m),
         Some(EngineSignal::Reschedule) => FragmentOutcome::Rescheduled,
         Some(EngineSignal::Replan) => {

@@ -17,7 +17,9 @@
 //! * [`operators`] — scans, wrapper scans, selection, projection, the join
 //!   family (nested loops, sort-merge, hybrid/Grace hash, the **double
 //!   pipelined join** with its overflow strategies), union, the **dynamic
-//!   collector**, and dependent join.
+//!   collector**, dependent join, and the **partitioned exchange** that
+//!   runs N parallel instances of a hash join over key-partitioned inputs
+//!   (DESIGN.md §8).
 //! * [`fragment`] — executes one pipelined fragment to completion,
 //!   materializing its result and reporting statistics; interleaved
 //!   planning/execution (crate `tukwila-core`) loops over this.
@@ -36,4 +38,4 @@ pub use build::build_operator;
 pub use control::{CancelKind, QueryControl};
 pub use fragment::{run_fragment, run_fragment_observed, FragmentOutcome, FragmentReport};
 pub use operator::{drain, drain_batches, drain_tuples, Operator, OperatorBox, TupleCursor};
-pub use runtime::{EngineSignal, ExecEnv, OpHarness, PlanRuntime};
+pub use runtime::{EngineSignal, ExecEnv, OpHarness, ParallelStats, PlanRuntime};

@@ -368,7 +368,7 @@ impl DoublePipelinedJoin {
         let b_old = self.tables[RIGHT].old_tuples(b)?;
         let b_new = self.tables[RIGHT].new_tuples(b)?;
         let budget = self.harness.reservation().map(|r| r.budget());
-        let spill = self.harness.runtime().env().spill.clone();
+        let spill = self.harness.spill();
         let mut out = Vec::new();
         // old×old was emitted online; produce the three remaining quadrants.
         join_sets(
@@ -440,7 +440,7 @@ impl Operator for DoublePipelinedJoin {
         self.pending = OutputQueue::new(self.harness.batch_size());
         let reservation = self.harness.reservation();
         self.reservation = reservation.clone();
-        let spill = self.harness.runtime().env().spill.clone();
+        let spill = self.harness.spill();
         self.tables = vec![
             BucketedTable::new(
                 format!("dpj-{}-L", self.harness.subject()),

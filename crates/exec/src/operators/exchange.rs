@@ -1,0 +1,458 @@
+//! Partitioned exchange pipelines — intra-query parallelism for the
+//! hash-based joins.
+//!
+//! The `Exchange`/`Repartition` pair splits one logical join into N
+//! independent instances:
+//!
+//! * two **repartition drivers** (one per input) pull the real child
+//!   operators and hash-partition every batch by the join key's Fx prehash
+//!   (`fold_hash` with a dedicated salt, so partition routing does not
+//!   correlate with the joins' internal bucket routing) into per-partition
+//!   bounded channels — NULL-keyed rows are dropped at the split, exactly
+//!   as the joins themselves would drop them;
+//! * N **partition workers** each run a private instance of the join
+//!   (double-pipelined, hybrid or Grace hash) whose children are
+//!   [`PartitionSource`]s reading the partition's channels, under a
+//!   partition harness: shared subject statistics and overflow method, but
+//!   a memory reservation split off the plan operator's reservation via
+//!   parent-chaining (so the governor's query/fleet pressure reaches every
+//!   instance and the instances' combined usage is capped by the plan
+//!   budget) and a scoped spill store for per-partition I/O attribution;
+//! * the [`Exchange`] operator itself merges output batches in arrival
+//!   order — an order-insensitive union, so the result is multiset-equal
+//!   to the sequential join.
+//!
+//! Equi-join correctness under hash partitioning: tuples with equal keys
+//! hash identically, so every matching pair meets in exactly one
+//! partition and no pair meets twice.
+
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam_channel::{bounded, Receiver, Sender};
+
+use tukwila_common::{fold_hash, KeyVector, Result, Schema, TukwilaError, Tuple, TupleBatch};
+use tukwila_plan::{JoinKind, QuantityProvider, SubjectRef};
+use tukwila_storage::{MemoryManager, ScopedSpillStore, SpillStore};
+
+use crate::operator::{Operator, OperatorBox};
+use crate::operators::{DoublePipelinedJoin, HashJoinOp};
+use crate::runtime::OpHarness;
+
+/// Salt for partition routing — distinct from the joins' bucket salt (0)
+/// and the `PrehashMap` slot salt, so the three layers of the same prehash
+/// stay uncorrelated.
+const EXCHANGE_SALT: u64 = 0x5851_F42D_4C95_7F2D;
+
+/// Bounded per-partition channel capacity, in batches. Large enough that a
+/// hybrid join's probe side can run ahead while the build side drains,
+/// small enough to bound buffered memory.
+const PARTITION_QUEUE_CAP: usize = 8;
+
+/// Whether `kind` can be parallelized by hash partitioning on the join
+/// keys (delegates to the plan-level predicate shared with the
+/// optimizer's lowering).
+pub fn is_partitionable(kind: JoinKind) -> bool {
+    kind.is_hash_partitionable()
+}
+
+enum Msg {
+    Batch(TupleBatch),
+    End,
+    Err(TukwilaError),
+}
+
+/// Consumer end of one repartitioned stream — the leaf each partition
+/// instance's join pulls from.
+struct PartitionSource {
+    rx: Option<Receiver<Msg>>,
+    schema: Schema,
+    done: bool,
+}
+
+impl PartitionSource {
+    fn new(rx: Receiver<Msg>, schema: Schema) -> Self {
+        PartitionSource {
+            rx: Some(rx),
+            schema,
+            done: false,
+        }
+    }
+}
+
+impl Operator for PartitionSource {
+    fn open(&mut self) -> Result<()> {
+        Ok(())
+    }
+
+    fn next_batch(&mut self) -> Result<Option<TupleBatch>> {
+        if self.done {
+            return Ok(None);
+        }
+        let Some(rx) = &self.rx else {
+            return Ok(None);
+        };
+        match rx.recv() {
+            Ok(Msg::Batch(b)) => Ok(Some(b)),
+            Ok(Msg::End) => {
+                self.done = true;
+                Ok(None)
+            }
+            Ok(Msg::Err(e)) => {
+                self.done = true;
+                Err(e)
+            }
+            // A driver never exits without sending End or Err to every
+            // partition; a bare disconnect means it died abnormally.
+            Err(_) => {
+                self.done = true;
+                Err(TukwilaError::Internal(
+                    "exchange repartition stream disconnected".into(),
+                ))
+            }
+        }
+    }
+
+    fn close(&mut self) -> Result<()> {
+        self.rx = None;
+        Ok(())
+    }
+
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn name(&self) -> &'static str {
+        "partition_source"
+    }
+}
+
+/// Repartition driver: drain `child`, split every batch across `txs` by
+/// key prehash, drop NULL keys, propagate end/error to every partition.
+fn drive_side(mut child: OperatorBox, key_idx: usize, txs: Vec<Sender<Msg>>) {
+    let n = txs.len();
+    loop {
+        match child.next_batch() {
+            Ok(Some(batch)) => {
+                let kv = KeyVector::compute(&batch, key_idx);
+                let mut parts: Vec<Vec<Tuple>> = vec![Vec::new(); n];
+                for (i, t) in batch.into_iter().enumerate() {
+                    if let Some(h) = kv.get(i) {
+                        parts[fold_hash(h, n, EXCHANGE_SALT)].push(t);
+                    }
+                }
+                for (p, tuples) in parts.into_iter().enumerate() {
+                    if tuples.is_empty() {
+                        continue;
+                    }
+                    if txs[p]
+                        .send(Msg::Batch(TupleBatch::from_tuples(tuples)))
+                        .is_err()
+                    {
+                        // Consumer went away (early close): stop driving.
+                        let _ = child.close();
+                        return;
+                    }
+                }
+            }
+            Ok(None) => break,
+            Err(e) => {
+                for tx in &txs {
+                    let _ = tx.send(Msg::Err(e.clone()));
+                }
+                let _ = child.close();
+                return;
+            }
+        }
+    }
+    for tx in &txs {
+        let _ = tx.send(Msg::End);
+    }
+    let _ = child.close();
+}
+
+struct Prep {
+    left: OperatorBox,
+    right: OperatorBox,
+    left_key: String,
+    right_key: String,
+    kind: JoinKind,
+}
+
+/// The partitioned exchange operator (see module docs).
+pub struct Exchange {
+    prep: Option<Prep>,
+    partitions: usize,
+    /// Harness of the exchange plan node (merge-side statistics).
+    harness: OpHarness,
+    /// Plain harness of the inner join node: lifecycle + reservation
+    /// parent; partition instances derive their harnesses from it.
+    join_harness: OpHarness,
+    /// Descendant subjects deactivated on early close so repartition
+    /// drivers blocked inside link-model sleeps wake up.
+    descendants: Vec<SubjectRef>,
+    // -- runtime state (after open) --
+    schema: Schema,
+    rx: Option<Receiver<Msg>>,
+    threads: Vec<JoinHandle<()>>,
+    live_workers: usize,
+    part_spills: Vec<Arc<ScopedSpillStore>>,
+    reported: bool,
+    opened: bool,
+}
+
+impl Exchange {
+    /// Build an exchange running `partitions` instances of the described
+    /// join. `harness` is the exchange node's; `join_harness` the inner
+    /// join node's.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        left: OperatorBox,
+        right: OperatorBox,
+        left_key: String,
+        right_key: String,
+        kind: JoinKind,
+        partitions: usize,
+        harness: OpHarness,
+        join_harness: OpHarness,
+    ) -> Self {
+        Exchange {
+            prep: Some(Prep {
+                left,
+                right,
+                left_key,
+                right_key,
+                kind,
+            }),
+            partitions: partitions.max(1),
+            harness,
+            join_harness,
+            descendants: Vec::new(),
+            schema: Schema::empty(),
+            rx: None,
+            threads: Vec::new(),
+            live_workers: 0,
+            part_spills: Vec::new(),
+            reported: false,
+            opened: false,
+        }
+    }
+
+    /// Record descendant subjects for cancellation on early close.
+    pub fn with_descendants(mut self, subjects: Vec<SubjectRef>) -> Self {
+        self.descendants = subjects;
+        self
+    }
+
+    fn shutdown_threads(&mut self) {
+        self.rx = None;
+        for d in &self.descendants {
+            let rt = self.harness.runtime();
+            if rt.state(*d) == tukwila_plan::OpState::Open {
+                rt.deactivate(*d);
+            }
+        }
+        for h in self.threads.drain(..) {
+            let _ = h.join();
+        }
+    }
+
+    /// Push this run's per-partition spill counters into the runtime
+    /// (once).
+    fn report_partition_stats(&mut self) {
+        if self.reported || self.part_spills.is_empty() {
+            return;
+        }
+        self.reported = true;
+        let spills: Vec<u64> = self
+            .part_spills
+            .iter()
+            .map(|s| s.stats().tuples_written() as u64)
+            .collect();
+        self.harness.runtime().note_exchange(&spills);
+    }
+}
+
+impl Operator for Exchange {
+    fn open(&mut self) -> Result<()> {
+        let Prep {
+            mut left,
+            mut right,
+            left_key,
+            right_key,
+            kind,
+        } = self
+            .prep
+            .take()
+            .ok_or_else(|| TukwilaError::Internal("Exchange opened twice".into()))?;
+        // Eligibility first, before any child holds resources (the
+        // builder only constructs exchanges for partitionable kinds, but
+        // hand-built plans reach this path too).
+        if !is_partitionable(kind) {
+            return Err(TukwilaError::Plan(format!(
+                "exchange cannot partition a {kind:?} join"
+            )));
+        }
+        left.open()?;
+        if let Err(e) = right.open() {
+            let _ = left.close();
+            return Err(e);
+        }
+        // From here on, any failure must close both opened children.
+        let (lkey, rkey) = match (
+            left.schema().index_of(&left_key),
+            right.schema().index_of(&right_key),
+        ) {
+            (Ok(l), Ok(r)) => (l, r),
+            (l, r) => {
+                let _ = left.close();
+                let _ = right.close();
+                return Err(l.err().or(r.err()).unwrap());
+            }
+        };
+        let left_schema = left.schema().clone();
+        let right_schema = right.schema().clone();
+        self.schema = left_schema.concat(&right_schema);
+
+        let n = self.partitions;
+        let rt = self.harness.runtime();
+        let env_spill = rt.env().spill.clone();
+
+        // Split the join's memory reservation across the instances via
+        // parent-chaining: each partition gets budget/N, every charge
+        // rolls up into the plan operator's reservation (and from there
+        // into the query and fleet pools), and `under_pressure` on a
+        // partition sees overage at any layer.
+        let parent = self.join_harness.reservation();
+        let mut part_channels_l = Vec::with_capacity(n);
+        let mut part_channels_r = Vec::with_capacity(n);
+        let (out_tx, out_rx) = bounded::<Msg>(n.max(2) * 2);
+        self.part_spills = Vec::with_capacity(n);
+        let mut instances: Vec<OperatorBox> = Vec::with_capacity(n);
+        for i in 0..n {
+            let (ltx, lrx) = bounded::<Msg>(PARTITION_QUEUE_CAP);
+            let (rtx, rrx) = bounded::<Msg>(PARTITION_QUEUE_CAP);
+            part_channels_l.push(ltx);
+            part_channels_r.push(rtx);
+            let scoped = Arc::new(ScopedSpillStore::new(env_spill.clone()));
+            self.part_spills.push(scoped.clone());
+            let reservation = parent.as_ref().map(|p| {
+                let budget = (p.budget() / n).max(1);
+                MemoryManager::with_parent(p.clone()).register(format!("{}p{i}", p.name()), budget)
+            });
+            let part_harness = self.join_harness.for_partition(i, reservation, scoped);
+            let lsrc: OperatorBox = Box::new(PartitionSource::new(lrx, left_schema.clone()));
+            let rsrc: OperatorBox = Box::new(PartitionSource::new(rrx, right_schema.clone()));
+            let instance: OperatorBox = match kind {
+                JoinKind::DoublePipelined => Box::new(DoublePipelinedJoin::new(
+                    lsrc,
+                    rsrc,
+                    left_key.clone(),
+                    right_key.clone(),
+                    part_harness,
+                )),
+                JoinKind::HybridHash => Box::new(HashJoinOp::hybrid(
+                    lsrc,
+                    rsrc,
+                    left_key.clone(),
+                    right_key.clone(),
+                    part_harness,
+                )),
+                JoinKind::GraceHash => Box::new(HashJoinOp::grace(
+                    lsrc,
+                    rsrc,
+                    left_key.clone(),
+                    right_key.clone(),
+                    part_harness,
+                )),
+                // Guarded by the is_partitionable check at open entry.
+                other => unreachable!("non-partitionable {other:?} past eligibility check"),
+            };
+            instances.push(instance);
+        }
+
+        // Lifecycle: the exchange owns the shared join subject's state.
+        self.join_harness.opened();
+        self.harness.opened();
+        self.opened = true;
+
+        self.threads.push(std::thread::spawn(move || {
+            drive_side(left, lkey, part_channels_l)
+        }));
+        self.threads.push(std::thread::spawn(move || {
+            drive_side(right, rkey, part_channels_r)
+        }));
+        for mut instance in instances {
+            let out = out_tx.clone();
+            self.threads.push(std::thread::spawn(move || {
+                let result = (|| -> Result<()> {
+                    instance.open()?;
+                    while let Some(batch) = instance.next_batch()? {
+                        if out.send(Msg::Batch(batch)).is_err() {
+                            break; // consumer gone (early close)
+                        }
+                    }
+                    Ok(())
+                })();
+                let _ = instance.close();
+                let _ = match result {
+                    Ok(()) => out.send(Msg::End),
+                    Err(e) => out.send(Msg::Err(e)),
+                };
+            }));
+        }
+        self.live_workers = n;
+        self.rx = Some(out_rx);
+        Ok(())
+    }
+
+    fn next_batch(&mut self) -> Result<Option<TupleBatch>> {
+        loop {
+            if self.live_workers == 0 {
+                return Ok(None);
+            }
+            let Some(rx) = &self.rx else {
+                return Ok(None);
+            };
+            match rx.recv() {
+                Ok(Msg::Batch(b)) => {
+                    self.harness.produced(b.len() as u64);
+                    return Ok(Some(b));
+                }
+                Ok(Msg::End) => {
+                    self.live_workers -= 1;
+                }
+                Ok(Msg::Err(e)) => {
+                    self.harness.failed();
+                    self.shutdown_threads();
+                    return Err(e);
+                }
+                Err(_) => {
+                    return Err(TukwilaError::Internal(
+                        "exchange output channel disconnected".into(),
+                    ))
+                }
+            }
+        }
+    }
+
+    fn close(&mut self) -> Result<()> {
+        self.shutdown_threads();
+        self.report_partition_stats();
+        self.part_spills.clear();
+        if self.opened {
+            self.join_harness.closed();
+            self.harness.closed();
+            self.opened = false;
+        }
+        Ok(())
+    }
+
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn name(&self) -> &'static str {
+        "exchange"
+    }
+}

@@ -175,20 +175,11 @@ impl HashJoinOp {
         let build = self.build.as_ref().unwrap();
         let b = build.bucket_for_hash(hash);
         if build.is_flushed(b) {
+            let spill = self.harness.spill();
             if self.probe_spill[b].is_none() {
-                self.probe_spill[b] = Some(
-                    self.harness
-                        .runtime()
-                        .env()
-                        .spill
-                        .create_bucket(&format!("hj-probe-{b}")),
-                );
+                self.probe_spill[b] = Some(spill.create_bucket(&format!("hj-probe-{b}")));
             }
-            self.harness
-                .runtime()
-                .env()
-                .spill
-                .write(self.probe_spill[b].unwrap(), std::slice::from_ref(&t))?;
+            spill.write(self.probe_spill[b].unwrap(), std::slice::from_ref(&t))?;
         } else {
             let key = t.value(self.lkey);
             for m in build.probe_hashed(hash, key) {
@@ -205,8 +196,9 @@ impl HashJoinOp {
         }
         let mut build_set = build.old_tuples(b)?;
         build_set.extend(build.new_tuples(b)?);
+        let spill = self.harness.spill();
         let probe_set = match self.probe_spill[b] {
-            Some(sb) => self.harness.runtime().env().spill.read_all(sb)?,
+            Some(sb) => spill.read_all(sb)?,
             None => Vec::new(),
         };
         if build_set.is_empty() || probe_set.is_empty() {
@@ -215,15 +207,7 @@ impl HashJoinOp {
         let budget = self.harness.reservation().map(|r| r.budget());
         let mut out = Vec::new();
         join_sets(
-            build_set,
-            probe_set,
-            self.rkey,
-            self.lkey,
-            budget,
-            0,
-            &self.harness.runtime().env().spill,
-            true,
-            &mut out,
+            build_set, probe_set, self.rkey, self.lkey, budget, 0, &spill, true, &mut out,
         )?;
         self.pending.extend_tuples(out);
         Ok(())
@@ -243,7 +227,7 @@ impl Operator for HashJoinOp {
             self.num_buckets,
             self.rkey,
             self.reservation.clone(),
-            self.harness.runtime().env().spill.clone(),
+            self.harness.spill(),
         ));
         self.probe_spill = vec![None; self.num_buckets];
         self.pending = OutputQueue::new(self.harness.batch_size());

@@ -10,12 +10,15 @@ mod batch_tests;
 pub mod collector;
 pub mod dependent_join;
 pub mod dpj;
+pub mod exchange;
 pub mod filter;
 pub mod hash_join;
 pub mod hash_table;
 pub mod nlj;
 #[cfg(test)]
 mod op_tests;
+#[cfg(test)]
+mod par_tests;
 #[cfg(test)]
 mod prehash_tests;
 pub mod project;
@@ -67,6 +70,7 @@ pub(crate) fn open_source_stream(
 pub use collector::Collector;
 pub use dependent_join::DependentJoin;
 pub use dpj::DoublePipelinedJoin;
+pub use exchange::{is_partitionable, Exchange};
 pub use filter::Filter;
 pub use hash_join::HashJoinOp;
 pub use nlj::NestedLoopsJoin;

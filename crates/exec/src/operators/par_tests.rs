@@ -1,0 +1,299 @@
+//! Partitioned-exchange equivalence: running N parallel instances of a
+//! hash join over hash-partitioned inputs must be a pure parallelization —
+//! multiset-equal to the sequential join (and to the naive nested-loop
+//! reference) for every partitionable join kind, NULL keys included,
+//! under memory budgets small enough to force per-partition spilling, and
+//! at any batch size.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+
+use tukwila_common::{DataType, Relation, Schema, Tuple, Value};
+use tukwila_plan::{JoinKind, OperatorNode, OverflowMethod, PlanBuilder, QueryPlan};
+use tukwila_source::{LinkModel, SimulatedSource, SourceRegistry};
+
+use crate::build::build_operator;
+use crate::operator::drain;
+use crate::runtime::{ExecEnv, PlanRuntime};
+
+fn multiset(tuples: &[Tuple]) -> HashMap<Tuple, usize> {
+    let mut m = HashMap::new();
+    for t in tuples {
+        *m.entry(t.clone()).or_insert(0) += 1;
+    }
+    m
+}
+
+fn rel_of(name: &str, rows: &[(Option<i64>, i64)]) -> Relation {
+    let schema = Schema::of(name, &[("k", DataType::Int), ("v", DataType::Int)]);
+    let mut r = Relation::empty(schema);
+    for (k, v) in rows {
+        let key = match k {
+            Some(k) => Value::Int(*k),
+            None => Value::Null,
+        };
+        r.push(Tuple::new(vec![key, Value::Int(*v)]));
+    }
+    r
+}
+
+fn keyed_rows(n: i64, dup: i64, null_every: Option<i64>) -> Vec<(Option<i64>, i64)> {
+    (0..n)
+        .map(|i| {
+            let k = match null_every {
+                Some(e) if i % e == 0 => None,
+                _ => Some(i % dup.max(1)),
+            };
+            (k, i)
+        })
+        .collect()
+}
+
+fn plan_of(build: impl FnOnce(&mut PlanBuilder) -> OperatorNode) -> QueryPlan {
+    let mut b = PlanBuilder::new();
+    let root = build(&mut b);
+    let f = b.fragment(root, "out");
+    b.build(f)
+}
+
+fn join_node(
+    b: &mut PlanBuilder,
+    kind: JoinKind,
+    budget: Option<usize>,
+) -> tukwila_plan::OperatorNode {
+    let ls = b.wrapper_scan("L");
+    let rs = b.wrapper_scan("R");
+    let mut j = match kind {
+        JoinKind::DoublePipelined => {
+            b.dpj(ls, rs, "k", "k", OverflowMethod::IncrementalSymmetricFlush)
+        }
+        other => b.join(other, ls, rs, "k", "k"),
+    };
+    if let Some(bytes) = budget {
+        j = j.with_memory(bytes);
+    }
+    j
+}
+
+/// Run a one-fragment plan against `L`/`R`; returns the drained output and
+/// the runtime (for spill / parallel-stat assertions).
+fn run_plan(
+    l: &Relation,
+    r: &Relation,
+    plan: &QueryPlan,
+    batch_size: usize,
+) -> (Vec<Tuple>, std::sync::Arc<PlanRuntime>) {
+    let reg = SourceRegistry::new();
+    reg.register(SimulatedSource::new("L", l.clone(), LinkModel::instant()));
+    reg.register(SimulatedSource::new("R", r.clone(), LinkModel::instant()));
+    let env = ExecEnv::new(reg).with_batch_size(batch_size);
+    let rt = PlanRuntime::for_plan(plan, env);
+    let mut op = build_operator(&plan.fragments[0].root, &rt).unwrap();
+    (drain(op.as_mut()).unwrap(), rt)
+}
+
+#[test]
+fn exchange_matches_gold_for_every_partitionable_kind() {
+    let l = rel_of("l", &keyed_rows(300, 20, Some(13)));
+    let r = rel_of("r", &keyed_rows(200, 20, Some(7)));
+    let gold = multiset(l.nested_join(&r, 0, 0).tuples());
+    for kind in [
+        JoinKind::DoublePipelined,
+        JoinKind::HybridHash,
+        JoinKind::GraceHash,
+    ] {
+        for partitions in [2usize, 3, 4] {
+            let plan = plan_of(|b| {
+                let j = join_node(b, kind, None);
+                b.exchange(j, partitions)
+            });
+            let (out, _) = run_plan(&l, &r, &plan, 64);
+            assert_eq!(
+                multiset(&out),
+                gold,
+                "{kind:?} x{partitions} diverged from reference"
+            );
+        }
+    }
+}
+
+#[test]
+fn exchange_with_tiny_budget_spills_and_stays_exact() {
+    let l = rel_of("l", &keyed_rows(400, 25, None));
+    let r = rel_of("r", &keyed_rows(400, 25, None));
+    let gold = multiset(l.nested_join(&r, 0, 0).tuples());
+    for kind in [JoinKind::DoublePipelined, JoinKind::HybridHash] {
+        let plan = plan_of(|b| {
+            let j = join_node(b, kind, Some(3_000));
+            b.exchange(j, 4)
+        });
+        let (out, rt) = run_plan(&l, &r, &plan, 64);
+        assert_eq!(multiset(&out), gold, "{kind:?} under spill diverged");
+        assert!(
+            rt.env().spill.stats().tuples_written() > 0,
+            "{kind:?}: a 3KB budget over ~400-tuple sides must spill"
+        );
+        // Per-partition attribution reached the runtime.
+        let ps = rt.parallel_stats();
+        assert_eq!(ps.max_partitions, 4);
+        assert_eq!(ps.partition_spill_tuples.len(), 4);
+        assert!(
+            ps.partition_spill_tuples.iter().sum::<u64>() > 0,
+            "{kind:?}: spill must be attributed to partitions"
+        );
+    }
+}
+
+#[test]
+fn exchange_over_nlj_is_a_passthrough() {
+    // Nested loops is not hash-partitionable; the exchange wrapper must
+    // degrade to running the join unchanged.
+    let l = rel_of("l", &keyed_rows(50, 5, Some(9)));
+    let r = rel_of("r", &keyed_rows(40, 5, None));
+    let gold = multiset(l.nested_join(&r, 0, 0).tuples());
+    let plan = plan_of(|b| {
+        let j = join_node(b, JoinKind::NestedLoops, None);
+        b.exchange(j, 4)
+    });
+    let (out, rt) = run_plan(&l, &r, &plan, 32);
+    assert_eq!(multiset(&out), gold);
+    assert_eq!(rt.parallel_stats().max_partitions, 0, "no exchange ran");
+}
+
+#[test]
+fn exchange_with_one_partition_is_a_passthrough() {
+    let l = rel_of("l", &keyed_rows(60, 6, None));
+    let r = rel_of("r", &keyed_rows(60, 6, None));
+    let gold = multiset(l.nested_join(&r, 0, 0).tuples());
+    let plan = plan_of(|b| {
+        let j = join_node(b, JoinKind::DoublePipelined, None);
+        b.exchange(j, 1)
+    });
+    let (out, _) = run_plan(&l, &r, &plan, 64);
+    assert_eq!(multiset(&out), gold);
+}
+
+#[test]
+fn exchange_empty_inputs_produce_nothing() {
+    let l = rel_of("l", &[]);
+    let r = rel_of("r", &keyed_rows(20, 2, None));
+    let plan = plan_of(|b| {
+        let j = join_node(b, JoinKind::HybridHash, None);
+        b.exchange(j, 3)
+    });
+    let (out, _) = run_plan(&l, &r, &plan, 64);
+    assert!(out.is_empty());
+}
+
+#[test]
+fn exchange_propagates_source_failure() {
+    let reg = SourceRegistry::new();
+    reg.register(SimulatedSource::new(
+        "L",
+        rel_of("l", &keyed_rows(100, 10, None)),
+        LinkModel::failing(5),
+    ));
+    reg.register(SimulatedSource::new(
+        "R",
+        rel_of("r", &keyed_rows(100, 10, None)),
+        LinkModel::instant(),
+    ));
+    let plan = plan_of(|b| {
+        let j = join_node(b, JoinKind::DoublePipelined, None);
+        b.exchange(j, 4)
+    });
+    let env = ExecEnv::new(reg);
+    let rt = PlanRuntime::for_plan(&plan, env);
+    let mut op = build_operator(&plan.fragments[0].root, &rt).unwrap();
+    op.open().unwrap();
+    let err = loop {
+        match op.next_batch() {
+            Ok(Some(_)) => {}
+            Ok(None) => panic!("expected source failure to surface"),
+            Err(e) => break e,
+        }
+    };
+    assert_eq!(err.kind(), "source_unavailable");
+    op.close().unwrap();
+}
+
+#[test]
+fn exchange_close_without_drain_does_not_hang() {
+    use std::time::{Duration, Instant};
+    let slow = LinkModel {
+        per_tuple: Duration::from_millis(2),
+        ..LinkModel::instant()
+    };
+    let reg = SourceRegistry::new();
+    reg.register(SimulatedSource::new(
+        "L",
+        rel_of("l", &keyed_rows(10_000, 10, None)),
+        slow.clone(),
+    ));
+    reg.register(SimulatedSource::new(
+        "R",
+        rel_of("r", &keyed_rows(10_000, 10, None)),
+        slow,
+    ));
+    let plan = plan_of(|b| {
+        let j = join_node(b, JoinKind::DoublePipelined, None);
+        b.exchange(j, 4)
+    });
+    let env = ExecEnv::new(reg);
+    let rt = PlanRuntime::for_plan(&plan, env);
+    let mut op = build_operator(&plan.fragments[0].root, &rt).unwrap();
+    op.open().unwrap();
+    let _ = op.next_batch().unwrap();
+    let start = Instant::now();
+    op.close().unwrap();
+    assert!(
+        start.elapsed() < Duration::from_secs(10),
+        "close must cancel blocked repartition drivers"
+    );
+}
+
+fn arb_rows(max: usize) -> impl Strategy<Value = Vec<(Option<i64>, i64)>> {
+    proptest::collection::vec(
+        (
+            prop_oneof![3 => (0i64..6).prop_map(Some), 1 => Just(None)],
+            0i64..1000,
+        ),
+        0..max,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Exchange-parallelized execution is multiset-equal to the
+    /// sequential join for every partitionable kind — random inputs with
+    /// NULL keys, random partition degree, overflow-forcing budgets, and
+    /// varying batch sizes.
+    #[test]
+    fn prop_exchange_matches_sequential(
+        l_rows in arb_rows(40),
+        r_rows in arb_rows(40),
+        partitions in 2usize..5,
+        budget in prop_oneof![Just(None), Just(Some(1_500usize))],
+        batch_size in prop_oneof![Just(1usize), Just(7), Just(64)],
+    ) {
+        let l = rel_of("l", &l_rows);
+        let r = rel_of("r", &r_rows);
+        for kind in [JoinKind::DoublePipelined, JoinKind::HybridHash, JoinKind::GraceHash] {
+            let sequential = plan_of(|b| join_node(b, kind, budget));
+            let (seq_out, _) = run_plan(&l, &r, &sequential, batch_size);
+            let parallel = plan_of(|b| {
+                let j = join_node(b, kind, budget);
+                b.exchange(j, partitions)
+            });
+            let (par_out, _) = run_plan(&l, &r, &parallel, batch_size);
+            prop_assert!(
+                multiset(&par_out) == multiset(&seq_out),
+                "{kind:?} x{partitions} (budget {budget:?}, batch {batch_size}): parallel {} rows vs sequential {}",
+                par_out.len(),
+                seq_out.len()
+            );
+        }
+    }
+}

@@ -49,6 +49,12 @@ pub struct ExecEnv {
     /// Target tuples per [`tukwila_common::TupleBatch`] exchanged between
     /// operators and across the wrapper boundary.
     pub batch_size: usize,
+    /// Intra-query thread budget: how many plan fragments the DAG
+    /// scheduler may run concurrently for one query (1 = the paper's
+    /// sequential "each fragment in turn" model). Defaults to the
+    /// `TUKWILA_THREADS` environment variable via
+    /// [`tukwila_common::env_parallelism`].
+    pub intra_query_threads: usize,
 }
 
 impl ExecEnv {
@@ -60,6 +66,7 @@ impl ExecEnv {
             local: LocalStore::new(),
             sources,
             batch_size: tukwila_common::DEFAULT_BATCH_CAPACITY,
+            intra_query_threads: tukwila_common::env_parallelism(),
         }
     }
 
@@ -72,6 +79,12 @@ impl ExecEnv {
     /// Override the operator batch size (1 = tuple-at-a-time execution).
     pub fn with_batch_size(mut self, batch_size: usize) -> Self {
         self.batch_size = batch_size.max(1);
+        self
+    }
+
+    /// Override the intra-query thread budget (1 = sequential fragments).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.intra_query_threads = threads.max(1);
         self
     }
 
@@ -96,6 +109,7 @@ impl ExecEnv {
             local: LocalStore::new(),
             sources: self.sources.clone(),
             batch_size: self.batch_size,
+            intra_query_threads: self.intra_query_threads,
         }
     }
 }
@@ -178,8 +192,23 @@ pub enum EngineSignal {
 #[derive(Default)]
 struct Signals {
     replan: AtomicBool,
-    reschedule: AtomicBool,
+    /// Pending reschedule requests, keyed by the fragment that owns the
+    /// rule which raised them (`None` = not attributable to a fragment —
+    /// delivered to whichever fragment asks first). Per-fragment scoping
+    /// matters once fragments run concurrently: a timeout rule of a
+    /// stalled fragment must not abort a healthy sibling mid-run.
+    reschedule: Mutex<std::collections::BTreeSet<Option<tukwila_plan::FragmentId>>>,
     abort: Mutex<Option<String>>,
+}
+
+/// Intra-query parallelism counters recorded by exchange operators over
+/// one plan run.
+#[derive(Debug, Clone, Default)]
+pub struct ParallelStats {
+    /// Largest partition degree any exchange ran with (0 = no exchange).
+    pub max_partitions: usize,
+    /// Spill tuples written per partition index, summed across exchanges.
+    pub partition_spill_tuples: Vec<u64>,
 }
 
 /// The per-plan runtime: statistics, controls, events, rules, signals.
@@ -190,6 +219,11 @@ pub struct PlanRuntime {
     /// Fx-keyed: `record()` sits on the per-batch accounting path of every
     /// operator (`produced`, `is_active`), so SipHash lookups add up.
     subjects: tukwila_common::FxHashMap<SubjectRef, SubjectRecord>,
+    /// Which fragment each subject belongs to — the attribution map for
+    /// fragment-scoped reschedule signals.
+    frag_of: tukwila_common::FxHashMap<SubjectRef, tukwila_plan::FragmentId>,
+    /// Exchange-operator parallelism counters for this plan run.
+    parallel: Mutex<ParallelStats>,
     rules: Mutex<Vec<RuleSlot>>,
     event_queue: Mutex<VecDeque<Event>>,
     /// Serializes rule processing; also records processed events for tests
@@ -280,6 +314,14 @@ impl PlanRuntime {
             });
         }
 
+        let mut frag_of = tukwila_common::FxHashMap::default();
+        for frag in &plan.fragments {
+            frag_of.insert(SubjectRef::Fragment(frag.id), frag.id);
+            for id in frag.op_ids() {
+                frag_of.insert(SubjectRef::Op(id), frag.id);
+            }
+        }
+
         let rules = plan
             .all_rules()
             .into_iter()
@@ -294,6 +336,8 @@ impl PlanRuntime {
             epoch: Instant::now(),
             control,
             subjects,
+            frag_of,
+            parallel: Mutex::new(ParallelStats::default()),
             rules: Mutex::new(rules),
             event_queue: Mutex::new(VecDeque::new()),
             event_log: Mutex::new(Vec::new()),
@@ -500,13 +544,18 @@ impl PlanRuntime {
             }
             for rule in to_fire {
                 for action in &rule.actions {
-                    self.apply_action(action);
+                    self.apply_action_for(action, Some(rule.owner));
                 }
             }
         }
     }
 
+    #[cfg(test)]
     fn apply_action(&self, action: &Action) {
+        self.apply_action_for(action, None);
+    }
+
+    fn apply_action_for(&self, action: &Action, owner: Option<SubjectRef>) {
         match action {
             Action::SetOverflowMethod { op, method } => {
                 self.set_overflow_method(SubjectRef::Op(*op), *method);
@@ -518,7 +567,12 @@ impl PlanRuntime {
             }
             Action::Activate(s) => self.activate(*s),
             Action::Deactivate(s) => self.deactivate(*s),
-            Action::Reschedule => self.signals.reschedule.store(true, Ordering::Relaxed),
+            Action::Reschedule => {
+                // Attribute the request to the owning rule's fragment so a
+                // concurrent sibling does not pick it up.
+                let frag = owner.and_then(|s| self.frag_of.get(&s).copied());
+                self.signals.reschedule.lock().insert(frag);
+            }
             Action::Replan => self.signals.replan.store(true, Ordering::Relaxed),
             Action::ReturnError(m) => {
                 *self.signals.abort.lock() = Some(m.clone());
@@ -527,7 +581,8 @@ impl PlanRuntime {
     }
 
     /// Take the highest-priority pending engine signal, clearing it.
-    /// Priority: abort > replan > reschedule.
+    /// Priority: abort > replan > reschedule. Reschedule requests for
+    /// *any* fragment qualify — the single-fragment-at-a-time view.
     pub fn take_signal(&self) -> Option<EngineSignal> {
         if let Some(m) = self.signals.abort.lock().take() {
             return Some(EngineSignal::Abort(m));
@@ -535,10 +590,55 @@ impl PlanRuntime {
         if self.signals.replan.swap(false, Ordering::Relaxed) {
             return Some(EngineSignal::Replan);
         }
-        if self.signals.reschedule.swap(false, Ordering::Relaxed) {
+        let mut resched = self.signals.reschedule.lock();
+        if let Some(first) = resched.iter().next().copied() {
+            resched.remove(&first);
             return Some(EngineSignal::Reschedule);
         }
         None
+    }
+
+    /// [`PlanRuntime::take_signal`] scoped to one running fragment: abort
+    /// and replan are plan-global, but a reschedule request is delivered
+    /// only to the fragment whose rule raised it (un-attributed requests go
+    /// to whichever fragment asks first). With concurrent fragments this
+    /// is what keeps "deprioritize the stalled fragment" from abandoning a
+    /// healthy sibling.
+    pub fn take_signal_for(&self, frag: tukwila_plan::FragmentId) -> Option<EngineSignal> {
+        if let Some(m) = self.signals.abort.lock().take() {
+            return Some(EngineSignal::Abort(m));
+        }
+        if self.signals.replan.swap(false, Ordering::Relaxed) {
+            return Some(EngineSignal::Replan);
+        }
+        let mut resched = self.signals.reschedule.lock();
+        if resched.remove(&Some(frag)) || resched.remove(&None) {
+            return Some(EngineSignal::Reschedule);
+        }
+        None
+    }
+
+    /// Record one exchange run's parallelism counters (degree and per-
+    /// partition spill-tuple totals).
+    pub fn note_exchange(&self, partition_spill_tuples: &[u64]) {
+        let mut p = self.parallel.lock();
+        p.max_partitions = p.max_partitions.max(partition_spill_tuples.len());
+        if p.partition_spill_tuples.len() < partition_spill_tuples.len() {
+            p.partition_spill_tuples
+                .resize(partition_spill_tuples.len(), 0);
+        }
+        for (acc, n) in p
+            .partition_spill_tuples
+            .iter_mut()
+            .zip(partition_spill_tuples)
+        {
+            *acc += n;
+        }
+    }
+
+    /// Parallelism counters recorded so far in this plan run.
+    pub fn parallel_stats(&self) -> ParallelStats {
+        self.parallel.lock().clone()
     }
 
     /// Re-raise the replan signal (used when a mid-fragment replan request
@@ -551,7 +651,7 @@ impl PlanRuntime {
     pub fn signal_pending(&self) -> bool {
         self.signals.abort.lock().is_some()
             || self.signals.replan.load(Ordering::Relaxed)
-            || self.signals.reschedule.load(Ordering::Relaxed)
+            || !self.signals.reschedule.lock().is_empty()
     }
 
     /// Events processed so far (diagnostics, tests).
@@ -604,18 +704,73 @@ impl QuantityProvider for PlanRuntime {
     }
 }
 
+/// Per-partition overrides for an operator instance running inside a
+/// partitioned exchange: a split memory reservation parented to the plan
+/// operator's own reservation, and a scoped spill store for per-partition
+/// I/O attribution.
+struct PartitionCtx {
+    index: usize,
+    reservation: Option<MemoryReservation>,
+    spill: Arc<dyn SpillStore>,
+}
+
 /// Handle tying one operator instance to the runtime: the operator's view
 /// of statistics, events, and controls.
 #[derive(Clone)]
 pub struct OpHarness {
     rt: Arc<PlanRuntime>,
     subject: SubjectRef,
+    /// Set for partition instances inside an exchange. Such instances
+    /// share the plan operator's subject for statistics and rules but must
+    /// not flip its lifecycle state (the exchange operator owns that), and
+    /// they see a partition-split reservation and spill store.
+    partition: Option<Arc<PartitionCtx>>,
 }
 
 impl OpHarness {
     /// Build a harness for `subject`.
     pub fn new(rt: Arc<PlanRuntime>, subject: SubjectRef) -> Self {
-        OpHarness { rt, subject }
+        OpHarness {
+            rt,
+            subject,
+            partition: None,
+        }
+    }
+
+    /// Derive the harness one partition instance of an exchange runs
+    /// under: same subject (shared statistics, rules, overflow method) but
+    /// lifecycle-state transitions suppressed and reservation/spill
+    /// overridden with the partition's split.
+    pub fn for_partition(
+        &self,
+        index: usize,
+        reservation: Option<MemoryReservation>,
+        spill: Arc<dyn SpillStore>,
+    ) -> OpHarness {
+        OpHarness {
+            rt: self.rt.clone(),
+            subject: self.subject,
+            partition: Some(Arc::new(PartitionCtx {
+                index,
+                reservation,
+                spill,
+            })),
+        }
+    }
+
+    /// Partition index when this is a partition-instance harness.
+    pub fn partition_index(&self) -> Option<usize> {
+        self.partition.as_ref().map(|p| p.index)
+    }
+
+    /// The spill store this operator instance should overflow into: the
+    /// partition's scoped store inside an exchange, the engine's store
+    /// otherwise.
+    pub fn spill(&self) -> Arc<dyn SpillStore> {
+        match &self.partition {
+            Some(p) => p.spill.clone(),
+            None => self.rt.env().spill.clone(),
+        }
     }
 
     /// The runtime.
@@ -628,14 +783,19 @@ impl OpHarness {
         self.subject
     }
 
-    /// Mark opened (emits `opened`).
+    /// Mark opened (emits `opened`). A partition instance must not flip
+    /// the shared subject's lifecycle — the exchange emits it once.
     pub fn opened(&self) {
-        self.rt.set_state(self.subject, OpState::Open);
+        if self.partition.is_none() {
+            self.rt.set_state(self.subject, OpState::Open);
+        }
     }
 
     /// Mark closed (emits `closed`).
     pub fn closed(&self) {
-        self.rt.set_state(self.subject, OpState::Closed);
+        if self.partition.is_none() {
+            self.rt.set_state(self.subject, OpState::Closed);
+        }
     }
 
     /// Mark failed (emits `error`).
@@ -680,9 +840,13 @@ impl OpHarness {
         self.rt.overflow_method(self.subject)
     }
 
-    /// This operator's memory reservation, if budgeted.
+    /// This operator's memory reservation, if budgeted — for a partition
+    /// instance, its split of the plan operator's reservation.
     pub fn reservation(&self) -> Option<MemoryReservation> {
-        self.rt.reservation(self.subject)
+        match &self.partition {
+            Some(p) => p.reservation.clone(),
+            None => self.rt.reservation(self.subject),
+        }
     }
 
     /// Register a cancel handle flipped on deactivation.
@@ -790,6 +954,34 @@ mod tests {
         assert_eq!(rt.take_signal(), Some(EngineSignal::Replan));
         assert_eq!(rt.take_signal(), Some(EngineSignal::Reschedule));
         assert_eq!(rt.take_signal(), None);
+    }
+
+    #[test]
+    fn reschedule_signal_is_fragment_scoped() {
+        use tukwila_plan::{FragmentId, OpId};
+        // Two independent fragments; a timeout rule owned by fragment 0.
+        let mut b = PlanBuilder::new();
+        let a = b.wrapper_scan("A");
+        let f0 = b.fragment(a, "m0");
+        let c = b.wrapper_scan("B");
+        let f1 = b.fragment(c, "m1");
+        let mut plan = b.build(f1);
+        plan.global_rules
+            .push(Rule::reschedule_on_timeout(f0, OpId(0)));
+        let rt = runtime(&plan);
+        rt.emit(Event::with_value(
+            EventKind::Timeout,
+            SubjectRef::Op(OpId(0)),
+            5,
+        ));
+        assert!(rt.signal_pending());
+        // A concurrent sibling must not consume fragment 0's reschedule.
+        assert_eq!(rt.take_signal_for(FragmentId(1)), None);
+        assert_eq!(
+            rt.take_signal_for(FragmentId(0)),
+            Some(EngineSignal::Reschedule)
+        );
+        assert!(!rt.signal_pending());
     }
 
     #[test]

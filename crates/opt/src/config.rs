@@ -68,6 +68,16 @@ pub struct OptimizerConfig {
     pub fallback_selectivity: Option<f64>,
     /// Assumed tuple width (bytes) when the catalog lacks one.
     pub default_tuple_bytes: usize,
+    /// Upper bound on the partition degree of exchange operators (1 =
+    /// never emit an exchange; sequential joins). Defaults to the
+    /// `TUKWILA_THREADS` environment variable, matching the engine's
+    /// intra-query thread budget.
+    pub max_parallelism: usize,
+    /// Minimum estimated combined input cardinality before a join is
+    /// worth partitioning; the chosen degree scales with the estimate
+    /// (one partition per this many input rows, clamped to
+    /// [`OptimizerConfig::max_parallelism`]).
+    pub parallel_min_rows: usize,
 }
 
 impl Default for OptimizerConfig {
@@ -83,6 +93,8 @@ impl Default for OptimizerConfig {
             reschedule_on_timeout: false,
             fallback_selectivity: Some(0.01),
             default_tuple_bytes: 96,
+            max_parallelism: tukwila_common::env_parallelism(),
+            parallel_min_rows: 1_000,
         }
     }
 }

@@ -317,6 +317,27 @@ impl<'a> Lowerer<'a> {
         let join_id = node.id;
         let _ = swapped;
 
+        // Intra-query parallelism: wrap hash-partitionable joins whose
+        // estimated input volume justifies the fan-out in an exchange. The
+        // degree scales with the input cardinality (one partition per
+        // `parallel_min_rows` input rows) and is capped by the configured
+        // parallelism, so small joins stay sequential and big ones use the
+        // whole thread budget.
+        let input_rows =
+            l_est.map(|e| e.card).unwrap_or(0.0) + r_est.map(|e| e.card).unwrap_or(0.0);
+        let node = if self.config.max_parallelism > 1
+            && kind.is_hash_partitionable()
+            && input_rows >= self.config.parallel_min_rows as f64
+        {
+            let by_rows = (input_rows / self.config.parallel_min_rows as f64) as usize;
+            let degree = by_rows.clamp(2, self.config.max_parallelism);
+            self.builder
+                .exchange(node, degree)
+                .with_est_cardinality(out_card)
+        } else {
+            node
+        };
+
         // remaining crossing predicates as post-join filters
         let extra: Vec<Predicate> = crossing
             .iter()

@@ -482,6 +482,49 @@ mod tests {
     }
 
     #[test]
+    fn parallel_config_wraps_big_joins_in_exchange() {
+        let (rq, cat) = setup(true);
+        let mut cfg = config(PipelinePolicy::Adaptive);
+        cfg.max_parallelism = 4;
+        cfg.parallel_min_rows = 100; // src_a is 1000, src_b 100, src_c 10
+        let mut opt = Optimizer::new(cat.clone(), cfg);
+        let pq = opt.plan(&rq).unwrap();
+        let mut degrees = Vec::new();
+        for f in &pq.lowered.plan.fragments {
+            f.root.walk(&mut |n| {
+                if let OperatorSpec::Exchange { input, partitions } = &n.spec {
+                    assert!(matches!(input.spec, OperatorSpec::Join { .. }));
+                    degrees.push(*partitions);
+                }
+            });
+        }
+        assert!(
+            !degrees.is_empty(),
+            "1000-row inputs over a 100-row floor must partition"
+        );
+        assert!(degrees.iter().all(|&d| (2..=4).contains(&d)));
+
+        // Degree scales with cardinality: the whole-query join (≥1000
+        // input rows over the 100-row floor) uses the full budget.
+        assert!(degrees.contains(&4), "largest join should use the cap");
+
+        // max_parallelism = 1 (the default without TUKWILA_THREADS) emits
+        // no exchange at all.
+        let mut seq_cfg = config(PipelinePolicy::Adaptive);
+        seq_cfg.max_parallelism = 1;
+        let mut seq_opt = Optimizer::new(cat, seq_cfg);
+        let seq = seq_opt.plan(&rq).unwrap();
+        for f in &seq.lowered.plan.fragments {
+            f.root.walk(&mut |n| {
+                assert!(
+                    !matches!(n.spec, OperatorSpec::Exchange { .. }),
+                    "sequential config must not emit exchanges"
+                );
+            });
+        }
+    }
+
+    #[test]
     fn adaptive_policy_picks_hybrid_for_large_inputs() {
         let (rq, cat) = setup(true);
         let mut cfg = config(PipelinePolicy::Adaptive);

@@ -158,6 +158,19 @@ impl PlanBuilder {
         OperatorNode::new(id, OperatorSpec::Union { inputs })
     }
 
+    /// Partitioned exchange over a join: run `partitions` parallel
+    /// instances of `input`, hash-partitioned on the join keys.
+    pub fn exchange(&mut self, input: OperatorNode, partitions: usize) -> OperatorNode {
+        let id = self.op_id();
+        OperatorNode::new(
+            id,
+            OperatorSpec::Exchange {
+                input: Box::new(input),
+                partitions: partitions.max(1),
+            },
+        )
+    }
+
     /// Dynamic collector over sources; returns the node and the child ids
     /// (for policy rules). `active` flags which children start active.
     pub fn collector(

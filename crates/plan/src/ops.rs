@@ -36,6 +36,17 @@ impl JoinKind {
     pub fn is_symmetric(&self) -> bool {
         matches!(self, JoinKind::DoublePipelined)
     }
+
+    /// Whether the algorithm can be parallelized by hash-partitioning
+    /// both inputs on the join keys (the `Exchange` operator's
+    /// eligibility check — shared by the optimizer's lowering and the
+    /// engine's builder so the two can never drift).
+    pub fn is_hash_partitionable(&self) -> bool {
+        matches!(
+            self,
+            JoinKind::DoublePipelined | JoinKind::HybridHash | JoinKind::GraceHash
+        )
+    }
 }
 
 /// Memory-overflow resolution strategy for the double pipelined join
@@ -139,6 +150,19 @@ pub enum OperatorSpec {
         /// Input operators.
         inputs: Vec<OperatorNode>,
     },
+    /// Partitioned exchange: hash-partition the input join's two sides by
+    /// their join-key prehash and run `partitions` parallel instances of
+    /// the join, merging output batches through an order-insensitive
+    /// union. The input must be a hash-partitionable `Join`
+    /// (double-pipelined, hybrid or Grace hash); other inputs execute as a
+    /// transparent passthrough. The optimizer chooses `partitions` from
+    /// catalog cardinalities, capped by the configured parallelism.
+    Exchange {
+        /// The join to parallelize.
+        input: Box<OperatorNode>,
+        /// Number of parallel partition instances (1 = passthrough).
+        partitions: usize,
+    },
     /// Dynamic collector (§4.1): policy-driven union over overlapping
     /// sources. The policy is expressed as rules owned by the collector and
     /// its children in the enclosing fragment.
@@ -194,7 +218,9 @@ impl OperatorNode {
     /// Direct children, in order.
     pub fn children(&self) -> Vec<&OperatorNode> {
         match &self.spec {
-            OperatorSpec::Select { input, .. } | OperatorSpec::Project { input, .. } => {
+            OperatorSpec::Select { input, .. }
+            | OperatorSpec::Project { input, .. }
+            | OperatorSpec::Exchange { input, .. } => {
                 vec![input]
             }
             OperatorSpec::Join { left, right, .. } => vec![left, right],
@@ -282,6 +308,7 @@ impl OperatorNode {
                     .collect::<Vec<_>>()
                     .join("|")
             ),
+            OperatorSpec::Exchange { partitions, .. } => format!("exchange(x{partitions})"),
         }
     }
 }

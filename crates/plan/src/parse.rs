@@ -310,6 +310,14 @@ impl<'a> Parser<'a> {
                 }
                 self.builder.union(inputs)
             }
+            "exchange" => {
+                let partitions = self.int()? as usize;
+                if partitions == 0 {
+                    return Err(err("exchange needs at least one partition"));
+                }
+                let input = self.node()?;
+                self.builder.exchange(input, partitions)
+            }
             "collector" => {
                 let quota = if self.try_option(":quota") {
                     Some(self.int()? as usize)
@@ -473,6 +481,27 @@ mod tests {
             other => panic!("expected join, got {other:?}"),
         }
         assert_eq!(f0.root.memory_budget, Some(4096));
+    }
+
+    #[test]
+    fn parses_exchange_wrapped_join() {
+        let plan = parse_plan(
+            r#"
+            (fragment f (exchange 4 (join dpj k = k
+                (wrapper L)
+                (wrapper R))))
+            (output f)
+            "#,
+        )
+        .unwrap();
+        match &plan.fragments[0].root.spec {
+            OperatorSpec::Exchange { input, partitions } => {
+                assert_eq!(*partitions, 4);
+                assert!(matches!(input.spec, OperatorSpec::Join { .. }));
+            }
+            other => panic!("expected exchange, got {other:?}"),
+        }
+        assert_eq!(plan.fragments[0].root.label(), "exchange(x4)");
     }
 
     #[test]

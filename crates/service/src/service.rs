@@ -55,6 +55,11 @@ pub struct QueryServiceConfig {
     /// Install a shared source-result cache with this byte budget
     /// (`None` = no cross-query caching).
     pub cache_memory: Option<usize>,
+    /// Intra-query thread budget granted to each executing query's
+    /// fragment scheduler and exchange operators. `0` = auto: available
+    /// cores divided by the worker count (the active-query estimate),
+    /// minimum 1 — so a 16-client run does not oversubscribe the box.
+    pub intra_query_threads: usize,
 }
 
 impl Default for QueryServiceConfig {
@@ -66,8 +71,21 @@ impl Default for QueryServiceConfig {
             total_memory: 256 << 20,
             query_memory: 32 << 20,
             cache_memory: Some(32 << 20),
+            intra_query_threads: 0,
         }
     }
+}
+
+/// Resolve the effective per-query thread budget for a service
+/// configuration: the explicit setting, or cores / workers (min 1).
+fn resolve_intra_query_threads(config: &QueryServiceConfig) -> usize {
+    if config.intra_query_threads > 0 {
+        return config.intra_query_threads;
+    }
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    (cores / config.workers.max(1)).max(1)
 }
 
 /// Per-submission options.
@@ -156,6 +174,9 @@ pub struct ServiceStats {
     pub queued: usize,
     /// Currently executing.
     pub running: usize,
+    /// Effective intra-query thread budget each executing query runs with
+    /// (resolved from config or the cores/workers estimate).
+    pub intra_query_threads: usize,
 }
 
 #[derive(Default)]
@@ -181,6 +202,8 @@ struct Inner {
     governor: MemoryGovernor,
     cache: Option<SourceResultCache>,
     config: QueryServiceConfig,
+    /// Resolved per-query thread budget (config or cores/workers).
+    intra_query_threads: usize,
     queued: AtomicUsize,
     running: AtomicUsize,
     /// Admitted and not yet responded (queued + running + handoff gaps);
@@ -224,11 +247,13 @@ impl QueryService {
             None => None,
         };
 
+        let intra_query_threads = resolve_intra_query_threads(&config);
         let inner = Arc::new(Inner {
             system,
             governor,
             cache,
             config: config.clone(),
+            intra_query_threads,
             queued: AtomicUsize::new(0),
             running: AtomicUsize::new(0),
             in_flight: AtomicUsize::new(0),
@@ -340,6 +365,7 @@ impl QueryService {
             timed_out: c.timed_out.load(Ordering::Relaxed),
             queued: self.inner.queued.load(Ordering::Relaxed),
             running: self.inner.running.load(Ordering::Relaxed),
+            intra_query_threads: self.inner.intra_query_threads,
         }
     }
 
@@ -407,7 +433,11 @@ fn worker_loop(inner: Arc<Inner>, rx: Receiver<Job>) {
                 let pool = inner
                     .governor
                     .query_pool(format!("q{}", job.id), inner.config.query_memory);
-                let env = inner.system.env().for_query_with_memory(pool);
+                let env = inner
+                    .system
+                    .env()
+                    .for_query_with_memory(pool)
+                    .with_threads(inner.intra_query_threads);
                 inner
                     .system
                     .execute_in_env(&job.query, &job.control, env, &mut stats)

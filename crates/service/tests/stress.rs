@@ -226,3 +226,47 @@ fn shutdown_cancels_in_flight_queries() {
     let resp = ticket.wait();
     assert!(resp.outcome.is_err());
 }
+
+/// The intra-query thread budget: an explicit setting is surfaced in
+/// `ServiceStats` and parallel execution through the service stays
+/// gold-correct; the auto default resolves to cores/workers (min 1).
+#[test]
+fn intra_query_thread_budget_is_surfaced_and_correct() {
+    let d = deployment();
+    // Parallel lowering on: low threshold so the small joins partition.
+    let cfg = OptimizerConfig {
+        policy: PipelinePolicy::Adaptive,
+        max_parallelism: 3,
+        parallel_min_rows: 16,
+        ..OptimizerConfig::default()
+    };
+    let svc = QueryService::new(
+        d.system(cfg),
+        QueryServiceConfig {
+            workers: 2,
+            intra_query_threads: 3,
+            cache_memory: None,
+            ..QueryServiceConfig::default()
+        },
+    );
+    assert_eq!(svc.stats().intra_query_threads, 3);
+    let q = d.query_for(
+        "q-par",
+        &[TpchTable::Region, TpchTable::Nation, TpchTable::Supplier],
+    );
+    let gold = d.gold(&q).unwrap();
+    let resp = svc.execute(&q);
+    let result = resp.outcome.expect("parallel service query failed");
+    assert!(result.relation.bag_eq_unordered(&gold));
+
+    // Auto budget: cores / workers, floored at 1 — never zero.
+    let svc_auto = QueryService::new(
+        d.system(OptimizerConfig::default()),
+        QueryServiceConfig {
+            workers: 64, // more workers than any box has cores
+            cache_memory: None,
+            ..QueryServiceConfig::default()
+        },
+    );
+    assert_eq!(svc_auto.stats().intra_query_threads, 1);
+}
