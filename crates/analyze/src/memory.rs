@@ -1,0 +1,186 @@
+//! Pass 5: memory-reservation discipline (`TA04x`).
+//!
+//! At runtime, every operator with a `memory_budget` annotation gets a
+//! reservation registered under the global memory governor — that is the
+//! *only* path by which governor pressure (rebalancing, out-of-memory
+//! events) reaches an operator. A stateful operator with no budget is
+//! invisible to the governor (TA040). A partitioned exchange splits the
+//! wrapped join's budget across its instances, so a budget smaller than
+//! the partition count rounds to zero bytes per instance (TA041). Overflow
+//! methods are implemented by the double-pipelined join's spill machinery;
+//! installing one on any other join kind does nothing (TA042), and a
+//! budgeted DPJ with `Fail` overflow and no `out_of_memory` rule to change
+//! it will abort the query on its first overflow (TA043).
+
+use tukwila_plan::diag::{codes, Diagnostic, Span};
+use tukwila_plan::{
+    Action, EventKind, FragmentId, JoinKind, OperatorNode, OperatorSpec, OverflowMethod, QueryPlan,
+    SubjectRef,
+};
+
+/// Run the pass.
+pub fn check(plan: &QueryPlan) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for f in &plan.fragments {
+        walk(&f.root, f.id, plan, &mut diags);
+    }
+    diags
+}
+
+/// Whether any rule can resolve an out-of-memory condition on `op`:
+/// either it listens for `out_of_memory(op)`, or one of its actions
+/// installs an overflow method on `op`.
+fn oom_handled(plan: &QueryPlan, op: tukwila_plan::OpId) -> bool {
+    plan.all_rules().iter().any(|r| {
+        (r.event.kind == EventKind::OutOfMemory && r.event.subject == SubjectRef::Op(op))
+            || r.actions
+                .iter()
+                .any(|a| matches!(a, Action::SetOverflowMethod { op: target, .. } if *target == op))
+    })
+}
+
+fn walk(node: &OperatorNode, fragment: FragmentId, plan: &QueryPlan, diags: &mut Vec<Diagnostic>) {
+    let span = || Span::Op {
+        fragment: Some(fragment),
+        op: node.id,
+    };
+    match &node.spec {
+        OperatorSpec::Join { kind, overflow, .. } => {
+            if node.memory_budget.is_none() {
+                diags.push(
+                    Diagnostic::new(
+                        codes::UNBUDGETED_STATEFUL_OP,
+                        span(),
+                        format!(
+                            "{kind:?} join has no memory budget; the memory governor \
+                             cannot reach it"
+                        ),
+                    )
+                    .with_note("annotate the join with `:mem <bytes>`"),
+                );
+            }
+            if *kind != JoinKind::DoublePipelined && *overflow != OverflowMethod::Fail {
+                diags.push(Diagnostic::new(
+                    codes::OVERFLOW_WITHOUT_SPILL_CONTEXT,
+                    span(),
+                    format!(
+                        "overflow method {overflow:?} is set on a {kind:?} join, but only \
+                         the double-pipelined join can spill incrementally"
+                    ),
+                ));
+            }
+            if *kind == JoinKind::DoublePipelined
+                && *overflow == OverflowMethod::Fail
+                && node.memory_budget.is_some()
+                && !oom_handled(plan, node.id)
+            {
+                diags.push(
+                    Diagnostic::new(
+                        codes::UNHANDLED_OVERFLOW,
+                        span(),
+                        "double-pipelined join with `Fail` overflow has no out_of_memory \
+                         rule; the first overflow aborts the query",
+                    )
+                    .with_note(
+                        "set `:overflow left|symmetric|flushall` or add a rule on \
+                         oom(<this op>)",
+                    ),
+                );
+            }
+        }
+        OperatorSpec::Exchange { input, partitions } => {
+            if let OperatorSpec::Join { .. } = &input.spec {
+                if let Some(budget) = input.memory_budget {
+                    if *partitions > 1 && budget / *partitions == 0 {
+                        diags.push(
+                            Diagnostic::new(
+                                codes::PARTITION_BUDGET_UNDERFLOW,
+                                span(),
+                                format!(
+                                    "join budget of {budget} byte(s) split across \
+                                     {partitions} partitions rounds to zero bytes each"
+                                ),
+                            )
+                            .with_note("raise the join's `:mem` or lower the partition count"),
+                        );
+                    }
+                }
+            }
+        }
+        _ => {}
+    }
+    for c in node.children() {
+        walk(c, fragment, plan, diags);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tukwila_plan::parse_plan_unchecked;
+
+    fn run(text: &str) -> Vec<&'static str> {
+        let plan = parse_plan_unchecked(text).unwrap();
+        check(&plan).iter().map(|d| d.code).collect()
+    }
+
+    #[test]
+    fn budgeted_join_with_spill_is_clean() {
+        let codes = run(
+            "(fragment f (join dpj k = k :mem 65536 :overflow left (wrapper A) (wrapper B))) \
+             (output f)",
+        );
+        assert!(codes.is_empty(), "{codes:?}");
+    }
+
+    #[test]
+    fn unbudgeted_join_warned() {
+        let codes = run("(fragment f (join hybrid k = k (wrapper A) (wrapper B))) (output f)");
+        assert_eq!(codes, vec!["TA040"]);
+    }
+
+    #[test]
+    fn partition_budget_underflow_warned() {
+        let codes = run(
+            "(fragment f (exchange 8 (join dpj k = k :mem 4 :overflow left
+                (wrapper A) (wrapper B))))
+             (output f)",
+        );
+        assert_eq!(codes, vec!["TA041"]);
+    }
+
+    #[test]
+    fn overflow_on_non_dpj_warned() {
+        // not expressible in plan text (the parser only applies :overflow
+        // to dpj joins), so build it directly
+        use tukwila_plan::{OperatorSpec, PlanBuilder};
+        let mut b = PlanBuilder::new();
+        let l = b.wrapper_scan("A");
+        let r = b.wrapper_scan("B");
+        let mut j = b
+            .join(JoinKind::HybridHash, l, r, "k", "k")
+            .with_memory(4096);
+        if let OperatorSpec::Join { overflow, .. } = &mut j.spec {
+            *overflow = OverflowMethod::IncrementalLeftFlush;
+        }
+        let f = b.fragment(j, "out");
+        let plan = b.build(f);
+        let codes: Vec<_> = check(&plan).iter().map(|d| d.code).collect();
+        assert_eq!(codes, vec!["TA042"]);
+    }
+
+    #[test]
+    fn unhandled_dpj_overflow_warned_unless_a_rule_covers_it() {
+        let codes = run(
+            "(fragment f (join dpj k = k :mem 4096 :overflow fail (wrapper A) (wrapper B))) \
+             (output f)",
+        );
+        assert_eq!(codes, vec!["TA043"]);
+        // an oom rule on the join silences it
+        let codes = run("(fragment f
+                (join dpj k = k :mem 4096 :overflow fail (wrapper A) (wrapper B))
+                (rule \"save\" :owner f :when oom op2 :do (set-overflow op2 left)))
+             (output f)");
+        assert!(codes.is_empty(), "{codes:?}");
+    }
+}

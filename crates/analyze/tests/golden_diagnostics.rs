@@ -1,0 +1,121 @@
+//! Golden diagnostics over the fixture corpus in `plans/`.
+//!
+//! Every file in `plans/bad/` is named `ta<code>_<slug>.plan` and must
+//! produce its named diagnostic under the same oracle-less configuration
+//! CI runs `plan-lint` with (`--max-parallelism 8`). Every file in
+//! `plans/ok/` must be completely clean — zero findings of any severity.
+
+use std::path::PathBuf;
+
+use tukwila_analyze::Analyzer;
+use tukwila_plan::diag::codes;
+use tukwila_plan::parse_plan_unchecked;
+
+fn plans_dir(sub: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../plans")
+        .join(sub)
+}
+
+fn fixture_files(sub: &str) -> Vec<PathBuf> {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(plans_dir(sub))
+        .unwrap_or_else(|e| panic!("missing fixture dir plans/{sub}: {e}"))
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|x| x == "plan"))
+        .collect();
+    files.sort();
+    files
+}
+
+fn analyzer() -> Analyzer<'static> {
+    // Mirrors CI's `plan-lint --max-parallelism 8`.
+    Analyzer::new().with_max_parallelism(8)
+}
+
+#[test]
+fn ok_fixtures_are_completely_clean() {
+    let files = fixture_files("ok");
+    assert!(!files.is_empty(), "no ok fixtures found");
+    for file in files {
+        let text = std::fs::read_to_string(&file).unwrap();
+        let plan = parse_plan_unchecked(&text).unwrap();
+        let report = analyzer().analyze(&plan);
+        assert!(
+            report.diagnostics.is_empty(),
+            "{}: expected no findings, got:\n{}",
+            file.display(),
+            report.render(&plan)
+        );
+    }
+}
+
+#[test]
+fn bad_fixtures_trip_their_named_code() {
+    let files = fixture_files("bad");
+    for file in &files {
+        let stem = file.file_stem().unwrap().to_str().unwrap();
+        let code = stem
+            .split('_')
+            .next()
+            .map(str::to_uppercase)
+            .unwrap_or_default();
+        assert!(
+            codes::lookup(&code).is_some(),
+            "{}: file name does not start with a registered code",
+            file.display()
+        );
+        let text = std::fs::read_to_string(file).unwrap();
+        let plan = parse_plan_unchecked(&text)
+            .unwrap_or_else(|e| panic!("{}: parse error: {e}", file.display()));
+        let report = analyzer().analyze(&plan);
+        assert!(
+            report.has(&code),
+            "{}: expected {code}, got:\n{}",
+            file.display(),
+            report.render(&plan)
+        );
+        // The severity the report carries must match the registry.
+        let info = codes::lookup(&code).unwrap();
+        let diag = report.diagnostics.iter().find(|d| d.code == code).unwrap();
+        assert_eq!(diag.severity, info.severity, "{}", file.display());
+    }
+    // The acceptance floor: at least ten distinct codes covered by
+    // one-fixture-each.
+    let mut covered: Vec<String> = files
+        .iter()
+        .map(|f| {
+            f.file_stem()
+                .unwrap()
+                .to_str()
+                .unwrap()
+                .split('_')
+                .next()
+                .unwrap()
+                .to_uppercase()
+        })
+        .collect();
+    covered.sort();
+    covered.dedup();
+    assert!(
+        covered.len() >= 10,
+        "only {} distinct codes covered: {covered:?}",
+        covered.len()
+    );
+}
+
+#[test]
+fn error_fixtures_are_rejected_before_execution() {
+    // Every bad fixture whose named code is Error severity must make the
+    // plan non-executable.
+    for file in fixture_files("bad") {
+        let stem = file.file_stem().unwrap().to_str().unwrap();
+        let code = stem.split('_').next().unwrap().to_uppercase();
+        if codes::lookup(&code).unwrap().severity != tukwila_analyze::Severity::Error {
+            continue;
+        }
+        let text = std::fs::read_to_string(&file).unwrap();
+        let plan = parse_plan_unchecked(&text).unwrap();
+        let report = analyzer().analyze(&plan);
+        assert!(!report.is_executable(), "{}", file.display());
+    }
+}

@@ -51,6 +51,12 @@ pub struct ExecutionStats {
     /// Time spent waiting in the service's admission queue before a worker
     /// picked the query up (zero outside the service).
     pub queue_wait: Duration,
+    /// Warn-severity static-analysis findings over every plan this query
+    /// actually ran (the initial lowering plus each replan). Error
+    /// findings never reach execution — lowering fails instead.
+    pub plan_diag_warnings: usize,
+    /// Info-severity static-analysis findings over every plan run.
+    pub plan_diag_infos: usize,
 }
 
 impl ExecutionStats {

@@ -199,6 +199,9 @@ impl TukwilaSystem {
     ) -> Result<Arc<Relation>> {
         loop {
             series.clear();
+            let analysis = &prepared.planned.lowered.analysis;
+            stats.plan_diag_warnings += analysis.warn_count();
+            stats.plan_diag_infos += analysis.count(tukwila_plan::diag::Severity::Info);
             let run = self.run_plan(&prepared.planned, control, env, stats, series)?;
             match run {
                 PlanRun::Finished { result_name } => {

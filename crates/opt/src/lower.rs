@@ -40,6 +40,9 @@ pub struct LoweredPlan {
     pub plan: QueryPlan,
     /// `(fragment, subquery mask)` pairs.
     pub fragment_masks: Vec<(FragmentId, RelMask)>,
+    /// Static-analysis report for the plan (Error-free by construction:
+    /// lowering fails instead of returning a plan with Error findings).
+    pub analysis: tukwila_plan::diag::Report,
 }
 
 pub(crate) struct Lowerer<'a> {
@@ -93,9 +96,28 @@ impl<'a> Lowerer<'a> {
             plan.complete = false;
         }
         tukwila_plan::validate_plan(&plan)?;
+        // Every lowered plan goes through the full static analyzer before
+        // it can execute. Error findings are optimizer bugs: loud in tests,
+        // a hard failure (instead of a runtime surprise) in release.
+        let analysis = tukwila_analyze::Analyzer::new()
+            .with_catalog(self.catalog)
+            .with_max_parallelism(self.config.max_parallelism)
+            .analyze(&plan);
+        debug_assert!(
+            analysis.is_executable(),
+            "optimizer produced a plan with analyzer errors:\n{}",
+            analysis.render(&plan)
+        );
+        if let Some(first) = analysis.first_error() {
+            return Err(TukwilaError::Optimizer(format!(
+                "lowered plan failed static analysis: {}: {}",
+                first.code, first.message
+            )));
+        }
         Ok(LoweredPlan {
             plan,
             fragment_masks: self.fragment_masks,
+            analysis,
         })
     }
 

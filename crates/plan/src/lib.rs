@@ -22,6 +22,7 @@
 //! [`validate::validate_plan`].
 
 pub mod builder;
+pub mod diag;
 pub mod ids;
 pub mod ops;
 pub mod parse;
@@ -32,13 +33,15 @@ pub mod text;
 pub mod validate;
 
 pub use builder::PlanBuilder;
+pub use diag::{Diagnostic, Report, Severity, Span};
 pub use ids::{FragmentId, OpId};
 pub use ops::{CollectorChildSpec, JoinKind, OperatorNode, OperatorSpec, OverflowMethod};
-pub use parse::parse_plan;
+pub use parse::{parse_plan, parse_plan_unchecked};
 pub use plan::{Fragment, QueryPlan};
 pub use predicate::{CmpOp, Predicate};
 pub use rules::{
     Action, Condition, Event, EventKind, EventPattern, OpState, Quantity, QuantityProvider, Rule,
     SubjectRef,
 };
-pub use validate::validate_plan;
+pub use text::print_plan;
+pub use validate::{analyze_rules, analyze_structure, validate_plan};

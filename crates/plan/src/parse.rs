@@ -5,28 +5,54 @@
 //! §6.2–§6.3 used hand-coded plans. This module provides that capability
 //! for the reproduction: a compact s-expression format covering scans,
 //! joins (all physical kinds and overflow methods), selections,
-//! projections, unions, collectors, fragments, and dependencies.
+//! projections, unions, exchanges, collectors, fragments, dependencies and
+//! ECA rules. [`crate::text::print_plan`] emits the same grammar, so plans
+//! round-trip (parse → print → parse is a fixpoint).
 //!
 //! Grammar (whitespace-insensitive; `;` comments to end of line):
 //!
 //! ```text
-//! plan      := fragment* "(output" IDENT ")"
-//! fragment  := "(fragment" IDENT ["contingent"] node ")"
-//! node      := scan | wrapper | join | select | project | union | collector
+//! plan      := (fragment | after | rule)* "(output" IDENT ")"
+//! fragment  := "(fragment" IDENT ["contingent"] node rule* ")"
+//! node      := scan | wrapper | join | depjoin | select | project | union
+//!            | exchange | collector
 //! scan      := "(scan" IDENT ")"                       ; local table
-//! wrapper   := "(wrapper" IDENT [timeout] ")"          ; remote source
+//! wrapper   := "(wrapper" IDENT [timeout] [":prefetch" INT] ")"
 //! timeout   := ":timeout" INT                          ; milliseconds
 //! join      := "(join" KIND key "=" key [":mem" INT] [":overflow" METHOD]
 //!              node node ")"
 //! KIND      := "dpj" | "hybrid" | "grace" | "nlj" | "smj"
 //! METHOD    := "left" | "symmetric" | "flushall" | "fail"
-//! select    := "(select" column OP literal node ")"
+//! depjoin   := "(depjoin" IDENT column "=" column node ")"
+//! select    := "(select" (column OP literal | pred) node ")"
+//! pred      := "true" | "(lit" column OP literal ")" | "(cols" column OP column ")"
+//!            | "(and" pred+ ")" | "(or" pred+ ")" | "(not" pred ")"
 //! project   := "(project" "[" column ("," column)* "]" node ")"
 //! union     := "(union" node node+ ")"
+//! exchange  := "(exchange" INT node ")"
 //! collector := "(collector" [":quota" INT] [":timeout" INT]
 //!              ("(child" IDENT ["standby"] ")")+ ")"
-//! depends   := "(after" IDENT IDENT ")"                ; frag1 before frag2
+//! after     := "(after" IDENT IDENT ")"                ; frag1 before frag2
+//! rule      := "(rule" NAME ":owner" SUBJ ":when" EVENT SUBJ [INT]
+//!              [":if" cond] [":do" action*] ")"
+//! EVENT     := "opened" | "closed" | "error" | "timeout" | "oom" | "threshold"
+//! SUBJ      := "op" INT | IDENT        ; `opN` wins over a fragment named opN
+//! cond      := "true" | "false" | "(state" SUBJ STATE ")"
+//!            | "(cmp" qty OP qty ")" | "(and" cond+ ")" | "(or" cond+ ")"
+//!            | "(not" cond ")"
+//! STATE     := "notstarted" | "open" | "closed" | "failed" | "deactivated"
+//! qty       := NUMBER | "(card" SUBJ ")" | "(est" SUBJ ")" | "(wait" SUBJ ")"
+//!            | "(mem" SUBJ ")" | "(budget" SUBJ ")" | "(scale" NUMBER qty ")"
+//! action    := "replan" | "reschedule" | "(activate" SUBJ ")"
+//!            | "(deactivate" SUBJ ")" | "(error" STRING ")"
+//!            | "(set-overflow" "op" INT METHOD ")"
+//!            | "(alter-memory" "op" INT INT ")"
 //! ```
+//!
+//! Rule subjects may reference fragments by name (forward references are
+//! fine — resolution happens after the whole input is read) and operators
+//! as `opN` using the ids the parser assigns: operators number from 0 in
+//! post-order within each fragment, fragments in order of appearance.
 //!
 //! Example:
 //!
@@ -44,10 +70,13 @@
 use tukwila_common::{Result, TukwilaError, Value};
 
 use crate::builder::PlanBuilder;
-use crate::ids::FragmentId;
+use crate::ids::{FragmentId, OpId};
 use crate::ops::{JoinKind, OperatorNode, OverflowMethod};
 use crate::plan::QueryPlan;
 use crate::predicate::{CmpOp, Predicate};
+use crate::rules::{
+    Action, Condition, EventKind, EventPattern, OpState, Quantity, Rule, SubjectRef,
+};
 
 #[derive(Debug, Clone, PartialEq)]
 enum Token {
@@ -131,6 +160,53 @@ fn tokenize(input: &str) -> Result<Vec<Token>> {
     Ok(out)
 }
 
+// ---- rule clause AST (subjects are unresolved words until the whole ----
+// ---- input is read, so forward fragment references work)            ----
+
+#[derive(Debug)]
+struct RuleAst {
+    name: String,
+    owner: String,
+    kind: EventKind,
+    subject: String,
+    value: Option<u64>,
+    condition: CondAst,
+    actions: Vec<ActionAst>,
+}
+
+#[derive(Debug)]
+enum CondAst {
+    True,
+    False,
+    State(String, OpState),
+    Cmp(QtyAst, CmpOp, QtyAst),
+    And(Vec<CondAst>),
+    Or(Vec<CondAst>),
+    Not(Box<CondAst>),
+}
+
+#[derive(Debug)]
+enum QtyAst {
+    Const(f64),
+    Card(String),
+    Est(String),
+    Wait(String),
+    Mem(String),
+    Budget(String),
+    Scale(f64, Box<QtyAst>),
+}
+
+#[derive(Debug)]
+enum ActionAst {
+    Replan,
+    Reschedule,
+    Activate(String),
+    Deactivate(String),
+    Error(String),
+    SetOverflow(String, OverflowMethod),
+    AlterMemory(String, usize),
+}
+
 struct Parser<'a> {
     tokens: &'a [Token],
     pos: usize,
@@ -167,10 +243,22 @@ impl<'a> Parser<'a> {
         }
     }
 
+    /// A word with an optional surrounding-quote marker stripped.
+    fn name_word(&mut self) -> Result<String> {
+        let w = self.word()?;
+        Ok(w.strip_prefix('"').map(str::to_string).unwrap_or(w))
+    }
+
     fn int(&mut self) -> Result<u64> {
         let w = self.word()?;
         w.parse()
             .map_err(|_| err(format!("expected integer, got `{w}`")))
+    }
+
+    fn number(&mut self) -> Result<f64> {
+        let w = self.word()?;
+        w.parse()
+            .map_err(|_| err(format!("expected number, got `{w}`")))
     }
 
     /// Optional `:key value` option; returns true if consumed.
@@ -182,6 +270,114 @@ impl<'a> Parser<'a> {
             }
         }
         false
+    }
+
+    fn expect_keyword(&mut self, key: &str) -> Result<()> {
+        if self.try_option(key) {
+            Ok(())
+        } else {
+            Err(err(format!("expected `{key}`, got {:?}", self.peek())))
+        }
+    }
+
+    /// Comparator: `=` is its own token, so `<=` / `>=` arrive as a word
+    /// followed by an Eq token.
+    fn comparator(&mut self) -> Result<CmpOp> {
+        match self.next()?.clone() {
+            Token::Eq => Ok(CmpOp::Eq),
+            Token::Word(w) => match w.as_str() {
+                "<" | ">" => {
+                    let gt = w == ">";
+                    if self.peek() == Some(&Token::Eq) {
+                        self.pos += 1;
+                        Ok(if gt { CmpOp::Ge } else { CmpOp::Le })
+                    } else if gt {
+                        Ok(CmpOp::Gt)
+                    } else {
+                        Ok(CmpOp::Lt)
+                    }
+                }
+                "<>" => Ok(CmpOp::Ne),
+                other => Err(err(format!("unknown comparator `{other}`"))),
+            },
+            other => Err(err(format!("expected comparator, got {other:?}"))),
+        }
+    }
+
+    fn literal(&mut self) -> Result<Value> {
+        let w = self.word()?;
+        Ok(if let Some(stripped) = w.strip_prefix('"') {
+            Value::str(stripped)
+        } else if w == "null" {
+            Value::Null
+        } else if let Some(d) = w.strip_prefix("date:") {
+            Value::Date(
+                d.parse()
+                    .map_err(|_| err(format!("bad date literal `{w}`")))?,
+            )
+        } else if let Ok(i) = w.parse::<i64>() {
+            Value::Int(i)
+        } else if let Ok(f) = w.parse::<f64>() {
+            Value::Double(f)
+        } else {
+            Value::str(&w)
+        })
+    }
+
+    fn overflow_method(&mut self) -> Result<OverflowMethod> {
+        Ok(match self.word()?.as_str() {
+            "left" => OverflowMethod::IncrementalLeftFlush,
+            "symmetric" => OverflowMethod::IncrementalSymmetricFlush,
+            "flushall" => OverflowMethod::FlushAllLeft,
+            "fail" => OverflowMethod::Fail,
+            other => return Err(err(format!("unknown overflow method `{other}`"))),
+        })
+    }
+
+    /// Parenthesized predicate form (`(and …)`, `(lit …)`, `(cols …)`).
+    fn pred_sexpr(&mut self) -> Result<Predicate> {
+        self.expect(Token::Open)?;
+        let head = self.word()?;
+        let p = match head.as_str() {
+            "lit" => {
+                let col = self.word()?;
+                let op = self.comparator()?;
+                let value = self.literal()?;
+                Predicate::ColLit { col, op, value }
+            }
+            "cols" => {
+                let left = self.word()?;
+                let op = self.comparator()?;
+                let right = self.word()?;
+                Predicate::ColCol { left, op, right }
+            }
+            "and" | "or" => {
+                let mut ps = Vec::new();
+                while self.peek() != Some(&Token::Close) {
+                    ps.push(self.pred()?);
+                }
+                if head == "and" {
+                    Predicate::And(ps)
+                } else {
+                    Predicate::Or(ps)
+                }
+            }
+            "not" => Predicate::Not(Box::new(self.pred()?)),
+            other => return Err(err(format!("unknown predicate form `{other}`"))),
+        };
+        self.expect(Token::Close)?;
+        Ok(p)
+    }
+
+    fn pred(&mut self) -> Result<Predicate> {
+        if self.peek() == Some(&Token::Open) {
+            self.pred_sexpr()
+        } else {
+            match self.word()?.as_str() {
+                "true" => Ok(Predicate::True),
+                other => Err(err(format!("unknown predicate `{other}`"))),
+            }
+        }
     }
 
     fn node(&mut self) -> Result<OperatorNode> {
@@ -224,13 +420,7 @@ impl<'a> Parser<'a> {
                     None
                 };
                 let overflow = if self.try_option(":overflow") {
-                    Some(match self.word()?.as_str() {
-                        "left" => OverflowMethod::IncrementalLeftFlush,
-                        "symmetric" => OverflowMethod::IncrementalSymmetricFlush,
-                        "flushall" => OverflowMethod::FlushAllLeft,
-                        "fail" => OverflowMethod::Fail,
-                        other => return Err(err(format!("unknown overflow method `{other}`"))),
-                    })
+                    Some(self.overflow_method()?)
                 } else {
                     None
                 };
@@ -247,46 +437,31 @@ impl<'a> Parser<'a> {
                 }
                 n
             }
+            "depjoin" => {
+                let source = self.word()?;
+                let bind = self.word()?;
+                self.expect(Token::Eq)?;
+                let probe = self.word()?;
+                let left = self.node()?;
+                self.builder.dependent_join(left, &source, &bind, &probe)
+            }
             "select" => {
-                let col = self.word()?;
-                // `=` is its own token, so `<=` / `>=` arrive as a word
-                // followed by an Eq token.
-                let op = match self.next()?.clone() {
-                    Token::Eq => CmpOp::Eq,
-                    Token::Word(w) => match w.as_str() {
-                        "<" | ">" => {
-                            let gt = w == ">";
-                            if self.peek() == Some(&Token::Eq) {
-                                self.pos += 1;
-                                if gt {
-                                    CmpOp::Ge
-                                } else {
-                                    CmpOp::Le
-                                }
-                            } else if gt {
-                                CmpOp::Gt
-                            } else {
-                                CmpOp::Lt
-                            }
-                        }
-                        "<>" => CmpOp::Ne,
-                        other => return Err(err(format!("unknown comparator `{other}`"))),
-                    },
-                    other => return Err(err(format!("expected comparator, got {other:?}"))),
-                };
-                let lit_word = self.word()?;
-                let value = if let Some(stripped) = lit_word.strip_prefix('"') {
-                    Value::str(stripped)
-                } else if let Ok(i) = lit_word.parse::<i64>() {
-                    Value::Int(i)
-                } else if let Ok(f) = lit_word.parse::<f64>() {
-                    Value::Double(f)
+                // New-style parenthesized predicate, bare `true`, or the
+                // legacy `column OP literal` shorthand.
+                let predicate = if self.peek() == Some(&Token::Open) {
+                    self.pred_sexpr()?
                 } else {
-                    Value::str(&lit_word)
+                    let col = self.word()?;
+                    if col == "true" && self.peek() == Some(&Token::Open) {
+                        Predicate::True
+                    } else {
+                        let op = self.comparator()?;
+                        let value = self.literal()?;
+                        Predicate::ColLit { col, op, value }
+                    }
                 };
                 let input = self.node()?;
-                self.builder
-                    .select(input, Predicate::ColLit { col, op, value })
+                self.builder.select(input, predicate)
             }
             "project" => {
                 self.expect(Token::OpenBracket)?;
@@ -363,12 +538,249 @@ impl<'a> Parser<'a> {
         self.expect(Token::Close)?;
         Ok(node)
     }
+
+    // ---- rule clauses ----
+
+    /// Body of a `(rule …)` form; the opening paren and `rule` head are
+    /// already consumed, the closing paren is left for the caller.
+    fn rule_body(&mut self) -> Result<RuleAst> {
+        let name = self.name_word()?;
+        self.expect_keyword(":owner")?;
+        let owner = self.word()?;
+        self.expect_keyword(":when")?;
+        let kind = match self.word()?.as_str() {
+            "opened" => EventKind::Opened,
+            "closed" => EventKind::Closed,
+            "error" => EventKind::Error,
+            "timeout" => EventKind::Timeout,
+            "oom" => EventKind::OutOfMemory,
+            "threshold" => EventKind::Threshold,
+            other => return Err(err(format!("unknown event kind `{other}`"))),
+        };
+        let subject = self.word()?;
+        let value = match self.peek() {
+            Some(Token::Word(w)) => w.parse::<u64>().ok(),
+            _ => None,
+        };
+        if value.is_some() {
+            self.pos += 1;
+        }
+        let condition = if self.try_option(":if") {
+            self.cond()?
+        } else {
+            CondAst::True
+        };
+        let mut actions = Vec::new();
+        if self.try_option(":do") {
+            while self.peek() != Some(&Token::Close) {
+                actions.push(self.action()?);
+            }
+        }
+        Ok(RuleAst {
+            name,
+            owner,
+            kind,
+            subject,
+            value,
+            condition,
+            actions,
+        })
+    }
+
+    fn cond(&mut self) -> Result<CondAst> {
+        if self.peek() != Some(&Token::Open) {
+            return match self.word()?.as_str() {
+                "true" => Ok(CondAst::True),
+                "false" => Ok(CondAst::False),
+                other => Err(err(format!("unknown condition `{other}`"))),
+            };
+        }
+        self.expect(Token::Open)?;
+        let head = self.word()?;
+        let c = match head.as_str() {
+            "state" => {
+                let subj = self.word()?;
+                let state = match self.word()?.as_str() {
+                    "notstarted" => OpState::NotStarted,
+                    "open" => OpState::Open,
+                    "closed" => OpState::Closed,
+                    "failed" => OpState::Failed,
+                    "deactivated" => OpState::Deactivated,
+                    other => return Err(err(format!("unknown state `{other}`"))),
+                };
+                CondAst::State(subj, state)
+            }
+            "cmp" => {
+                let lhs = self.qty()?;
+                let op = self.comparator()?;
+                let rhs = self.qty()?;
+                CondAst::Cmp(lhs, op, rhs)
+            }
+            "and" | "or" => {
+                let mut cs = Vec::new();
+                while self.peek() != Some(&Token::Close) {
+                    cs.push(self.cond()?);
+                }
+                if head == "and" {
+                    CondAst::And(cs)
+                } else {
+                    CondAst::Or(cs)
+                }
+            }
+            "not" => CondAst::Not(Box::new(self.cond()?)),
+            other => return Err(err(format!("unknown condition form `{other}`"))),
+        };
+        self.expect(Token::Close)?;
+        Ok(c)
+    }
+
+    fn qty(&mut self) -> Result<QtyAst> {
+        if self.peek() != Some(&Token::Open) {
+            return Ok(QtyAst::Const(self.number()?));
+        }
+        self.expect(Token::Open)?;
+        let head = self.word()?;
+        let q = match head.as_str() {
+            "card" => QtyAst::Card(self.word()?),
+            "est" => QtyAst::Est(self.word()?),
+            "wait" => QtyAst::Wait(self.word()?),
+            "mem" => QtyAst::Mem(self.word()?),
+            "budget" => QtyAst::Budget(self.word()?),
+            "scale" => {
+                let f = self.number()?;
+                QtyAst::Scale(f, Box::new(self.qty()?))
+            }
+            other => return Err(err(format!("unknown quantity form `{other}`"))),
+        };
+        self.expect(Token::Close)?;
+        Ok(q)
+    }
+
+    fn action(&mut self) -> Result<ActionAst> {
+        if self.peek() != Some(&Token::Open) {
+            return match self.word()?.as_str() {
+                "replan" => Ok(ActionAst::Replan),
+                "reschedule" => Ok(ActionAst::Reschedule),
+                other => Err(err(format!("unknown action `{other}`"))),
+            };
+        }
+        self.expect(Token::Open)?;
+        let head = self.word()?;
+        let a = match head.as_str() {
+            "activate" => ActionAst::Activate(self.word()?),
+            "deactivate" => ActionAst::Deactivate(self.word()?),
+            "error" => ActionAst::Error(self.name_word()?),
+            "set-overflow" => {
+                let op = self.word()?;
+                let method = self.overflow_method()?;
+                ActionAst::SetOverflow(op, method)
+            }
+            "alter-memory" => {
+                let op = self.word()?;
+                let bytes = self.int()? as usize;
+                ActionAst::AlterMemory(op, bytes)
+            }
+            other => return Err(err(format!("unknown action form `{other}`"))),
+        };
+        self.expect(Token::Close)?;
+        Ok(a)
+    }
 }
 
-/// Parse a textual plan. Fragment names map to ids in order of appearance;
-/// the `(output …)` clause selects the answer fragment. The parsed plan is
-/// validated with [`crate::validate::validate_plan`].
-pub fn parse_plan(input: &str) -> Result<QueryPlan> {
+// ---- subject / rule resolution ----
+
+fn resolve_subject(word: &str, names: &[(String, FragmentId)]) -> Result<SubjectRef> {
+    if let Some(rest) = word.strip_prefix("op") {
+        if let Ok(n) = rest.parse::<u32>() {
+            return Ok(SubjectRef::Op(OpId(n)));
+        }
+    }
+    names
+        .iter()
+        .find(|(n, _)| n == word)
+        .map(|(_, id)| SubjectRef::Fragment(*id))
+        .ok_or_else(|| err(format!("unknown rule subject `{word}`")))
+}
+
+fn resolve_op(word: &str) -> Result<OpId> {
+    match resolve_subject(word, &[])? {
+        SubjectRef::Op(id) => Ok(id),
+        SubjectRef::Fragment(_) => unreachable!("empty name table"),
+    }
+}
+
+fn resolve_qty(q: &QtyAst, names: &[(String, FragmentId)]) -> Result<Quantity> {
+    Ok(match q {
+        QtyAst::Const(c) => Quantity::Const(*c),
+        QtyAst::Card(s) => Quantity::Card(resolve_subject(s, names)?),
+        QtyAst::Est(s) => Quantity::EstCard(resolve_subject(s, names)?),
+        QtyAst::Wait(s) => Quantity::TimeWaitingMs(resolve_subject(s, names)?),
+        QtyAst::Mem(s) => Quantity::MemoryUsed(resolve_subject(s, names)?),
+        QtyAst::Budget(s) => Quantity::MemoryBudget(resolve_subject(s, names)?),
+        QtyAst::Scale(f, inner) => Quantity::Scaled(*f, Box::new(resolve_qty(inner, names)?)),
+    })
+}
+
+fn resolve_cond(c: &CondAst, names: &[(String, FragmentId)]) -> Result<Condition> {
+    Ok(match c {
+        CondAst::True => Condition::True,
+        CondAst::False => Condition::False,
+        CondAst::State(s, state) => Condition::StateIs {
+            subject: resolve_subject(s, names)?,
+            state: *state,
+        },
+        CondAst::Cmp(lhs, op, rhs) => Condition::Cmp {
+            lhs: resolve_qty(lhs, names)?,
+            op: *op,
+            rhs: resolve_qty(rhs, names)?,
+        },
+        CondAst::And(cs) => Condition::And(
+            cs.iter()
+                .map(|c| resolve_cond(c, names))
+                .collect::<Result<_>>()?,
+        ),
+        CondAst::Or(cs) => Condition::Or(
+            cs.iter()
+                .map(|c| resolve_cond(c, names))
+                .collect::<Result<_>>()?,
+        ),
+        CondAst::Not(inner) => Condition::Not(Box::new(resolve_cond(inner, names)?)),
+    })
+}
+
+fn resolve_rule(ast: &RuleAst, names: &[(String, FragmentId)]) -> Result<Rule> {
+    let owner = resolve_subject(&ast.owner, names)?;
+    let subject = resolve_subject(&ast.subject, names)?;
+    let event = match ast.value {
+        Some(v) => EventPattern::with_value(ast.kind, subject, v),
+        None => EventPattern::new(ast.kind, subject),
+    };
+    let condition = resolve_cond(&ast.condition, names)?;
+    let actions = ast
+        .actions
+        .iter()
+        .map(|a| {
+            Ok(match a {
+                ActionAst::Replan => Action::Replan,
+                ActionAst::Reschedule => Action::Reschedule,
+                ActionAst::Activate(s) => Action::Activate(resolve_subject(s, names)?),
+                ActionAst::Deactivate(s) => Action::Deactivate(resolve_subject(s, names)?),
+                ActionAst::Error(m) => Action::ReturnError(m.clone()),
+                ActionAst::SetOverflow(op, method) => Action::SetOverflowMethod {
+                    op: resolve_op(op)?,
+                    method: *method,
+                },
+                ActionAst::AlterMemory(op, bytes) => Action::AlterMemory {
+                    op: resolve_op(op)?,
+                    bytes: *bytes,
+                },
+            })
+        })
+        .collect::<Result<Vec<_>>>()?;
+    Ok(Rule::new(&ast.name, owner, event, condition, actions))
+}
+
+fn parse_plan_impl(input: &str) -> Result<QueryPlan> {
     let tokens = tokenize(input)?;
     let mut p = Parser {
         tokens: &tokens,
@@ -379,6 +791,8 @@ pub fn parse_plan(input: &str) -> Result<QueryPlan> {
     let mut contingent: Vec<FragmentId> = Vec::new();
     let mut deps: Vec<(String, String)> = Vec::new();
     let mut output: Option<String> = None;
+    // (owning fragment, rule) — None = global rule
+    let mut rules: Vec<(Option<FragmentId>, RuleAst)> = Vec::new();
 
     while p.peek().is_some() {
         p.expect(Token::Open)?;
@@ -398,6 +812,17 @@ pub fn parse_plan(input: &str) -> Result<QueryPlan> {
                 let node = p.node()?;
                 let mat_name = format!("mat_{name}");
                 let id = p.builder.fragment(node, &mat_name);
+                // trailing local rule clauses
+                while p.peek() == Some(&Token::Open) {
+                    p.expect(Token::Open)?;
+                    let kw = p.word()?;
+                    if kw != "rule" {
+                        return Err(err(format!("expected (rule …) in fragment, got `{kw}`")));
+                    }
+                    let ast = p.rule_body()?;
+                    p.expect(Token::Close)?;
+                    rules.push((Some(id), ast));
+                }
                 if is_contingent {
                     contingent.push(id);
                 }
@@ -410,6 +835,10 @@ pub fn parse_plan(input: &str) -> Result<QueryPlan> {
                 let before = p.word()?;
                 let after = p.word()?;
                 deps.push((before, after));
+            }
+            "rule" => {
+                let ast = p.rule_body()?;
+                rules.push((None, ast));
             }
             "output" => {
                 output = Some(p.word()?);
@@ -433,7 +862,20 @@ pub fn parse_plan(input: &str) -> Result<QueryPlan> {
     }
     let output_name = output.ok_or_else(|| err("missing (output <fragment>)"))?;
     let out_id = lookup(&output_name, &names)?;
+    let mut local_rules: Vec<(FragmentId, Rule)> = Vec::new();
+    let mut global_rules: Vec<Rule> = Vec::new();
+    for (frag, ast) in &rules {
+        let rule = resolve_rule(ast, &names)?;
+        match frag {
+            Some(id) => local_rules.push((*id, rule)),
+            None => global_rules.push(rule),
+        }
+    }
+    for (id, rule) in local_rules {
+        p.builder.add_local_rule(id, rule);
+    }
     let mut plan = p.builder.build(out_id);
+    plan.global_rules = global_rules;
     // rename the output fragment's materialization to the conventional name
     if let Some(f) = plan.fragments.iter_mut().find(|f| f.id == out_id) {
         f.materialize_as = "result".into();
@@ -443,8 +885,24 @@ pub fn parse_plan(input: &str) -> Result<QueryPlan> {
             f.initially_active = false;
         }
     }
+    Ok(plan)
+}
+
+/// Parse a textual plan. Fragment names map to ids in order of appearance;
+/// the `(output …)` clause selects the answer fragment. The parsed plan is
+/// validated with [`crate::validate::validate_plan`].
+pub fn parse_plan(input: &str) -> Result<QueryPlan> {
+    let plan = parse_plan_impl(input)?;
     crate::validate::validate_plan(&plan)?;
     Ok(plan)
+}
+
+/// [`parse_plan`] without the validation step: returns structurally
+/// parseable plans even when they are semantically malformed, so the static
+/// analyzer (and the `plan-lint` tool) can report **all** problems instead
+/// of the parser bailing on the first.
+pub fn parse_plan_unchecked(input: &str) -> Result<QueryPlan> {
+    parse_plan_impl(input)
 }
 
 #[cfg(test)]
@@ -520,6 +978,52 @@ mod tests {
     }
 
     #[test]
+    fn parses_sexpr_predicates() {
+        let plan = parse_plan(
+            r#"
+            (fragment f (select (and (lit a >= 10) (not (cols a = b)))
+                (wrapper X)))
+            (output f)
+            "#,
+        )
+        .unwrap();
+        match &plan.fragments[0].root.spec {
+            OperatorSpec::Select { predicate, .. } => match predicate {
+                Predicate::And(ps) => {
+                    assert_eq!(ps.len(), 2);
+                    assert!(matches!(ps[1], Predicate::Not(_)));
+                }
+                other => panic!("expected and, got {other:?}"),
+            },
+            other => panic!("expected select, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_depjoin() {
+        let plan = parse_plan(
+            r#"
+            (fragment f (depjoin books isbn = isbn (wrapper orders)))
+            (output f)
+            "#,
+        )
+        .unwrap();
+        match &plan.fragments[0].root.spec {
+            OperatorSpec::DependentJoin {
+                source,
+                bind_col,
+                probe_col,
+                ..
+            } => {
+                assert_eq!(source, "books");
+                assert_eq!(bind_col, "isbn");
+                assert_eq!(probe_col, "isbn");
+            }
+            other => panic!("expected depjoin, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn parses_collector_with_policy_knobs() {
         let plan = parse_plan(
             r#"
@@ -553,11 +1057,62 @@ mod tests {
             (fragment main (wrapper A))
             (fragment alt contingent (wrapper B))
             (after main alt)
+            (rule failover :owner main :when error op0 :do (activate alt))
             (output main)
             "#,
         )
         .unwrap();
         assert!(!plan.fragments[1].initially_active);
+    }
+
+    #[test]
+    fn parses_rule_clauses() {
+        let plan = parse_plan(
+            r#"
+            (fragment f0
+                (join dpj k = k :mem 4096
+                    (wrapper A :timeout 50)
+                    (wrapper B))
+                (rule "scramble" :owner f0 :when timeout op0 :do reschedule))
+            (rule "replan-big" :owner f0 :when closed f0
+                :if (cmp (card op2) > (scale 2 (est op2)))
+                :do replan)
+            (output f0)
+            "#,
+        )
+        .unwrap();
+        assert_eq!(plan.fragments[0].local_rules.len(), 1);
+        assert_eq!(plan.global_rules.len(), 1);
+        let local = &plan.fragments[0].local_rules[0];
+        assert_eq!(local.name, "scramble");
+        assert_eq!(local.event.kind, EventKind::Timeout);
+        assert_eq!(local.event.subject, SubjectRef::Op(OpId(0)));
+        assert_eq!(local.actions, vec![Action::Reschedule]);
+        let global = &plan.global_rules[0];
+        assert_eq!(global.owner, SubjectRef::Fragment(FragmentId(0)));
+        match &global.condition {
+            Condition::Cmp { lhs, op, rhs } => {
+                assert_eq!(lhs, &Quantity::Card(SubjectRef::Op(OpId(2))));
+                assert_eq!(*op, CmpOp::Gt);
+                assert!(matches!(rhs, Quantity::Scaled(f, _) if *f == 2.0));
+            }
+            other => panic!("expected cmp condition, got {other:?}"),
+        }
+        assert_eq!(global.actions, vec![Action::Replan]);
+    }
+
+    #[test]
+    fn unchecked_parse_accepts_malformed_plans() {
+        // rule owner op99 does not exist: strict parse rejects, unchecked
+        // returns the plan for the analyzer to report on
+        let text = r#"
+            (fragment f (wrapper A))
+            (rule bad :owner op99 :when closed f :do replan)
+            (output f)
+        "#;
+        assert!(parse_plan(text).is_err());
+        let plan = parse_plan_unchecked(text).unwrap();
+        assert_eq!(plan.global_rules.len(), 1);
     }
 
     #[test]
@@ -592,6 +1147,10 @@ mod tests {
             (
                 "(fragment f (wrapper A)) (fragment f (wrapper B)) (output f)",
                 "duplicate",
+            ),
+            (
+                "(fragment f (wrapper A)) (rule r :owner ghost :when closed f) (output f)",
+                "unknown rule subject",
             ),
         ] {
             let e = parse_plan(input).unwrap_err().to_string();

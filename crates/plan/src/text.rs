@@ -8,9 +8,13 @@
 
 use std::fmt::Write as _;
 
-use crate::ops::{OperatorNode, OperatorSpec};
+use tukwila_common::Value;
+
+use crate::ids::FragmentId;
+use crate::ops::{JoinKind, OperatorNode, OperatorSpec, OverflowMethod};
 use crate::plan::{Fragment, QueryPlan};
-use crate::rules::{Action, Rule};
+use crate::predicate::Predicate;
+use crate::rules::{Action, Condition, EventKind, OpState, Quantity, Rule, SubjectRef};
 
 /// Render a whole plan.
 pub fn render_plan(plan: &QueryPlan) -> String {
@@ -112,6 +116,310 @@ fn render_action(a: &Action) -> String {
     }
 }
 
+// ---- parseable s-expression printer ----
+//
+// `print_plan` is the inverse of `crate::parse::parse_plan`: it emits the
+// grammar documented there, so `parse(print(parse(text)))` is a fixpoint
+// for any text the parser accepts. Annotations the grammar cannot express
+// (estimated cardinalities, memory budgets on non-join nodes, non-default
+// overflow methods on non-DPJ joins) are dropped.
+
+/// The fragment name `print_plan` uses for a fragment: derived from its
+/// materialization name when it follows the parser's `mat_<name>`
+/// convention, otherwise `f<id>`.
+fn frag_name(f: &Fragment) -> String {
+    match f.materialize_as.strip_prefix("mat_") {
+        Some(rest) if !rest.is_empty() => rest.to_string(),
+        _ => format!("f{}", f.id.0),
+    }
+}
+
+fn print_subject(s: SubjectRef, names: &[(FragmentId, String)]) -> String {
+    match s {
+        SubjectRef::Op(id) => format!("op{}", id.0),
+        SubjectRef::Fragment(id) => names
+            .iter()
+            .find(|(fid, _)| *fid == id)
+            .map(|(_, n)| n.clone())
+            .unwrap_or_else(|| format!("f{}", id.0)),
+    }
+}
+
+fn print_overflow(m: OverflowMethod) -> &'static str {
+    match m {
+        OverflowMethod::IncrementalLeftFlush => "left",
+        OverflowMethod::IncrementalSymmetricFlush => "symmetric",
+        OverflowMethod::FlushAllLeft => "flushall",
+        OverflowMethod::Fail => "fail",
+    }
+}
+
+fn print_literal(v: &Value) -> String {
+    match v {
+        Value::Int(i) => format!("{i}"),
+        Value::Double(f) => format!("{f:?}"),
+        Value::Str(s) => format!("\"{s}\""),
+        Value::Date(d) => format!("date:{d}"),
+        Value::Null => "null".to_string(),
+    }
+}
+
+fn print_pred(p: &Predicate) -> String {
+    match p {
+        Predicate::True => "true".to_string(),
+        Predicate::ColLit { col, op, value } => {
+            format!("(lit {col} {} {})", op.symbol(), print_literal(value))
+        }
+        Predicate::ColCol { left, op, right } => {
+            format!("(cols {left} {} {right})", op.symbol())
+        }
+        Predicate::And(ps) => {
+            let inner: Vec<String> = ps.iter().map(print_pred).collect();
+            format!("(and {})", inner.join(" "))
+        }
+        Predicate::Or(ps) => {
+            let inner: Vec<String> = ps.iter().map(print_pred).collect();
+            format!("(or {})", inner.join(" "))
+        }
+        Predicate::Not(inner) => format!("(not {})", print_pred(inner)),
+    }
+}
+
+fn print_node(node: &OperatorNode, depth: usize, out: &mut String) {
+    let indent = "  ".repeat(depth);
+    match &node.spec {
+        OperatorSpec::TableScan { table } => {
+            let _ = write!(out, "{indent}(scan {table})");
+        }
+        OperatorSpec::WrapperScan {
+            source,
+            timeout_ms,
+            prefetch,
+        } => {
+            let _ = write!(out, "{indent}(wrapper {source}");
+            if let Some(t) = timeout_ms {
+                let _ = write!(out, " :timeout {t}");
+            }
+            if let Some(p) = prefetch {
+                let _ = write!(out, " :prefetch {p}");
+            }
+            out.push(')');
+        }
+        OperatorSpec::Select { input, predicate } => {
+            let _ = writeln!(out, "{indent}(select {}", print_pred(predicate));
+            print_node(input, depth + 1, out);
+            out.push(')');
+        }
+        OperatorSpec::Project { input, columns } => {
+            let _ = writeln!(out, "{indent}(project [{}]", columns.join(", "));
+            print_node(input, depth + 1, out);
+            out.push(')');
+        }
+        OperatorSpec::Join {
+            left,
+            right,
+            left_key,
+            right_key,
+            kind,
+            overflow,
+        } => {
+            let kw = match kind {
+                JoinKind::DoublePipelined => "dpj",
+                JoinKind::HybridHash => "hybrid",
+                JoinKind::GraceHash => "grace",
+                JoinKind::NestedLoops => "nlj",
+                JoinKind::SortMerge => "smj",
+            };
+            let _ = write!(out, "{indent}(join {kw} {left_key} = {right_key}");
+            if let Some(m) = node.memory_budget {
+                let _ = write!(out, " :mem {m}");
+            }
+            if *kind == JoinKind::DoublePipelined {
+                let _ = write!(out, " :overflow {}", print_overflow(*overflow));
+            }
+            out.push('\n');
+            print_node(left, depth + 1, out);
+            out.push('\n');
+            print_node(right, depth + 1, out);
+            out.push(')');
+        }
+        OperatorSpec::DependentJoin {
+            left,
+            source,
+            bind_col,
+            probe_col,
+        } => {
+            let _ = writeln!(out, "{indent}(depjoin {source} {bind_col} = {probe_col}");
+            print_node(left, depth + 1, out);
+            out.push(')');
+        }
+        OperatorSpec::Union { inputs } => {
+            let _ = write!(out, "{indent}(union");
+            for i in inputs {
+                out.push('\n');
+                print_node(i, depth + 1, out);
+            }
+            out.push(')');
+        }
+        OperatorSpec::Exchange { input, partitions } => {
+            let _ = writeln!(out, "{indent}(exchange {partitions}");
+            print_node(input, depth + 1, out);
+            out.push(')');
+        }
+        OperatorSpec::Collector {
+            children,
+            quota,
+            child_timeout_ms,
+        } => {
+            let _ = write!(out, "{indent}(collector");
+            if let Some(q) = quota {
+                let _ = write!(out, " :quota {q}");
+            }
+            if let Some(t) = child_timeout_ms {
+                let _ = write!(out, " :timeout {t}");
+            }
+            for c in children {
+                let standby = if c.initially_active { "" } else { " standby" };
+                let _ = write!(out, "\n{indent}  (child {}{standby})", c.source);
+            }
+            out.push(')');
+        }
+    }
+}
+
+fn print_qty(q: &Quantity, names: &[(FragmentId, String)]) -> String {
+    match q {
+        Quantity::Const(c) => format!("{c}"),
+        Quantity::Card(s) => format!("(card {})", print_subject(*s, names)),
+        Quantity::EstCard(s) => format!("(est {})", print_subject(*s, names)),
+        Quantity::TimeWaitingMs(s) => format!("(wait {})", print_subject(*s, names)),
+        Quantity::MemoryUsed(s) => format!("(mem {})", print_subject(*s, names)),
+        Quantity::MemoryBudget(s) => format!("(budget {})", print_subject(*s, names)),
+        Quantity::Scaled(f, inner) => format!("(scale {f} {})", print_qty(inner, names)),
+    }
+}
+
+fn print_cond(c: &Condition, names: &[(FragmentId, String)]) -> String {
+    match c {
+        Condition::True => "true".to_string(),
+        Condition::False => "false".to_string(),
+        Condition::StateIs { subject, state } => {
+            let sw = match state {
+                OpState::NotStarted => "notstarted",
+                OpState::Open => "open",
+                OpState::Closed => "closed",
+                OpState::Failed => "failed",
+                OpState::Deactivated => "deactivated",
+            };
+            format!("(state {} {sw})", print_subject(*subject, names))
+        }
+        Condition::Cmp { lhs, op, rhs } => format!(
+            "(cmp {} {} {})",
+            print_qty(lhs, names),
+            op.symbol(),
+            print_qty(rhs, names)
+        ),
+        Condition::And(cs) => {
+            let inner: Vec<String> = cs.iter().map(|c| print_cond(c, names)).collect();
+            format!("(and {})", inner.join(" "))
+        }
+        Condition::Or(cs) => {
+            let inner: Vec<String> = cs.iter().map(|c| print_cond(c, names)).collect();
+            format!("(or {})", inner.join(" "))
+        }
+        Condition::Not(inner) => format!("(not {})", print_cond(inner, names)),
+    }
+}
+
+fn print_action(a: &Action, names: &[(FragmentId, String)]) -> String {
+    match a {
+        Action::Replan => "replan".to_string(),
+        Action::Reschedule => "reschedule".to_string(),
+        Action::Activate(s) => format!("(activate {})", print_subject(*s, names)),
+        Action::Deactivate(s) => format!("(deactivate {})", print_subject(*s, names)),
+        Action::ReturnError(m) => format!("(error \"{m}\")"),
+        Action::SetOverflowMethod { op, method } => {
+            format!("(set-overflow op{} {})", op.0, print_overflow(*method))
+        }
+        Action::AlterMemory { op, bytes } => format!("(alter-memory op{} {bytes})", op.0),
+    }
+}
+
+fn print_rule(rule: &Rule, names: &[(FragmentId, String)], indent: &str, out: &mut String) {
+    let kw = match rule.event.kind {
+        EventKind::Opened => "opened",
+        EventKind::Closed => "closed",
+        EventKind::Error => "error",
+        EventKind::Timeout => "timeout",
+        EventKind::OutOfMemory => "oom",
+        EventKind::Threshold => "threshold",
+    };
+    let _ = write!(
+        out,
+        "{indent}(rule \"{}\" :owner {} :when {kw} {}",
+        rule.name,
+        print_subject(rule.owner, names),
+        print_subject(rule.event.subject, names)
+    );
+    if let Some(v) = rule.event.value {
+        let _ = write!(out, " {v}");
+    }
+    if rule.condition != Condition::True {
+        let _ = write!(out, " :if {}", print_cond(&rule.condition, names));
+    }
+    if !rule.actions.is_empty() {
+        let _ = write!(out, " :do");
+        for a in &rule.actions {
+            let _ = write!(out, " {}", print_action(a, names));
+        }
+    }
+    out.push(')');
+}
+
+/// Print a plan in the parseable s-expression grammar of [`crate::parse`].
+/// Inverse of [`crate::parse::parse_plan`] — see the grammar note there.
+pub fn print_plan(plan: &QueryPlan) -> String {
+    let names: Vec<(FragmentId, String)> = plan
+        .fragments
+        .iter()
+        .map(|f| (f.id, frag_name(f)))
+        .collect();
+    let mut out = String::new();
+    for f in &plan.fragments {
+        let name = print_subject(SubjectRef::Fragment(f.id), &names);
+        let contingent = if f.initially_active {
+            ""
+        } else {
+            " contingent"
+        };
+        let _ = writeln!(out, "(fragment {name}{contingent}");
+        print_node(&f.root, 1, &mut out);
+        for rule in &f.local_rules {
+            out.push('\n');
+            print_rule(rule, &names, "  ", &mut out);
+        }
+        out.push_str(")\n");
+    }
+    for (before, after) in &plan.dependencies {
+        let _ = writeln!(
+            out,
+            "(after {} {})",
+            print_subject(SubjectRef::Fragment(*before), &names),
+            print_subject(SubjectRef::Fragment(*after), &names)
+        );
+    }
+    for rule in &plan.global_rules {
+        print_rule(rule, &names, "", &mut out);
+        out.push('\n');
+    }
+    let _ = writeln!(
+        out,
+        "(output {})",
+        print_subject(SubjectRef::Fragment(plan.output), &names)
+    );
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -143,6 +451,70 @@ mod tests {
         let s = render_rule(&rule);
         assert!(s.contains("when Closed"));
         assert!(s.contains("then [replan]"));
+    }
+
+    /// parse → print → parse must be the identity on parsed plans.
+    fn assert_fixpoint(text: &str) {
+        let plan = crate::parse::parse_plan(text).expect("fixture parses");
+        let printed = print_plan(&plan);
+        let reparsed = crate::parse::parse_plan(&printed)
+            .unwrap_or_else(|e| panic!("printed form must reparse: {e}\n{printed}"));
+        assert_eq!(plan, reparsed, "print/parse fixpoint broke:\n{printed}");
+        assert_eq!(printed, print_plan(&reparsed));
+    }
+
+    #[test]
+    fn print_parse_fixpoint_exchange() {
+        assert_fixpoint(
+            r#"
+            (fragment f0 (exchange 4 (join dpj k = k :mem 65536 :overflow symmetric
+                (wrapper A :timeout 100 :prefetch 64)
+                (wrapper B))))
+            (fragment f1 (join hybrid a.k = c.k :mem 8192
+                (scan mat_f0)
+                (wrapper C)))
+            (after f0 f1)
+            (output f1)
+            "#,
+        );
+    }
+
+    #[test]
+    fn print_parse_fixpoint_rules_and_collector() {
+        assert_fixpoint(
+            r#"
+            (fragment main
+                (collector :quota 500 :timeout 80
+                    (child mirror1)
+                    (child mirror2 standby))
+                (rule "failover" :owner main :when timeout op0
+                    :do (activate op1) (deactivate op0)))
+            (fragment alt contingent (wrapper backup))
+            (rule "replan-big" :owner main :when closed main
+                :if (and (cmp (card op2) > (scale 2.5 (est op2)))
+                         (not (state alt open)))
+                :do replan)
+            (rule "spill" :owner main :when oom op2
+                :do (set-overflow op2 left) (alter-memory op2 1024))
+            (rule "bail" :owner main :when error op2 42
+                :if (or false (cmp (wait op2) >= 100))
+                :do (error "gave up"))
+            (output main)
+            "#,
+        );
+    }
+
+    #[test]
+    fn print_parse_fixpoint_predicates_and_misc_nodes() {
+        assert_fixpoint(
+            r#"
+            (fragment f0 (project [a, b]
+                (select (and (lit a >= 10) (or (cols a <> b) (not (lit b = "x"))))
+                    (union (wrapper X) (wrapper Y)
+                        (depjoin books isbn = isbn (select true (scan inv)))))))
+            (output f0)
+            "#,
+        );
     }
 
     #[test]

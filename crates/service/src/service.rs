@@ -177,6 +177,13 @@ pub struct ServiceStats {
     /// Effective intra-query thread budget each executing query runs with
     /// (resolved from config or the cores/workers estimate).
     pub intra_query_threads: usize,
+    /// Warn-severity static-analysis findings summed over every plan the
+    /// service ran (per-query counts are on each response's
+    /// [`ExecutionStats::plan_diag_warnings`]). Error findings never
+    /// execute, so they surface as failed queries, not here.
+    pub plan_diag_warnings: u64,
+    /// Info-severity static-analysis findings summed over every plan run.
+    pub plan_diag_infos: u64,
 }
 
 #[derive(Default)]
@@ -187,6 +194,8 @@ struct Counters {
     failed: AtomicU64,
     cancelled: AtomicU64,
     timed_out: AtomicU64,
+    plan_diag_warnings: AtomicU64,
+    plan_diag_infos: AtomicU64,
 }
 
 struct Job {
@@ -366,6 +375,8 @@ impl QueryService {
             queued: self.inner.queued.load(Ordering::Relaxed),
             running: self.inner.running.load(Ordering::Relaxed),
             intra_query_threads: self.inner.intra_query_threads,
+            plan_diag_warnings: c.plan_diag_warnings.load(Ordering::Relaxed),
+            plan_diag_infos: c.plan_diag_infos.load(Ordering::Relaxed),
         }
     }
 
@@ -445,6 +456,10 @@ fn worker_loop(inner: Arc<Inner>, rx: Receiver<Job>) {
         };
 
         let c = &inner.counters;
+        c.plan_diag_warnings
+            .fetch_add(stats.plan_diag_warnings as u64, Ordering::Relaxed);
+        c.plan_diag_infos
+            .fetch_add(stats.plan_diag_infos as u64, Ordering::Relaxed);
         match &outcome {
             Ok(_) => c.completed.fetch_add(1, Ordering::Relaxed),
             Err(_) if stats.deadline_exceeded => c.timed_out.fetch_add(1, Ordering::Relaxed),

@@ -49,6 +49,7 @@
 //! the architecture map and `EXPERIMENTS.md` for the reproduction of every
 //! figure and table in the paper's evaluation.
 
+pub use tukwila_analyze as analyze;
 pub use tukwila_catalog as catalog;
 pub use tukwila_common as common;
 pub use tukwila_core as core;
@@ -63,6 +64,7 @@ pub use tukwila_tpchgen as tpchgen;
 
 /// The most common imports for building and running queries.
 pub mod prelude {
+    pub use tukwila_analyze::Analyzer;
     pub use tukwila_catalog::{AccessCost, Catalog, OverlapInfo, SourceDesc, TableStats};
     pub use tukwila_common::{DataType, Relation, Schema, TukwilaError, Tuple, TupleBatch, Value};
     pub use tukwila_core::{

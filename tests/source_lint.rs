@@ -1,0 +1,233 @@
+//! Repo-invariant source lints, enforced as a test so they run in the
+//! normal `cargo test` matrix with no extra tooling:
+//!
+//! 1. **No new `.unwrap()` / `.expect(` in operator hot paths** —
+//!    `crates/exec/src/operators/*.rs` outside test code. Existing sites
+//!    are grandfathered with per-file budgets in
+//!    `tests/source_lint_allow.txt`; the count may only go down (ratchet).
+//! 2. **No `std::sync::Mutex` in non-test code**, and no lock guard held
+//!    across a channel `send`/`recv` — the workspace standardizes on the
+//!    `parking_lot` shim, and a guard held across a blocking channel op is
+//!    the classic shape of the pipeline deadlock.
+//! 3. **Every `TA` diagnostic code registered in
+//!    `crates/plan/src/diag.rs` is documented in DESIGN.md §9** — the code
+//!    table and the docs cannot drift apart.
+//!
+//! All checks are text-based (no extra dependencies) and skip `*_tests.rs`
+//! files, `tests/` directories, and everything at or below the first
+//! `#[cfg(test)]` line of a file (test modules sit at file end by
+//! convention here).
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+}
+
+/// The non-test prefix of a source file.
+fn non_test_lines(path: &Path) -> Vec<String> {
+    let text = std::fs::read_to_string(path).unwrap();
+    let mut out = Vec::new();
+    for line in text.lines() {
+        if line.trim_start().starts_with("#[cfg(test)]") {
+            break;
+        }
+        out.push(line.to_string());
+    }
+    out
+}
+
+/// Every `.rs` file under `dir`, recursively, excluding test files.
+fn rust_sources(dir: &Path, out: &mut Vec<PathBuf>) {
+    for entry in std::fs::read_dir(dir).unwrap() {
+        let path = entry.unwrap().path();
+        let name = path.file_name().unwrap().to_str().unwrap();
+        if path.is_dir() {
+            if name != "tests" && name != "target" {
+                rust_sources(&path, out);
+            }
+        } else if name.ends_with(".rs") && !name.ends_with("_tests.rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Strip line comments and string literals well enough for token checks
+/// (not a full lexer: multi-line strings are out of idiom here).
+fn code_only(line: &str) -> String {
+    let line = line.split("//").next().unwrap_or(line);
+    let mut out = String::with_capacity(line.len());
+    let mut in_str = false;
+    let mut prev = ' ';
+    for c in line.chars() {
+        if c == '"' && prev != '\\' {
+            in_str = !in_str;
+            prev = c;
+            continue;
+        }
+        if !in_str {
+            out.push(c);
+        }
+        prev = c;
+    }
+    out
+}
+
+#[test]
+fn no_new_unwraps_in_operator_hot_paths() {
+    let root = repo_root();
+    let allow_path = root.join("tests/source_lint_allow.txt");
+    let allow_text = std::fs::read_to_string(&allow_path).unwrap();
+    let mut budgets: BTreeMap<String, usize> = BTreeMap::new();
+    for line in allow_text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (path, n) = line
+            .rsplit_once(' ')
+            .expect("allowlist line: <path> <count>");
+        budgets.insert(path.to_string(), n.trim().parse().unwrap());
+    }
+
+    let ops_dir = root.join("crates/exec/src/operators");
+    let mut failures = Vec::new();
+    let mut files = Vec::new();
+    rust_sources(&ops_dir, &mut files);
+    for file in files {
+        let rel = file
+            .strip_prefix(&root)
+            .unwrap()
+            .to_str()
+            .unwrap()
+            .to_string();
+        let count = non_test_lines(&file)
+            .iter()
+            .map(|l| {
+                let code = code_only(l);
+                code.matches(".unwrap()").count() + code.matches(".expect(").count()
+            })
+            .sum::<usize>();
+        let budget = budgets.get(&rel).copied().unwrap_or(0);
+        if count > budget {
+            failures.push(format!(
+                "{rel}: {count} unwrap/expect site(s), budget {budget} — handle the error \
+                 or (only for provable invariants) raise the budget in {}",
+                allow_path.display()
+            ));
+        } else if count < budget {
+            failures.push(format!(
+                "{rel}: {count} unwrap/expect site(s), budget {budget} — ratchet the \
+                 budget down in {}",
+                allow_path.display()
+            ));
+        }
+    }
+    assert!(failures.is_empty(), "\n{}", failures.join("\n"));
+}
+
+#[test]
+fn no_std_mutex_and_no_guard_across_channel_ops() {
+    let root = repo_root();
+    let mut files = Vec::new();
+    rust_sources(&root.join("crates"), &mut files);
+    rust_sources(&root.join("src"), &mut files);
+    let mut failures = Vec::new();
+    for file in &files {
+        let rel = file.strip_prefix(&root).unwrap().display().to_string();
+        // The in-tree shims legitimately wrap std primitives.
+        if rel.starts_with("crates/shims/") {
+            continue;
+        }
+        let lines = non_test_lines(file);
+        for (i, raw) in lines.iter().enumerate() {
+            let line = code_only(raw);
+            if line.contains("std::sync::Mutex") {
+                failures.push(format!(
+                    "{rel}:{}: std::sync::Mutex — use the parking_lot shim",
+                    i + 1
+                ));
+            }
+            // `let guard = <expr>.lock();` … guard must not live across a
+            // channel send/recv. Scan until the binding's indentation level
+            // closes or the guard is dropped.
+            let trimmed = line.trim_start();
+            let Some(rest) = trimmed.strip_prefix("let ") else {
+                continue;
+            };
+            if !line.contains(".lock()") || line.contains(".lock().") {
+                continue; // temporary guard, dropped at end of statement
+            }
+            let Some(name) = rest
+                .split(['=', ':'])
+                .next()
+                .map(|s| s.trim().trim_start_matches("mut ").trim().to_string())
+            else {
+                continue;
+            };
+            if name.is_empty()
+                || name == "_"
+                || !name.chars().all(|c| c.is_alphanumeric() || c == '_')
+            {
+                continue;
+            }
+            let indent = raw.len() - raw.trim_start().len();
+            for later in lines.iter().skip(i + 1).take(60) {
+                let lcode = code_only(later);
+                let ltrim = later.trim_start();
+                if ltrim.is_empty() {
+                    continue;
+                }
+                let lindent = later.len() - ltrim.len();
+                if lindent < indent || lcode.contains(&format!("drop({name})")) {
+                    break; // scope closed or guard released
+                }
+                if ["send(", ".recv(", "try_send(", "try_recv(", "recv_timeout("]
+                    .iter()
+                    .any(|p| lcode.contains(p))
+                {
+                    failures.push(format!(
+                        "{rel}:{}: lock guard `{name}` (bound line {}) held across a \
+                         channel send/recv — release it first",
+                        i + 1,
+                        i + 1
+                    ));
+                    break;
+                }
+            }
+        }
+    }
+    assert!(failures.is_empty(), "\n{}", failures.join("\n"));
+}
+
+#[test]
+fn every_ta_code_is_documented_in_design_md() {
+    let root = repo_root();
+    // Only the registry itself (tests may use fabricated codes).
+    let diag = non_test_lines(&root.join("crates/plan/src/diag.rs")).join("\n");
+    let design = std::fs::read_to_string(root.join("DESIGN.md")).unwrap();
+    let mut missing = Vec::new();
+    let mut found_any = false;
+    for (i, _) in diag.match_indices("(\"TA") {
+        let code: String = diag[i + 2..].chars().take_while(|c| *c != '"').collect();
+        if code.len() != 5 || !code[2..].chars().all(|c| c.is_ascii_digit()) {
+            continue;
+        }
+        found_any = true;
+        if !design.contains(&code) {
+            missing.push(code);
+        }
+    }
+    assert!(
+        found_any,
+        "no TA codes found in diag.rs — lint out of date?"
+    );
+    missing.sort();
+    missing.dedup();
+    assert!(
+        missing.is_empty(),
+        "TA codes registered in crates/plan/src/diag.rs but undocumented in DESIGN.md §9: \
+         {missing:?}"
+    );
+}
