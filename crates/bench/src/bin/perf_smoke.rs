@@ -26,6 +26,7 @@ use tukwila_core::execute_plan;
 use tukwila_exec::ExecEnv;
 use tukwila_plan::{JoinKind, OverflowMethod, PlanBuilder};
 use tukwila_source::{LinkModel, SimulatedSource, SourceRegistry};
+use tukwila_trace::TraceLevel;
 
 /// `n` tuples `(i % dup, i)` under schema `name(k, v)`.
 fn keyed(name: &str, n: i64, dup: i64) -> Relation {
@@ -74,7 +75,7 @@ fn measure(
 }
 
 /// Single wrapper scan of `n` rows — the source replay / delivery floor.
-fn scan_scenario(n: i64, batch: usize) -> (u64, Duration, usize, usize) {
+fn scan_scenario(n: i64, batch: usize, level: TraceLevel) -> (u64, Duration, usize, usize) {
     let reg = SourceRegistry::new();
     reg.register(SimulatedSource::new(
         "S",
@@ -85,14 +86,16 @@ fn scan_scenario(n: i64, batch: usize) -> (u64, Duration, usize, usize) {
     let s = pb.wrapper_scan("S");
     let f = pb.fragment(s, "result");
     let plan = pb.build(f);
-    let env = ExecEnv::new(reg).with_batch_size(batch);
+    let env = ExecEnv::new(reg)
+        .with_batch_size(batch)
+        .with_trace_level(level);
     let start = Instant::now();
     let r = run_single_fragment_in_env("scan", env, &plan, f);
     (r.tuples, start.elapsed(), r.peak_memory, r.spill_tuple_io)
 }
 
 /// The 3-way double-pipelined join pipeline (the `batch_throughput` shape).
-fn join_scenario(scale: i64, batch: usize) -> (u64, Duration, usize, usize) {
+fn join_scenario(scale: i64, batch: usize, level: TraceLevel) -> (u64, Duration, usize, usize) {
     let reg = SourceRegistry::new();
     reg.register(SimulatedSource::new(
         "A",
@@ -117,14 +120,16 @@ fn join_scenario(scale: i64, batch: usize) -> (u64, Duration, usize, usize) {
     let top = pb.join(JoinKind::DoublePipelined, j1, c, "a.k", "k");
     let f = pb.fragment(top, "result");
     let plan = pb.build(f);
-    let env = ExecEnv::new(reg).with_batch_size(batch);
+    let env = ExecEnv::new(reg)
+        .with_batch_size(batch)
+        .with_trace_level(level);
     let start = Instant::now();
     let r = run_single_fragment_in_env("join", env, &plan, f);
     (r.tuples, start.elapsed(), r.peak_memory, r.spill_tuple_io)
 }
 
 /// DPJ under a memory budget small enough to force overflow spilling.
-fn spill_scenario(n: i64, batch: usize) -> (u64, Duration, usize, usize) {
+fn spill_scenario(n: i64, batch: usize, level: TraceLevel) -> (u64, Duration, usize, usize) {
     let reg = SourceRegistry::new();
     reg.register(SimulatedSource::new(
         "L",
@@ -144,7 +149,9 @@ fn spill_scenario(n: i64, batch: usize) -> (u64, Duration, usize, usize) {
         .with_memory(8_000);
     let f = pb.fragment(j, "result");
     let plan = pb.build(f);
-    let env = ExecEnv::new(reg).with_batch_size(batch);
+    let env = ExecEnv::new(reg)
+        .with_batch_size(batch)
+        .with_trace_level(level);
     let start = Instant::now();
     let res = run_single_fragment_in_env("spill", env, &plan, f);
     (
@@ -166,6 +173,7 @@ fn par_speedup_scenario(
     n: i64,
     threads: usize,
     batch: usize,
+    level: TraceLevel,
 ) -> ((u64, Duration, usize, usize), Relation) {
     let paced = LinkModel {
         per_tuple: Duration::from_micros(30),
@@ -206,7 +214,8 @@ fn par_speedup_scenario(
     let plan = pb.build(f2);
     let env = ExecEnv::new(reg)
         .with_batch_size(batch)
-        .with_threads(threads);
+        .with_threads(threads)
+        .with_trace_level(level);
     let start = Instant::now();
     let (rel, stats) = execute_plan(&plan, env).expect("par_speedup plan failed");
     (
@@ -227,6 +236,15 @@ fn json_escape(s: &str) -> String {
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
+    // Timing baselines are recorded at `off`; `--trace-level events` /
+    // `metrics` exist for the paired-run overhead protocol in
+    // EXPERIMENTS.md, never for BENCH_join.json updates.
+    let level = args
+        .iter()
+        .position(|a| a == "--trace-level")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| TraceLevel::parse(v).expect("--trace-level off|events|metrics"))
+        .unwrap_or(TraceLevel::Off);
     let out_path = args
         .iter()
         .position(|a| a == "--out")
@@ -240,11 +258,18 @@ fn main() {
         (9, 200_000i64, 1i64, 2_000i64, 2_000i64)
     };
 
-    eprintln!("perf_smoke: quick={quick} batch={batch} runs={runs}");
+    eprintln!(
+        "perf_smoke: quick={quick} batch={batch} runs={runs} trace_level={}",
+        level.as_str()
+    );
     let mut results = vec![
-        measure("scan", runs, || scan_scenario(scan_rows, batch)),
-        measure("dpj3_join", runs, || join_scenario(join_scale, batch)),
-        measure("dpj_spill", runs, || spill_scenario(spill_rows, batch)),
+        measure("scan", runs, || scan_scenario(scan_rows, batch, level)),
+        measure("dpj3_join", runs, || {
+            join_scenario(join_scale, batch, level)
+        }),
+        measure("dpj_spill", runs, || {
+            spill_scenario(spill_rows, batch, level)
+        }),
     ];
 
     // Intra-query parallelism: the same DAG at thread budgets 1/2/4, with
@@ -258,7 +283,7 @@ fn main() {
         };
         let mut last: Option<Relation> = None;
         let res = measure(name, runs, || {
-            let (timing, rel) = par_speedup_scenario(par_rows, threads, batch);
+            let (timing, rel) = par_speedup_scenario(par_rows, threads, batch, level);
             last = Some(rel);
             timing
         });

@@ -77,7 +77,11 @@ struct RunReport {
     p50_ms: f64,
     p99_ms: f64,
     completed: u64,
+    timed_out: u64,
+    cancelled: u64,
+    failed: u64,
     rejected: u64,
+    queue_high_water: usize,
     cache_hits: u64,
     cache_misses: u64,
 }
@@ -113,12 +117,13 @@ fn run(clients: usize, cache: bool) -> RunReport {
                         }
                         std::thread::sleep(ARRIVAL_INTERVAL);
                     }
+                    // Latency = queue wait + execution, stamped by the
+                    // worker at completion — independent of the order this
+                    // client drains its tickets in. Outcome counting lives
+                    // in `ServiceStats`, not here.
                     tickets
                         .into_iter()
                         .filter_map(|t| {
-                            // Latency = queue wait + execution, stamped by
-                            // the worker at completion — independent of the
-                            // order this client drains its tickets in.
                             let resp = t.wait();
                             resp.is_ok()
                                 .then(|| resp.stats.queue_wait + resp.stats.duration)
@@ -148,7 +153,11 @@ fn run(clients: usize, cache: bool) -> RunReport {
         p50_ms: pct(0.50),
         p99_ms: pct(0.99),
         completed: stats.completed,
+        timed_out: stats.timed_out,
+        cancelled: stats.cancelled,
+        failed: stats.failed,
         rejected: stats.rejected,
+        queue_high_water: stats.queue_depth_high_water,
         cache_hits: cache_stats.map(|c| c.hits).unwrap_or(0),
         cache_misses: cache_stats.map(|c| c.misses).unwrap_or(0),
     }
@@ -160,19 +169,26 @@ fn main() {
         "# {} queries/client @ {:?} arrival interval; mix = small/medium/large joins",
         QUERIES_PER_CLIENT, ARRIVAL_INTERVAL
     );
-    println!("clients, cache, qps, p50_ms, p99_ms, completed, rejected, cache_hits, cache_misses");
+    println!(
+        "clients, cache, qps, p50_ms, p99_ms, completed, timed_out, cancelled, failed, \
+         rejected, queue_hw, cache_hits, cache_misses"
+    );
     let mut baseline: Option<f64> = None;
     for &cache in &[false, true] {
         for &clients in &[1usize, 4, 16] {
             let r = run(clients, cache);
             println!(
-                "{clients}, {}, {:.1}, {:.2}, {:.2}, {}, {}, {}, {}",
+                "{clients}, {}, {:.1}, {:.2}, {:.2}, {}, {}, {}, {}, {}, {}, {}, {}",
                 if cache { "on" } else { "off" },
                 r.qps,
                 r.p50_ms,
                 r.p99_ms,
                 r.completed,
+                r.timed_out,
+                r.cancelled,
+                r.failed,
                 r.rejected,
+                r.queue_high_water,
                 r.cache_hits,
                 r.cache_misses
             );

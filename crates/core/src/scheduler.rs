@@ -28,6 +28,7 @@ use std::time::Duration;
 use tukwila_common::{Relation, Result, TukwilaError};
 use tukwila_exec::{run_fragment_observed, ExecEnv, FragmentOutcome, PlanRuntime};
 use tukwila_plan::{FragmentId, QueryPlan, SubjectRef};
+use tukwila_trace::TraceEvent;
 
 use crate::stats::ExecutionStats;
 
@@ -58,21 +59,30 @@ pub fn run_fragments(
     } else {
         run_parallel(plan, rt, threads, max_retries, stats, series)
     };
-    // Fold this run's exchange counters into the query stats.
+    // Fold this run's exchange counters into the query stats, merging
+    // entries for the same join operator (a replan re-running the same
+    // join accumulates; distinct joins stay separate).
     let ps = rt.parallel_stats();
     stats.partitions = stats.partitions.max(ps.max_partitions);
-    if stats.partition_spill_tuples.len() < ps.partition_spill_tuples.len() {
-        stats
-            .partition_spill_tuples
-            .resize(ps.partition_spill_tuples.len(), 0);
+    for e in &ps.partition_spills {
+        match stats.partition_spills.iter_mut().find(|s| s.op == e.op) {
+            Some(s) => {
+                if s.tuples.len() < e.tuples.len() {
+                    s.tuples.resize(e.tuples.len(), 0);
+                }
+                for (acc, n) in s.tuples.iter_mut().zip(&e.tuples) {
+                    *acc += n;
+                }
+            }
+            None => stats.partition_spills.push(e.clone()),
+        }
     }
-    for (acc, n) in stats
-        .partition_spill_tuples
-        .iter_mut()
-        .zip(&ps.partition_spill_tuples)
-    {
-        *acc += n;
-    }
+    // And the per-query source-cache attribution.
+    let cc = rt.cache_counts();
+    stats.cache_hits += cc.hits;
+    stats.cache_misses += cc.misses;
+    stats.cache_coalesced += cc.coalesced;
+    stats.cache_bypass += cc.bypass;
     outcome
 }
 
@@ -119,6 +129,12 @@ fn run_sequential(
             .unwrap_or(&ready[0]);
         let is_output = frag == plan.output;
 
+        if rt.trace().events_enabled() {
+            rt.trace().emit(TraceEvent::FragmentDispatched {
+                fragment: frag.0,
+                overlapped: false,
+            });
+        }
         let mut observer = |n: u64, d: Duration| {
             if is_output {
                 series.push((n, d));
@@ -127,12 +143,19 @@ fn run_sequential(
         let report = run_fragment_observed(plan, frag, rt, &mut observer)?;
         stats.fragments_run += 1;
         let outcome = report.outcome.clone();
+        let produced = report.produced;
         stats.fragment_reports.push(report);
 
         match outcome {
             FragmentOutcome::Completed {
                 replan_requested, ..
             } => {
+                if rt.trace().events_enabled() {
+                    rt.trace().emit(TraceEvent::FragmentCompleted {
+                        fragment: frag.0,
+                        tuples: produced,
+                    });
+                }
                 completed.insert(frag);
                 deferred.clear(); // conditions changed; retry blocked work
                 let work_remains = plan
@@ -147,6 +170,10 @@ fn run_sequential(
                 }
             }
             FragmentOutcome::Rescheduled => {
+                if rt.trace().events_enabled() {
+                    rt.trace()
+                        .emit(TraceEvent::FragmentRescheduled { fragment: frag.0 });
+                }
                 stats.reschedules += 1;
                 let r = retries.entry(frag).or_insert(0);
                 *r += 1;
@@ -236,8 +263,15 @@ fn run_parallel(
                             }
                         });
                     let Some(frag) = next else { break };
-                    if !in_flight.is_empty() {
+                    let overlapped = !in_flight.is_empty();
+                    if overlapped {
                         stats.fragments_overlapped += 1;
+                    }
+                    if rt.trace().events_enabled() {
+                        rt.trace().emit(TraceEvent::FragmentDispatched {
+                            fragment: frag.0,
+                            overlapped,
+                        });
                     }
                     in_flight.insert(frag);
                     let tx = tx.clone();
@@ -326,12 +360,19 @@ fn run_parallel(
             }
             stats.fragments_run += 1;
             let outcome = report.outcome.clone();
+            let produced = report.produced;
             stats.fragment_reports.push(report);
 
             match outcome {
                 FragmentOutcome::Completed {
                     replan_requested, ..
                 } => {
+                    if rt.trace().events_enabled() {
+                        rt.trace().emit(TraceEvent::FragmentCompleted {
+                            fragment: frag.0,
+                            tuples: produced,
+                        });
+                    }
                     completed.insert(frag);
                     deferred.clear();
                     let work_remains = plan
@@ -343,6 +384,10 @@ fn run_parallel(
                     }
                 }
                 FragmentOutcome::Rescheduled => {
+                    if rt.trace().events_enabled() {
+                        rt.trace()
+                            .emit(TraceEvent::FragmentRescheduled { fragment: frag.0 });
+                    }
                     stats.reschedules += 1;
                     let r = retries.entry(frag).or_insert(0);
                     *r += 1;
@@ -388,6 +433,20 @@ fn run_parallel(
 /// environment's intra-query thread budget — the entry point the
 /// benchmarks and parallelism tests use with hand-built plans.
 pub fn execute_plan(plan: &QueryPlan, env: ExecEnv) -> Result<(Arc<Relation>, ExecutionStats)> {
+    let (relation, stats, _) = execute_plan_traced(plan, env)?;
+    Ok((relation, stats))
+}
+
+/// [`execute_plan`] returning the query's trace snapshot as well (`None`
+/// when the environment's trace level is `Off`).
+pub fn execute_plan_traced(
+    plan: &QueryPlan,
+    env: ExecEnv,
+) -> Result<(
+    Arc<Relation>,
+    ExecutionStats,
+    Option<tukwila_trace::TraceSnapshot>,
+)> {
     let threads = env.intra_query_threads;
     let rt = PlanRuntime::for_plan(plan, env.clone());
     let mut stats = ExecutionStats::default();
@@ -404,7 +463,12 @@ pub fn execute_plan(plan: &QueryPlan, env: ExecEnv) -> Result<(Arc<Relation>, Ex
             stats.spill_tuples_read = io.tuples_read;
             stats.spill_bytes_written = io.bytes_written;
             stats.spill_bytes_read = io.bytes_read;
-            Ok((env.local.get(&name)?, stats))
+            let trace = if rt.trace().events_enabled() || rt.trace().metrics_enabled() {
+                Some(rt.trace().snapshot())
+            } else {
+                None
+            };
+            Ok((env.local.get(&name)?, stats, trace))
         }
         SchedOutcome::Replan => Err(TukwilaError::Plan(
             "standalone plan requested re-optimization".into(),

@@ -4,7 +4,8 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use tukwila_common::Relation;
-use tukwila_exec::FragmentReport;
+use tukwila_exec::{ExchangeSpill, FragmentReport};
+use tukwila_trace::TraceSnapshot;
 
 /// Statistics accumulated over one query's interleaved execution.
 #[derive(Debug, Clone, Default)]
@@ -23,9 +24,19 @@ pub struct ExecutionStats {
     /// Largest exchange partition degree any join ran with (0 = fully
     /// sequential pipelines).
     pub partitions: usize,
-    /// Spill tuples written per exchange partition index, summed across
-    /// all partitioned joins of the query.
-    pub partition_spill_tuples: Vec<u64>,
+    /// Per-exchange spill totals, labeled by join operator id with one
+    /// per-partition vector each — two 4-way joins stay distinguishable
+    /// from one 8-way join.
+    pub partition_spills: Vec<ExchangeSpill>,
+    /// Source-cache lookups served from a completed entry (this query's
+    /// own attribution, not the fleet-wide cache counters).
+    pub cache_hits: u64,
+    /// Source-cache lookups this query led and then populated.
+    pub cache_misses: u64,
+    /// Source-cache lookups coalesced onto another flight's fetch.
+    pub cache_coalesced: u64,
+    /// Source-cache lookups the cache declined to serve or lead.
+    pub cache_bypass: u64,
     /// Per-fragment reports in completion order.
     pub fragment_reports: Vec<FragmentReport>,
     /// Tuples written to spill storage (overflow resolution).
@@ -81,6 +92,10 @@ pub struct QueryResult {
     /// `(tuples, elapsed)` samples of the output fragment — the series
     /// behind the paper's tuples-vs-time figures.
     pub series: Vec<(u64, Duration)>,
+    /// Structured execution trace (`None` when tracing is `Off`): the
+    /// timestamped event timeline plus per-operator metrics, ready for
+    /// the JSON/CSV/timeline renderers in `tukwila_trace`.
+    pub trace: Option<TraceSnapshot>,
 }
 
 impl QueryResult {

@@ -39,6 +39,7 @@ use tukwila_exec::{CancelKind, ExecEnv, PlanRuntime, QueryControl};
 use tukwila_opt::{Observation, Optimizer, PlannedQuery};
 use tukwila_plan::{FragmentId, OpState, OperatorSpec, QuantityProvider, QueryPlan, SubjectRef};
 use tukwila_query::{ConjunctiveQuery, ReformulatedQuery, Reformulator};
+use tukwila_trace::TraceEvent;
 
 use crate::stats::{ExecutionStats, QueryResult};
 
@@ -99,7 +100,8 @@ impl TukwilaSystem {
     /// Execute a conjunctive query over the mediated schema.
     pub fn execute(&self, query: &ConjunctiveQuery) -> Result<QueryResult> {
         let mut stats = ExecutionStats::default();
-        self.execute_controlled(query, &QueryControl::unbounded(), &mut stats)
+        let control = QueryControl::unbounded_traced(self.env.trace_level);
+        self.execute_controlled(query, &control, &mut stats)
     }
 
     /// [`TukwilaSystem::execute`] under a caller-owned [`QueryControl`]
@@ -151,12 +153,23 @@ impl TukwilaSystem {
         stats.duration = started.elapsed();
         stats.time_to_first = stats.fragment_reports.last().and_then(|r| r.time_to_first);
 
+        let trace = control.trace();
         match outcome {
-            Ok(relation) => Ok(QueryResult {
-                relation,
-                stats: stats.clone(),
-                series,
-            }),
+            Ok(relation) => {
+                if trace.events_enabled() {
+                    trace.emit(TraceEvent::QueryCompleted {
+                        outcome: "ok".into(),
+                    });
+                }
+                let snapshot =
+                    (trace.events_enabled() || trace.metrics_enabled()).then(|| trace.snapshot());
+                Ok(QueryResult {
+                    relation,
+                    stats: stats.clone(),
+                    series,
+                    trace: snapshot,
+                })
+            }
             Err(e) => {
                 match (&e, control.cancelled()) {
                     (TukwilaError::DeadlineExceeded { .. }, _) => {
@@ -169,6 +182,18 @@ impl TukwilaSystem {
                         stats.cancelled = true;
                     }
                     _ => {}
+                }
+                if trace.events_enabled() {
+                    let outcome = if stats.deadline_exceeded {
+                        "deadline"
+                    } else if stats.cancelled {
+                        "cancelled"
+                    } else {
+                        "error"
+                    };
+                    trace.emit(TraceEvent::QueryCompleted {
+                        outcome: outcome.into(),
+                    });
                 }
                 Err(e)
             }
@@ -216,11 +241,18 @@ impl TukwilaSystem {
                         )));
                     }
                     stats.replans += 1;
+                    let fragments_before = prepared.planned.lowered.plan.fragments.len() as u32;
                     prepared.planned = self.optimizer.lock().replan(
                         &prepared.rq,
                         prepared.planned.memo.take(),
                         &observations,
                     )?;
+                    if control.trace().events_enabled() {
+                        control.trace().emit(TraceEvent::ReplanInstalled {
+                            fragments_before,
+                            fragments_after: prepared.planned.lowered.plan.fragments.len() as u32,
+                        });
+                    }
                 }
             }
         }

@@ -17,6 +17,7 @@ use std::time::{Duration, Instant};
 use parking_lot::Mutex;
 
 use tukwila_common::{Result, TukwilaError};
+use tukwila_trace::{QueryTrace, TraceLevel};
 
 /// Why a query was cancelled — distinct from rule-driven aborts
 /// (`TukwilaError::Cancelled` raised by a `return error to user` action).
@@ -67,23 +68,38 @@ pub struct QueryControl {
     /// Cancel flags of blocking streams opened by this query; flipped on
     /// cancellation so sleeps inside link models end promptly.
     handles: Mutex<Vec<Arc<AtomicBool>>>,
+    /// The query's execution trace. Created with the control so every
+    /// layer the control already reaches (admission, scheduler, rule
+    /// engine, operators, source cache) can emit without new plumbing.
+    trace: Arc<QueryTrace>,
 }
 
 impl QueryControl {
     /// A control with no deadline (cancellable only).
     pub fn unbounded() -> Arc<Self> {
+        Self::unbounded_traced(TraceLevel::default())
+    }
+
+    /// [`QueryControl::unbounded`] recording at an explicit trace level.
+    pub fn unbounded_traced(level: TraceLevel) -> Arc<Self> {
         Arc::new(QueryControl {
             state: AtomicU8::new(STATE_LIVE),
             started: Instant::now(),
             deadline: None,
             flight: NEXT_FLIGHT.fetch_add(1, Ordering::Relaxed),
             handles: Mutex::new(Vec::new()),
+            trace: QueryTrace::new(level),
         })
     }
 
     /// This query's flight id (see the source-result cache).
     pub fn flight_id(&self) -> u64 {
         self.flight
+    }
+
+    /// This query's execution trace.
+    pub fn trace(&self) -> &Arc<QueryTrace> {
+        &self.trace
     }
 
     /// A control whose query must finish within `budget` of *now*. The
@@ -93,6 +109,12 @@ impl QueryControl {
     /// and interrupts the sleep. (Checks at batch boundaries trip the
     /// deadline too; the enforcer covers the blocked case.)
     pub fn with_deadline(budget: Duration) -> Arc<Self> {
+        Self::with_deadline_traced(budget, TraceLevel::default())
+    }
+
+    /// [`QueryControl::with_deadline`] recording at an explicit trace
+    /// level.
+    pub fn with_deadline_traced(budget: Duration, level: TraceLevel) -> Arc<Self> {
         let now = Instant::now();
         let deadline = now + budget;
         let control = Arc::new(QueryControl {
@@ -101,6 +123,7 @@ impl QueryControl {
             deadline: Some(deadline),
             flight: NEXT_FLIGHT.fetch_add(1, Ordering::Relaxed),
             handles: Mutex::new(Vec::new()),
+            trace: QueryTrace::new(level),
         });
         enforcer::watch(deadline, Arc::downgrade(&control));
         control

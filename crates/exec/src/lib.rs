@@ -38,4 +38,6 @@ pub use build::build_operator;
 pub use control::{CancelKind, QueryControl};
 pub use fragment::{run_fragment, run_fragment_observed, FragmentOutcome, FragmentReport};
 pub use operator::{drain, drain_batches, drain_tuples, Operator, OperatorBox, TupleCursor};
-pub use runtime::{EngineSignal, ExecEnv, OpHarness, ParallelStats, PlanRuntime};
+pub use runtime::{
+    CacheCounts, EngineSignal, ExchangeSpill, ExecEnv, OpHarness, ParallelStats, PlanRuntime,
+};

@@ -37,12 +37,15 @@
 //! Duplicate avoidance follows the paper's marking rule: cleanup joins
 //! old×new, new×old and new×new — never old×old, which was emitted online.
 
+use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 use crossbeam_channel::{bounded, Receiver, Select};
 
 use tukwila_common::{KeyedBatch, OutputQueue, Result, Schema, TukwilaError, Tuple, TupleBatch};
 use tukwila_plan::{OverflowMethod, QuantityProvider, SubjectRef};
+use tukwila_trace::{OpMetrics, TraceEvent};
 
 use crate::operator::{Operator, OperatorBox};
 use crate::operators::hash_table::{join_sets, BucketedTable};
@@ -107,6 +110,14 @@ pub struct DoublePipelinedJoin {
     /// Cached at open: `OpHarness::reservation` is a subject-map lookup +
     /// `Arc` clone, far too expensive for the per-insert overflow check.
     reservation: Option<tukwila_storage::MemoryReservation>,
+    /// Metrics handle (Some only at `TraceLevel::Metrics`).
+    metrics: Option<Arc<OpMetrics>>,
+    /// When the current staged batch started draining (probe timing).
+    staged_at: Option<Instant>,
+    /// Tuples this run diverted to spill storage (overflow accounting).
+    spilled_tuples: u64,
+    /// The overflow-resolved event was emitted (once per run).
+    resolved_emitted: bool,
 }
 
 impl DoublePipelinedJoin {
@@ -142,6 +153,10 @@ impl DoublePipelinedJoin {
             recv_flip: false,
             engaged_method: None,
             reservation: None,
+            metrics: None,
+            staged_at: None,
+            spilled_tuples: 0,
+            resolved_emitted: false,
         }
     }
 
@@ -166,8 +181,25 @@ impl DoublePipelinedJoin {
     /// Move the oldest pending output block into a batch and account it.
     fn emit_pending(&mut self) -> TupleBatch {
         let out = self.pending.pop_block().unwrap_or_default();
+        if let Some(m) = &self.metrics {
+            m.add_output(out.len() as u64);
+        }
         self.harness.produced(out.len() as u64);
         out
+    }
+
+    /// Flush bucket `b` of `side` to spill storage, tracing the write.
+    fn flush_traced(&mut self, side: usize, b: usize) -> Result<()> {
+        let n = self.tables[side].flush_bucket(b)? as u64;
+        self.spilled_tuples += n;
+        let trace = self.harness.trace();
+        if n > 0 && trace.events_enabled() {
+            trace.emit(TraceEvent::SpillWrite {
+                op: self.harness.op_id().unwrap_or(u32::MAX),
+                tuples: n,
+            });
+        }
+        Ok(())
     }
 
     /// Join one transferred tuple using its cached key prehash (NULL keys
@@ -185,6 +217,7 @@ impl DoublePipelinedJoin {
             // probing here would double-count against the opposite side's
             // resident old partition).
             self.tables[side].spill_new(b, &t)?;
+            self.spilled_tuples += 1;
             return Ok(());
         }
         // Probe the opposite table's in-memory primary partition. If the
@@ -224,7 +257,8 @@ impl DoublePipelinedJoin {
         if !res.under_pressure() {
             return Ok(());
         }
-        if !self.raised_oom {
+        let first_onset = !self.raised_oom;
+        if first_onset {
             self.raised_oom = true;
             // Raise `out_of_memory`; a rule may install/adjust the overflow
             // method before we read it (processed synchronously).
@@ -233,6 +267,12 @@ impl DoublePipelinedJoin {
         let method = *self
             .engaged_method
             .get_or_insert_with(|| self.harness.overflow_method());
+        if first_onset && self.harness.trace().events_enabled() {
+            self.harness.trace().emit(TraceEvent::OverflowOnset {
+                op: self.harness.op_id().unwrap_or(u32::MAX),
+                method: format!("{method:?}"),
+            });
+        }
         match method {
             OverflowMethod::Fail => Err(TukwilaError::OutOfMemory {
                 operator: format!("{}", self.harness.subject()),
@@ -251,7 +291,7 @@ impl DoublePipelinedJoin {
         if flush_all {
             for b in 0..self.num_buckets {
                 if !self.tables[LEFT].is_flushed(b) {
-                    self.tables[LEFT].flush_bucket(b)?;
+                    self.flush_traced(LEFT, b)?;
                 }
             }
         }
@@ -263,11 +303,11 @@ impl DoublePipelinedJoin {
         }
         while res.under_pressure() {
             if let Some(b) = self.tables[LEFT].largest_unflushed() {
-                self.tables[LEFT].flush_bucket(b)?;
+                self.flush_traced(LEFT, b)?;
             } else if let Some(b) = self.tables[RIGHT].largest_unflushed() {
                 // Step (4): only once A's table has been flushed completely.
                 debug_assert!(self.tables[LEFT].fully_flushed());
-                self.tables[RIGHT].flush_bucket(b)?;
+                self.flush_traced(RIGHT, b)?;
             } else {
                 break; // nothing left to free
             }
@@ -291,10 +331,10 @@ impl DoublePipelinedJoin {
                 break; // only empty buckets remain; flushing frees nothing
             }
             if !self.tables[LEFT].is_flushed(b) {
-                self.tables[LEFT].flush_bucket(b)?;
+                self.flush_traced(LEFT, b)?;
             }
             if !self.tables[RIGHT].is_flushed(b) {
-                self.tables[RIGHT].flush_bucket(b)?;
+                self.flush_traced(RIGHT, b)?;
             }
         }
         Ok(())
@@ -367,6 +407,20 @@ impl DoublePipelinedJoin {
         let a_new = self.tables[LEFT].new_tuples(b)?;
         let b_old = self.tables[RIGHT].old_tuples(b)?;
         let b_new = self.tables[RIGHT].new_tuples(b)?;
+        let trace = self.harness.trace();
+        if trace.events_enabled() {
+            // Tuples materialized back from the flushed side(s) of this
+            // bucket for the cleanup join.
+            let read_back = (if lf { a_old.len() + a_new.len() } else { 0 }
+                + if rf { b_old.len() + b_new.len() } else { 0 })
+                as u64;
+            if read_back > 0 {
+                trace.emit(TraceEvent::SpillRead {
+                    op: self.harness.op_id().unwrap_or(u32::MAX),
+                    tuples: read_back,
+                });
+            }
+        }
         let budget = self.harness.reservation().map(|r| r.budget());
         let spill = self.harness.spill();
         let mut out = Vec::new();
@@ -438,6 +492,9 @@ impl Operator for DoublePipelinedJoin {
         ];
         self.schema = left.schema().concat(right.schema());
         self.pending = OutputQueue::new(self.harness.batch_size());
+        self.metrics = self.harness.metrics("dpj");
+        self.spilled_tuples = 0;
+        self.resolved_emitted = false;
         let reservation = self.harness.reservation();
         self.reservation = reservation.clone();
         let spill = self.harness.spill();
@@ -501,7 +558,12 @@ impl Operator for DoublePipelinedJoin {
                     // NULL keys never join and need no storage.
                     continue;
                 }
-                Some(None) => self.staged = None,
+                Some(None) => {
+                    self.staged = None;
+                    if let (Some(m), Some(t0)) = (&self.metrics, self.staged_at.take()) {
+                        m.add_probe_ns(t0.elapsed().as_nanos() as u64);
+                    }
+                }
                 None => {}
             }
             if self.done[LEFT] && self.done[RIGHT] {
@@ -511,6 +573,16 @@ impl Operator for DoublePipelinedJoin {
                 }
                 if self.cleanup_step()? {
                     continue; // may have filled `pending`
+                }
+                if self.raised_oom
+                    && !self.resolved_emitted
+                    && self.harness.trace().events_enabled()
+                {
+                    self.resolved_emitted = true;
+                    self.harness.trace().emit(TraceEvent::OverflowResolved {
+                        op: self.harness.op_id().unwrap_or(u32::MAX),
+                        tuples_spilled: self.spilled_tuples,
+                    });
                 }
                 if self.pending.is_empty() {
                     return Ok(None);
@@ -526,6 +598,10 @@ impl Operator for DoublePipelinedJoin {
                 Msg::Batch(b) => {
                     // Prehash the whole arriving batch once and drain it in
                     // place (NULL-keyed rows are skipped at consumption).
+                    if let Some(m) = &self.metrics {
+                        m.add_input(b.len() as u64);
+                        self.staged_at = Some(Instant::now());
+                    }
                     self.staged_side = side;
                     self.staged = Some(KeyedBatch::new(b, self.key_idx[side]));
                 }

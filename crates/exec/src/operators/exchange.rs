@@ -26,14 +26,17 @@
 //! hash identically, so every matching pair meets in exactly one
 //! partition and no pair meets twice.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 use crossbeam_channel::{bounded, Receiver, Sender};
 
 use tukwila_common::{fold_hash, KeyVector, Result, Schema, TukwilaError, Tuple, TupleBatch};
 use tukwila_plan::{JoinKind, QuantityProvider, SubjectRef};
 use tukwila_storage::{MemoryManager, ScopedSpillStore, SpillStore};
+use tukwila_trace::{OpMetrics, TraceEvent};
 
 use crate::operator::{Operator, OperatorBox};
 use crate::operators::{DoublePipelinedJoin, HashJoinOp};
@@ -197,6 +200,9 @@ pub struct Exchange {
     threads: Vec<JoinHandle<()>>,
     live_workers: usize,
     part_spills: Vec<Arc<ScopedSpillStore>>,
+    /// Output rows per partition instance, for the skew snapshot.
+    part_rows: Vec<Arc<AtomicU64>>,
+    metrics: Option<Arc<OpMetrics>>,
     reported: bool,
     opened: bool,
 }
@@ -233,6 +239,8 @@ impl Exchange {
             threads: Vec::new(),
             live_workers: 0,
             part_spills: Vec::new(),
+            part_rows: Vec::new(),
+            metrics: None,
             reported: false,
             opened: false,
         }
@@ -269,7 +277,17 @@ impl Exchange {
             .iter()
             .map(|s| s.stats().tuples_written() as u64)
             .collect();
-        self.harness.runtime().note_exchange(&spills);
+        let rt = self.harness.runtime();
+        let op = self.join_harness.op_id().unwrap_or(u32::MAX);
+        rt.note_exchange(op, &spills);
+        if rt.trace().events_enabled() {
+            let rows: Vec<u64> = self
+                .part_rows
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect();
+            rt.trace().emit(TraceEvent::PartitionSkew { op, rows });
+        }
     }
 }
 
@@ -328,6 +346,8 @@ impl Operator for Exchange {
         let mut part_channels_r = Vec::with_capacity(n);
         let (out_tx, out_rx) = bounded::<Msg>(n.max(2) * 2);
         self.part_spills = Vec::with_capacity(n);
+        self.part_rows = (0..n).map(|_| Arc::new(AtomicU64::new(0))).collect();
+        self.metrics = self.harness.metrics("exchange");
         let mut instances: Vec<OperatorBox> = Vec::with_capacity(n);
         for i in 0..n {
             let (ltx, lrx) = bounded::<Msg>(PARTITION_QUEUE_CAP);
@@ -382,12 +402,14 @@ impl Operator for Exchange {
         self.threads.push(std::thread::spawn(move || {
             drive_side(right, rkey, part_channels_r)
         }));
-        for mut instance in instances {
+        for (i, mut instance) in instances.into_iter().enumerate() {
             let out = out_tx.clone();
+            let rows = self.part_rows[i].clone();
             self.threads.push(std::thread::spawn(move || {
                 let result = (|| -> Result<()> {
                     instance.open()?;
                     while let Some(batch) = instance.next_batch()? {
+                        rows.fetch_add(batch.len() as u64, Ordering::Relaxed);
                         if out.send(Msg::Batch(batch)).is_err() {
                             break; // consumer gone (early close)
                         }
@@ -414,8 +436,16 @@ impl Operator for Exchange {
             let Some(rx) = &self.rx else {
                 return Ok(None);
             };
-            match rx.recv() {
+            let waited = self.metrics.as_ref().map(|_| Instant::now());
+            let msg = rx.recv();
+            if let (Some(m), Some(t0)) = (&self.metrics, waited) {
+                m.add_queue_stall_ns(t0.elapsed().as_nanos() as u64);
+            }
+            match msg {
                 Ok(Msg::Batch(b)) => {
+                    if let Some(m) = &self.metrics {
+                        m.add_output(b.len() as u64);
+                    }
                     self.harness.produced(b.len() as u64);
                     return Ok(Some(b));
                 }

@@ -8,10 +8,14 @@
 //! immediately during the probe phase. Grace hashing partitions everything
 //! to disk up front.
 
+use std::sync::Arc;
+use std::time::Instant;
+
 use tukwila_common::{
     KeyVector, KeyedBatch, OutputQueue, Result, Schema, TukwilaError, Tuple, TupleBatch,
 };
 use tukwila_storage::SpillBucket;
+use tukwila_trace::{OpMetrics, TraceEvent};
 
 use crate::operator::{Operator, OperatorBox};
 use crate::operators::hash_table::{join_sets, BucketedTable};
@@ -54,6 +58,14 @@ pub struct HashJoinOp {
     /// Cached at open: `OpHarness::reservation` is a subject-map lookup +
     /// `Arc` clone, far too expensive for the per-insert overflow check.
     reservation: Option<tukwila_storage::MemoryReservation>,
+    /// Metrics handle (Some only at `TraceLevel::Metrics`).
+    metrics: Option<Arc<OpMetrics>>,
+    /// When the current probe batch started draining (probe timing).
+    probe_at: Option<Instant>,
+    /// Tuples this run diverted to spill storage.
+    spilled_tuples: u64,
+    /// The overflow-resolved event was emitted (once per run).
+    resolved_emitted: bool,
 }
 
 impl HashJoinOp {
@@ -106,6 +118,10 @@ impl HashJoinOp {
             phase: Phase::Build,
             raised_oom: false,
             reservation: None,
+            metrics: None,
+            probe_at: None,
+            spilled_tuples: 0,
+            resolved_emitted: false,
         }
     }
 
@@ -116,7 +132,6 @@ impl HashJoinOp {
     }
 
     fn resolve_overflow(&mut self) -> Result<()> {
-        let build = self.build.as_mut().unwrap();
         let Some(res) = self.reservation.as_ref() else {
             return Ok(());
         };
@@ -126,10 +141,30 @@ impl HashJoinOp {
             if !self.raised_oom {
                 self.raised_oom = true;
                 self.harness.out_of_memory();
+                let trace = self.harness.trace();
+                if trace.events_enabled() {
+                    trace.emit(TraceEvent::OverflowOnset {
+                        op: self.harness.op_id().unwrap_or(u32::MAX),
+                        method: if self.grace {
+                            "GracePartition".into()
+                        } else {
+                            "HybridLazyFlush".into()
+                        },
+                    });
+                }
             }
+            let build = self.build.as_mut().unwrap();
             match build.largest_unflushed() {
                 Some(b) => {
-                    build.flush_bucket(b)?;
+                    let n = build.flush_bucket(b)? as u64;
+                    self.spilled_tuples += n;
+                    let trace = self.harness.trace();
+                    if n > 0 && trace.events_enabled() {
+                        trace.emit(TraceEvent::SpillWrite {
+                            op: self.harness.op_id().unwrap_or(u32::MAX),
+                            tuples: n,
+                        });
+                    }
                 }
                 None => {
                     // Everything flushed and still over budget: the budget is
@@ -162,6 +197,7 @@ impl HashJoinOp {
                 let b = build.bucket_for_hash(hash);
                 if build.is_flushed(b) {
                     build.spill_new(b, &t)?;
+                    self.spilled_tuples += 1;
                 } else {
                     build.insert_hashed(hash, t);
                     self.resolve_overflow()?;
@@ -180,6 +216,7 @@ impl HashJoinOp {
                 self.probe_spill[b] = Some(spill.create_bucket(&format!("hj-probe-{b}")));
             }
             spill.write(self.probe_spill[b].unwrap(), std::slice::from_ref(&t))?;
+            self.spilled_tuples += 1;
         } else {
             let key = t.value(self.lkey);
             for m in build.probe_hashed(hash, key) {
@@ -201,6 +238,14 @@ impl HashJoinOp {
             Some(sb) => spill.read_all(sb)?,
             None => Vec::new(),
         };
+        let read_back = (build_set.len() + probe_set.len()) as u64;
+        let trace = self.harness.trace();
+        if read_back > 0 && trace.events_enabled() {
+            trace.emit(TraceEvent::SpillRead {
+                op: self.harness.op_id().unwrap_or(u32::MAX),
+                tuples: read_back,
+            });
+        }
         if build_set.is_empty() || probe_set.is_empty() {
             return Ok(());
         }
@@ -231,11 +276,18 @@ impl Operator for HashJoinOp {
         ));
         self.probe_spill = vec![None; self.num_buckets];
         self.pending = OutputQueue::new(self.harness.batch_size());
+        self.metrics = self.harness.metrics(self.name());
+        self.spilled_tuples = 0;
+        self.resolved_emitted = false;
         self.harness.opened();
         // The blocking build phase happens at open: this is precisely the
         // "time to first tuple is extended by the hash join's non-pipelined
         // behavior when it is reading the inner relation" of §4.2.1.
+        let t0 = self.metrics.as_ref().map(|_| Instant::now());
         self.build_phase()?;
+        if let (Some(m), Some(t0)) = (&self.metrics, t0) {
+            m.add_build_ns(t0.elapsed().as_nanos() as u64);
+        }
         self.phase = Phase::Probe;
         Ok(())
     }
@@ -256,6 +308,9 @@ impl Operator for HashJoinOp {
                     });
             if block_ready {
                 let out = self.pending.pop_block().unwrap_or_default();
+                if let Some(m) = &self.metrics {
+                    m.add_output(out.len() as u64);
+                }
                 self.harness.produced(out.len() as u64);
                 return Ok(Some(out));
             }
@@ -272,9 +327,18 @@ impl Operator for HashJoinOp {
                         }
                         // NULL probe keys never join; skip.
                     }
-                    Some(None) => self.probe_queue = None,
+                    Some(None) => {
+                        self.probe_queue = None;
+                        if let (Some(m), Some(t0)) = (&self.metrics, self.probe_at.take()) {
+                            m.add_probe_ns(t0.elapsed().as_nanos() as u64);
+                        }
+                    }
                     None => match self.left.next_batch()? {
                         Some(batch) => {
+                            if let Some(m) = &self.metrics {
+                                m.add_input(batch.len() as u64);
+                                self.probe_at = Some(Instant::now());
+                            }
                             // Prehash the probe batch once and drain it in
                             // place.
                             self.probe_queue = Some(KeyedBatch::new(batch, self.lkey));
@@ -284,6 +348,16 @@ impl Operator for HashJoinOp {
                 },
                 Phase::Cleanup(b) => {
                     if b >= self.num_buckets {
+                        if self.raised_oom && !self.resolved_emitted {
+                            self.resolved_emitted = true;
+                            let trace = self.harness.trace();
+                            if trace.events_enabled() {
+                                trace.emit(TraceEvent::OverflowResolved {
+                                    op: self.harness.op_id().unwrap_or(u32::MAX),
+                                    tuples_spilled: self.spilled_tuples,
+                                });
+                            }
+                        }
                         self.phase = Phase::Done;
                     } else {
                         self.cleanup_bucket(b)?;

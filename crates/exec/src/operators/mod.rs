@@ -32,7 +32,8 @@ use std::sync::Arc;
 
 use tukwila_common::Result;
 use tukwila_plan::SubjectRef;
-use tukwila_source::{Wrapper, WrapperStream};
+use tukwila_source::{FetchVia, Wrapper, WrapperStream};
+use tukwila_trace::CacheOutcome;
 
 use crate::runtime::PlanRuntime;
 
@@ -55,8 +56,17 @@ pub(crate) fn open_source_stream(
             let wait_cancel = Arc::new(AtomicBool::new(false));
             rt.register_cancel(subject, wait_cancel.clone());
             let flight = rt.control().flight_id();
-            match wrapper.fetch_through_cache(&cache, flight, Some(&wait_cancel), base) {
-                Some(stream) => Ok(Some(stream)),
+            match wrapper.fetch_through_cache_observed(&cache, flight, Some(&wait_cancel), base) {
+                Some((stream, via)) => {
+                    let outcome = match via {
+                        FetchVia::Hit => CacheOutcome::Hit,
+                        FetchVia::Lead => CacheOutcome::Miss,
+                        FetchVia::Coalesced => CacheOutcome::Coalesced,
+                        FetchVia::Bypass => CacheOutcome::Bypass,
+                    };
+                    rt.note_cache_outcome(wrapper.source_name(), outcome);
+                    Ok(Some(stream))
+                }
                 None => {
                     rt.control().check()?;
                     Ok(None)

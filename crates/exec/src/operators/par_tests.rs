@@ -134,12 +134,16 @@ fn exchange_with_tiny_budget_spills_and_stays_exact() {
             rt.env().spill.stats().tuples_written() > 0,
             "{kind:?}: a 3KB budget over ~400-tuple sides must spill"
         );
-        // Per-partition attribution reached the runtime.
+        // Per-partition attribution reached the runtime, labeled with the
+        // join operator's id.
         let ps = rt.parallel_stats();
         assert_eq!(ps.max_partitions, 4);
-        assert_eq!(ps.partition_spill_tuples.len(), 4);
+        assert_eq!(ps.partition_spills.len(), 1, "one exchange instance ran");
+        let entry = &ps.partition_spills[0];
+        assert_ne!(entry.op, u32::MAX, "spill entry must carry the join op id");
+        assert_eq!(entry.tuples.len(), 4);
         assert!(
-            ps.partition_spill_tuples.iter().sum::<u64>() > 0,
+            entry.total() > 0,
             "{kind:?}: spill must be attributed to partitions"
         );
     }

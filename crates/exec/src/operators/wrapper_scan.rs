@@ -12,10 +12,12 @@
 //! source costs one handoff per block while a slow source still delivers
 //! its first tuple as early as the tuple-at-a-time engine did.
 
-use std::time::Duration;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use tukwila_common::{Result, Schema, TukwilaError, TupleBatch};
 use tukwila_source::{SourceBatchEvent, WrapperStream};
+use tukwila_trace::{OpMetrics, TraceEvent};
 
 use crate::operator::Operator;
 use crate::runtime::OpHarness;
@@ -30,6 +32,13 @@ pub struct WrapperScan {
     stream: Option<WrapperStream>,
     schema: Schema,
     finished: bool,
+    opened_at: Option<Instant>,
+    /// First tuple already seen (first-tuple latency event emitted).
+    saw_first: bool,
+    /// A stall (timeout) was observed since the last delivered batch; the
+    /// next arrival is traced as the post-stall burst.
+    stalled: bool,
+    metrics: Option<Arc<OpMetrics>>,
 }
 
 impl WrapperScan {
@@ -48,6 +57,10 @@ impl WrapperScan {
             stream: None,
             schema: Schema::empty(),
             finished: false,
+            opened_at: None,
+            saw_first: false,
+            stalled: false,
+            metrics: None,
         }
     }
 }
@@ -82,6 +95,10 @@ impl Operator for WrapperScan {
         self.harness.register_cancel(stream.cancel_handle());
         self.stream = Some(stream);
         self.finished = false;
+        self.opened_at = Some(Instant::now());
+        self.saw_first = false;
+        self.stalled = false;
+        self.metrics = self.harness.metrics("wrapper_scan");
         self.harness.opened();
         Ok(())
     }
@@ -109,6 +126,14 @@ impl Operator for WrapperScan {
                             // event; rules run synchronously inside emit. If a
                             // rule requested an engine-level response, surface
                             // a recoverable error so the fragment loop can act.
+                            let trace = self.harness.trace();
+                            if trace.events_enabled() {
+                                trace.emit(TraceEvent::SourceStall {
+                                    source: self.source.clone(),
+                                    waited_ms: ms,
+                                });
+                            }
+                            self.stalled = true;
                             self.harness.timeout(ms);
                             if self.harness.signal_pending() {
                                 return Err(TukwilaError::SourceTimeout {
@@ -124,6 +149,30 @@ impl Operator for WrapperScan {
             };
             match event {
                 SourceBatchEvent::Batch(batch) => {
+                    let trace = self.harness.trace();
+                    if trace.events_enabled() {
+                        if !self.saw_first {
+                            self.saw_first = true;
+                            let elapsed_ms = self
+                                .opened_at
+                                .map(|t| t.elapsed().as_millis() as u64)
+                                .unwrap_or(0);
+                            trace.emit(TraceEvent::SourceFirstTuple {
+                                source: self.source.clone(),
+                                elapsed_ms,
+                            });
+                        }
+                        if self.stalled {
+                            self.stalled = false;
+                            trace.emit(TraceEvent::SourceBurst {
+                                source: self.source.clone(),
+                                tuples: batch.len() as u64,
+                            });
+                        }
+                    }
+                    if let Some(m) = &self.metrics {
+                        m.add_output(batch.len() as u64);
+                    }
                     self.harness.produced(batch.len() as u64);
                     return Ok(Some(batch));
                 }

@@ -32,6 +32,7 @@ use tukwila_source::SourceRegistry;
 use tukwila_storage::{
     InMemorySpillStore, LocalStore, MemoryManager, MemoryReservation, ScopedSpillStore, SpillStore,
 };
+use tukwila_trace::{CacheOutcome, OpMetrics, QueryTrace, TraceEvent, TraceLevel};
 
 use crate::control::QueryControl;
 
@@ -55,6 +56,9 @@ pub struct ExecEnv {
     /// `TUKWILA_THREADS` environment variable via
     /// [`tukwila_common::env_parallelism`].
     pub intra_query_threads: usize,
+    /// Trace level installed on query controls this environment creates
+    /// (an externally owned control keeps whatever its creator set).
+    pub trace_level: TraceLevel,
 }
 
 impl ExecEnv {
@@ -67,6 +71,7 @@ impl ExecEnv {
             sources,
             batch_size: tukwila_common::DEFAULT_BATCH_CAPACITY,
             intra_query_threads: tukwila_common::env_parallelism(),
+            trace_level: TraceLevel::default(),
         }
     }
 
@@ -85,6 +90,13 @@ impl ExecEnv {
     /// Override the intra-query thread budget (1 = sequential fragments).
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.intra_query_threads = threads.max(1);
+        self
+    }
+
+    /// Override the trace level for controls created in this environment
+    /// (`Off` for benchmarks measuring raw engine throughput).
+    pub fn with_trace_level(mut self, level: TraceLevel) -> Self {
+        self.trace_level = level;
         self
     }
 
@@ -110,6 +122,7 @@ impl ExecEnv {
             sources: self.sources.clone(),
             batch_size: self.batch_size,
             intra_query_threads: self.intra_query_threads,
+            trace_level: self.trace_level,
         }
     }
 }
@@ -201,14 +214,56 @@ struct Signals {
     abort: Mutex<Option<String>>,
 }
 
+/// Per-partition spill-tuple totals of one exchange instance, labeled by
+/// the plan operator id of the partitioned join — so two 4-way joins stay
+/// distinguishable from one 8-way in the query stats.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ExchangeSpill {
+    /// Plan operator id of the partitioned join.
+    pub op: u32,
+    /// Spill tuples written per partition index.
+    pub tuples: Vec<u64>,
+}
+
+impl ExchangeSpill {
+    /// Total spill tuples across this exchange's partitions.
+    pub fn total(&self) -> u64 {
+        self.tuples.iter().sum()
+    }
+}
+
 /// Intra-query parallelism counters recorded by exchange operators over
 /// one plan run.
 #[derive(Debug, Clone, Default)]
 pub struct ParallelStats {
     /// Largest partition degree any exchange ran with (0 = no exchange).
     pub max_partitions: usize,
-    /// Spill tuples written per partition index, summed across exchanges.
-    pub partition_spill_tuples: Vec<u64>,
+    /// Per-exchange spill totals, labeled by join operator id (a fragment
+    /// retry folds into the same entry).
+    pub partition_spills: Vec<ExchangeSpill>,
+}
+
+/// Per-query source-cache lookup counts (satellite of the source-result
+/// cache's global [`tukwila_source`] counters: these attribute outcomes to
+/// *this* query's flight).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheCounts {
+    /// Lookups served from a completed cache entry.
+    pub hits: u64,
+    /// Lookups this query led (cache misses it then populated).
+    pub misses: u64,
+    /// Lookups coalesced onto another query's in-flight fetch.
+    pub coalesced: u64,
+    /// Lookups the cache declined (uncacheable, over budget, lease held).
+    pub bypass: u64,
+}
+
+#[derive(Default)]
+struct CacheCounters {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    coalesced: AtomicU64,
+    bypass: AtomicU64,
 }
 
 /// The per-plan runtime: statistics, controls, events, rules, signals.
@@ -216,6 +271,11 @@ pub struct PlanRuntime {
     env: ExecEnv,
     epoch: Instant,
     control: Arc<QueryControl>,
+    /// The query's trace (shared with the control; cached here because
+    /// emit checks sit on operator paths).
+    trace: Arc<QueryTrace>,
+    /// Per-query source-cache outcome counters for this plan run.
+    cache: CacheCounters,
     /// Fx-keyed: `record()` sits on the per-batch accounting path of every
     /// operator (`produced`, `is_active`), so SipHash lookups add up.
     subjects: tukwila_common::FxHashMap<SubjectRef, SubjectRecord>,
@@ -239,7 +299,8 @@ impl PlanRuntime {
     /// budgeted operators, loads all rules, and harvests threshold
     /// milestones.
     pub fn for_plan(plan: &QueryPlan, env: ExecEnv) -> Arc<PlanRuntime> {
-        Self::for_plan_controlled(plan, env, QueryControl::unbounded())
+        let control = QueryControl::unbounded_traced(env.trace_level);
+        Self::for_plan_controlled(plan, env, control)
     }
 
     /// [`PlanRuntime::for_plan`] under an externally owned [`QueryControl`]
@@ -334,6 +395,8 @@ impl PlanRuntime {
         Arc::new(PlanRuntime {
             env,
             epoch: Instant::now(),
+            trace: control.trace().clone(),
+            cache: CacheCounters::default(),
             control,
             subjects,
             frag_of,
@@ -354,6 +417,38 @@ impl PlanRuntime {
     /// The query-level control this plan runs under.
     pub fn control(&self) -> &Arc<QueryControl> {
         &self.control
+    }
+
+    /// The query's execution trace.
+    pub fn trace(&self) -> &Arc<QueryTrace> {
+        &self.trace
+    }
+
+    /// Record a per-query source-cache lookup outcome (and trace it).
+    pub fn note_cache_outcome(&self, source: &str, outcome: CacheOutcome) {
+        let counter = match outcome {
+            CacheOutcome::Hit => &self.cache.hits,
+            CacheOutcome::Miss => &self.cache.misses,
+            CacheOutcome::Coalesced => &self.cache.coalesced,
+            CacheOutcome::Bypass => &self.cache.bypass,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+        if self.trace.events_enabled() {
+            self.trace.emit(TraceEvent::CacheLookup {
+                source: source.to_string(),
+                outcome,
+            });
+        }
+    }
+
+    /// Source-cache outcome counts recorded so far in this plan run.
+    pub fn cache_counts(&self) -> CacheCounts {
+        CacheCounts {
+            hits: self.cache.hits.load(Ordering::Relaxed),
+            misses: self.cache.misses.load(Ordering::Relaxed),
+            coalesced: self.cache.coalesced.load(Ordering::Relaxed),
+            bypass: self.cache.bypass.load(Ordering::Relaxed),
+        }
     }
 
     fn record(&self, s: SubjectRef) -> Result<&SubjectRecord> {
@@ -543,6 +638,12 @@ impl PlanRuntime {
                 }
             }
             for rule in to_fire {
+                if self.trace.events_enabled() {
+                    self.trace.emit(TraceEvent::RuleFired {
+                        rule: rule.name.clone(),
+                        trigger: describe_event(&event),
+                    });
+                }
                 for action in &rule.actions {
                     self.apply_action_for(action, Some(rule.owner));
                 }
@@ -573,7 +674,16 @@ impl PlanRuntime {
                 let frag = owner.and_then(|s| self.frag_of.get(&s).copied());
                 self.signals.reschedule.lock().insert(frag);
             }
-            Action::Replan => self.signals.replan.store(true, Ordering::Relaxed),
+            Action::Replan => {
+                if self.trace.events_enabled() {
+                    let reason = match owner {
+                        Some(s) => format!("rule action ({s})"),
+                        None => "rule action".to_string(),
+                    };
+                    self.trace.emit(TraceEvent::ReplanRequested { reason });
+                }
+                self.signals.replan.store(true, Ordering::Relaxed);
+            }
             Action::ReturnError(m) => {
                 *self.signals.abort.lock() = Some(m.clone());
             }
@@ -618,20 +728,27 @@ impl PlanRuntime {
         None
     }
 
-    /// Record one exchange run's parallelism counters (degree and per-
-    /// partition spill-tuple totals).
-    pub fn note_exchange(&self, partition_spill_tuples: &[u64]) {
+    /// Record one exchange run's parallelism counters: the partition
+    /// degree and per-partition spill-tuple totals, labeled by the
+    /// partitioned join's operator id. A retry of the same exchange folds
+    /// into its existing entry element-wise.
+    pub fn note_exchange(&self, op: u32, partition_spill_tuples: &[u64]) {
         let mut p = self.parallel.lock();
         p.max_partitions = p.max_partitions.max(partition_spill_tuples.len());
-        if p.partition_spill_tuples.len() < partition_spill_tuples.len() {
-            p.partition_spill_tuples
-                .resize(partition_spill_tuples.len(), 0);
+        let entry = match p.partition_spills.iter_mut().find(|e| e.op == op) {
+            Some(e) => e,
+            None => {
+                p.partition_spills.push(ExchangeSpill {
+                    op,
+                    tuples: Vec::new(),
+                });
+                p.partition_spills.last_mut().expect("just pushed")
+            }
+        };
+        if entry.tuples.len() < partition_spill_tuples.len() {
+            entry.tuples.resize(partition_spill_tuples.len(), 0);
         }
-        for (acc, n) in p
-            .partition_spill_tuples
-            .iter_mut()
-            .zip(partition_spill_tuples)
-        {
+        for (acc, n) in entry.tuples.iter_mut().zip(partition_spill_tuples) {
             *acc += n;
         }
     }
@@ -662,6 +779,23 @@ impl PlanRuntime {
     /// Number of rules still active.
     pub fn active_rule_count(&self) -> usize {
         self.rules.lock().iter().filter(|s| s.active).count()
+    }
+}
+
+/// Render an engine event for the `trigger` field of a rule-fired trace
+/// record, e.g. `timeout(op0, 50)`.
+fn describe_event(e: &Event) -> String {
+    let kind = match e.kind {
+        EventKind::Opened => "opened",
+        EventKind::Closed => "closed",
+        EventKind::Error => "error",
+        EventKind::Timeout => "timeout",
+        EventKind::OutOfMemory => "out_of_memory",
+        EventKind::Threshold => "threshold",
+    };
+    match e.value {
+        Some(v) => format!("{kind}({}, {v})", e.subject),
+        None => format!("{kind}({})", e.subject),
     }
 }
 
@@ -781,6 +915,31 @@ impl OpHarness {
     /// This operator's subject reference.
     pub fn subject(&self) -> SubjectRef {
         self.subject
+    }
+
+    /// The query's execution trace.
+    pub fn trace(&self) -> &Arc<QueryTrace> {
+        self.rt.trace()
+    }
+
+    /// Plan operator id, when this harness is for an operator subject.
+    pub fn op_id(&self) -> Option<u32> {
+        match self.subject {
+            SubjectRef::Op(id) => Some(id.0),
+            SubjectRef::Fragment(_) => None,
+        }
+    }
+
+    /// This operator's metrics handle at `TraceLevel::Metrics` (`None`
+    /// below it — operators cache the result at open so the per-batch
+    /// path stays a plain `Option` check). Partition instances of an
+    /// exchange resolve to the same handle, aggregating per plan operator.
+    pub fn metrics(&self, name: &str) -> Option<Arc<OpMetrics>> {
+        if !self.rt.trace().metrics_enabled() {
+            return None;
+        }
+        self.op_id()
+            .map(|id| self.rt.trace().metrics().register(id, name))
     }
 
     /// Mark opened (emits `opened`). A partition instance must not flip

@@ -35,6 +35,7 @@ use tukwila_core::{ExecutionStats, QueryResult, TukwilaSystem};
 use tukwila_exec::{CancelKind, QueryControl};
 use tukwila_query::ConjunctiveQuery;
 use tukwila_source::{CacheStats, SourceResultCache};
+use tukwila_trace::{TraceEvent, TraceLevel};
 
 use crate::governor::MemoryGovernor;
 
@@ -60,6 +61,10 @@ pub struct QueryServiceConfig {
     /// cores divided by the worker count (the active-query estimate),
     /// minimum 1 — so a 16-client run does not oversubscribe the box.
     pub intra_query_threads: usize,
+    /// Trace level installed on every admitted query's control: `Off`
+    /// disables recording, `Events` (default) records the structured
+    /// event timeline, `Metrics` adds per-operator counters.
+    pub trace_level: TraceLevel,
 }
 
 impl Default for QueryServiceConfig {
@@ -72,6 +77,7 @@ impl Default for QueryServiceConfig {
             query_memory: 32 << 20,
             cache_memory: Some(32 << 20),
             intra_query_threads: 0,
+            trace_level: TraceLevel::Events,
         }
     }
 }
@@ -184,6 +190,11 @@ pub struct ServiceStats {
     pub plan_diag_warnings: u64,
     /// Info-severity static-analysis findings summed over every plan run.
     pub plan_diag_infos: u64,
+    /// Deepest the admission queue has ever been (queued high-water).
+    pub queue_depth_high_water: usize,
+    /// Trace events recorded across every query the service ran (0 when
+    /// the configured [`QueryServiceConfig::trace_level`] is `Off`).
+    pub trace_events: u64,
 }
 
 #[derive(Default)]
@@ -196,6 +207,7 @@ struct Counters {
     timed_out: AtomicU64,
     plan_diag_warnings: AtomicU64,
     plan_diag_infos: AtomicU64,
+    trace_events: AtomicU64,
 }
 
 struct Job {
@@ -214,6 +226,8 @@ struct Inner {
     /// Resolved per-query thread budget (config or cores/workers).
     intra_query_threads: usize,
     queued: AtomicUsize,
+    /// Deepest `queued` has ever been.
+    queue_high_water: AtomicUsize,
     running: AtomicUsize,
     /// Admitted and not yet responded (queued + running + handoff gaps);
     /// the quantity admission control bounds.
@@ -264,6 +278,7 @@ impl QueryService {
             config: config.clone(),
             intra_query_threads,
             queued: AtomicUsize::new(0),
+            queue_high_water: AtomicUsize::new(0),
             running: AtomicUsize::new(0),
             in_flight: AtomicUsize::new(0),
             next_id: AtomicU64::new(1),
@@ -318,14 +333,22 @@ impl QueryService {
                 inner.running.load(Ordering::Relaxed)
             )));
         }
-        inner.queued.fetch_add(1, Ordering::Relaxed);
+        let depth = inner.queued.fetch_add(1, Ordering::Relaxed) + 1;
+        inner.queue_high_water.fetch_max(depth, Ordering::Relaxed);
 
         let id = inner.next_id.fetch_add(1, Ordering::Relaxed);
         let deadline = options.timeout.or(inner.config.default_deadline);
+        let level = inner.config.trace_level;
         let control = match deadline {
-            Some(d) => QueryControl::with_deadline(d),
-            None => QueryControl::unbounded(),
+            Some(d) => QueryControl::with_deadline_traced(d, level),
+            None => QueryControl::unbounded_traced(level),
         };
+        let trace = control.trace();
+        if trace.events_enabled() {
+            trace.emit(TraceEvent::AdmissionEnqueued {
+                queued: depth as u64,
+            });
+        }
         inner.active.lock().insert(id, control.clone());
         inner.counters.submitted.fetch_add(1, Ordering::Relaxed);
 
@@ -377,6 +400,8 @@ impl QueryService {
             intra_query_threads: self.inner.intra_query_threads,
             plan_diag_warnings: c.plan_diag_warnings.load(Ordering::Relaxed),
             plan_diag_infos: c.plan_diag_infos.load(Ordering::Relaxed),
+            queue_depth_high_water: self.inner.queue_high_water.load(Ordering::Relaxed),
+            trace_events: c.trace_events.load(Ordering::Relaxed),
         }
     }
 
@@ -441,9 +466,34 @@ fn worker_loop(inner: Arc<Inner>, rx: Receiver<Job>) {
                 Err(e)
             }
             Ok(()) => {
+                let trace = job.control.trace();
+                if trace.events_enabled() {
+                    trace.emit(TraceEvent::AdmissionDequeued {
+                        waited_ms: stats.queue_wait.as_millis() as u64,
+                    });
+                }
                 let pool = inner
                     .governor
                     .query_pool(format!("q{}", job.id), inner.config.query_memory);
+                if trace.events_enabled() {
+                    // Grants are soft (reservation budgets clamp via
+                    // pressure, not refusal): record whether the fleet pool
+                    // actually had this query's share left.
+                    let snap = inner.governor.snapshot();
+                    let ask = inner.config.query_memory;
+                    let fits = snap.total_budget == 0 || snap.total_used + ask <= snap.total_budget;
+                    trace.emit(if fits {
+                        TraceEvent::ReservationGranted { bytes: ask as u64 }
+                    } else {
+                        TraceEvent::ReservationDenied { bytes: ask as u64 }
+                    });
+                    if snap.total_budget > 0 && snap.total_used > snap.total_budget {
+                        trace.emit(TraceEvent::GovernorPressure {
+                            used: snap.total_used as u64,
+                            budget: snap.total_budget as u64,
+                        });
+                    }
+                }
                 let env = inner
                     .system
                     .env()
@@ -454,6 +504,10 @@ fn worker_loop(inner: Arc<Inner>, rx: Receiver<Job>) {
                     .execute_in_env(&job.query, &job.control, env, &mut stats)
             }
         };
+        inner
+            .counters
+            .trace_events
+            .fetch_add(job.control.trace().recorded(), Ordering::Relaxed);
 
         let c = &inner.counters;
         c.plan_diag_warnings

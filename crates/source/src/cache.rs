@@ -233,6 +233,19 @@ impl SourceResultCache {
         flight: u64,
         cancel: Option<&AtomicBool>,
     ) -> CacheLookup {
+        self.lookup_or_lead_observed(key, flight, cancel).0
+    }
+
+    /// [`SourceResultCache::lookup_or_lead`] additionally reporting whether
+    /// the caller waited on another flight's in-progress fetch — the bit
+    /// that distinguishes a *coalesced* hit from a plain one in per-query
+    /// attribution.
+    pub fn lookup_or_lead_observed(
+        &self,
+        key: &SourceQueryKey,
+        flight: u64,
+        cancel: Option<&AtomicBool>,
+    ) -> (CacheLookup, bool) {
         let s = &self.shared;
         let mut inner = s.inner.lock().unwrap();
         let mut waited = false;
@@ -247,7 +260,7 @@ impl SourceResultCache {
                 if waited {
                     s.coalesced.fetch_add(1, Ordering::Relaxed);
                 }
-                return CacheLookup::Hit(rel);
+                return (CacheLookup::Hit(rel), waited);
             }
             if let Some(&leader) = inner.pending.get(key) {
                 // Never wait while leading: a flight that holds any
@@ -255,7 +268,7 @@ impl SourceResultCache {
                 // not pulled it yet) must bypass, or two queries leading
                 // each other's next key deadlock.
                 if leader == flight || inner.held.get(&flight).copied().unwrap_or(0) > 0 {
-                    return CacheLookup::Bypass;
+                    return (CacheLookup::Bypass, waited);
                 }
                 waited = true;
                 inner = match cancel {
@@ -263,7 +276,7 @@ impl SourceResultCache {
                     // even if the leader streams for a long time.
                     Some(c) => {
                         if c.load(Ordering::Relaxed) {
-                            return CacheLookup::Cancelled;
+                            return (CacheLookup::Cancelled, waited);
                         }
                         s.cv.wait_timeout(inner, Duration::from_millis(5))
                             .unwrap()
@@ -278,12 +291,15 @@ impl SourceResultCache {
             inner.pending.insert(key.clone(), flight);
             *inner.held.entry(flight).or_insert(0) += 1;
             s.misses.fetch_add(1, Ordering::Relaxed);
-            return CacheLookup::Lead(FetchLease {
-                shared: s.clone(),
-                key: key.clone(),
-                flight,
-                done: false,
-            });
+            return (
+                CacheLookup::Lead(FetchLease {
+                    shared: s.clone(),
+                    key: key.clone(),
+                    flight,
+                    done: false,
+                }),
+                waited,
+            );
         }
     }
 

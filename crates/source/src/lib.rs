@@ -30,7 +30,7 @@ pub use cache::{CacheLookup, CacheStats, FetchLease, SourceQueryKey, SourceResul
 pub use link::LinkModel;
 pub use registry::SourceRegistry;
 pub use source::{SimulatedSource, SourceBatchEvent, SourceConnection, SourceEvent};
-pub use wrapper::{Wrapper, WrapperStream};
+pub use wrapper::{FetchVia, Wrapper, WrapperStream};
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Duration;

@@ -21,6 +21,22 @@ use tukwila_common::{BatchBuilder, Relation, Schema, Tuple, TupleBatch};
 use crate::cache::{CacheLookup, FetchLease, SourceQueryKey, SourceResultCache};
 use crate::source::{SimulatedSource, SourceBatchEvent, SourceConnection, SourceEvent};
 
+/// How a cache-mediated fetch was served — the per-query attribution
+/// companion to the cache's global hit/miss/coalesced counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FetchVia {
+    /// Served from a completed cache entry without waiting.
+    Hit,
+    /// Served from a completed entry after waiting on another flight's
+    /// in-progress fetch (single-flight coalescing).
+    Coalesced,
+    /// This caller became the fetching leader (a cache miss it will
+    /// populate on clean end-of-stream).
+    Lead,
+    /// The cache declined to serve or lead (self-flight lease held).
+    Bypass,
+}
+
 /// A wrapper bound to one data source.
 #[derive(Clone)]
 pub struct Wrapper {
@@ -85,15 +101,39 @@ impl Wrapper {
         cancel: Option<&AtomicBool>,
         base: impl FnOnce(&Wrapper) -> WrapperStream,
     ) -> Option<WrapperStream> {
+        self.fetch_through_cache_observed(cache, flight, cancel, base)
+            .map(|(stream, _)| stream)
+    }
+
+    /// [`Wrapper::fetch_through_cache`] additionally reporting *how* the
+    /// fetch was served, for per-query cache attribution.
+    pub fn fetch_through_cache_observed(
+        &self,
+        cache: &SourceResultCache,
+        flight: u64,
+        cancel: Option<&AtomicBool>,
+        base: impl FnOnce(&Wrapper) -> WrapperStream,
+    ) -> Option<(WrapperStream, FetchVia)> {
         let key = SourceQueryKey::full_scan(self.source_name());
-        match cache.lookup_or_lead(&key, flight, cancel) {
-            CacheLookup::Hit(rel) => Some(WrapperStream::replay(rel)),
-            CacheLookup::Lead(lease) => Some(WrapperStream::Tee {
-                inner: Box::new(base(self)),
-                schema: self.schema().clone(),
-                tee: TeeState::new(lease),
-            }),
-            CacheLookup::Bypass => Some(base(self)),
+        let (lookup, waited) = cache.lookup_or_lead_observed(&key, flight, cancel);
+        match lookup {
+            CacheLookup::Hit(rel) => {
+                let via = if waited {
+                    FetchVia::Coalesced
+                } else {
+                    FetchVia::Hit
+                };
+                Some((WrapperStream::replay(rel), via))
+            }
+            CacheLookup::Lead(lease) => Some((
+                WrapperStream::Tee {
+                    inner: Box::new(base(self)),
+                    schema: self.schema().clone(),
+                    tee: TeeState::new(lease),
+                },
+                FetchVia::Lead,
+            )),
+            CacheLookup::Bypass => Some((base(self), FetchVia::Bypass)),
             CacheLookup::Cancelled => None,
         }
     }

@@ -1,0 +1,122 @@
+//! Property test: a trace snapshot survives its JSON renderer exactly —
+//! `TraceSnapshot::from_json(snap.to_json()) == snap` for arbitrary event
+//! mixes, payload strings (including quotes, escapes, and multi-byte
+//! chars), and full-range u64 counters.
+
+use proptest::prelude::*;
+use tukwila_trace::{
+    CacheOutcome, OpMetricsSnapshot, TraceEvent, TraceLevel, TraceRecord, TraceSnapshot,
+};
+
+fn arb_event() -> impl Strategy<Value = TraceEvent> {
+    prop_oneof![
+        (any::<u32>(), any::<bool>()).prop_map(|(fragment, overlapped)| {
+            TraceEvent::FragmentDispatched {
+                fragment,
+                overlapped,
+            }
+        }),
+        (any::<u32>(), any::<u64>())
+            .prop_map(|(fragment, tuples)| TraceEvent::FragmentCompleted { fragment, tuples }),
+        (0u32..64).prop_map(|fragment| TraceEvent::FragmentRescheduled { fragment }),
+        ("\\PC{0,16}", "\\PC{0,24}")
+            .prop_map(|(rule, trigger)| TraceEvent::RuleFired { rule, trigger }),
+        "\\PC{0,24}".prop_map(|reason| TraceEvent::ReplanRequested { reason }),
+        (any::<u32>(), any::<u32>()).prop_map(|(fragments_before, fragments_after)| {
+            TraceEvent::ReplanInstalled {
+                fragments_before,
+                fragments_after,
+            }
+        }),
+        (any::<u32>(), "\\PC{0,16}")
+            .prop_map(|(op, method)| TraceEvent::OverflowOnset { op, method }),
+        (any::<u32>(), any::<u64>()).prop_map(|(op, tuples_spilled)| {
+            TraceEvent::OverflowResolved { op, tuples_spilled }
+        }),
+        (any::<u32>(), any::<u64>()).prop_map(|(op, tuples)| TraceEvent::SpillWrite { op, tuples }),
+        (any::<u32>(), any::<u64>()).prop_map(|(op, tuples)| TraceEvent::SpillRead { op, tuples }),
+        ("\\PC{0,12}", any::<u64>()).prop_map(|(source, elapsed_ms)| {
+            TraceEvent::SourceFirstTuple { source, elapsed_ms }
+        }),
+        ("\\PC{0,12}", any::<u64>())
+            .prop_map(|(source, waited_ms)| TraceEvent::SourceStall { source, waited_ms }),
+        ("\\PC{0,12}", any::<u64>())
+            .prop_map(|(source, tuples)| TraceEvent::SourceBurst { source, tuples }),
+        ("\\PC{0,12}", 0u64..4).prop_map(|(source, o)| TraceEvent::CacheLookup {
+            source,
+            outcome: match o {
+                0 => CacheOutcome::Hit,
+                1 => CacheOutcome::Miss,
+                2 => CacheOutcome::Coalesced,
+                _ => CacheOutcome::Bypass,
+            },
+        }),
+        (any::<u32>(), proptest::collection::vec(any::<u64>(), 0..9))
+            .prop_map(|(op, rows)| TraceEvent::PartitionSkew { op, rows }),
+        any::<u64>().prop_map(|bytes| TraceEvent::ReservationGranted { bytes }),
+        any::<u64>().prop_map(|bytes| TraceEvent::ReservationDenied { bytes }),
+        (any::<u64>(), any::<u64>())
+            .prop_map(|(used, budget)| TraceEvent::GovernorPressure { used, budget }),
+        any::<u64>().prop_map(|queued| TraceEvent::AdmissionEnqueued { queued }),
+        any::<u64>().prop_map(|waited_ms| TraceEvent::AdmissionDequeued { waited_ms }),
+        "\\PC{0,12}".prop_map(|outcome| TraceEvent::QueryCompleted { outcome }),
+    ]
+}
+
+fn arb_op() -> impl Strategy<Value = OpMetricsSnapshot> {
+    (
+        (any::<u32>(), "\\PC{0,16}", any::<u64>(), any::<u64>()),
+        (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
+    )
+        .prop_map(
+            |((op, name, rows_in, rows_out), (batches_in, batches_out, build_ns, probe_ns))| {
+                OpMetricsSnapshot {
+                    op,
+                    name,
+                    rows_in,
+                    rows_out,
+                    batches_in,
+                    batches_out,
+                    build_ns,
+                    probe_ns,
+                    queue_stall_ns: build_ns ^ probe_ns,
+                }
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn snapshot_round_trips_through_json(
+        level in 0u64..3,
+        dropped in any::<u64>(),
+        events in proptest::collection::vec(arb_event(), 0..24),
+        ops in proptest::collection::vec(arb_op(), 0..6),
+    ) {
+        let level = match level {
+            0 => TraceLevel::Off,
+            1 => TraceLevel::Events,
+            _ => TraceLevel::Metrics,
+        };
+        let snap = TraceSnapshot {
+            level,
+            dropped,
+            events: events
+                .into_iter()
+                .enumerate()
+                .map(|(i, event)| TraceRecord {
+                    seq: i as u64,
+                    at_us: (i as u64) * 17,
+                    event,
+                })
+                .collect(),
+            ops,
+        };
+        let text = snap.to_json();
+        let back = TraceSnapshot::from_json(&text)
+            .map_err(|e| TestCaseError(format!("parse failed: {e}\n{text}")))?;
+        prop_assert_eq!(back, snap);
+    }
+}

@@ -61,6 +61,7 @@ pub use tukwila_service as service;
 pub use tukwila_source as source;
 pub use tukwila_storage as storage;
 pub use tukwila_tpchgen as tpchgen;
+pub use tukwila_trace as trace;
 
 /// The most common imports for building and running queries.
 pub mod prelude {
@@ -82,4 +83,5 @@ pub mod prelude {
         CacheStats, LinkModel, SimulatedSource, SourceRegistry, SourceResultCache,
     };
     pub use tukwila_tpchgen::{TpchDb, TpchGenerator, TpchTable};
+    pub use tukwila_trace::{QueryTrace, TraceEvent, TraceLevel, TraceSnapshot};
 }

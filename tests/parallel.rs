@@ -81,7 +81,13 @@ fn parallel_spilling_is_exact_and_attributed() {
         "a 20KB budget must force spilling"
     );
     assert!(
-        result.stats.partition_spill_tuples.iter().sum::<u64>() > 0,
+        result
+            .stats
+            .partition_spills
+            .iter()
+            .map(|e| e.total())
+            .sum::<u64>()
+            > 0,
         "spill must be attributed to partitions"
     );
 }

@@ -1,0 +1,169 @@
+//! End-to-end trace assertions: the structured event timeline a query
+//! carries home must tell the adaptive-execution story in order — stall,
+//! rule firing, reschedule, recovery — and concurrent queries must record
+//! disjoint, internally ordered traces.
+
+use std::time::Duration;
+
+use tukwila::prelude::*;
+
+const SF: f64 = 0.003;
+
+const TABLES: [TpchTable; 3] = [TpchTable::Region, TpchTable::Nation, TpchTable::Supplier];
+
+/// A transiently stalling source under timeout + reschedule rules leaves a
+/// trace that reads, in order: source-stall → rule-fired → fragment-
+/// rescheduled → fragment-completed → query-completed(ok). At `Metrics`
+/// the per-operator table rides along.
+#[test]
+fn stall_reschedule_sequence_is_traced() {
+    let stalling = LinkModel {
+        stall_after: Some(5),
+        stall_duration: Duration::from_millis(300),
+        ..LinkModel::instant()
+    };
+    let d = TpchDeployment::builder(SF, 13)
+        .tables(&TABLES)
+        .link(TpchTable::Nation, stalling)
+        .build();
+    let q = d.query_for("q-stall", &TABLES);
+    let cfg = OptimizerConfig {
+        policy: PipelinePolicy::MaterializeEachJoin,
+        source_timeout_ms: Some(50),
+        reschedule_on_timeout: true,
+        ..OptimizerConfig::default()
+    };
+    let mut sys = d.system(cfg);
+    sys.max_fragment_retries = 5;
+
+    // An externally owned control keeps its creator's level, so this runs
+    // the whole query at `Metrics` regardless of the env default.
+    let control = QueryControl::unbounded_traced(TraceLevel::Metrics);
+    let mut stats = ExecutionStats::default();
+    let result = sys.execute_controlled(&q, &control, &mut stats).unwrap();
+    assert!(stats.reschedules >= 1, "scenario must reschedule");
+
+    let trace = result.trace.expect("trace travels with the result");
+    assert_eq!(trace.dropped, 0, "small query must fit the ring");
+    let pos = |from: usize, pred: &dyn Fn(&TraceEvent) -> bool| -> usize {
+        trace.events[from..]
+            .iter()
+            .position(|r| pred(&r.event))
+            .map(|i| from + i)
+            .unwrap_or_else(|| {
+                panic!(
+                    "event not found from index {from}; timeline:\n{}",
+                    trace.render_timeline()
+                )
+            })
+    };
+    let stall = pos(0, &|e| matches!(e, TraceEvent::SourceStall { .. }));
+    let fired = pos(
+        stall,
+        &|e| matches!(e, TraceEvent::RuleFired { trigger, .. } if trigger.contains("timeout")),
+    );
+    let resched = pos(fired, &|e| {
+        matches!(e, TraceEvent::FragmentRescheduled { .. })
+    });
+    let done = pos(resched, &|e| {
+        matches!(e, TraceEvent::FragmentCompleted { .. })
+    });
+    pos(
+        done,
+        &|e| matches!(e, TraceEvent::QueryCompleted { outcome } if outcome == "ok"),
+    );
+
+    // Metrics level: the operator table is populated and the scans
+    // actually account for the rows they delivered.
+    assert!(!trace.ops.is_empty(), "metrics level must sample operators");
+    let scanned: u64 = trace
+        .ops
+        .iter()
+        .filter(|m| m.name == "wrapper_scan")
+        .map(|m| m.rows_out)
+        .sum();
+    assert!(scanned > 0, "wrapper scans must report rows_out");
+}
+
+/// Sixteen queries racing through one service: every per-query trace is
+/// internally ordered (contiguous seq from 0) and disjoint from the
+/// others (exactly one admission pair and one terminal event each).
+#[test]
+fn parallel_queries_have_disjoint_ordered_traces() {
+    let d = TpchDeployment::builder(SF, 29).tables(&TABLES).build();
+    let q = d.query_for("q-par", &TABLES);
+    let svc = QueryService::new(
+        d.system(OptimizerConfig::default()),
+        QueryServiceConfig {
+            workers: 4,
+            queue_capacity: 16,
+            ..QueryServiceConfig::default()
+        },
+    );
+
+    let tickets: Vec<_> = (0..16).map(|_| svc.submit(&q).unwrap()).collect();
+    for t in tickets {
+        let resp = t.wait();
+        let result = resp.outcome.expect("query succeeds");
+        let trace = result.trace.expect("service default level is Events");
+        assert!(!trace.events.is_empty());
+        for (i, rec) in trace.events.iter().enumerate() {
+            assert_eq!(
+                rec.seq, i as u64,
+                "seq must be contiguous from 0 (internally ordered, no \
+                 cross-query contamination)"
+            );
+        }
+        let count = |kind: &str| {
+            trace
+                .events
+                .iter()
+                .filter(|r| r.event.kind() == kind)
+                .count()
+        };
+        assert_eq!(count("admission-enqueued"), 1);
+        assert_eq!(count("admission-dequeued"), 1);
+        assert_eq!(count("query-completed"), 1);
+        assert_eq!(
+            trace.events.last().unwrap().event.kind(),
+            "query-completed",
+            "terminal event closes the trace"
+        );
+    }
+    let stats = svc.stats();
+    assert_eq!(stats.completed, 16);
+    assert!(stats.queue_depth_high_water >= 1);
+    assert!(stats.trace_events > 0);
+}
+
+/// Per-query cache attribution: over a service with the shared
+/// source-result cache, a repeated query's stats must show hits (and the
+/// cold run, misses) — counted on the query's own `ExecutionStats`, not
+/// just the global cache counters.
+#[test]
+fn repeated_query_attributes_cache_hits_per_query() {
+    let d = TpchDeployment::builder(SF, 31).tables(&TABLES).build();
+    let q = d.query_for("q-cache", &TABLES);
+    let svc = QueryService::new(
+        d.system(OptimizerConfig::default()),
+        QueryServiceConfig {
+            workers: 1,
+            cache_memory: Some(32 << 20),
+            ..QueryServiceConfig::default()
+        },
+    );
+    let cold = svc.execute(&q);
+    assert!(cold.is_ok());
+    assert!(
+        cold.stats.cache_misses > 0,
+        "cold run fetches through the cache as leader"
+    );
+    assert_eq!(cold.stats.cache_hits, 0);
+    let warm = svc.execute(&q);
+    assert!(warm.is_ok());
+    assert!(
+        warm.stats.cache_hits > 0,
+        "warm run replays cached source results"
+    );
+    assert_eq!(warm.stats.cache_misses, 0);
+}
