@@ -7,6 +7,17 @@
 //! batch capacity (ADQUEX-style block routing — adaptivity decides *where*
 //! tuples go, batching decides *how many* move per decision).
 //!
+//! A batch carries one of two physical representations (DESIGN.md §11):
+//!
+//! * **row-major** — a `Vec<Tuple>` of views into shared value blocks, as
+//!   built by the join emit paths and legacy producers;
+//! * **columnar** — a [`ColumnarBatch`] of typed per-column vectors with
+//!   validity bitmaps, as produced by sources, scans, and the typed emit
+//!   assemblers. Columnar batches feed the vectorized kernels (predicate
+//!   selection bitmaps, key prehashing, gather); the row view is
+//!   materialized **lazily** — at most once, cached — so every row-oriented
+//!   consumer keeps working unchanged through [`TupleBatch::tuples`].
+//!
 //! Invariants relied on across the engine:
 //! * every batch handed between operators is **non-empty** (end of stream
 //!   is signalled out-of-band by `Option::None`);
@@ -14,24 +25,26 @@
 //! * [`TupleBatch::mem_size`] is maintained incrementally for
 //!   producer-built batches (charging a whole source batch to a memory
 //!   reservation is O(1)); batches assembled by the join emit path defer
-//!   accounting until someone asks.
+//!   accounting until someone asks. Columnar batches compute the identical
+//!   figure from column payloads without materializing rows.
 
 use std::collections::VecDeque;
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
-use crate::tuple::Tuple;
-use crate::value::Value;
+use crate::column::{Bitmap, ColumnarAssembler, ColumnarBatch, Selection};
+use crate::tuple::{Tuple, TUPLE_HEADER_BYTES};
+use crate::value::{DataType, Value, VALUE_BASE_BYTES};
 
 /// Default number of tuples per batch when the engine is not configured
 /// otherwise. Large enough to amortize per-batch overhead, small enough to
 /// keep time-to-first-output and rule-reaction latency low.
 pub const DEFAULT_BATCH_CAPACITY: usize = 256;
 
-/// Memory accounting state of a [`TupleBatch`]: maintained incrementally
-/// for producer-built batches, deferred for assembled output blocks (whose
-/// `mem_size` is rarely read — computing it eagerly would put a full value
-/// walk on every join's emit path).
+/// Memory accounting state of a row-major [`TupleBatch`]: maintained
+/// incrementally for producer-built batches, deferred for assembled output
+/// blocks (whose `mem_size` is rarely read — computing it eagerly would put
+/// a full value walk on every join's emit path).
 #[derive(Clone, Copy, Debug)]
 enum MemSize {
     /// Exact cached size, updated on `push`/`truncate`.
@@ -40,20 +53,34 @@ enum MemSize {
     Lazy,
 }
 
-/// A block of tuples sharing one schema, with cached memory accounting.
+/// The physical representation behind a [`TupleBatch`].
+#[derive(Clone)]
+enum Repr {
+    /// Row-major: tuples as views into shared value blocks.
+    Rows { tuples: Vec<Tuple>, mem: MemSize },
+    /// Columnar: typed vectors + validity bitmaps, with the row view
+    /// materialized lazily (at most once) for row-oriented consumers.
+    Columns {
+        cols: ColumnarBatch,
+        rows: OnceLock<Vec<Tuple>>,
+    },
+}
+
+/// A block of tuples sharing one schema, with cached memory accounting and
+/// an optional columnar representation feeding the vectorized kernels.
 #[derive(Clone)]
 pub struct TupleBatch {
-    tuples: Vec<Tuple>,
-    mem_size: MemSize,
+    repr: Repr,
     capacity: usize,
 }
 
-/// Equality is over the tuples only: `capacity` is a producer hint and
-/// `mem_size` is derived, so batches with the same content compare equal
-/// regardless of how they were built.
+/// Equality is over the tuples only: `capacity` is a producer hint,
+/// `mem_size` is derived, and the physical representation (row-major vs
+/// columnar) is an execution detail, so batches with the same content
+/// compare equal regardless of how they were built.
 impl PartialEq for TupleBatch {
     fn eq(&self, other: &Self) -> bool {
-        self.tuples == other.tuples
+        self.tuples() == other.tuples()
     }
 }
 
@@ -69,8 +96,10 @@ impl TupleBatch {
     pub fn with_capacity(capacity: usize) -> Self {
         let cap = capacity.max(1);
         TupleBatch {
-            tuples: Vec::with_capacity(cap.min(4096)),
-            mem_size: MemSize::Exact(0),
+            repr: Repr::Rows {
+                tuples: Vec::with_capacity(cap.min(4096)),
+                mem: MemSize::Exact(0),
+            },
             capacity: cap,
         }
     }
@@ -80,8 +109,23 @@ impl TupleBatch {
     pub fn from_tuples(tuples: Vec<Tuple>) -> Self {
         let capacity = tuples.len().max(1);
         TupleBatch {
-            tuples,
-            mem_size: MemSize::Lazy,
+            repr: Repr::Rows {
+                tuples,
+                mem: MemSize::Lazy,
+            },
+            capacity,
+        }
+    }
+
+    /// Wrap a columnar batch (capacity = its length). The row view stays
+    /// unmaterialized until a consumer asks for [`TupleBatch::tuples`].
+    pub fn from_columns(cols: ColumnarBatch) -> Self {
+        let capacity = cols.len().max(1);
+        TupleBatch {
+            repr: Repr::Columns {
+                cols,
+                rows: OnceLock::new(),
+            },
             capacity,
         }
     }
@@ -91,46 +135,176 @@ impl TupleBatch {
     /// for a size that is rarely read.
     pub(crate) fn from_parts(tuples: Vec<Tuple>, capacity: usize) -> Self {
         TupleBatch {
-            tuples,
-            mem_size: MemSize::Lazy,
+            repr: Repr::Rows {
+                tuples,
+                mem: MemSize::Lazy,
+            },
             capacity: capacity.max(1),
         }
     }
 
-    /// Keep only tuples matching `pred`, in place, updating the cached
-    /// memory size — the batch-native filter primitive (no new buffer when
-    /// nothing is dropped).
-    pub fn retain(&mut self, mut pred: impl FnMut(&Tuple) -> bool) {
-        match &mut self.mem_size {
-            MemSize::Exact(m) => {
-                self.tuples.retain(|t| {
-                    let keep = pred(t);
-                    if !keep {
-                        *m -= t.mem_size();
-                    }
-                    keep
-                });
+    /// The columnar representation, when this batch carries one. Kernel
+    /// call sites branch here: `Some` takes the typed vectorized path,
+    /// `None` falls back to the row loop.
+    pub fn columns(&self) -> Option<&ColumnarBatch> {
+        match &self.repr {
+            Repr::Columns { cols, .. } => Some(cols),
+            Repr::Rows { .. } => None,
+        }
+    }
+
+    /// Force the representation to row-major (materializing at most once)
+    /// and return the mutable tuple vector. Mutation invalidates exact
+    /// accounting, so the result is marked lazy.
+    fn rows_mut(&mut self) -> &mut Vec<Tuple> {
+        if let Repr::Columns { cols, rows } = &mut self.repr {
+            let tuples = match std::mem::take(rows).into_inner() {
+                Some(t) => t,
+                None => cols.materialize_rows(),
+            };
+            self.repr = Repr::Rows {
+                tuples,
+                mem: MemSize::Lazy,
+            };
+        }
+        match &mut self.repr {
+            Repr::Rows { tuples, mem } => {
+                *mem = MemSize::Lazy;
+                tuples
             }
-            MemSize::Lazy => self.tuples.retain(|t| pred(t)),
+            Repr::Columns { .. } => unreachable!("converted above"),
+        }
+    }
+
+    /// Keep only tuples matching `pred`, in place — the batch-native filter
+    /// primitive. Evaluates in two phases: first a keep-bitmap over the
+    /// rows, then a single structural apply, so **all-pass batches are left
+    /// untouched** (no buffer traffic at all) and **none-pass batches are
+    /// emptied wholesale** without per-row work. Columnar batches stay
+    /// columnar (the bitmap is applied by gather).
+    pub fn retain(&mut self, mut pred: impl FnMut(&Tuple) -> bool) {
+        let n = self.len();
+        if n == 0 {
+            return;
+        }
+        let mut keep = Bitmap::all_clear(n);
+        let mut kept = 0usize;
+        for (i, t) in self.tuples().iter().enumerate() {
+            if pred(t) {
+                keep.set(i);
+                kept += 1;
+            }
+        }
+        self.apply_keep(&keep, kept);
+    }
+
+    /// Apply a keep-bitmap (with known popcount) structurally.
+    fn apply_keep(&mut self, keep: &Bitmap, kept: usize) {
+        debug_assert_eq!(keep.len(), self.len());
+        if kept == self.len() {
+            return; // all-pass: representation untouched
+        }
+        if kept == 0 {
+            // none-pass: drop everything in one shot
+            self.repr = Repr::Rows {
+                tuples: Vec::new(),
+                mem: MemSize::Exact(0),
+            };
+            return;
+        }
+        match &mut self.repr {
+            Repr::Rows { tuples, mem } => {
+                let mut i = 0usize;
+                match mem {
+                    MemSize::Exact(m) => {
+                        tuples.retain(|t| {
+                            let k = keep.get(i);
+                            i += 1;
+                            if !k {
+                                *m -= t.mem_size();
+                            }
+                            k
+                        });
+                    }
+                    MemSize::Lazy => {
+                        tuples.retain(|_| {
+                            let k = keep.get(i);
+                            i += 1;
+                            k
+                        });
+                    }
+                }
+            }
+            Repr::Columns { cols, rows } => {
+                *cols = cols.gather(&keep.set_indices());
+                *rows = OnceLock::new();
+            }
+        }
+    }
+
+    /// Apply a predicate [`Selection`] by value: `Some(self)` untouched on
+    /// all-pass, `None` on none-pass (the caller skips the empty batch),
+    /// and a gathered batch otherwise. This is `Filter`'s vectorized exit:
+    /// no row materialization on any path when the batch is columnar.
+    pub fn select(self, sel: &Selection) -> Option<TupleBatch> {
+        debug_assert_eq!(sel.len(), self.len());
+        if sel.is_all() {
+            return Some(self);
+        }
+        if sel.is_none() {
+            return None;
+        }
+        let capacity = self.capacity;
+        match self.repr {
+            Repr::Columns { cols, .. } => Some(TupleBatch {
+                repr: Repr::Columns {
+                    cols: cols.gather(&sel.indices()),
+                    rows: OnceLock::new(),
+                },
+                capacity,
+            }),
+            Repr::Rows { tuples, .. } => {
+                let kept: Vec<Tuple> = tuples
+                    .into_iter()
+                    .enumerate()
+                    .filter_map(|(i, t)| sel.get(i).then_some(t))
+                    .collect();
+                Some(TupleBatch {
+                    repr: Repr::Rows {
+                        tuples: kept,
+                        mem: MemSize::Lazy,
+                    },
+                    capacity,
+                })
+            }
         }
     }
 
     /// A batch holding exactly one tuple.
     pub fn singleton(t: Tuple) -> Self {
-        let mem_size = MemSize::Exact(t.mem_size());
+        let mem = MemSize::Exact(t.mem_size());
         TupleBatch {
-            tuples: vec![t],
-            mem_size,
+            repr: Repr::Rows {
+                tuples: vec![t],
+                mem,
+            },
             capacity: 1,
         }
     }
 
     /// Append a tuple, updating the cached memory size (when exact).
+    /// Converts a columnar batch to rows first — producers that grow
+    /// batches incrementally build row-major.
     pub fn push(&mut self, t: Tuple) {
-        if let MemSize::Exact(m) = &mut self.mem_size {
-            *m += t.mem_size();
+        match &mut self.repr {
+            Repr::Rows { tuples, mem } => {
+                if let MemSize::Exact(m) = mem {
+                    *m += t.mem_size();
+                }
+                tuples.push(t);
+            }
+            Repr::Columns { .. } => self.rows_mut().push(t),
         }
-        self.tuples.push(t);
     }
 
     /// Append every tuple of `iter`.
@@ -141,25 +315,37 @@ impl TupleBatch {
     }
 
     /// Keep only the first `n` tuples (quota enforcement), releasing the
-    /// rest from the cached memory size.
+    /// rest from the cached memory size. Columnar batches slice their
+    /// columns (no row materialization).
     pub fn truncate(&mut self, n: usize) {
-        if n >= self.tuples.len() {
+        if n >= self.len() {
             return;
         }
-        if let MemSize::Exact(m) = &mut self.mem_size {
-            *m -= self.tuples[n..].iter().map(Tuple::mem_size).sum::<usize>();
+        match &mut self.repr {
+            Repr::Rows { tuples, mem } => {
+                if let MemSize::Exact(m) = mem {
+                    *m -= tuples[n..].iter().map(Tuple::mem_size).sum::<usize>();
+                }
+                tuples.truncate(n);
+            }
+            Repr::Columns { cols, rows } => {
+                *cols = cols.slice(0, n);
+                *rows = OnceLock::new();
+            }
         }
-        self.tuples.truncate(n);
     }
 
-    /// Number of tuples in the batch.
+    /// Number of tuples in the batch (no row materialization).
     pub fn len(&self) -> usize {
-        self.tuples.len()
+        match &self.repr {
+            Repr::Rows { tuples, .. } => tuples.len(),
+            Repr::Columns { cols, .. } => cols.len(),
+        }
     }
 
     /// Whether the batch holds no tuples.
     pub fn is_empty(&self) -> bool {
-        self.tuples.is_empty()
+        self.len() == 0
     }
 
     /// Target capacity (producers stop filling at this size).
@@ -169,37 +355,57 @@ impl TupleBatch {
 
     /// Whether the batch has reached its target capacity.
     pub fn is_full(&self) -> bool {
-        self.tuples.len() >= self.capacity
+        self.len() >= self.capacity
     }
 
     /// Approximate resident memory of all tuples in the batch: maintained
-    /// incrementally on `push`/`truncate` for producer-built batches,
-    /// computed on demand for assembled blocks.
+    /// incrementally on `push`/`truncate` for producer-built row batches,
+    /// computed on demand for assembled blocks. For columnar batches the
+    /// identical figure (tuple headers + per-value base + string payloads)
+    /// is computed from the columns without materializing rows.
     pub fn mem_size(&self) -> usize {
-        match self.mem_size {
-            MemSize::Exact(m) => m,
-            MemSize::Lazy => self.tuples.iter().map(Tuple::mem_size).sum(),
+        match &self.repr {
+            Repr::Rows { tuples, mem } => match mem {
+                MemSize::Exact(m) => *m,
+                MemSize::Lazy => tuples.iter().map(Tuple::mem_size).sum(),
+            },
+            Repr::Columns { cols, .. } => {
+                cols.len() * (TUPLE_HEADER_BYTES + cols.num_cols() * VALUE_BASE_BYTES)
+                    + cols.payload_bytes()
+            }
         }
     }
 
-    /// The tuples as a slice.
+    /// The tuples as a slice. For columnar batches the row views are
+    /// materialized **lazily into one shared block** on first call and
+    /// cached — the compatibility adapter row-oriented operators rely on.
     pub fn tuples(&self) -> &[Tuple] {
-        &self.tuples
+        match &self.repr {
+            Repr::Rows { tuples, .. } => tuples,
+            Repr::Columns { cols, rows } => rows.get_or_init(|| cols.materialize_rows()),
+        }
     }
 
     /// Checked tuple accessor.
     pub fn get(&self, idx: usize) -> Option<&Tuple> {
-        self.tuples.get(idx)
+        self.tuples().get(idx)
     }
 
     /// Iterate the tuples by reference.
     pub fn iter(&self) -> std::slice::Iter<'_, Tuple> {
-        self.tuples.iter()
+        self.tuples().iter()
     }
 
-    /// Consume the batch, yielding its tuples.
+    /// Consume the batch, yielding its tuples (reuses the cached row
+    /// materialization when present).
     pub fn into_tuples(self) -> Vec<Tuple> {
-        self.tuples
+        match self.repr {
+            Repr::Rows { tuples, .. } => tuples,
+            Repr::Columns { cols, rows } => match rows.into_inner() {
+                Some(t) => t,
+                None => cols.materialize_rows(),
+            },
+        }
     }
 }
 
@@ -211,9 +417,14 @@ impl Default for TupleBatch {
 
 impl fmt::Debug for TupleBatch {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (repr, mem): (&str, &dyn fmt::Debug) = match &self.repr {
+            Repr::Rows { mem, .. } => ("rows", mem),
+            Repr::Columns { .. } => ("columns", &"FromColumns"),
+        };
         f.debug_struct("TupleBatch")
-            .field("len", &self.tuples.len())
-            .field("mem_size", &self.mem_size)
+            .field("len", &self.len())
+            .field("repr", &repr)
+            .field("mem_size", mem)
             .finish()
     }
 }
@@ -224,11 +435,17 @@ impl From<Vec<Tuple>> for TupleBatch {
     }
 }
 
+impl From<ColumnarBatch> for TupleBatch {
+    fn from(cols: ColumnarBatch) -> Self {
+        TupleBatch::from_columns(cols)
+    }
+}
+
 impl IntoIterator for TupleBatch {
     type Item = Tuple;
     type IntoIter = std::vec::IntoIter<Tuple>;
     fn into_iter(self) -> Self::IntoIter {
-        self.tuples.into_iter()
+        self.into_tuples().into_iter()
     }
 }
 
@@ -236,7 +453,7 @@ impl<'a> IntoIterator for &'a TupleBatch {
     type Item = &'a Tuple;
     type IntoIter = std::slice::Iter<'a, Tuple>;
     fn into_iter(self) -> Self::IntoIter {
-        self.tuples.iter()
+        self.tuples().iter()
     }
 }
 
@@ -398,27 +615,81 @@ impl BatchAssembler {
     }
 }
 
+/// The assembly strategy behind an [`OutputQueue`]: row-major value-block
+/// assembly, or typed columnar assembly when the producer knows its output
+/// schema (the joins' vectorized emit path).
+enum QueueAsm {
+    Rows(BatchAssembler),
+    Cols(ColumnarAssembler),
+}
+
+impl QueueAsm {
+    fn row_count(&self) -> usize {
+        match self {
+            QueueAsm::Rows(a) => a.row_count(),
+            QueueAsm::Cols(a) => a.row_count(),
+        }
+    }
+
+    fn is_full(&self) -> bool {
+        match self {
+            QueueAsm::Rows(a) => a.is_full(),
+            QueueAsm::Cols(a) => a.is_full(),
+        }
+    }
+
+    #[inline]
+    fn push_concat(&mut self, a: &Tuple, b: &Tuple) {
+        match self {
+            QueueAsm::Rows(asm) => asm.push_concat(a, b),
+            QueueAsm::Cols(asm) => asm.push_concat(a, b),
+        }
+    }
+
+    fn seal(&mut self) -> Option<TupleBatch> {
+        match self {
+            QueueAsm::Rows(a) => a.seal(),
+            QueueAsm::Cols(a) => a.seal().map(TupleBatch::from_columns),
+        }
+    }
+}
+
 /// A FIFO of produced-but-unemitted join output, assembled block-at-a-time:
 /// replaces the seed's `VecDeque<Tuple>` pending buffers. Rows pushed via
-/// [`OutputQueue::push_concat`] land in a [`BatchAssembler`] (zero per-row
+/// [`OutputQueue::push_concat`] land in an assembler (zero per-row
 /// allocations); already-materialized tuples (spill-cleanup results) are
 /// chunked into ready blocks. `pop_block` hands back batches of at most the
 /// configured block size, oldest first.
+///
+/// [`OutputQueue::typed`] builds the queue over a [`ColumnarAssembler`]:
+/// emitted blocks are then columnar (typed vectors straight from the output
+/// schema), so downstream kernels skip row conversion entirely.
 pub struct OutputQueue {
     block: usize,
     ready: VecDeque<TupleBatch>,
     ready_rows: usize,
-    asm: BatchAssembler,
+    asm: QueueAsm,
 }
 
 impl OutputQueue {
-    /// A queue emitting blocks of up to `block` rows.
+    /// A queue emitting row-assembled blocks of up to `block` rows.
     pub fn new(block: usize) -> Self {
         OutputQueue {
             block: block.max(1),
             ready: VecDeque::new(),
             ready_rows: 0,
-            asm: BatchAssembler::new(block),
+            asm: QueueAsm::Rows(BatchAssembler::new(block)),
+        }
+    }
+
+    /// A queue emitting **columnar** blocks typed by the output column
+    /// kinds (the operator's output schema).
+    pub fn typed(block: usize, kinds: Vec<DataType>) -> Self {
+        OutputQueue {
+            block: block.max(1),
+            ready: VecDeque::new(),
+            ready_rows: 0,
+            asm: QueueAsm::Cols(ColumnarAssembler::new(block, kinds)),
         }
     }
 
@@ -469,6 +740,21 @@ impl OutputQueue {
         }
     }
 
+    /// Append an already-assembled block (a vectorized probe's gathered
+    /// output), preserving FIFO order with assembled rows. Callers keep
+    /// blocks at or under the queue's block size.
+    pub fn extend_block(&mut self, b: TupleBatch) {
+        if b.is_empty() {
+            return;
+        }
+        if let Some(s) = self.asm.seal() {
+            self.ready_rows += s.len();
+            self.ready.push_back(s);
+        }
+        self.ready_rows += b.len();
+        self.ready.push_back(b);
+    }
+
     /// Pop the oldest pending block (≤ block size), sealing a partial
     /// assembler batch when no full block is ready. `None` when empty.
     pub fn pop_block(&mut self) -> Option<TupleBatch> {
@@ -483,7 +769,10 @@ impl OutputQueue {
     pub fn clear(&mut self) {
         self.ready.clear();
         self.ready_rows = 0;
-        self.asm = BatchAssembler::new(self.block);
+        self.asm = match &self.asm {
+            QueueAsm::Rows(_) => QueueAsm::Rows(BatchAssembler::new(self.block)),
+            QueueAsm::Cols(a) => QueueAsm::Cols(a.fresh()),
+        };
     }
 }
 
@@ -597,6 +886,9 @@ mod tests {
         assert_eq!(a, b);
         b.push(tuple![3]);
         assert_ne!(a, b);
+        // columnar vs row-major with equal content compare equal
+        let c = TupleBatch::from_columns(ColumnarBatch::from_rows(&[tuple![1], tuple![2]]));
+        assert_eq!(a, c);
     }
 
     #[test]
@@ -614,6 +906,100 @@ mod tests {
         assert_eq!(b.tuples(), &[tuple![2], tuple![4]]);
         let sum: usize = b.iter().map(Tuple::mem_size).sum();
         assert_eq!(b.mem_size(), sum);
+    }
+
+    /// Satellite: all-pass retain must not touch the rows at all — the
+    /// backing buffer is the same allocation before and after.
+    #[test]
+    fn retain_all_pass_leaves_rows_untouched() {
+        let mut b = TupleBatch::from_tuples(vec![tuple![1], tuple![2], tuple![3]]);
+        let before = b.tuples().as_ptr();
+        let mem_before = b.mem_size();
+        b.retain(|_| true);
+        assert_eq!(b.len(), 3);
+        assert!(std::ptr::eq(before, b.tuples().as_ptr()));
+        assert_eq!(b.mem_size(), mem_before);
+        // columnar all-pass keeps the columnar representation (and the
+        // shared column buffers) intact
+        let mut c = TupleBatch::from_columns(ColumnarBatch::from_rows(&[tuple![1], tuple![2]]));
+        let col_before = std::sync::Arc::as_ptr(c.columns().unwrap().col_shared(0));
+        c.retain(|_| true);
+        let cols = c.columns().expect("still columnar");
+        assert!(std::ptr::eq(
+            col_before,
+            std::sync::Arc::as_ptr(cols.col_shared(0))
+        ));
+    }
+
+    /// Satellite: none-pass retain empties the batch wholesale — exact
+    /// zero accounting, no per-row arithmetic.
+    #[test]
+    fn retain_none_pass_short_circuits() {
+        let mut b = TupleBatch::from_tuples(vec![tuple![1, "abc"], tuple![2, "def"]]);
+        b.retain(|_| false);
+        assert!(b.is_empty());
+        assert_eq!(b.mem_size(), 0);
+        let mut c = TupleBatch::from_columns(ColumnarBatch::from_rows(&[tuple![1], tuple![2]]));
+        c.retain(|_| false);
+        assert!(c.is_empty());
+        assert_eq!(c.mem_size(), 0);
+    }
+
+    #[test]
+    fn retain_partial_keeps_columnar_repr() {
+        let rows: Vec<Tuple> = (0..6i64).map(|i| tuple![i]).collect();
+        let mut b = TupleBatch::from_columns(ColumnarBatch::from_rows(&rows));
+        b.retain(|t| t.value(0).as_int().unwrap() % 2 == 0);
+        assert!(b.columns().is_some(), "partial retain stays columnar");
+        assert_eq!(b.tuples(), &[tuple![0], tuple![2], tuple![4]]);
+        let sum: usize = b.iter().map(Tuple::mem_size).sum();
+        assert_eq!(b.mem_size(), sum);
+    }
+
+    #[test]
+    fn select_fast_paths_and_gather() {
+        let rows: Vec<Tuple> = (0..5i64).map(|i| tuple![i]).collect();
+        let b = TupleBatch::from_columns(ColumnarBatch::from_rows(&rows));
+        let all = b.clone().select(&Selection::keep_all(5)).unwrap();
+        assert_eq!(all, b);
+        assert!(b.clone().select(&Selection::keep_none(5)).is_none());
+        let mut bits = Bitmap::all_clear(5);
+        bits.set(1);
+        bits.set(3);
+        let some = b.select(&Selection::from_bitmap(bits)).unwrap();
+        assert!(some.columns().is_some());
+        assert_eq!(some.tuples(), &[tuple![1], tuple![3]]);
+        // row-major batches select too
+        let r = TupleBatch::from_tuples(rows);
+        let mut bits = Bitmap::all_clear(5);
+        bits.set(0);
+        let one = r.select(&Selection::from_bitmap(bits)).unwrap();
+        assert_eq!(one.tuples(), &[tuple![0]]);
+    }
+
+    #[test]
+    fn columnar_mem_size_matches_row_sum() {
+        let rows = vec![tuple![1, "abcd", 2.5], tuple![2, "ef", 3.5]];
+        let want: usize = rows.iter().map(Tuple::mem_size).sum();
+        let b = TupleBatch::from_columns(ColumnarBatch::from_rows(&rows));
+        assert_eq!(b.mem_size(), want, "columnar accounting ≡ row accounting");
+    }
+
+    #[test]
+    fn columnar_push_converts_to_rows() {
+        let mut b = TupleBatch::from_columns(ColumnarBatch::from_rows(&[tuple![1]]));
+        b.push(tuple![2]);
+        assert!(b.columns().is_none());
+        assert_eq!(b.tuples(), &[tuple![1], tuple![2]]);
+    }
+
+    #[test]
+    fn columnar_truncate_slices_columns() {
+        let rows: Vec<Tuple> = (0..4i64).map(|i| tuple![i]).collect();
+        let mut b = TupleBatch::from_columns(ColumnarBatch::from_rows(&rows));
+        b.truncate(2);
+        assert!(b.columns().is_some());
+        assert_eq!(b.tuples(), &rows[..2]);
     }
 
     #[test]
@@ -669,6 +1055,42 @@ mod tests {
     }
 
     #[test]
+    fn typed_output_queue_matches_row_queue() {
+        use crate::value::DataType;
+        let kinds = vec![DataType::Int, DataType::Int];
+        let mut tq = OutputQueue::typed(3, kinds);
+        let mut rq = OutputQueue::new(3);
+        for i in 0..5i64 {
+            tq.push_concat(&tuple![i], &tuple![i * 10]);
+            rq.push_concat(&tuple![i], &tuple![i * 10]);
+        }
+        tq.extend_tuples(vec![tuple![100, 1000]]);
+        rq.extend_tuples(vec![tuple![100, 1000]]);
+        let drain = |q: &mut OutputQueue| {
+            let mut all = Vec::new();
+            while let Some(b) = q.pop_block() {
+                assert!(b.len() <= 3);
+                all.extend(b);
+            }
+            all
+        };
+        let t = drain(&mut tq);
+        assert_eq!(t, drain(&mut rq));
+        assert_eq!(t.len(), 6);
+    }
+
+    #[test]
+    fn typed_output_queue_emits_columnar_blocks() {
+        use crate::value::DataType;
+        let mut q = OutputQueue::typed(2, vec![DataType::Int, DataType::Str]);
+        q.push_concat(&tuple![1], &tuple!["a"]);
+        q.push_concat(&tuple![2], &tuple!["b"]);
+        let b = q.pop_block().unwrap();
+        assert!(b.columns().is_some(), "typed queue seals columnar batches");
+        assert_eq!(b.tuples(), &[tuple![1, "a"], tuple![2, "b"]]);
+    }
+
+    #[test]
     fn output_queue_clear() {
         let mut q = OutputQueue::new(2);
         q.push_concat(&tuple![1], &tuple![2]);
@@ -676,5 +1098,10 @@ mod tests {
         q.clear();
         assert!(q.is_empty());
         assert!(q.pop_block().is_none());
+        let mut tq = OutputQueue::typed(2, vec![crate::value::DataType::Int; 2]);
+        tq.push_concat(&tuple![1], &tuple![2]);
+        tq.clear();
+        assert!(tq.is_empty());
+        assert!(tq.pop_block().is_none());
     }
 }

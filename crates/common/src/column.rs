@@ -1,0 +1,1415 @@
+//! Columnar batch layout: typed column vectors, validity bitmaps, and
+//! type-specialized kernels.
+//!
+//! The row-major `Tuple` representation pays a `Value` enum discriminant
+//! branch per field per row on every filter, hash, and compare. A
+//! [`ColumnarBatch`] stores the same block of rows as per-column typed
+//! vectors ([`Column`]): `Int64`/`Float64`/`Str`/`Date` payloads with an
+//! optional validity [`Bitmap`] for NULLs, plus a [`Column::Values`]
+//! fallback for heterogeneous columns. Kernels then run tight loops over
+//! native slices:
+//!
+//! * **predicate evaluation** produces a selection [`Bitmap`] without
+//!   materializing rows (`Filter` intersects bitmaps instead of rebuilding
+//!   batches);
+//! * **key prehashing** ([`Column::hash_append`]) produces the per-row hash
+//!   vector the joins, exchange routing, and bucketed tables consume,
+//!   replicating the row path's `Value::hash` byte sequence exactly so
+//!   bucket/partition routing is byte-stable across representations;
+//! * **gather** ([`Column::gather`]) applies a selection by index — late
+//!   materialization instead of row-wise rebuilds.
+//!
+//! Rows are still available everywhere: [`ColumnarBatch::materialize_rows`]
+//! builds the whole block's `Tuple` views in one shared allocation, and
+//! `TupleBatch` caches that lazily, so operators migrate to columnar
+//! kernels incrementally.
+
+use std::sync::Arc;
+
+use crate::hash::FxHasher;
+use crate::schema::Schema;
+use crate::tuple::Tuple;
+use crate::value::{DataType, Value};
+use std::hash::{Hash, Hasher};
+
+/// A fixed-length bitmap (one bit per row). Used both for column validity
+/// (set = non-NULL) and for predicate selections (set = row passes). Bits
+/// past `len` in the last word are always zero.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bitmap {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl Bitmap {
+    /// A bitmap of `len` zero bits.
+    pub fn all_clear(len: usize) -> Bitmap {
+        Bitmap {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// A bitmap of `len` one bits.
+    pub fn all_set(len: usize) -> Bitmap {
+        let mut b = Bitmap {
+            words: vec![!0u64; len.div_ceil(64)],
+            len,
+        };
+        b.mask_tail();
+        b
+    }
+
+    fn mask_tail(&mut self) {
+        let tail = self.len % 64;
+        if tail != 0 {
+            if let Some(w) = self.words.last_mut() {
+                *w &= (1u64 << tail) - 1;
+            }
+        }
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the bitmap covers zero rows.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Bit `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        (self.words[i / 64] >> (i % 64)) & 1 != 0
+    }
+
+    /// Set bit `i`.
+    #[inline]
+    pub fn set(&mut self, i: usize) {
+        debug_assert!(i < self.len);
+        self.words[i / 64] |= 1u64 << (i % 64);
+    }
+
+    /// Clear bit `i`.
+    #[inline]
+    pub fn clear(&mut self, i: usize) {
+        debug_assert!(i < self.len);
+        self.words[i / 64] &= !(1u64 << (i % 64));
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether every bit is set.
+    pub fn is_all_set(&self) -> bool {
+        self.count_ones() == self.len
+    }
+
+    /// Whether no bit is set.
+    pub fn is_all_clear(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// `self &= other` (bitmap intersect). Panics if lengths differ.
+    pub fn and_assign(&mut self, other: &Bitmap) {
+        assert_eq!(self.len, other.len, "bitmap length mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= b;
+        }
+    }
+
+    /// `self |= other`. Panics if lengths differ.
+    pub fn or_assign(&mut self, other: &Bitmap) {
+        assert_eq!(self.len, other.len, "bitmap length mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// `self = !self` (tail bits stay zero).
+    pub fn not_assign(&mut self) {
+        for w in &mut self.words {
+            *w = !*w;
+        }
+        self.mask_tail();
+    }
+
+    /// Indices of the set bits, ascending.
+    pub fn set_indices(&self) -> Vec<u32> {
+        let mut out = Vec::with_capacity(self.count_ones());
+        for (wi, &w) in self.words.iter().enumerate() {
+            let mut bits = w;
+            while bits != 0 {
+                let b = bits.trailing_zeros();
+                out.push((wi * 64) as u32 + b);
+                bits &= bits - 1;
+            }
+        }
+        out
+    }
+}
+
+/// A selection over a batch: the rows a predicate kept. Wraps a [`Bitmap`]
+/// with a cached population count so the all-pass / none-pass fast paths
+/// are O(1) checks at every consumer.
+#[derive(Debug, Clone)]
+pub struct Selection {
+    bits: Bitmap,
+    count: usize,
+}
+
+impl Selection {
+    /// Wrap a bitmap (counts the set bits once).
+    pub fn from_bitmap(bits: Bitmap) -> Selection {
+        let count = bits.count_ones();
+        Selection { bits, count }
+    }
+
+    /// A selection keeping every one of `len` rows.
+    pub fn keep_all(len: usize) -> Selection {
+        Selection {
+            bits: Bitmap::all_set(len),
+            count: len,
+        }
+    }
+
+    /// A selection keeping none of `len` rows.
+    pub fn keep_none(len: usize) -> Selection {
+        Selection {
+            bits: Bitmap::all_clear(len),
+            count: 0,
+        }
+    }
+
+    /// Rows covered.
+    pub fn len(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// Whether the selection covers zero rows.
+    pub fn is_empty(&self) -> bool {
+        self.bits.len() == 0
+    }
+
+    /// Rows kept.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Whether every row is kept (the pass-through fast path).
+    pub fn is_all(&self) -> bool {
+        self.count == self.bits.len()
+    }
+
+    /// Whether no row is kept (the drop fast path).
+    pub fn is_none(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Whether row `i` is kept.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        self.bits.get(i)
+    }
+
+    /// The underlying bitmap.
+    pub fn bitmap(&self) -> &Bitmap {
+        &self.bits
+    }
+
+    /// Indices of the kept rows, ascending.
+    pub fn indices(&self) -> Vec<u32> {
+        self.bits.set_indices()
+    }
+
+    /// Intersect with another selection (`retain` becomes a bitmap AND).
+    pub fn intersect(&mut self, other: &Selection) {
+        self.bits.and_assign(&other.bits);
+        self.count = self.bits.count_ones();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Typed hash kernels
+// ---------------------------------------------------------------------------
+//
+// Each kernel replicates `Value::hash` through `FxHasher` *by construction*:
+// it performs the identical `Hash` calls (type-tag byte, then payload), so
+// hash(column kernel) ≡ hash(per-tuple `JoinKey`) for every type — bucket
+// and partition routing are byte-stable across the row/columnar refactor.
+// Pinned by `hash_kernel_matches_value_hash` below and the exec-side
+// equivalence suite.
+
+#[inline]
+fn hash_int_into(h: &mut FxHasher, v: i64) {
+    0u8.hash(h);
+    v.hash(h);
+}
+
+#[inline]
+fn hash_double_into(h: &mut FxHasher, v: f64) {
+    1u8.hash(h);
+    v.to_bits().hash(h);
+}
+
+#[inline]
+fn hash_str_into(h: &mut FxHasher, v: &str) {
+    2u8.hash(h);
+    v.hash(h);
+}
+
+#[inline]
+fn hash_date_into(h: &mut FxHasher, v: i32) {
+    3u8.hash(h);
+    v.hash(h);
+}
+
+#[inline]
+fn finish_one(f: impl FnOnce(&mut FxHasher)) -> u64 {
+    let mut h = FxHasher::new();
+    f(&mut h);
+    h.finish()
+}
+
+// ---------------------------------------------------------------------------
+// Column
+// ---------------------------------------------------------------------------
+
+/// One column of a [`ColumnarBatch`]: a typed vector plus an optional
+/// validity bitmap (`None` = no NULLs; a clear bit marks SQL NULL, with the
+/// payload slot holding a type default). Columns whose values do not fit
+/// one type degrade to the [`Column::Values`] fallback.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Column {
+    /// 64-bit integers.
+    Int64(Vec<i64>, Option<Bitmap>),
+    /// 64-bit floats (bit-stable: NaN and -0.0 round-trip exactly).
+    Float64(Vec<f64>, Option<Bitmap>),
+    /// Shared strings.
+    Str(Vec<Arc<str>>, Option<Bitmap>),
+    /// Days since the epoch.
+    Date(Vec<i32>, Option<Bitmap>),
+    /// Heterogeneous fallback: a plain value vector.
+    Values(Vec<Value>),
+}
+
+impl Column {
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        match self {
+            Column::Int64(v, _) => v.len(),
+            Column::Float64(v, _) => v.len(),
+            Column::Str(v, _) => v.len(),
+            Column::Date(v, _) => v.len(),
+            Column::Values(v) => v.len(),
+        }
+    }
+
+    /// Whether the column holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The validity bitmap, when the column is typed and has NULLs.
+    pub fn validity(&self) -> Option<&Bitmap> {
+        match self {
+            Column::Int64(_, v)
+            | Column::Float64(_, v)
+            | Column::Str(_, v)
+            | Column::Date(_, v) => v.as_ref(),
+            Column::Values(_) => None,
+        }
+    }
+
+    /// Typed accessor: `(payload, validity)` for an `Int64` column.
+    pub fn as_int64(&self) -> Option<(&[i64], Option<&Bitmap>)> {
+        match self {
+            Column::Int64(v, b) => Some((v, b.as_ref())),
+            _ => None,
+        }
+    }
+
+    /// Typed accessor for a `Float64` column.
+    pub fn as_float64(&self) -> Option<(&[f64], Option<&Bitmap>)> {
+        match self {
+            Column::Float64(v, b) => Some((v, b.as_ref())),
+            _ => None,
+        }
+    }
+
+    /// Typed accessor for a `Str` column.
+    pub fn as_str_col(&self) -> Option<(&[Arc<str>], Option<&Bitmap>)> {
+        match self {
+            Column::Str(v, b) => Some((v, b.as_ref())),
+            _ => None,
+        }
+    }
+
+    /// Typed accessor for a `Date` column.
+    pub fn as_date(&self) -> Option<(&[i32], Option<&Bitmap>)> {
+        match self {
+            Column::Date(v, b) => Some((v, b.as_ref())),
+            _ => None,
+        }
+    }
+
+    #[inline]
+    fn valid(validity: &Option<Bitmap>, i: usize) -> bool {
+        validity.as_ref().is_none_or(|b| b.get(i))
+    }
+
+    /// The value at row `i` as an owned [`Value`] (string rows cost one
+    /// refcount bump).
+    pub fn value_at(&self, i: usize) -> Value {
+        match self {
+            Column::Int64(v, b) => {
+                if Self::valid(b, i) {
+                    Value::Int(v[i])
+                } else {
+                    Value::Null
+                }
+            }
+            Column::Float64(v, b) => {
+                if Self::valid(b, i) {
+                    Value::Double(v[i])
+                } else {
+                    Value::Null
+                }
+            }
+            Column::Str(v, b) => {
+                if Self::valid(b, i) {
+                    Value::Str(v[i].clone())
+                } else {
+                    Value::Null
+                }
+            }
+            Column::Date(v, b) => {
+                if Self::valid(b, i) {
+                    Value::Date(v[i])
+                } else {
+                    Value::Null
+                }
+            }
+            Column::Values(v) => v[i].clone(),
+        }
+    }
+
+    /// Bytes of payload beyond the per-value base charge (string bytes) —
+    /// the columnar `mem_size` formula's variable part, matching what the
+    /// materialized rows would report.
+    pub fn payload_bytes(&self) -> usize {
+        match self {
+            Column::Str(v, b) => v
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| Self::valid(b, *i))
+                .map(|(_, s)| s.len())
+                .sum(),
+            Column::Values(v) => v
+                .iter()
+                .map(|x| x.mem_size() - crate::value::VALUE_BASE_BYTES)
+                .sum(),
+            _ => 0,
+        }
+    }
+
+    /// Copy rows `start..end` into a new column.
+    pub fn slice(&self, start: usize, end: usize) -> Column {
+        fn slice_validity(b: &Option<Bitmap>, start: usize, end: usize) -> Option<Bitmap> {
+            b.as_ref().map(|bm| {
+                let mut out = Bitmap::all_clear(end - start);
+                for i in start..end {
+                    if bm.get(i) {
+                        out.set(i - start);
+                    }
+                }
+                out
+            })
+        }
+        match self {
+            Column::Int64(v, b) => {
+                Column::Int64(v[start..end].to_vec(), slice_validity(b, start, end))
+            }
+            Column::Float64(v, b) => {
+                Column::Float64(v[start..end].to_vec(), slice_validity(b, start, end))
+            }
+            Column::Str(v, b) => Column::Str(v[start..end].to_vec(), slice_validity(b, start, end)),
+            Column::Date(v, b) => {
+                Column::Date(v[start..end].to_vec(), slice_validity(b, start, end))
+            }
+            Column::Values(v) => Column::Values(v[start..end].to_vec()),
+        }
+    }
+
+    /// Gather rows by index into a new column (late materialization).
+    pub fn gather(&self, idx: &[u32]) -> Column {
+        fn gather_validity(b: &Option<Bitmap>, idx: &[u32]) -> Option<Bitmap> {
+            b.as_ref().map(|bm| {
+                let mut out = Bitmap::all_clear(idx.len());
+                for (o, &i) in idx.iter().enumerate() {
+                    if bm.get(i as usize) {
+                        out.set(o);
+                    }
+                }
+                out
+            })
+        }
+        match self {
+            Column::Int64(v, b) => Column::Int64(
+                idx.iter().map(|&i| v[i as usize]).collect(),
+                gather_validity(b, idx),
+            ),
+            Column::Float64(v, b) => Column::Float64(
+                idx.iter().map(|&i| v[i as usize]).collect(),
+                gather_validity(b, idx),
+            ),
+            Column::Str(v, b) => Column::Str(
+                idx.iter().map(|&i| v[i as usize].clone()).collect(),
+                gather_validity(b, idx),
+            ),
+            Column::Date(v, b) => Column::Date(
+                idx.iter().map(|&i| v[i as usize]).collect(),
+                gather_validity(b, idx),
+            ),
+            Column::Values(v) => {
+                Column::Values(idx.iter().map(|&i| v[i as usize].clone()).collect())
+            }
+        }
+    }
+
+    /// Reserve capacity for at least `additional` more rows in the value
+    /// buffer (bulk append paths size their destination once up front).
+    pub fn reserve(&mut self, additional: usize) {
+        match self {
+            Column::Int64(v, _) => v.reserve(additional),
+            Column::Float64(v, _) => v.reserve(additional),
+            Column::Str(v, _) => v.reserve(additional),
+            Column::Date(v, _) => v.reserve(additional),
+            Column::Values(v) => v.reserve(additional),
+        }
+    }
+
+    /// Append `other`'s rows onto `self`. Returns `false` (leaving `self`
+    /// untouched) when the variants differ — the caller falls back to rows.
+    pub fn append(&mut self, other: &Column) -> bool {
+        fn merge_validity(
+            dst: &mut Option<Bitmap>,
+            dst_len: usize,
+            src: &Option<Bitmap>,
+            src_len: usize,
+        ) {
+            if dst.is_none() && src.is_none() {
+                return;
+            }
+            let mut out = Bitmap::all_clear(dst_len + src_len);
+            for i in 0..dst_len {
+                if dst.as_ref().is_none_or(|b| b.get(i)) {
+                    out.set(i);
+                }
+            }
+            for i in 0..src_len {
+                if src.as_ref().is_none_or(|b| b.get(i)) {
+                    out.set(dst_len + i);
+                }
+            }
+            *dst = Some(out);
+        }
+        match (self, other) {
+            (Column::Int64(a, ab), Column::Int64(b, bb)) => {
+                merge_validity(ab, a.len(), bb, b.len());
+                a.extend_from_slice(b);
+                true
+            }
+            (Column::Float64(a, ab), Column::Float64(b, bb)) => {
+                merge_validity(ab, a.len(), bb, b.len());
+                a.extend_from_slice(b);
+                true
+            }
+            (Column::Str(a, ab), Column::Str(b, bb)) => {
+                merge_validity(ab, a.len(), bb, b.len());
+                a.extend_from_slice(b);
+                true
+            }
+            (Column::Date(a, ab), Column::Date(b, bb)) => {
+                merge_validity(ab, a.len(), bb, b.len());
+                a.extend_from_slice(b);
+                true
+            }
+            (Column::Values(a), Column::Values(b)) => {
+                a.extend_from_slice(b);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Write this column's rows into a row-major block at stride `ncols`,
+    /// offset `c` (the materialization inner loop). Slots for NULL rows are
+    /// left untouched (the caller pre-fills with `Value::Null`).
+    fn write_strided(&self, block: &mut [Value], c: usize, ncols: usize) {
+        match self {
+            Column::Int64(v, b) => {
+                for (i, &x) in v.iter().enumerate() {
+                    if Self::valid(b, i) {
+                        block[i * ncols + c] = Value::Int(x);
+                    }
+                }
+            }
+            Column::Float64(v, b) => {
+                for (i, &x) in v.iter().enumerate() {
+                    if Self::valid(b, i) {
+                        block[i * ncols + c] = Value::Double(x);
+                    }
+                }
+            }
+            Column::Str(v, b) => {
+                for (i, x) in v.iter().enumerate() {
+                    if Self::valid(b, i) {
+                        block[i * ncols + c] = Value::Str(x.clone());
+                    }
+                }
+            }
+            Column::Date(v, b) => {
+                for (i, &x) in v.iter().enumerate() {
+                    if Self::valid(b, i) {
+                        block[i * ncols + c] = Value::Date(x);
+                    }
+                }
+            }
+            Column::Values(v) => {
+                for (i, x) in v.iter().enumerate() {
+                    block[i * ncols + c] = x.clone();
+                }
+            }
+        }
+    }
+
+    /// Single-column key prehash kernel: append one `Option<u64>` per row
+    /// (`None` = NULL key; such rows never join). Produces exactly the
+    /// per-tuple `fx_hash(Value)` of the row path.
+    pub fn hash_append(&self, out: &mut Vec<Option<u64>>) {
+        match self {
+            Column::Int64(v, b) => match b {
+                None => out.extend(v.iter().map(|&x| Some(finish_one(|h| hash_int_into(h, x))))),
+                Some(bm) => out.extend(
+                    v.iter()
+                        .enumerate()
+                        .map(|(i, &x)| bm.get(i).then(|| finish_one(|h| hash_int_into(h, x)))),
+                ),
+            },
+            Column::Float64(v, b) => match b {
+                None => out.extend(
+                    v.iter()
+                        .map(|&x| Some(finish_one(|h| hash_double_into(h, x)))),
+                ),
+                Some(bm) => out.extend(
+                    v.iter()
+                        .enumerate()
+                        .map(|(i, &x)| bm.get(i).then(|| finish_one(|h| hash_double_into(h, x)))),
+                ),
+            },
+            Column::Str(v, b) => match b {
+                None => out.extend(v.iter().map(|x| Some(finish_one(|h| hash_str_into(h, x))))),
+                Some(bm) => out.extend(
+                    v.iter()
+                        .enumerate()
+                        .map(|(i, x)| bm.get(i).then(|| finish_one(|h| hash_str_into(h, x)))),
+                ),
+            },
+            Column::Date(v, b) => match b {
+                None => out.extend(
+                    v.iter()
+                        .map(|&x| Some(finish_one(|h| hash_date_into(h, x)))),
+                ),
+                Some(bm) => out.extend(
+                    v.iter()
+                        .enumerate()
+                        .map(|(i, &x)| bm.get(i).then(|| finish_one(|h| hash_date_into(h, x)))),
+                ),
+            },
+            Column::Values(v) => out.extend(v.iter().map(|x| {
+                if x.is_null() {
+                    None
+                } else {
+                    Some(crate::hash::fx_hash(x))
+                }
+            })),
+        }
+    }
+
+    /// Composite-key kernel step: fold this column's values into the per-row
+    /// hasher states (`None` = a NULL component was seen; the row's key
+    /// never joins). Feeding the columns of a composite key left-to-right
+    /// reproduces `KeyVector::hash_tuple_key` exactly.
+    pub fn hash_fold(&self, acc: &mut [Option<FxHasher>]) {
+        debug_assert_eq!(acc.len(), self.len());
+        match self {
+            Column::Int64(v, b) => {
+                for (i, &x) in v.iter().enumerate() {
+                    match &mut acc[i] {
+                        Some(h) if Self::valid(b, i) => hash_int_into(h, x),
+                        slot => *slot = if Self::valid(b, i) { slot.take() } else { None },
+                    }
+                }
+            }
+            Column::Float64(v, b) => {
+                for (i, &x) in v.iter().enumerate() {
+                    match &mut acc[i] {
+                        Some(h) if Self::valid(b, i) => hash_double_into(h, x),
+                        slot => *slot = if Self::valid(b, i) { slot.take() } else { None },
+                    }
+                }
+            }
+            Column::Str(v, b) => {
+                for (i, x) in v.iter().enumerate() {
+                    match &mut acc[i] {
+                        Some(h) if Self::valid(b, i) => hash_str_into(h, x),
+                        slot => *slot = if Self::valid(b, i) { slot.take() } else { None },
+                    }
+                }
+            }
+            Column::Date(v, b) => {
+                for (i, &x) in v.iter().enumerate() {
+                    match &mut acc[i] {
+                        Some(h) if Self::valid(b, i) => hash_date_into(h, x),
+                        slot => *slot = if Self::valid(b, i) { slot.take() } else { None },
+                    }
+                }
+            }
+            Column::Values(v) => {
+                for (i, x) in v.iter().enumerate() {
+                    match (&mut acc[i], x.is_null()) {
+                        (Some(h), false) => x.hash(h),
+                        (slot, true) => *slot = None,
+                        _ => {}
+                    }
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ColumnBuilder
+// ---------------------------------------------------------------------------
+
+/// Incrementally builds one [`Column`] from values. Starts typed (by schema
+/// hint or first non-NULL value) and degrades to [`Column::Values`] if a
+/// mismatched value arrives — schema lies cost performance, never
+/// correctness.
+#[derive(Debug)]
+pub enum ColumnBuilder {
+    /// Only NULLs seen so far (type not yet decided).
+    Pending(usize),
+    /// Building an `Int64` column; `nulls` holds NULL row indices.
+    Int64(Vec<i64>, Vec<u32>),
+    /// Building a `Float64` column.
+    Float64(Vec<f64>, Vec<u32>),
+    /// Building a `Str` column.
+    Str(Vec<Arc<str>>, Vec<u32>),
+    /// Building a `Date` column.
+    Date(Vec<i32>, Vec<u32>),
+    /// Heterogeneous fallback.
+    Values(Vec<Value>),
+}
+
+fn nulls_to_validity(len: usize, nulls: &[u32]) -> Option<Bitmap> {
+    if nulls.is_empty() {
+        return None;
+    }
+    let mut b = Bitmap::all_set(len);
+    for &i in nulls {
+        b.clear(i as usize);
+    }
+    Some(b)
+}
+
+impl ColumnBuilder {
+    /// An empty builder typed by a schema [`DataType`] hint.
+    pub fn for_type(dt: DataType) -> ColumnBuilder {
+        match dt {
+            DataType::Int => ColumnBuilder::Int64(Vec::new(), Vec::new()),
+            DataType::Double => ColumnBuilder::Float64(Vec::new(), Vec::new()),
+            DataType::Str => ColumnBuilder::Str(Vec::new(), Vec::new()),
+            DataType::Date => ColumnBuilder::Date(Vec::new(), Vec::new()),
+            DataType::Null => ColumnBuilder::Values(Vec::new()),
+        }
+    }
+
+    /// An empty builder that decides its type from the first non-NULL value.
+    pub fn auto() -> ColumnBuilder {
+        ColumnBuilder::Pending(0)
+    }
+
+    /// Rows pushed so far.
+    pub fn len(&self) -> usize {
+        match self {
+            ColumnBuilder::Pending(n) => *n,
+            ColumnBuilder::Int64(v, _) => v.len(),
+            ColumnBuilder::Float64(v, _) => v.len(),
+            ColumnBuilder::Str(v, _) => v.len(),
+            ColumnBuilder::Date(v, _) => v.len(),
+            ColumnBuilder::Values(v) => v.len(),
+        }
+    }
+
+    /// Whether no rows have been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn degrade(&mut self) {
+        let values = match std::mem::replace(self, ColumnBuilder::Values(Vec::new())) {
+            ColumnBuilder::Pending(n) => vec![Value::Null; n],
+            ColumnBuilder::Int64(v, nulls) => rebuild(v, &nulls, Value::Int),
+            ColumnBuilder::Float64(v, nulls) => rebuild(v, &nulls, Value::Double),
+            ColumnBuilder::Str(v, nulls) => rebuild(v, &nulls, Value::Str),
+            ColumnBuilder::Date(v, nulls) => rebuild(v, &nulls, Value::Date),
+            ColumnBuilder::Values(v) => v,
+        };
+        *self = ColumnBuilder::Values(values);
+
+        fn rebuild<T>(vals: Vec<T>, nulls: &[u32], wrap: impl Fn(T) -> Value) -> Vec<Value> {
+            let mut ni = 0usize;
+            vals.into_iter()
+                .enumerate()
+                .map(|(i, x)| {
+                    if ni < nulls.len() && nulls[ni] as usize == i {
+                        ni += 1;
+                        Value::Null
+                    } else {
+                        wrap(x)
+                    }
+                })
+                .collect()
+        }
+    }
+
+    /// Append one value.
+    #[inline]
+    pub fn push(&mut self, v: &Value) {
+        match (&mut *self, v) {
+            (ColumnBuilder::Int64(vals, _), Value::Int(x)) => vals.push(*x),
+            (ColumnBuilder::Float64(vals, _), Value::Double(x)) => vals.push(*x),
+            (ColumnBuilder::Str(vals, _), Value::Str(x)) => vals.push(x.clone()),
+            (ColumnBuilder::Date(vals, _), Value::Date(x)) => vals.push(*x),
+            (ColumnBuilder::Values(vals), v) => vals.push(v.clone()),
+            (ColumnBuilder::Pending(n), Value::Null) => *n += 1,
+            (ColumnBuilder::Pending(n), v) => {
+                let nulls: Vec<u32> = (0..*n as u32).collect();
+                let pending = *n;
+                *self = match v {
+                    Value::Int(x) => {
+                        let mut vals = vec![0i64; pending];
+                        vals.push(*x);
+                        ColumnBuilder::Int64(vals, nulls)
+                    }
+                    Value::Double(x) => {
+                        let mut vals = vec![0f64; pending];
+                        vals.push(*x);
+                        ColumnBuilder::Float64(vals, nulls)
+                    }
+                    Value::Str(x) => {
+                        let empty: Arc<str> = Arc::from("");
+                        let mut vals = vec![empty; pending];
+                        vals.push(x.clone());
+                        ColumnBuilder::Str(vals, nulls)
+                    }
+                    Value::Date(x) => {
+                        let mut vals = vec![0i32; pending];
+                        vals.push(*x);
+                        ColumnBuilder::Date(vals, nulls)
+                    }
+                    Value::Null => unreachable!("handled above"),
+                };
+            }
+            (ColumnBuilder::Int64(vals, nulls), Value::Null) => {
+                nulls.push(vals.len() as u32);
+                vals.push(0);
+            }
+            (ColumnBuilder::Float64(vals, nulls), Value::Null) => {
+                nulls.push(vals.len() as u32);
+                vals.push(0.0);
+            }
+            (ColumnBuilder::Str(vals, nulls), Value::Null) => {
+                nulls.push(vals.len() as u32);
+                vals.push(Arc::from(""));
+            }
+            (ColumnBuilder::Date(vals, nulls), Value::Null) => {
+                nulls.push(vals.len() as u32);
+                vals.push(0);
+            }
+            // Type mismatch: degrade to the fallback and retry.
+            _ => {
+                self.degrade();
+                self.push(v);
+            }
+        }
+    }
+
+    /// Finish into a [`Column`].
+    pub fn finish(self) -> Column {
+        match self {
+            ColumnBuilder::Pending(n) => Column::Values(vec![Value::Null; n]),
+            ColumnBuilder::Int64(v, nulls) => {
+                let validity = nulls_to_validity(v.len(), &nulls);
+                Column::Int64(v, validity)
+            }
+            ColumnBuilder::Float64(v, nulls) => {
+                let validity = nulls_to_validity(v.len(), &nulls);
+                Column::Float64(v, validity)
+            }
+            ColumnBuilder::Str(v, nulls) => {
+                let validity = nulls_to_validity(v.len(), &nulls);
+                Column::Str(v, validity)
+            }
+            ColumnBuilder::Date(v, nulls) => {
+                let validity = nulls_to_validity(v.len(), &nulls);
+                Column::Date(v, validity)
+            }
+            ColumnBuilder::Values(v) => Column::Values(v),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ColumnarBatch
+// ---------------------------------------------------------------------------
+
+/// A block of rows stored column-major: `cols[c]` holds row values for
+/// column `c`, every column the same length. Columns are `Arc`-shared so
+/// projection and batch slicing by whole columns are refcount bumps.
+#[derive(Debug, Clone)]
+pub struct ColumnarBatch {
+    len: usize,
+    cols: Vec<Arc<Column>>,
+}
+
+impl ColumnarBatch {
+    /// Assemble from columns (all must share `len` rows).
+    pub fn new(len: usize, cols: Vec<Column>) -> ColumnarBatch {
+        debug_assert!(cols.iter().all(|c| c.len() == len));
+        ColumnarBatch {
+            len,
+            cols: cols.into_iter().map(Arc::new).collect(),
+        }
+    }
+
+    /// Assemble from already-shared columns.
+    pub fn from_shared(len: usize, cols: Vec<Arc<Column>>) -> ColumnarBatch {
+        debug_assert!(cols.iter().all(|c| c.len() == len));
+        ColumnarBatch { len, cols }
+    }
+
+    /// Convert a slice of rows (type inferred per column from the data).
+    pub fn from_rows(rows: &[Tuple]) -> ColumnarBatch {
+        let ncols = rows.first().map_or(0, Tuple::arity);
+        let mut builders: Vec<ColumnBuilder> = (0..ncols).map(|_| ColumnBuilder::auto()).collect();
+        for t in rows {
+            debug_assert_eq!(t.arity(), ncols, "ragged rows in columnar conversion");
+            for (b, v) in builders.iter_mut().zip(t.values()) {
+                b.push(v);
+            }
+        }
+        ColumnarBatch::new(
+            rows.len(),
+            builders.into_iter().map(ColumnBuilder::finish).collect(),
+        )
+    }
+
+    /// Rows.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the batch holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Columns.
+    pub fn num_cols(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// Column `c`.
+    pub fn col(&self, c: usize) -> &Column {
+        &self.cols[c]
+    }
+
+    /// Shared handle to column `c`.
+    pub fn col_shared(&self, c: usize) -> &Arc<Column> {
+        &self.cols[c]
+    }
+
+    /// Project onto `indices` — shares the column buffers (refcount bumps,
+    /// no data copy): the columnar late-materialization win for `Project`.
+    pub fn project(&self, indices: &[usize]) -> ColumnarBatch {
+        ColumnarBatch {
+            len: self.len,
+            cols: indices.iter().map(|&i| self.cols[i].clone()).collect(),
+        }
+    }
+
+    /// Copy rows `start..end` into a new batch.
+    pub fn slice(&self, start: usize, end: usize) -> ColumnarBatch {
+        debug_assert!(start <= end && end <= self.len);
+        ColumnarBatch {
+            len: end - start,
+            cols: self
+                .cols
+                .iter()
+                .map(|c| Arc::new(c.slice(start, end)))
+                .collect(),
+        }
+    }
+
+    /// Gather rows by index into a new batch (apply a selection).
+    pub fn gather(&self, idx: &[u32]) -> ColumnarBatch {
+        ColumnarBatch {
+            len: idx.len(),
+            cols: self.cols.iter().map(|c| Arc::new(c.gather(idx))).collect(),
+        }
+    }
+
+    /// Concatenate many batches column-wise. Returns `None` when layouts
+    /// disagree (column count or a column's type) — the caller falls back
+    /// to row concatenation. A single input batch shares its column `Arc`s
+    /// (no copy); otherwise every destination buffer is reserved to the
+    /// total row count up front so appending never reallocates mid-stream.
+    pub fn concat<'a>(batches: impl Iterator<Item = &'a ColumnarBatch>) -> Option<ColumnarBatch> {
+        let batches: Vec<&ColumnarBatch> = batches.collect();
+        let (first, rest) = batches.split_first()?;
+        if rest.is_empty() {
+            return Some(ColumnarBatch {
+                len: first.len,
+                cols: first.cols.clone(),
+            });
+        }
+        let total: usize = batches.iter().map(|b| b.len).sum();
+        let mut len = first.len;
+        let mut cols: Vec<Column> = first
+            .cols
+            .iter()
+            .map(|c| {
+                let mut col = (**c).clone();
+                col.reserve(total - first.len);
+                col
+            })
+            .collect();
+        for b in rest {
+            if b.cols.len() != cols.len() {
+                return None;
+            }
+            for (dst, src) in cols.iter_mut().zip(&b.cols) {
+                if !dst.append(src) {
+                    return None;
+                }
+            }
+            len += b.len;
+        }
+        Some(ColumnarBatch::new(len, cols))
+    }
+
+    /// Concatenate two batches **horizontally**: the rows of `left` and
+    /// `right` (same length) side by side, sharing both inputs' column
+    /// buffers. The join emit path stitches a gathered probe half onto a
+    /// rebuilt match half with this.
+    pub fn hstack(left: ColumnarBatch, right: ColumnarBatch) -> ColumnarBatch {
+        debug_assert_eq!(left.len, right.len, "hstack row counts must agree");
+        let mut cols = left.cols;
+        cols.extend(right.cols);
+        ColumnarBatch {
+            len: left.len,
+            cols,
+        }
+    }
+
+    /// Total payload bytes beyond the per-value base charge (string bytes).
+    pub fn payload_bytes(&self) -> usize {
+        self.cols.iter().map(|c| c.payload_bytes()).sum()
+    }
+
+    /// Build every row's `Tuple` view in **one** shared block allocation
+    /// (the lazy compatibility adapter `TupleBatch` caches).
+    pub fn materialize_rows(&self) -> Vec<Tuple> {
+        let ncols = self.cols.len();
+        let mut block: Vec<Value> = vec![Value::Null; self.len * ncols];
+        for (c, col) in self.cols.iter().enumerate() {
+            col.write_strided(&mut block, c, ncols);
+        }
+        let block: Arc<[Value]> = block.into();
+        (0..self.len)
+            .map(|i| Tuple::view(block.clone(), i * ncols, ncols))
+            .collect()
+    }
+
+    /// The row at `i` as owned values (cold paths only).
+    pub fn row_values(&self, i: usize) -> Vec<Value> {
+        self.cols.iter().map(|c| c.value_at(i)).collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ColumnarAssembler
+// ---------------------------------------------------------------------------
+
+/// Typed columnar row assembly: the join emit path's replacement for
+/// value-vector concatenation. Output columns are typed straight from the
+/// operator's output schema; each appended row pushes native payloads (one
+/// branch per value) instead of cloning `Value`s into a row block, and the
+/// sealed batch is already columnar for every downstream consumer.
+pub struct ColumnarAssembler {
+    capacity: usize,
+    kinds: Vec<DataType>,
+    builders: Vec<ColumnBuilder>,
+    rows: usize,
+}
+
+impl ColumnarAssembler {
+    /// An assembler sealing batches of `capacity` rows with the given
+    /// column types.
+    pub fn new(capacity: usize, kinds: Vec<DataType>) -> ColumnarAssembler {
+        let builders = kinds
+            .iter()
+            .map(|&dt| ColumnBuilder::for_type(dt))
+            .collect();
+        ColumnarAssembler {
+            capacity: capacity.max(1),
+            kinds,
+            builders,
+            rows: 0,
+        }
+    }
+
+    /// An assembler typed by an output schema.
+    pub fn from_schema(capacity: usize, schema: &Schema) -> ColumnarAssembler {
+        ColumnarAssembler::new(
+            capacity,
+            schema.fields().iter().map(|f| f.data_type).collect(),
+        )
+    }
+
+    /// An empty assembler with the same capacity and column types.
+    pub fn fresh(&self) -> ColumnarAssembler {
+        ColumnarAssembler::new(self.capacity, self.kinds.clone())
+    }
+
+    /// Rows currently buffered (unsealed).
+    pub fn row_count(&self) -> usize {
+        self.rows
+    }
+
+    /// Whether the assembler holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// Whether a sealed batch is due.
+    pub fn is_full(&self) -> bool {
+        self.rows >= self.capacity
+    }
+
+    /// Append the concatenation `a ++ b` as one row (join emit).
+    #[inline]
+    pub fn push_concat(&mut self, a: &Tuple, b: &Tuple) {
+        debug_assert_eq!(a.arity() + b.arity(), self.builders.len());
+        for (builder, v) in self
+            .builders
+            .iter_mut()
+            .zip(a.values().iter().chain(b.values()))
+        {
+            builder.push(v);
+        }
+        self.rows += 1;
+    }
+
+    /// Append a copy of `t` as one row.
+    #[inline]
+    pub fn push_tuple(&mut self, t: &Tuple) {
+        debug_assert_eq!(t.arity(), self.builders.len());
+        for (builder, v) in self.builders.iter_mut().zip(t.values()) {
+            builder.push(v);
+        }
+        self.rows += 1;
+    }
+
+    /// Append `t` projected onto `indices` as one row.
+    #[inline]
+    pub fn push_project(&mut self, t: &Tuple, indices: &[usize]) {
+        debug_assert_eq!(indices.len(), self.builders.len());
+        let vals = t.values();
+        for (builder, &i) in self.builders.iter_mut().zip(indices) {
+            builder.push(&vals[i]);
+        }
+        self.rows += 1;
+    }
+
+    /// Seal everything buffered into one columnar batch; `None` when empty.
+    /// The assembler is reusable afterwards.
+    pub fn seal(&mut self) -> Option<ColumnarBatch> {
+        if self.rows == 0 {
+            return None;
+        }
+        let fresh: Vec<ColumnBuilder> = self
+            .kinds
+            .iter()
+            .map(|&dt| ColumnBuilder::for_type(dt))
+            .collect();
+        let built = std::mem::replace(&mut self.builders, fresh);
+        let rows = self.rows;
+        self.rows = 0;
+        Some(ColumnarBatch::new(
+            rows,
+            built.into_iter().map(ColumnBuilder::finish).collect(),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hash::fx_hash;
+    use crate::tuple;
+
+    #[test]
+    fn bitmap_basics() {
+        let mut b = Bitmap::all_clear(70);
+        assert!(b.is_all_clear());
+        b.set(0);
+        b.set(69);
+        assert!(b.get(0) && b.get(69) && !b.get(35));
+        assert_eq!(b.count_ones(), 2);
+        assert_eq!(b.set_indices(), vec![0, 69]);
+        b.not_assign();
+        assert_eq!(b.count_ones(), 68);
+        let all = Bitmap::all_set(70);
+        assert!(all.is_all_set());
+        assert_eq!(all.count_ones(), 70);
+    }
+
+    #[test]
+    fn bitmap_ops_mask_tail() {
+        let mut a = Bitmap::all_set(3);
+        let b = Bitmap::all_clear(3);
+        a.or_assign(&b);
+        assert_eq!(a.count_ones(), 3);
+        a.and_assign(&b);
+        assert!(a.is_all_clear());
+        a.not_assign();
+        assert_eq!(a.count_ones(), 3); // tail bits beyond len stay clear
+    }
+
+    #[test]
+    fn selection_fast_path_flags() {
+        let all = Selection::keep_all(5);
+        assert!(all.is_all() && !all.is_none());
+        let none = Selection::keep_none(5);
+        assert!(none.is_none() && !none.is_all());
+        let mut bits = Bitmap::all_clear(5);
+        bits.set(2);
+        let sel = Selection::from_bitmap(bits);
+        assert_eq!(sel.count(), 1);
+        assert_eq!(sel.indices(), vec![2]);
+    }
+
+    /// The typed kernels must reproduce `Value::hash` through `FxHasher`
+    /// exactly — including NULL (no hash), -0.0 vs 0.0 (distinct bits),
+    /// and NaN (bit-stable).
+    #[test]
+    fn hash_kernel_matches_value_hash() {
+        let values = vec![
+            Value::Int(42),
+            Value::Int(i64::MIN),
+            Value::Double(2.5),
+            Value::Double(-0.0),
+            Value::Double(0.0),
+            Value::Double(f64::NAN),
+            Value::str(""),
+            Value::str("tukwila"),
+            Value::Date(0),
+            Value::Date(-9999),
+            Value::Null,
+        ];
+        for v in &values {
+            let col = ColumnarBatch::from_rows(&[Tuple::new(vec![v.clone()])]);
+            let mut hashes = Vec::new();
+            col.col(0).hash_append(&mut hashes);
+            let want = if v.is_null() { None } else { Some(fx_hash(v)) };
+            assert_eq!(hashes[0], want, "kernel hash mismatch for {v:?}");
+        }
+        // A whole mixed-type column (Values fallback) also agrees.
+        let rows: Vec<Tuple> = values.iter().map(|v| Tuple::new(vec![v.clone()])).collect();
+        let mixed = ColumnarBatch::from_rows(&rows);
+        let mut hashes = Vec::new();
+        mixed.col(0).hash_append(&mut hashes);
+        for (h, v) in hashes.iter().zip(&values) {
+            let want = if v.is_null() { None } else { Some(fx_hash(v)) };
+            assert_eq!(*h, want);
+        }
+    }
+
+    #[test]
+    fn from_rows_infers_types_and_validity() {
+        let rows = vec![
+            Tuple::new(vec![Value::Null, Value::str("a")]),
+            Tuple::new(vec![Value::Int(7), Value::str("b")]),
+            Tuple::new(vec![Value::Null, Value::str("c")]),
+        ];
+        let cb = ColumnarBatch::from_rows(&rows);
+        let (ints, validity) = cb.col(0).as_int64().expect("int column");
+        assert_eq!(ints[1], 7);
+        let validity = validity.expect("has NULLs");
+        assert!(!validity.get(0) && validity.get(1) && !validity.get(2));
+        assert!(cb.col(1).validity().is_none());
+        assert_eq!(cb.col(0).value_at(0), Value::Null);
+        assert_eq!(cb.col(0).value_at(1), Value::Int(7));
+    }
+
+    #[test]
+    fn mixed_types_degrade_to_values() {
+        let rows = vec![tuple![1], tuple!["x"]];
+        let cb = ColumnarBatch::from_rows(&rows);
+        match cb.col(0) {
+            Column::Values(v) => assert_eq!(v, &vec![Value::Int(1), Value::str("x")]),
+            other => panic!("expected Values fallback, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn materialize_round_trips_rows() {
+        let rows = vec![
+            Tuple::new(vec![Value::Int(1), Value::Double(-0.0), Value::Null]),
+            Tuple::new(vec![
+                Value::Int(2),
+                Value::Double(f64::NAN),
+                Value::str("s"),
+            ]),
+        ];
+        let cb = ColumnarBatch::from_rows(&rows);
+        let back = cb.materialize_rows();
+        assert_eq!(back, rows);
+        // one shared block: consecutive rows are adjacent
+        assert!(std::ptr::eq(
+            back[0].values().as_ptr().wrapping_add(3),
+            back[1].values().as_ptr()
+        ));
+    }
+
+    #[test]
+    fn slice_gather_concat() {
+        let rows: Vec<Tuple> = (0..10i64).map(|i| tuple![i, i * 2]).collect();
+        let cb = ColumnarBatch::from_rows(&rows);
+        let s = cb.slice(3, 6);
+        assert_eq!(s.materialize_rows(), rows[3..6].to_vec());
+        let g = cb.gather(&[0, 9, 4]);
+        assert_eq!(
+            g.materialize_rows(),
+            vec![rows[0].clone(), rows[9].clone(), rows[4].clone()]
+        );
+        let cat = ColumnarBatch::concat([&s, &g].into_iter()).unwrap();
+        assert_eq!(cat.len(), 6);
+        assert_eq!(cat.materialize_rows()[3], rows[0]);
+    }
+
+    #[test]
+    fn concat_type_mismatch_bails() {
+        let a = ColumnarBatch::from_rows(&[tuple![1]]);
+        let b = ColumnarBatch::from_rows(&[tuple!["x"]]);
+        assert!(ColumnarBatch::concat([&a, &b].into_iter()).is_none());
+    }
+
+    #[test]
+    fn validity_survives_slice_gather_concat() {
+        let rows = vec![
+            Tuple::new(vec![Value::Int(1)]),
+            Tuple::new(vec![Value::Null]),
+            Tuple::new(vec![Value::Int(3)]),
+        ];
+        let cb = ColumnarBatch::from_rows(&rows);
+        assert_eq!(cb.slice(1, 3).materialize_rows(), rows[1..].to_vec());
+        assert_eq!(
+            cb.gather(&[1, 0]).materialize_rows(),
+            vec![rows[1].clone(), rows[0].clone()]
+        );
+        let cat = ColumnarBatch::concat([&cb, &cb].into_iter()).unwrap();
+        assert_eq!(cat.materialize_rows()[4], rows[1]);
+    }
+
+    #[test]
+    fn assembler_typed_emit() {
+        let kinds = vec![
+            DataType::Int,
+            DataType::Str,
+            DataType::Int,
+            DataType::Double,
+        ];
+        let mut asm = ColumnarAssembler::new(4, kinds);
+        asm.push_concat(&tuple![1, "x"], &tuple![2, 2.5]);
+        asm.push_concat(
+            &Tuple::new(vec![Value::Int(3), Value::Null]),
+            &tuple![4, 4.5],
+        );
+        assert_eq!(asm.row_count(), 2);
+        let cb = asm.seal().unwrap();
+        assert!(asm.seal().is_none(), "assembler drained");
+        let rows = cb.materialize_rows();
+        assert_eq!(rows[0], tuple![1, "x", 2, 2.5]);
+        assert_eq!(
+            rows[1],
+            Tuple::new(vec![
+                Value::Int(3),
+                Value::Null,
+                Value::Int(4),
+                Value::Double(4.5)
+            ])
+        );
+    }
+
+    #[test]
+    fn assembler_degrades_on_schema_lie() {
+        // schema says Int but a string shows up: correctness over speed
+        let mut asm = ColumnarAssembler::new(4, vec![DataType::Int]);
+        asm.push_tuple(&tuple![1]);
+        asm.push_tuple(&tuple!["surprise"]);
+        let rows = asm.seal().unwrap().materialize_rows();
+        assert_eq!(rows, vec![tuple![1], tuple!["surprise"]]);
+    }
+
+    #[test]
+    fn composite_hash_fold_matches_row_path() {
+        let rows = vec![
+            tuple![1, "a", 2.5],
+            Tuple::new(vec![Value::Int(2), Value::Null, Value::Double(0.5)]),
+        ];
+        let cb = ColumnarBatch::from_rows(&rows);
+        let cols = [0usize, 1, 2];
+        let mut acc: Vec<Option<FxHasher>> = vec![Some(FxHasher::new()); rows.len()];
+        for &c in &cols {
+            cb.col(c).hash_fold(&mut acc);
+        }
+        for (i, t) in rows.iter().enumerate() {
+            let want = crate::KeyVector::hash_tuple_key(t, &cols);
+            assert_eq!(acc[i].map(|h| h.finish()), want, "row {i}");
+        }
+    }
+
+    #[test]
+    fn payload_bytes_counts_strings() {
+        let cb = ColumnarBatch::from_rows(&[tuple![1, "abcd"], tuple![2, "ef"]]);
+        assert_eq!(cb.payload_bytes(), 6);
+    }
+
+    #[test]
+    fn project_shares_columns() {
+        let cb = ColumnarBatch::from_rows(&[tuple![1, "a", 2]]);
+        let p = cb.project(&[2, 0]);
+        assert!(Arc::ptr_eq(p.col_shared(1), cb.col_shared(0)));
+        assert_eq!(p.materialize_rows(), vec![tuple![2, 1]]);
+    }
+}

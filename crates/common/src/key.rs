@@ -129,7 +129,16 @@ pub struct KeyVector {
 
 impl KeyVector {
     /// Prehash every row of `batch` on the single key column `col`.
+    /// Columnar batches take the typed column kernel
+    /// ([`crate::Column::hash_append`]) — one tight loop over the native
+    /// payload, no row materialization; row batches fall back to the
+    /// per-tuple walk. Both produce byte-identical hashes.
     pub fn compute(batch: &TupleBatch, col: usize) -> KeyVector {
+        if let Some(cols) = batch.columns() {
+            let mut hashes = Vec::with_capacity(cols.len());
+            cols.col(col).hash_append(&mut hashes);
+            return KeyVector { hashes };
+        }
         KeyVector {
             hashes: batch
                 .iter()
@@ -146,7 +155,19 @@ impl KeyVector {
     }
 
     /// Prehash every row of `batch` on a (possibly composite) column set.
+    /// Columnar batches fold each key column through per-row hasher states
+    /// ([`crate::Column::hash_fold`]) — column-at-a-time, same result as
+    /// the per-tuple walk.
     pub fn compute_composite(batch: &TupleBatch, cols: &[usize]) -> KeyVector {
+        if let Some(cb) = batch.columns() {
+            let mut acc: Vec<Option<FxHasher>> = vec![Some(FxHasher::new()); cb.len()];
+            for &c in cols {
+                cb.col(c).hash_fold(&mut acc);
+            }
+            return KeyVector {
+                hashes: acc.into_iter().map(|h| h.map(|h| h.finish())).collect(),
+            };
+        }
         KeyVector {
             hashes: batch
                 .iter()
@@ -285,6 +306,75 @@ mod tests {
         for i in 0..3 {
             assert_eq!(kv.get(i), kvc.get(i));
         }
+    }
+
+    /// Satellite: hash(column kernel) ≡ hash(per-tuple `JoinKey`) for every
+    /// type — including NULL (no hash at all), -0.0 vs 0.0 (distinct bits),
+    /// and NaN (bit-stable) — so bucket/partition routing is byte-stable
+    /// across the row/columnar refactor.
+    #[test]
+    fn columnar_key_vector_matches_row_path() {
+        use crate::column::ColumnarBatch;
+        let rows = vec![
+            tuple![1, 2.5, "a", 3],
+            crate::Tuple::new(vec![
+                Value::Int(i64::MIN),
+                Value::Double(-0.0),
+                Value::str(""),
+                Value::Date(-1),
+            ]),
+            crate::Tuple::new(vec![
+                Value::Null,
+                Value::Double(0.0),
+                Value::Null,
+                Value::Date(9999),
+            ]),
+            crate::Tuple::new(vec![
+                Value::Int(7),
+                Value::Double(f64::NAN),
+                Value::str("tukwila"),
+                Value::Null,
+            ]),
+        ];
+        let row_batch = TupleBatch::from_tuples(rows.clone());
+        let col_batch = TupleBatch::from_columns(ColumnarBatch::from_rows(&rows));
+        assert!(col_batch.columns().is_some());
+        for c in 0..4 {
+            let rv = KeyVector::compute(&row_batch, c);
+            let cv = KeyVector::compute(&col_batch, c);
+            for (i, row) in rows.iter().enumerate() {
+                assert_eq!(rv.get(i), cv.get(i), "col {c} row {i}");
+                let jk = JoinKey::from_tuple(row, &[c]);
+                let want = if jk.has_null() {
+                    None
+                } else {
+                    Some(jk.fx_hash())
+                };
+                assert_eq!(cv.get(i), want, "JoinKey parity col {c} row {i}");
+            }
+        }
+        for cols in [
+            &[0usize, 1][..],
+            &[2, 3][..],
+            &[0, 1, 2, 3][..],
+            &[3, 0][..],
+        ] {
+            let rv = KeyVector::compute_composite(&row_batch, cols);
+            let cv = KeyVector::compute_composite(&col_batch, cols);
+            for (i, row) in rows.iter().enumerate() {
+                assert_eq!(rv.get(i), cv.get(i), "cols {cols:?} row {i}");
+                let jk = JoinKey::from_tuple(row, cols);
+                let want = if jk.has_null() {
+                    None
+                } else {
+                    Some(jk.fx_hash())
+                };
+                assert_eq!(cv.get(i), want, "JoinKey parity cols {cols:?} row {i}");
+            }
+        }
+        // -0.0 and 0.0 must route differently (total-order bit hashing)
+        let neg = KeyVector::compute(&col_batch, 1);
+        assert_ne!(neg.get(1), neg.get(2), "-0.0 and 0.0 hash differently");
     }
 
     #[test]

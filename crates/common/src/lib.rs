@@ -22,6 +22,7 @@
 //!   depend on (§4.2.3, Figure 4).
 
 pub mod batch;
+pub mod column;
 pub mod error;
 pub mod hash;
 pub mod key;
@@ -31,6 +32,19 @@ pub mod tuple;
 pub mod value;
 
 pub use batch::{BatchAssembler, BatchBuilder, OutputQueue, TupleBatch, DEFAULT_BATCH_CAPACITY};
+pub use column::{Bitmap, Column, ColumnBuilder, ColumnarAssembler, ColumnarBatch, Selection};
+
+/// The process-wide default operator batch capacity, read from the
+/// `TUKWILA_BATCH` environment variable (minimum 1; unset or invalid means
+/// [`DEFAULT_BATCH_CAPACITY`]). The CI matrix runs the tier-1 suite at 1
+/// (singleton degradation) and 1024 alongside the default.
+pub fn env_batch_size() -> usize {
+    std::env::var("TUKWILA_BATCH")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(DEFAULT_BATCH_CAPACITY)
+}
 
 /// The process-wide default intra-query parallelism, read from the
 /// `TUKWILA_THREADS` environment variable (minimum 1; unset or invalid

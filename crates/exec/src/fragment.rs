@@ -91,27 +91,28 @@ pub fn run_fragment_observed(
         return finish(classify_error(rt, frag_id, e), 0, None);
     }
 
-    let mut tuples: Vec<tukwila_common::Tuple> = Vec::new();
+    // Batches are collected whole (not flattened to rows): when every batch
+    // is columnar, materialization below assembles the relation column-wise
+    // with typed buffer appends and never builds a row view.
+    let mut batches: Vec<tukwila_common::TupleBatch> = Vec::new();
+    let mut rows = 0usize;
     let mut time_to_first = None;
     loop {
         match root.next_batch() {
             Ok(Some(batch)) => {
-                if tuples.is_empty() {
+                if rows == 0 {
                     time_to_first = Some(start.elapsed());
                 }
                 rt.add_produced(subject, batch.len() as u64);
-                tuples.extend(batch);
-                observer(tuples.len() as u64, start.elapsed());
+                rows += batch.len();
+                batches.push(batch);
+                observer(rows as u64, start.elapsed());
                 // Cooperative cancellation: the query control is checked at
                 // every batch boundary (deadlines self-trip here).
                 if let Err(e) = rt.control().check() {
                     let _ = root.close();
                     rt.set_state(subject, OpState::Failed);
-                    return finish(
-                        FragmentOutcome::Failed(e),
-                        tuples.len() as u64,
-                        time_to_first,
-                    );
+                    return finish(FragmentOutcome::Failed(e), rows as u64, time_to_first);
                 }
                 // Mid-fragment signals: reschedule and abort take effect
                 // immediately; replan waits for the materialization point.
@@ -120,7 +121,7 @@ pub fn run_fragment_observed(
                 if rt.signal_pending() {
                     if let Some(sig) = peek_interrupting_signal(rt, frag_id) {
                         let _ = root.close();
-                        return finish(sig, tuples.len() as u64, time_to_first);
+                        return finish(sig, rows as u64, time_to_first);
                     }
                 }
             }
@@ -128,11 +129,7 @@ pub fn run_fragment_observed(
             Err(e) => {
                 let _ = root.close();
                 rt.set_state(subject, OpState::Failed);
-                return finish(
-                    classify_error(rt, frag_id, e),
-                    tuples.len() as u64,
-                    time_to_first,
-                );
+                return finish(classify_error(rt, frag_id, e), rows as u64, time_to_first);
             }
         }
     }
@@ -142,16 +139,12 @@ pub fn run_fragment_observed(
     if let Err(e) = rt.control().check() {
         let _ = root.close();
         rt.set_state(subject, OpState::Failed);
-        return finish(
-            FragmentOutcome::Failed(e),
-            tuples.len() as u64,
-            time_to_first,
-        );
+        return finish(FragmentOutcome::Failed(e), rows as u64, time_to_first);
     }
-    let produced = tuples.len() as u64;
+    let produced = rows as u64;
     let schema = root.schema().clone();
     root.close()?;
-    let relation = Relation::new(schema, tuples)?;
+    let relation = Relation::from_batches(schema, batches)?;
     rt.env().local.put(&frag.materialize_as, relation);
 
     // Materialization point: emit closed(frag); replan rules fire here.

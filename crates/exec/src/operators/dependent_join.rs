@@ -74,7 +74,11 @@ impl Operator for DependentJoin {
         self.schema = self.left.schema().concat(wrapper.schema());
         let mut stream = wrapper.fetch();
         let max = self.harness.batch_size();
-        self.pending = OutputQueue::new(max);
+        // Typed queue: join output seals directly into columnar batches.
+        self.pending = OutputQueue::typed(
+            max,
+            self.schema.fields().iter().map(|f| f.data_type).collect(),
+        );
         loop {
             match stream.next_batch_event(max) {
                 SourceBatchEvent::Batch(batch) => {

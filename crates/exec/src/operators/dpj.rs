@@ -43,12 +43,15 @@ use std::time::Instant;
 
 use crossbeam_channel::{bounded, Receiver, Select};
 
-use tukwila_common::{KeyedBatch, OutputQueue, Result, Schema, TukwilaError, Tuple, TupleBatch};
+use tukwila_common::{
+    ColumnarBatch, DataType, KeyVector, KeyedBatch, OutputQueue, Result, Schema, TukwilaError,
+    Tuple, TupleBatch,
+};
 use tukwila_plan::{OverflowMethod, QuantityProvider, SubjectRef};
 use tukwila_trace::{OpMetrics, TraceEvent};
 
 use crate::operator::{Operator, OperatorBox};
-use crate::operators::hash_table::{join_sets, BucketedTable};
+use crate::operators::hash_table::{join_sets, BucketedTable, FrozenSide};
 use crate::runtime::OpHarness;
 
 const LEFT: usize = 0;
@@ -118,6 +121,15 @@ pub struct DoublePipelinedJoin {
     spilled_tuples: u64,
     /// The overflow-resolved event was emitted (once per run).
     resolved_emitted: bool,
+    /// Per-side columnar freeze of a completed, fully in-memory table
+    /// (`[left, right]`), built lazily the first time the opposite input
+    /// turns probe-only. Valid while the probe-only gate holds: the frozen
+    /// side receives no further inserts, and any later flush flips the gate
+    /// off before the stale view could be consulted.
+    frozen: [Option<FrozenSide>; 2],
+    /// Schema-declared column types of each input (`[left, right]`) —
+    /// freeze/builder hints captured at open.
+    side_types: [Vec<DataType>; 2],
 }
 
 impl DoublePipelinedJoin {
@@ -157,6 +169,8 @@ impl DoublePipelinedJoin {
             staged_at: None,
             spilled_tuples: 0,
             resolved_emitted: false,
+            frozen: [None, None],
+            side_types: [Vec::new(), Vec::new()],
         }
     }
 
@@ -244,6 +258,78 @@ impl DoublePipelinedJoin {
         } else {
             self.tables[side].insert_hashed(hash, t);
             self.check_overflow()?;
+        }
+        Ok(())
+    }
+
+    /// Whether a batch arriving on `side` can take the vectorized
+    /// probe-only path: the opposite input is complete, so by footnote 3
+    /// nothing from `side` needs storing, and neither table has flushed a
+    /// bucket, so no arrival diverts to spill and no probe needs a marked
+    /// insert — every row is a pure in-memory probe with no table mutation.
+    fn probe_only(&self, side: usize) -> bool {
+        self.done[1 - side]
+            && !self.cleanup_active
+            && !self.tables[side].any_flushed()
+            && !self.tables[1 - side].any_flushed()
+    }
+
+    /// Make sure the completed build side `bs` has a columnar freeze
+    /// (caller guarantees the probe-only gate). Returns `false` when the
+    /// table declines to freeze (marked tuples present) — the caller falls
+    /// back to the tuple-at-a-time staged path.
+    fn ensure_frozen(&mut self, bs: usize) -> bool {
+        if self.frozen[bs].is_none() {
+            self.frozen[bs] = self.tables[bs].freeze(&self.side_types[bs]);
+        }
+        self.frozen[bs].is_some()
+    }
+
+    /// Join one arriving columnar batch entirely by vectorized probe
+    /// (caller guarantees [`Self::probe_only`] and a frozen build side):
+    /// prehash the key column, resolve every probe row to match row ids in
+    /// the frozen table, then assemble each output block from two typed
+    /// column **gathers** — one over the arriving batch, one over the
+    /// frozen build columns. No builder dispatch per value, and neither
+    /// side's row views are ever materialized.
+    fn probe_batch_columnar(&mut self, side: usize, batch: &TupleBatch) -> Result<()> {
+        let (Some(cols), Some(frozen)) = (batch.columns(), self.frozen[1 - side].as_ref()) else {
+            return Err(TukwilaError::Internal(
+                "vectorized DPJ probe without columnar batch and frozen side".into(),
+            ));
+        };
+        let kv = KeyVector::compute(batch, self.key_idx[side]);
+        let key_col = cols.col(self.key_idx[side]);
+        // Paired selection vectors: one entry per output row, indexing the
+        // probe batch and the frozen build columns respectively. NULL keys
+        // (hash None) never join.
+        let mut sel_probe: Vec<u32> = Vec::new();
+        let mut sel_build: Vec<u32> = Vec::new();
+        for i in 0..batch.len() {
+            let Some(h) = kv.get(i) else { continue };
+            let key = key_col.value_at(i);
+            let found = frozen.probe_hashed(h, &key);
+            if !found.is_empty() {
+                sel_probe.resize(sel_probe.len() + found.len(), i as u32);
+                sel_build.extend_from_slice(found);
+            }
+        }
+        if sel_probe.is_empty() {
+            return Ok(());
+        }
+        let block = self.harness.batch_size().max(1);
+        let mut start = 0usize;
+        while start < sel_probe.len() {
+            let end = (start + block).min(sel_probe.len());
+            let probe_half = cols.gather(&sel_probe[start..end]);
+            let match_half = frozen.columns().gather(&sel_build[start..end]);
+            let out = if side == LEFT {
+                ColumnarBatch::hstack(probe_half, match_half)
+            } else {
+                ColumnarBatch::hstack(match_half, probe_half)
+            };
+            self.pending.extend_block(TupleBatch::from_columns(out));
+            start = end;
         }
         Ok(())
     }
@@ -491,7 +577,22 @@ impl Operator for DoublePipelinedJoin {
             right.schema().index_of(&self.right_key)?,
         ];
         self.schema = left.schema().concat(right.schema());
-        self.pending = OutputQueue::new(self.harness.batch_size());
+        self.side_types = [
+            left.schema().fields().iter().map(|f| f.data_type).collect(),
+            right
+                .schema()
+                .fields()
+                .iter()
+                .map(|f| f.data_type)
+                .collect(),
+        ];
+        self.frozen = [None, None];
+        // Typed queue: join output seals directly into columnar batches, so
+        // downstream operators (and the fragment collector) stay vectorized.
+        self.pending = OutputQueue::typed(
+            self.harness.batch_size(),
+            self.schema.fields().iter().map(|f| f.data_type).collect(),
+        );
         self.metrics = self.harness.metrics("dpj");
         self.spilled_tuples = 0;
         self.resolved_emitted = false;
@@ -596,14 +697,26 @@ impl Operator for DoublePipelinedJoin {
             let (side, msg) = self.receive()?;
             match msg {
                 Msg::Batch(b) => {
-                    // Prehash the whole arriving batch once and drain it in
-                    // place (NULL-keyed rows are skipped at consumption).
                     if let Some(m) = &self.metrics {
                         m.add_input(b.len() as u64);
                         self.staged_at = Some(Instant::now());
                     }
-                    self.staged_side = side;
-                    self.staged = Some(KeyedBatch::new(b, self.key_idx[side]));
+                    if b.columns().is_some()
+                        && self.probe_only(side)
+                        && self.ensure_frozen(1 - side)
+                    {
+                        // Pure in-memory probe with nothing to store:
+                        // vectorized column gather, no row staging.
+                        self.probe_batch_columnar(side, &b)?;
+                        if let (Some(m), Some(t0)) = (&self.metrics, self.staged_at.take()) {
+                            m.add_probe_ns(t0.elapsed().as_nanos() as u64);
+                        }
+                    } else {
+                        // Prehash the whole arriving batch once and drain it
+                        // in place (NULL-keyed rows skipped at consumption).
+                        self.staged_side = side;
+                        self.staged = Some(KeyedBatch::new(b, self.key_idx[side]));
+                    }
                 }
                 Msg::End => {
                     self.done[side] = true;
@@ -629,6 +742,7 @@ impl Operator for DoublePipelinedJoin {
         self.tables.clear();
         self.pending.clear();
         self.staged = None;
+        self.frozen = [None, None];
         self.harness.closed();
         Ok(())
     }

@@ -137,25 +137,41 @@ fn drive_side(mut child: OperatorBox, key_idx: usize, txs: Vec<Sender<Msg>>) {
     loop {
         match child.next_batch() {
             Ok(Some(batch)) => {
+                // One column-kernel hash pass routes the whole batch; the
+                // partitions are carved out columnar (gather by index) when
+                // the batch is, so partition streams stay typed end-to-end.
                 let kv = KeyVector::compute(&batch, key_idx);
-                let mut parts: Vec<Vec<Tuple>> = vec![Vec::new(); n];
-                for (i, t) in batch.into_iter().enumerate() {
-                    if let Some(h) = kv.get(i) {
-                        parts[fold_hash(h, n, EXCHANGE_SALT)].push(t);
+                let sent = if let Some(cols) = batch.columns() {
+                    let mut idx: Vec<Vec<u32>> = vec![Vec::new(); n];
+                    for (i, h) in kv.iter().enumerate() {
+                        if let Some(h) = h {
+                            idx[fold_hash(h, n, EXCHANGE_SALT)].push(i as u32);
+                        }
                     }
-                }
-                for (p, tuples) in parts.into_iter().enumerate() {
-                    if tuples.is_empty() {
-                        continue;
+                    idx.into_iter().enumerate().try_for_each(|(p, rows)| {
+                        if rows.is_empty() {
+                            return Ok(());
+                        }
+                        txs[p].send(Msg::Batch(TupleBatch::from_columns(cols.gather(&rows))))
+                    })
+                } else {
+                    let mut parts: Vec<Vec<Tuple>> = vec![Vec::new(); n];
+                    for (i, t) in batch.into_iter().enumerate() {
+                        if let Some(h) = kv.get(i) {
+                            parts[fold_hash(h, n, EXCHANGE_SALT)].push(t);
+                        }
                     }
-                    if txs[p]
-                        .send(Msg::Batch(TupleBatch::from_tuples(tuples)))
-                        .is_err()
-                    {
-                        // Consumer went away (early close): stop driving.
-                        let _ = child.close();
-                        return;
-                    }
+                    parts.into_iter().enumerate().try_for_each(|(p, tuples)| {
+                        if tuples.is_empty() {
+                            return Ok(());
+                        }
+                        txs[p].send(Msg::Batch(TupleBatch::from_tuples(tuples)))
+                    })
+                };
+                if sent.is_err() {
+                    // Consumer went away (early close): stop driving.
+                    let _ = child.close();
+                    return;
                 }
             }
             Ok(None) => break,

@@ -42,10 +42,24 @@ impl Operator for Filter {
             .compiled
             .as_ref()
             .ok_or_else(|| tukwila_common::TukwilaError::Internal("Filter before open".into()))?;
-        // Filter each input batch in place (no rebuild — a fully-passing
-        // batch flows through with zero copies); skip batches that filter
-        // to nothing (the contract forbids emitting empty batches).
+        // Columnar batches take the vectorized path: one typed comparison
+        // loop per predicate leaf producing a selection bitmap, applied by
+        // gather — no row views are ever built, all-pass batches flow
+        // through untouched, and none-pass batches vanish without
+        // materializing anything. Row batches (and predicates touching a
+        // dynamic `Values` column) fall back to in-place `retain`, whose
+        // all-/none-pass short circuits keep it cheap. Empty results are
+        // skipped either way (the contract forbids emitting empty batches).
         while let Some(mut batch) = self.input.next_batch()? {
+            if let Some(sel) = batch.columns().and_then(|cols| compiled.eval_batch(cols)) {
+                match batch.select(&sel) {
+                    Some(kept) => {
+                        self.harness.produced(kept.len() as u64);
+                        return Ok(Some(kept));
+                    }
+                    None => continue,
+                }
+            }
             batch.retain(|t| compiled.matches(t));
             if !batch.is_empty() {
                 self.harness.produced(batch.len() as u64);

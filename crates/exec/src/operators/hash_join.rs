@@ -275,7 +275,11 @@ impl Operator for HashJoinOp {
             self.harness.spill(),
         ));
         self.probe_spill = vec![None; self.num_buckets];
-        self.pending = OutputQueue::new(self.harness.batch_size());
+        // Typed queue: join output seals directly into columnar batches.
+        self.pending = OutputQueue::typed(
+            self.harness.batch_size(),
+            self.schema.fields().iter().map(|f| f.data_type).collect(),
+        );
         self.metrics = self.harness.metrics(self.name());
         self.spilled_tuples = 0;
         self.resolved_emitted = false;

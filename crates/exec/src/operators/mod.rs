@@ -8,6 +8,8 @@
 #[cfg(test)]
 mod batch_tests;
 pub mod collector;
+#[cfg(test)]
+mod columnar_equiv_tests;
 pub mod dependent_join;
 pub mod dpj;
 pub mod exchange;

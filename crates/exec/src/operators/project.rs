@@ -61,6 +61,13 @@ impl Operator for Project {
                     self.harness.produced(batch.len() as u64);
                     return Ok(Some(batch));
                 }
+                // Columnar batches project by sharing whole column buffers
+                // — O(columns) refcount bumps, zero per-row work.
+                if let Some(cols) = batch.columns() {
+                    let out = TupleBatch::from_columns(cols.project(&self.indices));
+                    self.harness.produced(out.len() as u64);
+                    return Ok(Some(out));
+                }
                 // Otherwise assemble all projected rows into one shared
                 // value block (one allocation per batch, not per row).
                 let mut asm = BatchAssembler::new(batch.len());

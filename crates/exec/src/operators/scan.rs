@@ -52,10 +52,13 @@ impl Operator for TableScan {
             return Ok(None);
         }
         let end = (self.pos + self.harness.batch_size()).min(rel.len());
-        let mut batch = TupleBatch::with_capacity(end - self.pos);
-        for t in &rel.tuples()[self.pos..end] {
-            batch.push(t.clone());
-        }
+        // Fragment results assembled column-wise carry a cached columnar
+        // form: slice it (typed buffer copies, no row views). Row-only
+        // relations clone the tuple span as before.
+        let batch = match rel.columnar_cached() {
+            Some(cols) => TupleBatch::from_columns(cols.slice(self.pos, end)),
+            None => TupleBatch::from_tuples(rel.tuples()[self.pos..end].to_vec()),
+        };
         self.pos = end;
         self.harness.produced(batch.len() as u64);
         Ok(Some(batch))

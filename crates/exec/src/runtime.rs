@@ -48,7 +48,9 @@ pub struct ExecEnv {
     /// Live data sources.
     pub sources: SourceRegistry,
     /// Target tuples per [`tukwila_common::TupleBatch`] exchanged between
-    /// operators and across the wrapper boundary.
+    /// operators and across the wrapper boundary. Defaults to the
+    /// `TUKWILA_BATCH` environment variable via
+    /// [`tukwila_common::env_batch_size`].
     pub batch_size: usize,
     /// Intra-query thread budget: how many plan fragments the DAG
     /// scheduler may run concurrently for one query (1 = the paper's
@@ -69,7 +71,7 @@ impl ExecEnv {
             spill: Arc::new(InMemorySpillStore::new()),
             local: LocalStore::new(),
             sources,
-            batch_size: tukwila_common::DEFAULT_BATCH_CAPACITY,
+            batch_size: tukwila_common::env_batch_size(),
             intra_query_threads: tukwila_common::env_parallelism(),
             trace_level: TraceLevel::default(),
         }

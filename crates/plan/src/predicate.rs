@@ -8,7 +8,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use tukwila_common::{Result, Schema, Tuple, Value};
+use tukwila_common::{Bitmap, Column, ColumnarBatch, Result, Schema, Selection, Tuple, Value};
 
 /// Comparison operators.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -234,6 +234,252 @@ impl CompiledPredicate {
     pub fn matches(&self, t: &Tuple) -> bool {
         self.eval3(t) == Some(true)
     }
+
+    /// Vectorized three-valued evaluation over a columnar batch: one typed
+    /// comparison loop per leaf, Kleene-combined as bitmaps, yielding the
+    /// [`Selection`] of rows that evaluate to **true** (WHERE semantics).
+    ///
+    /// Returns `None` when any leaf touches a [`Column::Values`] fallback
+    /// column (per-row dynamic types can't be vectorized) — the caller
+    /// falls back to the per-tuple path. Statically incomparable typed
+    /// combinations (e.g. a `Str` column against an `Int` literal) *are*
+    /// handled: every row is unknown, exactly as `sql_cmp` reports per row.
+    pub fn eval_batch(&self, batch: &ColumnarBatch) -> Option<Selection> {
+        self.eval_mask(batch).map(|m| Selection::from_bitmap(m.t))
+    }
+
+    fn eval_mask(&self, batch: &ColumnarBatch) -> Option<TriMask> {
+        let n = batch.len();
+        match self {
+            CompiledPredicate::True => Some(TriMask {
+                t: Bitmap::all_set(n),
+                u: Bitmap::all_clear(n),
+            }),
+            CompiledPredicate::ColLit(i, op, v) => col_lit_mask(batch.col(*i), *op, v),
+            CompiledPredicate::ColCol(i, op, j) => col_col_mask(batch.col(*i), *op, batch.col(*j)),
+            CompiledPredicate::And(ps) => {
+                let mut acc = TriMask {
+                    t: Bitmap::all_set(n),
+                    u: Bitmap::all_clear(n),
+                };
+                for p in ps {
+                    acc = acc.and(&p.eval_mask(batch)?);
+                }
+                Some(acc)
+            }
+            CompiledPredicate::Or(ps) => {
+                let mut acc = TriMask {
+                    t: Bitmap::all_clear(n),
+                    u: Bitmap::all_clear(n),
+                };
+                for p in ps {
+                    acc = acc.or(&p.eval_mask(batch)?);
+                }
+                Some(acc)
+            }
+            CompiledPredicate::Not(p) => Some(p.eval_mask(batch)?.not()),
+        }
+    }
+}
+
+/// A three-valued result over a batch as two disjoint bitmaps: `t` = rows
+/// evaluating true, `u` = rows evaluating unknown (neither = false).
+/// Combinators implement Kleene logic exactly as [`CompiledPredicate::eval3`]
+/// does per row.
+struct TriMask {
+    t: Bitmap,
+    u: Bitmap,
+}
+
+impl TriMask {
+    fn all_unknown(n: usize) -> TriMask {
+        TriMask {
+            t: Bitmap::all_clear(n),
+            u: Bitmap::all_set(n),
+        }
+    }
+
+    /// NOT: true↔false, unknown stays unknown.
+    fn not(self) -> TriMask {
+        let mut nt = self.t.clone();
+        nt.or_assign(&self.u);
+        nt.not_assign();
+        TriMask { t: nt, u: self.u }
+    }
+
+    /// AND: true iff both true; unknown iff neither side is false and not
+    /// both are true (false dominates unknown).
+    fn and(self, other: &TriMask) -> TriMask {
+        let mut t = self.t.clone();
+        t.and_assign(&other.t);
+        // not-false on each side: t | u
+        let mut nf1 = self.t;
+        nf1.or_assign(&self.u);
+        let mut nf2 = other.t.clone();
+        nf2.or_assign(&other.u);
+        nf1.and_assign(&nf2);
+        let mut not_t = t.clone();
+        not_t.not_assign();
+        nf1.and_assign(&not_t);
+        TriMask { t, u: nf1 }
+    }
+
+    /// OR: true iff either true; unknown iff some side unknown and neither
+    /// true (true dominates unknown).
+    fn or(self, other: &TriMask) -> TriMask {
+        let mut t = self.t;
+        t.or_assign(&other.t);
+        let mut u = self.u;
+        u.or_assign(&other.u);
+        let mut not_t = t.clone();
+        not_t.not_assign();
+        u.and_assign(&not_t);
+        TriMask { t, u }
+    }
+}
+
+/// Leaf mask from a comparison loop's true-bitmap and the column validity:
+/// NULL rows are unknown, everything else is true/false per the bitmap.
+fn leaf_mask(mut t: Bitmap, validity: Option<&Bitmap>) -> TriMask {
+    match validity {
+        None => {
+            let u = Bitmap::all_clear(t.len());
+            TriMask { t, u }
+        }
+        Some(v) => {
+            t.and_assign(v); // NULL slots hold type defaults: mask them out
+            let mut u = v.clone();
+            u.not_assign();
+            TriMask { t, u }
+        }
+    }
+}
+
+/// Typed `column ⋄ literal` kernel. `None` = not vectorizable (fallback).
+fn col_lit_mask(col: &Column, op: CmpOp, lit: &Value) -> Option<TriMask> {
+    let n = col.len();
+    if lit.is_null() {
+        return Some(TriMask::all_unknown(n));
+    }
+    // Each arm replicates `Value::sql_cmp` for its statically-known type
+    // pair; combinations sql_cmp rejects are all-unknown for every row.
+    Some(match (col, lit) {
+        (Column::Int64(vals, validity), Value::Int(x)) => {
+            let mut t = Bitmap::all_clear(n);
+            for (i, v) in vals.iter().enumerate() {
+                if op.eval(v.cmp(x)) {
+                    t.set(i);
+                }
+            }
+            leaf_mask(t, validity.as_ref())
+        }
+        (Column::Int64(vals, validity), Value::Double(x)) => {
+            let mut t = Bitmap::all_clear(n);
+            for (i, v) in vals.iter().enumerate() {
+                if op.eval((*v as f64).total_cmp(x)) {
+                    t.set(i);
+                }
+            }
+            leaf_mask(t, validity.as_ref())
+        }
+        (Column::Float64(vals, validity), Value::Double(x)) => {
+            let mut t = Bitmap::all_clear(n);
+            for (i, v) in vals.iter().enumerate() {
+                if op.eval(v.total_cmp(x)) {
+                    t.set(i);
+                }
+            }
+            leaf_mask(t, validity.as_ref())
+        }
+        (Column::Float64(vals, validity), Value::Int(x)) => {
+            let rhs = *x as f64;
+            let mut t = Bitmap::all_clear(n);
+            for (i, v) in vals.iter().enumerate() {
+                if op.eval(v.total_cmp(&rhs)) {
+                    t.set(i);
+                }
+            }
+            leaf_mask(t, validity.as_ref())
+        }
+        (Column::Str(vals, validity), Value::Str(x)) => {
+            let rhs: &str = x;
+            let mut t = Bitmap::all_clear(n);
+            for (i, v) in vals.iter().enumerate() {
+                if op.eval(v.as_ref().cmp(rhs)) {
+                    t.set(i);
+                }
+            }
+            leaf_mask(t, validity.as_ref())
+        }
+        (Column::Date(vals, validity), Value::Date(x)) => {
+            let mut t = Bitmap::all_clear(n);
+            for (i, v) in vals.iter().enumerate() {
+                if op.eval(v.cmp(x)) {
+                    t.set(i);
+                }
+            }
+            leaf_mask(t, validity.as_ref())
+        }
+        (Column::Values(_), _) => return None, // dynamic types: row fallback
+        _ => TriMask::all_unknown(n),          // statically incomparable
+    })
+}
+
+/// Typed `column ⋄ column` kernel. `None` = not vectorizable (fallback).
+fn col_col_mask(left: &Column, op: CmpOp, right: &Column) -> Option<TriMask> {
+    let n = left.len();
+    debug_assert_eq!(n, right.len());
+    fn both_validity(a: Option<&Bitmap>, b: Option<&Bitmap>) -> Option<Bitmap> {
+        match (a, b) {
+            (None, None) => None,
+            (Some(x), None) | (None, Some(x)) => Some(x.clone()),
+            (Some(x), Some(y)) => {
+                let mut v = x.clone();
+                v.and_assign(y);
+                Some(v)
+            }
+        }
+    }
+    macro_rules! cmp_cols {
+        ($lv:expr, $lb:expr, $rv:expr, $rb:expr, $cmp:expr) => {{
+            let mut t = Bitmap::all_clear(n);
+            for i in 0..n {
+                if op.eval($cmp(&$lv[i], &$rv[i])) {
+                    t.set(i);
+                }
+            }
+            let v = both_validity($lb.as_ref(), $rb.as_ref());
+            leaf_mask(t, v.as_ref())
+        }};
+    }
+    Some(match (left, right) {
+        (Column::Int64(lv, lb), Column::Int64(rv, rb)) => {
+            cmp_cols!(lv, lb, rv, rb, |a: &i64, b: &i64| a.cmp(b))
+        }
+        (Column::Float64(lv, lb), Column::Float64(rv, rb)) => {
+            cmp_cols!(lv, lb, rv, rb, |a: &f64, b: &f64| a.total_cmp(b))
+        }
+        (Column::Int64(lv, lb), Column::Float64(rv, rb)) => {
+            cmp_cols!(lv, lb, rv, rb, |a: &i64, b: &f64| (*a as f64).total_cmp(b))
+        }
+        (Column::Float64(lv, lb), Column::Int64(rv, rb)) => {
+            cmp_cols!(lv, lb, rv, rb, |a: &f64, b: &i64| a.total_cmp(&(*b as f64)))
+        }
+        (Column::Str(lv, lb), Column::Str(rv, rb)) => {
+            cmp_cols!(
+                lv,
+                lb,
+                rv,
+                rb,
+                |a: &std::sync::Arc<str>, b: &std::sync::Arc<str>| a.as_ref().cmp(b.as_ref())
+            )
+        }
+        (Column::Date(lv, lb), Column::Date(rv, rb)) => {
+            cmp_cols!(lv, lb, rv, rb, |a: &i32, b: &i32| a.cmp(b))
+        }
+        (Column::Values(_), _) | (_, Column::Values(_)) => return None,
+        _ => TriMask::all_unknown(n), // statically incomparable
+    })
 }
 
 #[cfg(test)]
@@ -332,6 +578,135 @@ mod tests {
     #[test]
     fn unknown_column_fails_compile() {
         assert!(Predicate::eq_lit("zz", 1i64).compile(&schema()).is_err());
+    }
+
+    /// Vectorized evaluation must agree with per-row `eval3` on every row
+    /// — across types, NULLs, cross-numeric compares, and Kleene
+    /// combinators (the `Filter` fast path's correctness contract).
+    #[test]
+    fn eval_batch_matches_eval3() {
+        use tukwila_common::ColumnarBatch;
+        let s = Schema::of(
+            "r",
+            &[
+                ("a", DataType::Int),
+                ("b", DataType::Int),
+                ("d", DataType::Double),
+                ("s", DataType::Str),
+                ("dt", DataType::Date),
+            ],
+        );
+        let mut rows = Vec::new();
+        for i in 0..64i64 {
+            let a = if i % 7 == 0 {
+                Value::Null
+            } else {
+                Value::Int(i % 10)
+            };
+            let b = Value::Int((i * 3) % 10);
+            let d = if i % 5 == 0 {
+                Value::Null
+            } else if i % 11 == 0 {
+                Value::Double(-0.0)
+            } else {
+                Value::Double((i % 8) as f64 / 2.0)
+            };
+            let st = Value::str(["x", "y", "zz"][(i % 3) as usize]);
+            let dt = Value::Date((i % 4) as i32);
+            rows.push(Tuple::new(vec![a, b, d, st, dt]));
+        }
+        let batch = ColumnarBatch::from_rows(&rows);
+        let preds = vec![
+            Predicate::True,
+            Predicate::eq_lit("a", 3i64),
+            Predicate::ColLit {
+                col: "a".into(),
+                op: CmpOp::Gt,
+                value: Value::Double(2.5),
+            },
+            Predicate::ColLit {
+                col: "d".into(),
+                op: CmpOp::Le,
+                value: Value::Int(1),
+            },
+            Predicate::ColLit {
+                col: "d".into(),
+                op: CmpOp::Eq,
+                value: Value::Double(0.0),
+            },
+            Predicate::ColLit {
+                col: "s".into(),
+                op: CmpOp::Ne,
+                value: Value::str("y"),
+            },
+            Predicate::ColLit {
+                col: "dt".into(),
+                op: CmpOp::Ge,
+                value: Value::Date(2),
+            },
+            // statically incomparable: all-unknown, still vectorized
+            Predicate::ColLit {
+                col: "s".into(),
+                op: CmpOp::Eq,
+                value: Value::Int(1),
+            },
+            // NULL literal: all-unknown
+            Predicate::ColLit {
+                col: "a".into(),
+                op: CmpOp::Eq,
+                value: Value::Null,
+            },
+            Predicate::eq_cols("a", "b"),
+            Predicate::ColCol {
+                left: "a".into(),
+                op: CmpOp::Lt,
+                right: "d".into(),
+            },
+            Predicate::Not(Box::new(Predicate::eq_lit("a", 3i64))),
+            Predicate::And(vec![
+                Predicate::eq_lit("s", "x"),
+                Predicate::ColLit {
+                    col: "a".into(),
+                    op: CmpOp::Lt,
+                    value: Value::Int(5),
+                },
+            ]),
+            Predicate::Or(vec![
+                Predicate::eq_lit("a", 1i64),
+                Predicate::Not(Box::new(Predicate::ColCol {
+                    left: "d".into(),
+                    op: CmpOp::Gt,
+                    right: "b".into(),
+                })),
+            ]),
+        ];
+        for p in preds {
+            let c = p.compile(&s).unwrap();
+            let sel = c
+                .eval_batch(&batch)
+                .unwrap_or_else(|| panic!("{p:?} should vectorize"));
+            for (i, t) in rows.iter().enumerate() {
+                assert_eq!(
+                    sel.get(i),
+                    c.matches(t),
+                    "row {i} disagrees for {p:?} on {t}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn eval_batch_bails_on_values_column() {
+        use tukwila_common::ColumnarBatch;
+        let s = Schema::of("r", &[("a", DataType::Int)]);
+        // mixed types force the Values fallback column
+        let rows = vec![tuple![1], tuple!["x"]];
+        let batch = ColumnarBatch::from_rows(&rows);
+        let c = Predicate::eq_lit("a", 1i64).compile(&s).unwrap();
+        assert!(
+            c.eval_batch(&batch).is_none(),
+            "dynamic column: row fallback"
+        );
     }
 
     #[test]

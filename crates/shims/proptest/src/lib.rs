@@ -157,7 +157,7 @@ macro_rules! impl_tuple_strategy {
     )+};
 }
 
-impl_tuple_strategy! { (A, B) (A, B, C) (A, B, C, D) }
+impl_tuple_strategy! { (A, B) (A, B, C) (A, B, C, D) (A, B, C, D, E) (A, B, C, D, E, F) }
 
 macro_rules! impl_range_strategy {
     ($($t:ty),*) => {$(

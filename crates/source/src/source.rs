@@ -12,7 +12,7 @@ use std::time::Duration;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use tukwila_common::{BatchBuilder, Relation, Schema, Tuple, TupleBatch};
+use tukwila_common::{Relation, Schema, Tuple, TupleBatch};
 
 use crate::interruptible_sleep;
 use crate::link::LinkModel;
@@ -69,10 +69,20 @@ pub struct SimulatedSource {
 
 impl SimulatedSource {
     /// Create a source named `name` serving `relation` through `link`.
+    ///
+    /// The relation's columnar representation is forced **here** — at
+    /// registry-setup time, outside any timed query window — so every
+    /// connection serves typed columnar slices instead of cloning row
+    /// views, and downstream kernels never pay a conversion. Only the
+    /// columnar form is retained: a relation built row-by-row would
+    /// otherwise pin one allocation per tuple, and freeing those when the
+    /// registry drops lands inside the query's timed window. Per-tuple
+    /// consumers ([`SourceConnection::next_event`]) rematerialize row
+    /// views lazily.
     pub fn new(name: impl Into<String>, relation: Relation, link: LinkModel) -> Self {
         SimulatedSource {
             name: name.into(),
-            relation: Arc::new(relation),
+            relation: Arc::new(relation.columnar_only()),
             link,
             seed: 0x7u64,
         }
@@ -176,42 +186,55 @@ impl SourceConnection {
     /// Block until the next tuple arrives (per the link model) and return
     /// it. Returns [`SourceEvent::End`] at stream end, `Error` on injected
     /// failure, `Cancelled` if the cancel flag was raised mid-wait.
+    pub fn next_event(&mut self) -> SourceEvent {
+        match self.pace_one() {
+            // `pace_one` advanced past the arrived row; clone its view.
+            None => SourceEvent::Tuple(self.relation.tuples()[self.pos - 1].clone()),
+            Some(terminal) => terminal,
+        }
+    }
+
+    /// Wait out the link model for exactly one row. Returns `None` when a
+    /// row arrived (`self.pos` advanced past it) and `Some(event)` on a
+    /// terminal condition. Touches **only** positions — never the
+    /// relation's row or column data — so the batch path can slice the
+    /// columnar form without ever materializing row views.
     ///
     /// KEEP IN LOCKSTEP with [`SourceConnection::zero_wait_run`]: any new
     /// delay or terminal condition added here must be mirrored there.
-    pub fn next_event(&mut self) -> SourceEvent {
+    fn pace_one(&mut self) -> Option<SourceEvent> {
         if self.cancel.load(Ordering::Relaxed) {
-            return SourceEvent::Cancelled;
+            return Some(SourceEvent::Cancelled);
         }
         if !self.started {
             self.started = true;
             if self.link.unavailable {
-                return SourceEvent::Error(format!(
+                return Some(SourceEvent::Error(format!(
                     "source `{}` refused connection",
                     self.source_name
-                ));
+                )));
             }
             let d = self.jittered(self.link.initial_delay);
             if !interruptible_sleep(d, &self.cancel) {
-                return SourceEvent::Cancelled;
+                return Some(SourceEvent::Cancelled);
             }
         }
         if let Some(f) = self.link.fail_after {
             if self.pos >= f {
-                return SourceEvent::Error(format!(
+                return Some(SourceEvent::Error(format!(
                     "source `{}` connection dropped after {f} tuples",
                     self.source_name
-                ));
+                )));
             }
         }
         if self.pos >= self.relation.len() {
-            return SourceEvent::End;
+            return Some(SourceEvent::End);
         }
         if let Some(s) = self.link.stall_after {
             if self.pos == s {
                 let d = self.link.stall_duration;
                 if !interruptible_sleep(d, &self.cancel) {
-                    return SourceEvent::Cancelled;
+                    return Some(SourceEvent::Cancelled);
                 }
             }
         }
@@ -223,16 +246,15 @@ impl SourceConnection {
         {
             let d = self.jittered(self.link.burst_gap);
             if !interruptible_sleep(d, &self.cancel) {
-                return SourceEvent::Cancelled;
+                return Some(SourceEvent::Cancelled);
             }
         }
         let d = self.jittered(self.link.per_tuple);
         if !d.is_zero() && !interruptible_sleep(d, &self.cancel) {
-            return SourceEvent::Cancelled;
+            return Some(SourceEvent::Cancelled);
         }
-        let t = self.relation.tuples()[self.pos].clone();
         self.pos += 1;
-        SourceEvent::Tuple(t)
+        None
     }
 
     /// Length of the run of tuples starting at `pos` that would arrive
@@ -291,39 +313,32 @@ impl SourceConnection {
     /// surface on their own (sticky) pull exactly as in the per-tuple API.
     ///
     /// Fast sources take the bulk path: the zero-wait run is computed once
-    /// and the tuples are cloned straight out of the relation slice, instead
-    /// of paying the full link-model branch set twice per tuple
-    /// (`ready_now` + `next_event`).
+    /// and the batch is handed over as a **columnar slice** of the
+    /// relation's cached columnar form ([`Relation::columnar_cached`]) —
+    /// no per-tuple clone, no row views built — falling back to a row
+    /// slice clone only when the relation was never converted.
     pub fn next_batch_event(&mut self, max: usize) -> SourceBatchEvent {
-        let first = match self.next_event() {
-            SourceEvent::Tuple(t) => t,
-            other => return SourceBatchEvent::from_event(other),
-        };
-        let mut builder = BatchBuilder::new(max);
-        if let Some(full) = builder.push(first) {
-            return SourceBatchEvent::Batch(full);
+        let start = self.pos;
+        if let Some(terminal) = self.pace_one() {
+            return SourceBatchEvent::from_event(terminal);
         }
-        loop {
-            let want = max.saturating_sub(builder.buffered());
-            let run = self.zero_wait_run(want);
+        debug_assert_eq!(self.pos, start + 1, "pace_one advances one row");
+        // Extend the batch with zero-wait runs: everything delivered by one
+        // call is a contiguous span of relation rows [start, self.pos).
+        let mut taken = 1usize;
+        while taken < max {
+            let run = self.zero_wait_run(max - taken);
             if run == 0 {
                 break;
             }
-            for t in &self.relation.tuples()[self.pos..self.pos + run] {
-                // `run <= want` means the builder can only fill on the
-                // run's final tuple, so advancing by the whole run is safe.
-                if let Some(full) = builder.push(t.clone()) {
-                    self.pos += run;
-                    debug_assert_eq!(builder.buffered(), 0);
-                    return SourceBatchEvent::Batch(full);
-                }
-            }
             self.pos += run;
+            taken += run;
         }
-        match builder.finish() {
-            Some(batch) => SourceBatchEvent::Batch(batch),
-            None => SourceBatchEvent::End, // unreachable: `first` was pushed
-        }
+        let batch = match self.relation.columnar_cached() {
+            Some(cols) => TupleBatch::from_columns(cols.slice(start, self.pos)),
+            None => TupleBatch::from_tuples(self.relation.tuples()[start..self.pos].to_vec()),
+        };
+        SourceBatchEvent::Batch(batch)
     }
 
     /// Drain the remaining stream into a vector (tests; ignores delays'

@@ -410,12 +410,17 @@ impl WrapperStream {
                 if cancel.load(Ordering::Relaxed) {
                     return SourceBatchEvent::Cancelled;
                 }
-                let tuples = relation.tuples();
-                if *pos >= tuples.len() {
+                if *pos >= relation.len() {
                     return SourceBatchEvent::End;
                 }
-                let end = (*pos + max.max(1)).min(tuples.len());
-                let batch = TupleBatch::from_tuples(tuples[*pos..end].to_vec());
+                let end = (*pos + max.max(1)).min(relation.len());
+                // Serve the cached result as a columnar slice when the
+                // relation has one (fragment results assembled column-wise
+                // do); otherwise clone the row span.
+                let batch = match relation.columnar_cached() {
+                    Some(cols) => TupleBatch::from_columns(cols.slice(*pos, end)),
+                    None => TupleBatch::from_tuples(relation.tuples()[*pos..end].to_vec()),
+                };
                 *pos = end;
                 SourceBatchEvent::Batch(batch)
             }

@@ -265,6 +265,23 @@ impl FileSpillStore {
     pub fn dir(&self) -> &PathBuf {
         &self.dir
     }
+
+    fn append_frame(
+        &self,
+        bucket: SpillBucket,
+        buf: &[u8],
+        tuples: usize,
+        bytes: usize,
+    ) -> Result<()> {
+        let mut guard = self.files.lock();
+        let (_, file, count) = guard
+            .get_mut(&bucket.0)
+            .ok_or_else(|| TukwilaError::Internal(format!("unknown spill bucket {bucket:?}")))?;
+        file.write_all(buf)?;
+        *count += tuples;
+        self.stats.record_write(tuples, bytes);
+        Ok(())
+    }
 }
 
 static NEXT_DIR: AtomicU64 = AtomicU64::new(0);
@@ -299,14 +316,15 @@ impl SpillStore for FileSpillStore {
         let mut buf = Vec::new();
         codec::encode_batch(tuples, &mut buf);
         let bytes: usize = tuples.iter().map(Tuple::mem_size).sum();
-        let mut guard = self.files.lock();
-        let (_, file, count) = guard
-            .get_mut(&bucket.0)
-            .ok_or_else(|| TukwilaError::Internal(format!("unknown spill bucket {bucket:?}")))?;
-        file.write_all(&buf)?;
-        *count += tuples.len();
-        self.stats.record_write(tuples.len(), bytes);
-        Ok(())
+        self.append_frame(bucket, &buf, tuples.len(), bytes)
+    }
+
+    fn write_batch(&self, bucket: SpillBucket, batch: &TupleBatch) -> Result<()> {
+        // Columnar batches spill as column-major frames (typed payload
+        // vectors, no per-value tags); row batches take the row frame.
+        let mut buf = Vec::new();
+        codec::encode_batch_frame(batch, &mut buf);
+        self.append_frame(bucket, &buf, batch.len(), batch.mem_size())
     }
 
     fn read_all(&self, bucket: SpillBucket) -> Result<Vec<Tuple>> {
