@@ -12,19 +12,30 @@
 //! join) at intra-query thread budgets 1, 2, and 4, asserts the results
 //! are multiset-identical, and reports the 4-thread-vs-1 median speedup.
 //!
+//! The `dist_speedup` scenarios scatter the same class of keyed join to
+//! 1, 2, and 4 worker *processes* (`dist_worker` siblings when built,
+//! in-process loopback servers otherwise) over the TCP wire protocol,
+//! assert multiset identity across worker counts, and report the
+//! 2-vs-1-worker median speedup plus the host core count — on a
+//! single-core host the curve plateaus at ~1x because every worker shares
+//! the core, and `cores` makes that distinguishable from a regression.
+//!
 //! Reproduce the committed baseline with:
 //! ```text
 //! cargo run --release -p tukwila-bench --bin perf_smoke
 //! ```
 
+use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
 
+use tukwila_bench::dist;
 use tukwila_bench::runner::run_single_fragment_in_env;
-use tukwila_common::{tuple, DataType, Relation, Schema};
+use tukwila_common::{tuple, DataType, Relation, Schema, Tuple};
 use tukwila_core::execute_plan;
 use tukwila_exec::ExecEnv;
-use tukwila_plan::{JoinKind, OverflowMethod, PlanBuilder};
+use tukwila_net::{WorkerHandle, WorkerServer};
+use tukwila_plan::{JoinKind, OverflowMethod, PlanBuilder, QueryPlan};
 use tukwila_source::{LinkModel, SimulatedSource, SourceRegistry};
 use tukwila_trace::TraceLevel;
 
@@ -229,6 +240,71 @@ fn par_speedup_scenario(
     )
 }
 
+/// A `dist_speedup` cluster: real sibling `dist_worker` processes when the
+/// binary is built, in-process loopback servers otherwise. Dropping it
+/// tears the workers down either way.
+enum DistCluster {
+    Procs { _guard: Vec<dist::WorkerProc> },
+    Threads { _guard: Vec<WorkerHandle> },
+}
+
+impl DistCluster {
+    fn spawn(workers: usize, rows: i64) -> (Vec<String>, DistCluster) {
+        if let Some(exe) = dist::sibling_worker_exe() {
+            let procs: Vec<dist::WorkerProc> = (0..workers)
+                .map(|_| {
+                    dist::spawn_worker_process(&exe, rows, rows, Duration::ZERO)
+                        .expect("spawn dist_worker process")
+                })
+                .collect();
+            let addrs = procs.iter().map(|p| p.addr().to_string()).collect();
+            (addrs, DistCluster::Procs { _guard: procs })
+        } else {
+            let reg = dist::dist_registry(rows, rows, Duration::ZERO);
+            let handles: Vec<WorkerHandle> = (0..workers)
+                .map(|_| {
+                    WorkerServer::bind("127.0.0.1:0", reg.clone())
+                        .expect("bind loopback worker")
+                        .spawn()
+                        .expect("spawn loopback worker")
+                })
+                .collect();
+            let addrs = handles.iter().map(|h| h.addr()).collect();
+            (addrs, DistCluster::Threads { _guard: handles })
+        }
+    }
+
+    fn mode(&self) -> &'static str {
+        match self {
+            DistCluster::Procs { .. } => "process",
+            DistCluster::Threads { .. } => "inproc",
+        }
+    }
+}
+
+/// One distributed run: dial the workers, scatter the exchange, gather
+/// the union. Dialing is part of the measured time — it is part of what a
+/// coordinator pays per query.
+fn dist_scenario(
+    addrs: &[String],
+    plan: &QueryPlan,
+    batch: usize,
+) -> ((u64, Duration, usize, usize), Vec<Tuple>) {
+    let start = Instant::now();
+    let env = dist::coordinator_env(addrs, batch).expect("dial dist cluster");
+    let mem = env.memory.clone();
+    let out = dist::run_plan(env, plan).expect("dist run failed");
+    ((out.len() as u64, start.elapsed(), mem.peak_used(), 0), out)
+}
+
+fn multiset(tuples: &[Tuple]) -> HashMap<Tuple, usize> {
+    let mut m = HashMap::new();
+    for t in tuples {
+        *m.entry(t.clone()).or_insert(0) += 1;
+    }
+    m
+}
+
 fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
@@ -252,10 +328,10 @@ fn main() {
         .unwrap_or_else(|| "BENCH_join.json".to_string());
 
     let batch = 1024usize;
-    let (runs, scan_rows, join_scale, spill_rows, par_rows) = if quick {
-        (3, 20_000i64, 1i64, 800i64, 600i64)
+    let (runs, scan_rows, join_scale, spill_rows, par_rows, dist_rows) = if quick {
+        (3, 20_000i64, 1i64, 800i64, 600i64, 20_000i64)
     } else {
-        (9, 200_000i64, 1i64, 2_000i64, 2_000i64)
+        (9, 200_000i64, 1i64, 2_000i64, 2_000i64, 120_000i64)
     };
 
     eprintln!(
@@ -307,13 +383,65 @@ fn main() {
     let par_speedup_4v1 = p50_of("par_speedup_t1") / p50_of("par_speedup_t4");
     eprintln!("  par_speedup: 4 threads vs 1 = {par_speedup_4v1:.2}x (results multiset-identical)");
 
+    // Distributed exchange: the dist workload scattered to 1/2/4 worker
+    // processes over the TCP wire protocol, with a multiset-identity
+    // check across worker counts.
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut dist_outputs: Vec<(usize, HashMap<Tuple, usize>)> = Vec::new();
+    let mut dist_mode = "inproc";
+    for &workers in &[1usize, 2, 4] {
+        let name = match workers {
+            1 => "dist_speedup_w1",
+            2 => "dist_speedup_w2",
+            _ => "dist_speedup_w4",
+        };
+        let (addrs, cluster) = DistCluster::spawn(workers, dist_rows);
+        dist_mode = cluster.mode();
+        let plan = dist::dist_plan(workers, None);
+        let mut last: Option<Vec<Tuple>> = None;
+        let res = measure(name, runs, || {
+            let (timing, out) = dist_scenario(&addrs, &plan, batch);
+            last = Some(out);
+            timing
+        });
+        dist_outputs.push((workers, multiset(&last.expect("scenario ran"))));
+        results.push(res);
+        drop(cluster);
+    }
+    let dist_baseline = &dist_outputs[0].1;
+    for (workers, out) in &dist_outputs[1..] {
+        assert_eq!(
+            out, dist_baseline,
+            "dist_speedup: {workers}-worker result diverged from 1-worker"
+        );
+    }
+    let p50_of = |name: &str| {
+        results
+            .iter()
+            .find(|r| r.name == name)
+            .map(|r| r.p50.as_secs_f64())
+            .unwrap_or(f64::NAN)
+    };
+    let dist_speedup_2v1 = p50_of("dist_speedup_w1") / p50_of("dist_speedup_w2");
+    let dist_speedup_4v1 = p50_of("dist_speedup_w1") / p50_of("dist_speedup_w4");
+    eprintln!(
+        "  dist_speedup: 2 workers vs 1 = {dist_speedup_2v1:.2}x, 4 vs 1 = {dist_speedup_4v1:.2}x \
+         ({dist_mode} workers, {cores} core(s), results multiset-identical)"
+    );
+
     let mut json = String::new();
     json.push_str("{\n");
     let _ = writeln!(json, "  \"version\": 1,");
     let _ = writeln!(json, "  \"bench\": \"perf_smoke\",");
     let _ = writeln!(json, "  \"quick\": {quick},");
     let _ = writeln!(json, "  \"batch_size\": {batch},");
+    let _ = writeln!(json, "  \"cores\": {cores},");
     let _ = writeln!(json, "  \"par_speedup_4v1\": {par_speedup_4v1:.3},");
+    let _ = writeln!(json, "  \"dist_speedup_2v1\": {dist_speedup_2v1:.3},");
+    let _ = writeln!(json, "  \"dist_speedup_4v1\": {dist_speedup_4v1:.3},");
+    let _ = writeln!(json, "  \"dist_workers\": \"{dist_mode}\",");
     json.push_str("  \"scenarios\": [\n");
     for (i, r) in results.iter().enumerate() {
         json.push_str("    {\n");

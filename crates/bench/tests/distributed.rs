@@ -1,0 +1,97 @@
+//! Process-level distributed execution: a coordinator scattering an
+//! exchange to real `dist_worker` child processes over TCP.
+//!
+//! Two guarantees are pinned here, beyond what the in-process loopback
+//! tests in `tukwila-net` cover:
+//!
+//! * crossing a genuine process boundary (separate address spaces, the
+//!   workload rebuilt from the worker's command line) changes nothing —
+//!   the gathered union is multiset-equal to the local join;
+//! * killing a worker mid-query surfaces as a `TukwilaError` at the
+//!   coordinator — not a hang — and the dead shard's lease on the
+//!   coordinator's memory governor is released.
+
+use std::collections::HashMap;
+use std::path::Path;
+use std::time::{Duration, Instant};
+
+use tukwila_bench::dist::{coordinator_env, dist_plan, run_local, run_plan, spawn_worker_process};
+use tukwila_common::Tuple;
+
+const WORKER_EXE: &str = env!("CARGO_BIN_EXE_dist_worker");
+
+fn multiset(tuples: &[Tuple]) -> HashMap<Tuple, usize> {
+    let mut m = HashMap::new();
+    for t in tuples {
+        *m.entry(t.clone()).or_insert(0) += 1;
+    }
+    m
+}
+
+#[test]
+fn process_workers_match_local_reference() {
+    let (rows, dup, batch) = (2_000i64, 200i64, 256usize);
+    let w1 = spawn_worker_process(Path::new(WORKER_EXE), rows, dup, Duration::ZERO)
+        .expect("spawn worker 1");
+    let w2 = spawn_worker_process(Path::new(WORKER_EXE), rows, dup, Duration::ZERO)
+        .expect("spawn worker 2");
+    let addrs = vec![w1.addr().to_string(), w2.addr().to_string()];
+
+    let plan = dist_plan(2, None);
+    let env = coordinator_env(&addrs, batch).expect("dial cluster");
+    let got = run_plan(env, &plan).expect("distributed run");
+    let gold = run_local(rows, dup, &plan, batch).expect("local reference run");
+    assert_eq!(
+        multiset(&got),
+        multiset(&gold),
+        "process-distributed result diverged from local ({} vs {} tuples)",
+        got.len(),
+        gold.len()
+    );
+}
+
+#[test]
+fn killed_worker_surfaces_error_and_frees_governor_memory() {
+    // Paced sources stretch each shard to many seconds, so the kill lands
+    // mid-query with certainty.
+    let (rows, pace, batch) = (20_000i64, Duration::from_micros(300), 64usize);
+    let w1 = spawn_worker_process(Path::new(WORKER_EXE), rows, rows, pace).expect("spawn worker 1");
+    let mut w2 =
+        spawn_worker_process(Path::new(WORKER_EXE), rows, rows, pace).expect("spawn worker 2");
+    let addrs = vec![w1.addr().to_string(), w2.addr().to_string()];
+
+    // The join budget gives every shard a lease on the coordinator's
+    // governor; the dead shard's lease must come back.
+    let plan = dist_plan(2, Some(64 * 1024));
+    let env = coordinator_env(&addrs, batch).expect("dial cluster");
+    let mem = env.memory.clone();
+
+    let query = std::thread::spawn(move || run_plan(env, &plan));
+    std::thread::sleep(Duration::from_millis(400));
+    w2.kill();
+
+    // The coordinator must notice the death promptly — a hang here is the
+    // exact failure mode this test exists to catch.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while !query.is_finished() {
+        assert!(
+            Instant::now() < deadline,
+            "coordinator still blocked 30s after the worker died"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    let err = query
+        .join()
+        .expect("query thread panicked")
+        .expect_err("worker death must surface as an error, not a result");
+    let msg = err.to_string();
+    assert!(
+        msg.contains("died mid-query") || msg.contains("net:"),
+        "unexpected error for a killed worker: {msg}"
+    );
+    assert_eq!(
+        mem.total_used(),
+        0,
+        "dead shard's governor lease was not released"
+    );
+}

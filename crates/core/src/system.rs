@@ -90,6 +90,17 @@ impl TukwilaSystem {
         &self.env
     }
 
+    /// Make this system a distributed coordinator: exchanges over joins in
+    /// every subsequent query (including per-query derived environments)
+    /// scatter their partition pipelines through `executor` instead of
+    /// local threads.
+    pub fn install_shard_executor(
+        &mut self,
+        executor: std::sync::Arc<dyn tukwila_exec::ShardExecutor>,
+    ) {
+        self.env.shard_executor = Some(executor);
+    }
+
     /// The optimizer (for inspecting the catalog after observations).
     /// Holds the planning lock while the guard lives — do not keep it
     /// across fragment execution.

@@ -8,7 +8,7 @@ use tukwila_plan::{JoinKind, OperatorNode, OperatorSpec, SubjectRef};
 use crate::operator::OperatorBox;
 use crate::operators::{
     Collector, DependentJoin, DoublePipelinedJoin, Exchange, Filter, HashJoinOp, NestedLoopsJoin,
-    Project, SortMergeJoin, TableScan, UnionAll, WrapperScan,
+    Project, RemoteExchange, SortMergeJoin, TableScan, UnionAll, WrapperScan,
 };
 use crate::runtime::{OpHarness, PlanRuntime};
 
@@ -98,6 +98,22 @@ pub fn build_operator(node: &OperatorNode, rt: &Arc<PlanRuntime>) -> Result<Oper
             harness,
         )),
         OperatorSpec::Exchange { input, partitions } => {
+            // With a shard executor installed (coordinator role), the
+            // exchange scatters the join's partition pipelines to worker
+            // processes instead of local threads. Sharding by join-key
+            // hash is correct for any equi-join kind, so the remote path
+            // is not limited to the thread-partitionable ones.
+            if rt.env().shard_executor.is_some() {
+                if let OperatorSpec::Join { .. } = &input.spec {
+                    let join_harness = OpHarness::new(rt.clone(), SubjectRef::Op(input.id));
+                    return Ok(Box::new(RemoteExchange::new(
+                        (**input).clone(),
+                        *partitions,
+                        harness,
+                        join_harness,
+                    )));
+                }
+            }
             // Partition only hash-partitionable joins with an actual
             // degree; everything else executes as a transparent
             // passthrough (the wrapper node stays registered but idle).

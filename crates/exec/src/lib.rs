@@ -30,6 +30,7 @@ pub mod fragment;
 pub mod operator;
 pub mod operators;
 pub mod runtime;
+pub mod shard;
 
 #[cfg(test)]
 pub(crate) mod test_support;
@@ -40,4 +41,8 @@ pub use fragment::{run_fragment, run_fragment_observed, FragmentOutcome, Fragmen
 pub use operator::{drain, drain_batches, drain_tuples, Operator, OperatorBox, TupleCursor};
 pub use runtime::{
     CacheCounts, EngineSignal, ExchangeSpill, ExecEnv, OpHarness, ParallelStats, PlanRuntime,
+};
+pub use shard::{
+    build_shard_root, subtree_plan_text, subtree_table_deps, ShardExecutor, ShardFilter, ShardSpec,
+    ShardStats, ShardStream,
 };

@@ -45,7 +45,7 @@ use crate::runtime::OpHarness;
 /// Salt for partition routing — distinct from the joins' bucket salt (0)
 /// and the `PrehashMap` slot salt, so the three layers of the same prehash
 /// stay uncorrelated.
-const EXCHANGE_SALT: u64 = 0x5851_F42D_4C95_7F2D;
+pub(crate) const EXCHANGE_SALT: u64 = 0x5851_F42D_4C95_7F2D;
 
 /// Bounded per-partition channel capacity, in batches. Large enough that a
 /// hybrid join's probe side can run ahead while the build side drains,

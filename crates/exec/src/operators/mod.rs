@@ -24,6 +24,7 @@ mod par_tests;
 #[cfg(test)]
 mod prehash_tests;
 pub mod project;
+pub mod remote_exchange;
 pub mod scan;
 pub mod smj;
 pub mod union_op;
@@ -87,6 +88,7 @@ pub use filter::Filter;
 pub use hash_join::HashJoinOp;
 pub use nlj::NestedLoopsJoin;
 pub use project::Project;
+pub use remote_exchange::RemoteExchange;
 pub use scan::TableScan;
 pub use smj::SortMergeJoin;
 pub use union_op::UnionAll;

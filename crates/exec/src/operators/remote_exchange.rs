@@ -1,0 +1,323 @@
+//! Remote exchange: the distributed sibling of [`super::Exchange`].
+//!
+//! Where the local exchange splits a join into N thread partitions inside
+//! this process, the remote exchange scatters the same N partition
+//! pipelines to worker processes through a [`ShardExecutor`] (DESIGN.md
+//! §12) and merges their batch streams in arrival order — the same
+//! order-insensitive union, so the result is multiset-equal to the local
+//! join. The transport (TCP framing, credits, cancel propagation) is
+//! behind the executor trait; this operator owns the coordinator-side
+//! lifecycle:
+//!
+//! * serializes the join subtree to plan text and collects the local-store
+//!   tables it scans, so workers can rebuild the fragment from their own
+//!   sources plus the shipped materializations;
+//! * leases each shard its slice of the join's memory reservation
+//!   (budget/N, parent-chained into the governor like local partitions) —
+//!   the lease is charged while the shard runs and released when its
+//!   stream ends, *including* on worker death;
+//! * registers every stream's abort handle with the query control so
+//!   cancellation and deadlines unblock in-flight reads, and forwards the
+//!   remaining deadline in the shard spec;
+//! * reports per-shard spill and row counts into the runtime
+//!   (`note_exchange` + partition-skew trace event) exactly like the
+//!   local exchange, so downstream tooling sees one taxonomy.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use crossbeam_channel::{bounded, Receiver};
+
+use tukwila_common::{Result, Schema, TukwilaError, TupleBatch};
+use tukwila_plan::OperatorNode;
+use tukwila_storage::{MemoryManager, MemoryReservation};
+use tukwila_trace::{OpMetrics, TraceEvent};
+
+use crate::operator::Operator;
+use crate::runtime::OpHarness;
+use crate::shard::{subtree_plan_text, subtree_table_deps, ShardExecutor, ShardSpec};
+
+enum Msg {
+    Batch(TupleBatch),
+    End,
+    Err(TukwilaError),
+}
+
+/// One shard's coordinator-side lease on the join's memory reservation:
+/// charged while the shard runs, released exactly once when its stream
+/// ends (completion, error, or teardown).
+struct ShardLease {
+    reservation: MemoryReservation,
+    bytes: usize,
+}
+
+impl ShardLease {
+    fn release(self) {
+        self.reservation.release(self.bytes);
+    }
+}
+
+/// The distributed exchange operator (see module docs).
+pub struct RemoteExchange {
+    /// The join subtree to scatter (kept as a plan node: serialized at
+    /// open so rule-driven annotation changes up to that point apply).
+    node: OperatorNode,
+    partitions: usize,
+    /// Harness of the exchange plan node (merge-side statistics).
+    harness: OpHarness,
+    /// Harness of the inner join node: lifecycle + reservation parent.
+    join_harness: OpHarness,
+    // -- runtime state (after open) --
+    schema: Schema,
+    rx: Option<Receiver<Msg>>,
+    threads: Vec<JoinHandle<()>>,
+    live_shards: usize,
+    abort_flags: Vec<Arc<AtomicBool>>,
+    shard_rows: Vec<Arc<AtomicU64>>,
+    shard_spills: Vec<Arc<AtomicU64>>,
+    metrics: Option<Arc<OpMetrics>>,
+    reported: bool,
+    opened: bool,
+}
+
+impl RemoteExchange {
+    /// Build a remote exchange scattering `partitions` shards of the join
+    /// described by `node`. `harness` is the exchange plan node's,
+    /// `join_harness` the inner join node's.
+    pub fn new(
+        node: OperatorNode,
+        partitions: usize,
+        harness: OpHarness,
+        join_harness: OpHarness,
+    ) -> Self {
+        RemoteExchange {
+            node,
+            partitions: partitions.max(1),
+            harness,
+            join_harness,
+            schema: Schema::empty(),
+            rx: None,
+            threads: Vec::new(),
+            live_shards: 0,
+            abort_flags: Vec::new(),
+            shard_rows: Vec::new(),
+            shard_spills: Vec::new(),
+            metrics: None,
+            reported: false,
+            opened: false,
+        }
+    }
+
+    fn shutdown_threads(&mut self) {
+        self.rx = None;
+        for flag in &self.abort_flags {
+            flag.store(true, Ordering::Relaxed);
+        }
+        for h in self.threads.drain(..) {
+            let _ = h.join();
+        }
+    }
+
+    /// Push this run's per-shard spill counters into the runtime (once).
+    fn report_shard_stats(&mut self) {
+        if self.reported || self.shard_spills.is_empty() {
+            return;
+        }
+        self.reported = true;
+        let spills: Vec<u64> = self
+            .shard_spills
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect();
+        let rt = self.harness.runtime();
+        let op = self.join_harness.op_id().unwrap_or(u32::MAX);
+        rt.note_exchange(op, &spills);
+        if rt.trace().events_enabled() {
+            let rows: Vec<u64> = self
+                .shard_rows
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect();
+            rt.trace().emit(TraceEvent::PartitionSkew { op, rows });
+        }
+    }
+}
+
+impl Operator for RemoteExchange {
+    fn open(&mut self) -> Result<()> {
+        if self.opened {
+            return Err(TukwilaError::Internal("RemoteExchange opened twice".into()));
+        }
+        let n = self.partitions;
+        let rt = self.harness.runtime().clone();
+        let executor: Arc<dyn ShardExecutor> =
+            rt.env().shard_executor.clone().ok_or_else(|| {
+                TukwilaError::Internal("RemoteExchange without shard executor".into())
+            })?;
+
+        // Shard budget: the join reservation's budget split N ways, like
+        // the local exchange's partition reservations (0 = unbounded).
+        let parent = self.join_harness.reservation();
+        let shard_budget = parent
+            .as_ref()
+            .map(|p| (p.budget() / n).max(1))
+            .unwrap_or(0);
+        let deadline = rt
+            .control()
+            .deadline()
+            .map(|d| d.saturating_duration_since(Instant::now()));
+
+        let tables = subtree_table_deps(&self.node)
+            .into_iter()
+            .map(|name| rt.env().local.get(&name).map(|rel| (name, rel)))
+            .collect::<Result<Vec<_>>>()?;
+        let spec = ShardSpec {
+            plan_text: subtree_plan_text(&self.node, shard_budget),
+            tables,
+            shard_count: n,
+            batch_size: rt.env().batch_size,
+            shard_budget,
+            deadline,
+        };
+
+        let mut streams = executor.start(&spec, rt.control(), rt.trace())?;
+        if streams.len() != n {
+            return Err(TukwilaError::Internal(format!(
+                "shard executor started {} of {n} shards",
+                streams.len()
+            )));
+        }
+
+        // Open every stream up front: each blocks until its worker opened
+        // the fragment, so connection and plan errors surface here rather
+        // than mid-merge. Workers stream ahead against their initial
+        // credits meanwhile. On failure, abort the survivors.
+        for flag in streams.iter().map(|s| s.abort_handle()) {
+            self.harness.register_cancel(flag.clone());
+            self.abort_flags.push(flag);
+        }
+        let mut schema = None;
+        for stream in streams.iter_mut() {
+            match stream.open() {
+                Ok(s) => schema = Some(s),
+                Err(e) => {
+                    for flag in &self.abort_flags {
+                        flag.store(true, Ordering::Relaxed);
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        self.schema = schema
+            .ok_or_else(|| TukwilaError::Internal("remote exchange started zero shards".into()))?;
+
+        self.metrics = self.harness.metrics("remote-exchange");
+        self.shard_rows = (0..n).map(|_| Arc::new(AtomicU64::new(0))).collect();
+        self.shard_spills = (0..n).map(|_| Arc::new(AtomicU64::new(0))).collect();
+
+        // Lifecycle: the exchange owns the shared join subject's state.
+        self.join_harness.opened();
+        self.harness.opened();
+        self.opened = true;
+
+        let (out_tx, out_rx) = bounded::<Msg>(n.max(2) * 2);
+        for (i, mut stream) in streams.into_iter().enumerate() {
+            let out = out_tx.clone();
+            let rows = self.shard_rows[i].clone();
+            let spills = self.shard_spills[i].clone();
+            let lease = parent.as_ref().map(|p| {
+                let r = MemoryManager::with_parent(p.clone())
+                    .register(format!("{}s{i}", p.name()), shard_budget);
+                r.charge(shard_budget);
+                ShardLease {
+                    reservation: r,
+                    bytes: shard_budget,
+                }
+            });
+            self.threads.push(std::thread::spawn(move || {
+                let result = (|| -> Result<()> {
+                    while let Some(batch) = stream.next_batch()? {
+                        rows.fetch_add(batch.len() as u64, Ordering::Relaxed);
+                        if out.send(Msg::Batch(batch)).is_err() {
+                            return Ok(()); // consumer gone (early close)
+                        }
+                    }
+                    spills.store(stream.stats().spill_tuples, Ordering::Relaxed);
+                    Ok(())
+                })();
+                // The shard is done with its budget slice either way:
+                // release the lease so the governor sees the memory come
+                // back even when the worker died mid-query.
+                if let Some(lease) = lease {
+                    lease.release();
+                }
+                let _ = match result {
+                    Ok(()) => out.send(Msg::End),
+                    Err(e) => out.send(Msg::Err(e)),
+                };
+            }));
+        }
+        self.live_shards = n;
+        self.rx = Some(out_rx);
+        Ok(())
+    }
+
+    fn next_batch(&mut self) -> Result<Option<TupleBatch>> {
+        loop {
+            if self.live_shards == 0 {
+                return Ok(None);
+            }
+            let Some(rx) = &self.rx else {
+                return Ok(None);
+            };
+            let waited = self.metrics.as_ref().map(|_| Instant::now());
+            let msg = rx.recv();
+            if let (Some(m), Some(t0)) = (&self.metrics, waited) {
+                m.add_queue_stall_ns(t0.elapsed().as_nanos() as u64);
+            }
+            match msg {
+                Ok(Msg::Batch(b)) => {
+                    if let Some(m) = &self.metrics {
+                        m.add_output(b.len() as u64);
+                    }
+                    self.harness.produced(b.len() as u64);
+                    return Ok(Some(b));
+                }
+                Ok(Msg::End) => {
+                    self.live_shards -= 1;
+                }
+                Ok(Msg::Err(e)) => {
+                    self.harness.failed();
+                    self.shutdown_threads();
+                    return Err(e);
+                }
+                Err(_) => {
+                    return Err(TukwilaError::Internal(
+                        "remote exchange output channel disconnected".into(),
+                    ))
+                }
+            }
+        }
+    }
+
+    fn close(&mut self) -> Result<()> {
+        self.shutdown_threads();
+        self.report_shard_stats();
+        if self.opened {
+            self.join_harness.closed();
+            self.harness.closed();
+            self.opened = false;
+        }
+        Ok(())
+    }
+
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn name(&self) -> &'static str {
+        "remote-exchange"
+    }
+}

@@ -35,6 +35,7 @@ use tukwila_storage::{
 use tukwila_trace::{CacheOutcome, OpMetrics, QueryTrace, TraceEvent, TraceLevel};
 
 use crate::control::QueryControl;
+use crate::shard::ShardExecutor;
 
 /// Engine environment shared across plan runs.
 #[derive(Clone)]
@@ -61,6 +62,11 @@ pub struct ExecEnv {
     /// Trace level installed on query controls this environment creates
     /// (an externally owned control keeps whatever its creator set).
     pub trace_level: TraceLevel,
+    /// Distributed shard executor (coordinator role): when installed, the
+    /// builder lowers `Exchange` nodes over joins into a
+    /// [`crate::operators::RemoteExchange`] that scatters partition
+    /// pipelines to worker processes instead of local threads.
+    pub shard_executor: Option<Arc<dyn ShardExecutor>>,
 }
 
 impl ExecEnv {
@@ -74,6 +80,7 @@ impl ExecEnv {
             batch_size: tukwila_common::env_batch_size(),
             intra_query_threads: tukwila_common::env_parallelism(),
             trace_level: TraceLevel::default(),
+            shard_executor: None,
         }
     }
 
@@ -102,6 +109,14 @@ impl ExecEnv {
         self
     }
 
+    /// Install a distributed shard executor (see
+    /// [`crate::shard::ShardExecutor`]): exchanges over joins then run as
+    /// remote shard scatters instead of local thread partitions.
+    pub fn with_shard_executor(mut self, executor: Arc<dyn ShardExecutor>) -> Self {
+        self.shard_executor = Some(executor);
+        self
+    }
+
     /// Derive an environment for one query run in a concurrent service:
     /// sources and the backing spill store are shared with this base
     /// environment, but the local store (materialization namespace) and
@@ -125,6 +140,7 @@ impl ExecEnv {
             batch_size: self.batch_size,
             intra_query_threads: self.intra_query_threads,
             trace_level: self.trace_level,
+            shard_executor: self.shard_executor.clone(),
         }
     }
 }

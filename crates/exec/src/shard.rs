@@ -1,0 +1,303 @@
+//! Distributed shard execution support (DESIGN.md §12).
+//!
+//! A [`ShardExecutor`] is the coordinator's handle on a pool of worker
+//! processes: [`crate::operators::RemoteExchange`] asks it to scatter the
+//! partition pipelines of an optimizer-lowered `Exchange` and hands back
+//! one [`ShardStream`] per shard, whose union is the exchange's output.
+//! The transport lives in `tukwila-net`; this module only defines the
+//! contract plus the worker-side building blocks that must agree with the
+//! local [`crate::operators::Exchange`] on partitioning semantics:
+//!
+//! * [`ShardFilter`] keeps exactly the rows the local exchange would route
+//!   to one partition — same prehash, same [`fold_hash`] fold, same salt,
+//!   and the same "NULL keys are dropped" rule (a NULL never equi-joins).
+//! * [`build_shard_root`] builds a worker's operator tree for one shard:
+//!   the dispatched join with both inputs wrapped in shard filters.
+//!
+//! Each worker recomputes the join's input subtrees from its own sources
+//! and keeps only its shard (shared-nothing scatter; inputs are never
+//! shipped through the coordinator), so the union over all shards equals
+//! the local join for any equi-join kind — including the kinds the local
+//! exchange cannot thread-partition.
+
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+use std::time::Duration;
+
+use tukwila_common::{fold_hash, KeyVector, Relation, Result, Schema, TukwilaError, TupleBatch};
+use tukwila_plan::{
+    print_plan, Fragment, FragmentId, JoinKind, OperatorNode, OperatorSpec, QueryPlan, SubjectRef,
+};
+use tukwila_trace::QueryTrace;
+
+use crate::build::build_operator;
+use crate::control::QueryControl;
+use crate::operator::{Operator, OperatorBox};
+use crate::operators::exchange::EXCHANGE_SALT;
+use crate::operators::{DoublePipelinedJoin, HashJoinOp, NestedLoopsJoin, SortMergeJoin};
+use crate::runtime::{OpHarness, PlanRuntime};
+
+/// Everything a worker needs to run one shard of a scattered exchange.
+/// The same spec is dispatched to every shard; only the shard index
+/// differs.
+#[derive(Debug, Clone)]
+pub struct ShardSpec {
+    /// The dispatched fragment as parseable plan text
+    /// ([`subtree_plan_text`]): a single fragment whose root is the join
+    /// under the exchange.
+    pub plan_text: String,
+    /// Coordinator-local materializations the fragment's `TableScan`s
+    /// reference, shipped to the worker's local store.
+    pub tables: Vec<(String, Arc<Relation>)>,
+    /// Total number of shards (the exchange's partition degree).
+    pub shard_count: usize,
+    /// Operator batch size the worker should execute with.
+    pub batch_size: usize,
+    /// Per-shard memory budget in bytes (0 = unbounded).
+    pub shard_budget: usize,
+    /// Remaining query deadline at dispatch time, forwarded so workers
+    /// trip on their own clock instead of relying on a cancel message.
+    pub deadline: Option<Duration>,
+}
+
+/// Completion statistics one shard reports with its final message.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Output rows the shard produced.
+    pub rows: u64,
+    /// Output batches the shard produced.
+    pub batches: u64,
+    /// Times the worker blocked waiting for send credit (backpressure).
+    pub backpressure_stalls: u64,
+    /// Tuples the worker spilled while executing the shard.
+    pub spill_tuples: u64,
+}
+
+/// One shard's result stream at the coordinator.
+pub trait ShardStream: Send {
+    /// Worker identity (address) for diagnostics and trace events.
+    fn worker(&self) -> &str;
+
+    /// Block until the shard started executing and report its output
+    /// schema. Must be called exactly once before `next_batch`.
+    fn open(&mut self) -> Result<Schema>;
+
+    /// Next batch of shard output, or `None` once the shard completed.
+    /// Worker death surfaces here as an error, never as a hang.
+    fn next_batch(&mut self) -> Result<Option<TupleBatch>>;
+
+    /// Completion statistics (valid after `next_batch` returned `None`).
+    fn stats(&self) -> ShardStats;
+
+    /// Flag that makes a blocked `open`/`next_batch` bail out promptly
+    /// (registered with the query control for cancellation, and set by the
+    /// exchange on early close).
+    fn abort_handle(&self) -> Arc<AtomicBool>;
+}
+
+/// Coordinator-side handle on a worker pool: scatters shard specs, returns
+/// the per-shard result streams. Implemented by `tukwila_net::Cluster`
+/// over TCP; tests may install in-process fakes.
+pub trait ShardExecutor: Send + Sync {
+    /// Number of distinct workers behind this executor (shards are dealt
+    /// round-robin across them).
+    fn worker_count(&self) -> usize;
+
+    /// Dispatch `spec.shard_count` shards and return their streams, in
+    /// shard order. Streams are not yet opened.
+    fn start(
+        &self,
+        spec: &ShardSpec,
+        control: &Arc<QueryControl>,
+        trace: &Arc<QueryTrace>,
+    ) -> Result<Vec<Box<dyn ShardStream>>>;
+}
+
+/// Render the join subtree under an exchange as a standalone
+/// single-fragment plan, parseable by `tukwila_plan::parse_plan` on the
+/// worker. `shard_budget` (when non-zero) replaces the root join's memory
+/// annotation so each worker plans with its shard's slice, mirroring the
+/// local exchange's budget/N split.
+pub fn subtree_plan_text(node: &OperatorNode, shard_budget: usize) -> String {
+    let mut root = node.clone();
+    if shard_budget > 0 && root.memory_budget.is_some() {
+        root.memory_budget = Some(shard_budget);
+    }
+    let frag = Fragment::new(FragmentId(0), root, "result");
+    print_plan(&QueryPlan::new(vec![frag], FragmentId(0)))
+}
+
+/// Names of local-store tables the subtree scans (the coordinator must
+/// ship these to workers alongside the plan).
+pub fn subtree_table_deps(node: &OperatorNode) -> Vec<String> {
+    fn walk(node: &OperatorNode, out: &mut Vec<String>) {
+        match &node.spec {
+            OperatorSpec::TableScan { table } => {
+                if !out.contains(table) {
+                    out.push(table.clone());
+                }
+            }
+            OperatorSpec::WrapperScan { .. } | OperatorSpec::Collector { .. } => {}
+            OperatorSpec::Select { input, .. }
+            | OperatorSpec::Project { input, .. }
+            | OperatorSpec::Exchange { input, .. } => walk(input, out),
+            OperatorSpec::Join { left, right, .. } => {
+                walk(left, out);
+                walk(right, out);
+            }
+            OperatorSpec::DependentJoin { left, .. } => walk(left, out),
+            OperatorSpec::Union { inputs } => {
+                for i in inputs {
+                    walk(i, out);
+                }
+            }
+        }
+    }
+    let mut out = Vec::new();
+    walk(node, &mut out);
+    out
+}
+
+/// Filter a child's output down to one shard: keep rows whose join-key
+/// prehash folds to `shard_index`, drop NULL keys (identical routing to
+/// the local exchange's `drive_side`).
+pub struct ShardFilter {
+    child: OperatorBox,
+    key: String,
+    key_idx: usize,
+    shard_index: usize,
+    shard_count: usize,
+}
+
+impl ShardFilter {
+    /// Wrap `child`, keeping shard `shard_index` of `shard_count` by the
+    /// (possibly qualified) key column `key`.
+    pub fn new(child: OperatorBox, key: String, shard_index: usize, shard_count: usize) -> Self {
+        ShardFilter {
+            child,
+            key,
+            key_idx: 0,
+            shard_index,
+            shard_count: shard_count.max(1),
+        }
+    }
+}
+
+impl Operator for ShardFilter {
+    fn open(&mut self) -> Result<()> {
+        self.child.open()?;
+        match self.child.schema().index_of(&self.key) {
+            Ok(idx) => {
+                self.key_idx = idx;
+                Ok(())
+            }
+            Err(e) => {
+                let _ = self.child.close();
+                Err(e)
+            }
+        }
+    }
+
+    fn next_batch(&mut self) -> Result<Option<TupleBatch>> {
+        loop {
+            let Some(batch) = self.child.next_batch()? else {
+                return Ok(None);
+            };
+            let kv = KeyVector::compute(&batch, self.key_idx);
+            let mut rows: Vec<u32> = Vec::with_capacity(batch.len());
+            for (i, h) in kv.iter().enumerate() {
+                if let Some(h) = h {
+                    if fold_hash(h, self.shard_count, EXCHANGE_SALT) == self.shard_index {
+                        rows.push(i as u32);
+                    }
+                }
+            }
+            if rows.len() == batch.len() {
+                return Ok(Some(batch));
+            }
+            if rows.is_empty() {
+                continue;
+            }
+            let out = match batch.columns() {
+                Some(cols) => TupleBatch::from_columns(cols.gather(&rows)),
+                None => {
+                    let tuples = batch.tuples();
+                    TupleBatch::from_tuples(
+                        rows.iter().map(|&i| tuples[i as usize].clone()).collect(),
+                    )
+                }
+            };
+            return Ok(Some(out));
+        }
+    }
+
+    fn close(&mut self) -> Result<()> {
+        self.child.close()
+    }
+
+    fn schema(&self) -> &Schema {
+        self.child.schema()
+    }
+
+    fn name(&self) -> &'static str {
+        "shard-filter"
+    }
+}
+
+/// Build a worker's operator tree for one shard of a dispatched fragment:
+/// the root join with both inputs wrapped in [`ShardFilter`]s. With a
+/// single shard there is nothing to filter and the tree builds as-is.
+/// Unlike the local exchange this handles *any* equi-join kind — hash
+/// partitioning by the join key is correct for all of them.
+pub fn build_shard_root(
+    node: &OperatorNode,
+    rt: &Arc<PlanRuntime>,
+    shard_index: usize,
+    shard_count: usize,
+) -> Result<OperatorBox> {
+    if shard_count <= 1 {
+        return build_operator(node, rt);
+    }
+    let OperatorSpec::Join {
+        left,
+        right,
+        left_key,
+        right_key,
+        kind,
+        overflow: _,
+    } = &node.spec
+    else {
+        return Err(TukwilaError::Plan(format!(
+            "shard {shard_index}/{shard_count}: dispatched fragment root must be a join"
+        )));
+    };
+    let l: OperatorBox = Box::new(ShardFilter::new(
+        build_operator(left, rt)?,
+        left_key.clone(),
+        shard_index,
+        shard_count,
+    ));
+    let r: OperatorBox = Box::new(ShardFilter::new(
+        build_operator(right, rt)?,
+        right_key.clone(),
+        shard_index,
+        shard_count,
+    ));
+    let harness = OpHarness::new(rt.clone(), SubjectRef::Op(node.id));
+    let (lk, rk) = (left_key.clone(), right_key.clone());
+    Ok(match kind {
+        JoinKind::DoublePipelined => {
+            let descendants: Vec<SubjectRef> = left
+                .all_ids()
+                .into_iter()
+                .chain(right.all_ids())
+                .map(SubjectRef::Op)
+                .collect();
+            Box::new(DoublePipelinedJoin::new(l, r, lk, rk, harness).with_descendants(descendants))
+        }
+        JoinKind::HybridHash => Box::new(HashJoinOp::hybrid(l, r, lk, rk, harness)),
+        JoinKind::GraceHash => Box::new(HashJoinOp::grace(l, r, lk, rk, harness)),
+        JoinKind::NestedLoops => Box::new(NestedLoopsJoin::new(l, r, lk, rk, harness)),
+        JoinKind::SortMerge => Box::new(SortMergeJoin::new(l, r, lk, rk, harness)),
+    })
+}

@@ -1,0 +1,26 @@
+//! `tukwila-net`: distributed exchange — shared-nothing coordinator/worker
+//! shard execution over a columnar wire protocol (DESIGN.md §12).
+//!
+//! The optimizer-lowered `Exchange` over a join normally scatters its
+//! partition pipelines across local threads
+//! (`tukwila_exec::operators::Exchange`). With a [`Cluster`] installed as
+//! the engine's [`tukwila_exec::ShardExecutor`], the same exchange instead
+//! scatters them to worker *processes* over TCP
+//! (`tukwila_exec::operators::RemoteExchange`) and gathers their union.
+//! Each worker runs a [`WorkerServer`], rebuilds the join's inputs from
+//! its own sources, keeps its shard with the exact hash routing the local
+//! exchange uses, and streams result batches back in the spill codec's
+//! columnar frame format under credit-based backpressure.
+//!
+//! `std::net` only — no external networking dependencies.
+
+pub mod cluster;
+pub mod protocol;
+pub mod worker;
+
+pub use cluster::Cluster;
+pub use protocol::{
+    decode_msg, error_from_wire, Dispatch, FrameReader, FrameWriter, Msg, CREDIT_WINDOW,
+    MAX_FRAME_LEN, NET_MAGIC, NET_VERSION,
+};
+pub use worker::{WorkerHandle, WorkerServer};

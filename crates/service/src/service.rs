@@ -65,6 +65,13 @@ pub struct QueryServiceConfig {
     /// disables recording, `Events` (default) records the structured
     /// event timeline, `Metrics` adds per-operator counters.
     pub trace_level: TraceLevel,
+    /// Worker process addresses (`host:port`) for distributed execution.
+    /// Non-empty makes this service a coordinator: exchanges over joins
+    /// scatter their partition pipelines to these workers over TCP
+    /// instead of local threads, each shard budgeted with its slice of
+    /// the query's memory grant. Workers are dialed lazily per query, so
+    /// the service starts even while workers are still coming up.
+    pub remote_workers: Vec<String>,
 }
 
 impl Default for QueryServiceConfig {
@@ -78,6 +85,7 @@ impl Default for QueryServiceConfig {
             cache_memory: Some(32 << 20),
             intra_query_threads: 0,
             trace_level: TraceLevel::Events,
+            remote_workers: Vec::new(),
         }
     }
 }
@@ -250,11 +258,16 @@ impl QueryService {
     /// Start the service over `system`: spawns the worker pool, wires the
     /// governor, and (if configured) installs the shared source-result
     /// cache into the system's source registry.
-    pub fn new(system: TukwilaSystem, config: QueryServiceConfig) -> Self {
+    pub fn new(mut system: TukwilaSystem, config: QueryServiceConfig) -> Self {
         let config = QueryServiceConfig {
             workers: config.workers.max(1),
             ..config
         };
+        if !config.remote_workers.is_empty() {
+            system.install_shard_executor(Arc::new(tukwila_net::Cluster::new(
+                &config.remote_workers,
+            )));
+        }
         let governor = MemoryGovernor::new(config.total_memory);
         let cache = match config.cache_memory {
             Some(budget) => {

@@ -276,9 +276,50 @@ fn decode_column(buf: &[u8], pos: &mut usize, len: usize) -> Result<Column> {
     }
 }
 
+/// Exact on-wire size of one encoded column (kind tag + validity section +
+/// typed payload), except `Values` columns where the per-value tags make an
+/// exact count as expensive as encoding — those report a lower bound.
+fn column_encoded_size(col: &Column) -> usize {
+    fn validity_bytes(b: Option<&Bitmap>, len: usize) -> usize {
+        match b {
+            Some(_) => 1 + len.div_ceil(8),
+            None => 1,
+        }
+    }
+    match col {
+        Column::Int64(v, b) => 1 + validity_bytes(b.as_ref(), v.len()) + v.len() * 8,
+        Column::Float64(v, b) => 1 + validity_bytes(b.as_ref(), v.len()) + v.len() * 8,
+        Column::Str(v, b) => {
+            1 + validity_bytes(b.as_ref(), v.len()) + v.iter().map(|s| 4 + s.len()).sum::<usize>()
+        }
+        Column::Date(v, b) => 1 + validity_bytes(b.as_ref(), v.len()) + v.len() * 4,
+        Column::Values(v) => 1 + v.len(),
+    }
+}
+
+/// Size the write path should reserve before encoding `batch` as one frame
+/// — exact for columnar batches of typed columns, a lower bound otherwise.
+/// One up-front `reserve` replaces the doubling-reallocation chain that a
+/// cold output buffer would go through while a frame streams in (the wire
+/// and spill write paths encode thousands of frames per query).
+pub fn batch_frame_size_hint(batch: &TupleBatch) -> usize {
+    match batch.columns() {
+        Some(cols) => {
+            8 + (0..cols.num_cols())
+                .map(|c| column_encoded_size(cols.col(c)))
+                .sum::<usize>()
+        }
+        None => 4 + batch.len(),
+    }
+}
+
 /// Append a column-major batch frame: count word with [`COLS_FLAG`] set,
 /// column count, then each column (kind tag, validity bits, typed payload).
 pub fn encode_columns(cols: &ColumnarBatch, out: &mut Vec<u8>) {
+    let payload: usize = (0..cols.num_cols())
+        .map(|c| column_encoded_size(cols.col(c)))
+        .sum();
+    out.reserve(8 + payload);
     out.extend_from_slice(&(cols.len() as u32 | COLS_FLAG).to_le_bytes());
     out.extend_from_slice(&(cols.num_cols() as u32).to_le_bytes());
     for c in 0..cols.num_cols() {

@@ -161,6 +161,18 @@ pub enum TraceEvent {
     /// Terminal event: how the query ended (`ok`, `deadline`, `cancelled`,
     /// `error`).
     QueryCompleted { outcome: String },
+    /// The coordinator sent a frame to a worker (dispatch payload or
+    /// shipped table): `bytes` is the encoded frame size on the wire.
+    NetBatchSent { worker: String, bytes: u64 },
+    /// The coordinator received one batch frame from a worker.
+    NetBatchReceived { worker: String, bytes: u64 },
+    /// A shard finished having blocked `stalls` times waiting for send
+    /// credit — the wire-level backpressure summary.
+    BackpressureStall { worker: String, stalls: u64 },
+    /// A worker connection was established and handshaken for a shard.
+    WorkerConnected { worker: String },
+    /// A worker connection died mid-query (process death, network error).
+    WorkerLost { worker: String, reason: String },
 }
 
 impl TraceEvent {
@@ -188,6 +200,11 @@ impl TraceEvent {
             TraceEvent::AdmissionEnqueued { .. } => "admission-enqueued",
             TraceEvent::AdmissionDequeued { .. } => "admission-dequeued",
             TraceEvent::QueryCompleted { .. } => "query-completed",
+            TraceEvent::NetBatchSent { .. } => "net-batch-sent",
+            TraceEvent::NetBatchReceived { .. } => "net-batch-received",
+            TraceEvent::BackpressureStall { .. } => "backpressure-stall",
+            TraceEvent::WorkerConnected { .. } => "worker-connected",
+            TraceEvent::WorkerLost { .. } => "worker-lost",
         }
     }
 
@@ -266,6 +283,23 @@ impl TraceEvent {
                 vec![("waited_ms", J::UInt(*waited_ms))]
             }
             TraceEvent::QueryCompleted { outcome } => vec![("outcome", J::Str(outcome.clone()))],
+            TraceEvent::NetBatchSent { worker, bytes } => vec![
+                ("worker", J::Str(worker.clone())),
+                ("bytes", J::UInt(*bytes)),
+            ],
+            TraceEvent::NetBatchReceived { worker, bytes } => vec![
+                ("worker", J::Str(worker.clone())),
+                ("bytes", J::UInt(*bytes)),
+            ],
+            TraceEvent::BackpressureStall { worker, stalls } => vec![
+                ("worker", J::Str(worker.clone())),
+                ("stalls", J::UInt(*stalls)),
+            ],
+            TraceEvent::WorkerConnected { worker } => vec![("worker", J::Str(worker.clone()))],
+            TraceEvent::WorkerLost { worker, reason } => vec![
+                ("worker", J::Str(worker.clone())),
+                ("reason", J::Str(reason.clone())),
+            ],
         }
     }
 
@@ -376,6 +410,25 @@ impl TraceEvent {
             },
             "query-completed" => TraceEvent::QueryCompleted {
                 outcome: str_of("outcome")?,
+            },
+            "net-batch-sent" => TraceEvent::NetBatchSent {
+                worker: str_of("worker")?,
+                bytes: u64_of("bytes")?,
+            },
+            "net-batch-received" => TraceEvent::NetBatchReceived {
+                worker: str_of("worker")?,
+                bytes: u64_of("bytes")?,
+            },
+            "backpressure-stall" => TraceEvent::BackpressureStall {
+                worker: str_of("worker")?,
+                stalls: u64_of("stalls")?,
+            },
+            "worker-connected" => TraceEvent::WorkerConnected {
+                worker: str_of("worker")?,
+            },
+            "worker-lost" => TraceEvent::WorkerLost {
+                worker: str_of("worker")?,
+                reason: str_of("reason")?,
             },
             other => return Err(format!("unknown event kind {other:?}")),
         })

@@ -60,6 +60,15 @@ fn arb_event() -> impl Strategy<Value = TraceEvent> {
         any::<u64>().prop_map(|queued| TraceEvent::AdmissionEnqueued { queued }),
         any::<u64>().prop_map(|waited_ms| TraceEvent::AdmissionDequeued { waited_ms }),
         "\\PC{0,12}".prop_map(|outcome| TraceEvent::QueryCompleted { outcome }),
+        ("\\PC{0,16}", any::<u64>())
+            .prop_map(|(worker, bytes)| TraceEvent::NetBatchSent { worker, bytes }),
+        ("\\PC{0,16}", any::<u64>())
+            .prop_map(|(worker, bytes)| TraceEvent::NetBatchReceived { worker, bytes }),
+        ("\\PC{0,16}", any::<u64>())
+            .prop_map(|(worker, stalls)| TraceEvent::BackpressureStall { worker, stalls }),
+        "\\PC{0,16}".prop_map(|worker| TraceEvent::WorkerConnected { worker }),
+        ("\\PC{0,16}", "\\PC{0,24}")
+            .prop_map(|(worker, reason)| TraceEvent::WorkerLost { worker, reason }),
     ]
 }
 

@@ -54,6 +54,7 @@ pub use tukwila_catalog as catalog;
 pub use tukwila_common as common;
 pub use tukwila_core as core;
 pub use tukwila_exec as exec;
+pub use tukwila_net as net;
 pub use tukwila_opt as opt;
 pub use tukwila_plan as plan;
 pub use tukwila_query as query;
@@ -72,6 +73,7 @@ pub mod prelude {
         ExecutionStats, QueryResult, StatsQuality, TpchDeployment, TukwilaSystem,
     };
     pub use tukwila_exec::{CancelKind, ExecEnv, QueryControl};
+    pub use tukwila_net::{Cluster, WorkerServer};
     pub use tukwila_opt::{Optimizer, OptimizerConfig, PipelinePolicy, ReoptStrategy};
     pub use tukwila_plan::{JoinKind, OverflowMethod, Predicate};
     pub use tukwila_query::{ConjunctiveQuery, MediatedSchema, Reformulator};
